@@ -1,0 +1,645 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (see EXPERIMENTS.md for the mapping), plus ablations for the
+// design choices called out in DESIGN.md. Custom metrics report the
+// scientific quantity each artifact is about (deviation, bytes, fitted
+// times); ns/op reports the simulation cost.
+//
+// Run with: go test -bench=. -benchmem
+package quma
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"quma/internal/aps2"
+	"quma/internal/asm"
+	"quma/internal/awg"
+	"quma/internal/clock"
+	"quma/internal/core"
+	"quma/internal/exec"
+	"quma/internal/expt"
+	"quma/internal/isa"
+	"quma/internal/microcode"
+	"quma/internal/pulse"
+	"quma/internal/qphys"
+	"quma/internal/readout"
+	"quma/internal/timing"
+	"quma/internal/uop"
+)
+
+// BenchmarkFig9AllXY regenerates the paper's Figure 9 staircase (E1): 42
+// AllXY points averaged over a reduced round count, reporting the RMS
+// deviation from the ideal staircase (paper: 0.012 at N=25600).
+func BenchmarkFig9AllXY(b *testing.B) {
+	var dev float64
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = int64(i + 1)
+		p := expt.DefaultAllXYParams()
+		p.Rounds = 50
+		res, err := expt.RunAllXY(cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dev = res.Deviation
+	}
+	b.ReportMetric(dev, "deviation")
+}
+
+// BenchmarkTable1LUT measures the codeword-triggered pulse generation
+// path (E2): lookup + trigger + playback scheduling for the Table 1
+// library.
+func BenchmarkTable1LUT(b *testing.B) {
+	c := awg.NewCTPG()
+	if err := c.UploadStandardLibrary(0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(c.MemoryBytes(12)), "LUT-bytes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cw := awg.Codeword(i % 7)
+		if _, err := c.Trigger(cw, clock.Cycle(i*4)); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 0 {
+			c.ResetPlaybacks()
+		}
+	}
+}
+
+// BenchmarkTables2to4QueueFill measures the execution-controller fill
+// path of the Tables 2–4 scenario (E3): one AllXY round decoded into the
+// queues and drained.
+func BenchmarkTables2to4QueueFill(b *testing.B) {
+	prog := asm.MustAssemble(`
+mov r15, 40000
+QNopReg r15
+Pulse {q0}, I
+Wait 4
+Pulse {q0}, I
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+halt
+`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qmb := exec.NewQMB(nil, nil, nil)
+		ctrl := exec.NewController(microcode.StandardControlStore(), qmb)
+		if err := ctrl.Load(prog); err != nil {
+			b.Fatal(err)
+		}
+		if err := ctrl.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5Decoding measures the multilevel decoding path (E4):
+// QIS → QuMIS expansion through the Q control store.
+func BenchmarkTable5Decoding(b *testing.B) {
+	cs := microcode.StandardControlStore()
+	instr := []isa.Instruction{
+		{Op: isa.OpApply, QAddr: isa.MaskQ(0), UOp: "X180"},
+		{Op: isa.OpApply, QAddr: isa.MaskQ(0), UOp: "Z"},
+		{Op: isa.OpApply2, QAddr: isa.MaskQ(0, 1), UOp: "CNOT", Imm: 1},
+		{Op: isa.OpMeasure, QAddr: isa.MaskQ(0), Rd: 7},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, in := range instr {
+			if _, err := cs.Expand(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkMemoryFootprint reports the §5.1.1 memory comparison (E5):
+// QuMA's flat lookup table vs combination-linear waveform memory.
+func BenchmarkMemoryFootprint(b *testing.B) {
+	model := aps2.DefaultCostModel()
+	var q, w int
+	for i := 0; i < b.N; i++ {
+		q = model.QuMAMemoryBytes(1)
+		w = model.WaveformMemoryBytes(1, 21, 2)
+	}
+	b.ReportMetric(float64(q), "quma-bytes")
+	b.ReportMetric(float64(w), "waveform-bytes")
+	b.ReportMetric(float64(w)/float64(q), "ratio")
+}
+
+// BenchmarkTimingSensitivity measures the §4.2.3 effect (E6): demodulate
+// a π pulse at shifted start times; the metric reports the axis shift per
+// 5 ns, which must be 90° at 50 MHz SSB.
+func BenchmarkTimingSensitivity(b *testing.B) {
+	env := pulse.GaussianEnvelope(20, 4, pulse.CalibratedGaussianAmp(20, 4, math.Pi))
+	w := pulse.Synthesize(env, pulse.DefaultSSBHz, 0)
+	var shift float64
+	for i := 0; i < b.N; i++ {
+		phi0, _ := pulse.Rotation(w, pulse.DefaultSSBHz, 0)
+		phi5, _ := pulse.Rotation(w, pulse.DefaultSSBHz, 5)
+		shift = math.Mod(phi5-phi0+2*math.Pi, 2*math.Pi) * 180 / math.Pi
+	}
+	b.ReportMetric(shift, "deg-per-5ns")
+}
+
+// BenchmarkFig5Timeline runs the one-round trace of Figures 3/5 (E7).
+func BenchmarkFig5Timeline(b *testing.B) {
+	src := `
+Wait 40000
+Pulse {q0}, X90
+Wait 4
+Pulse {q0}, Y180
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+halt
+`
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.TraceEvents = true
+		m, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.RunAssembly(src); err != nil {
+			b.Fatal(err)
+		}
+		if len(m.Trace()) != 4 {
+			b.Fatal("wrong trace length")
+		}
+	}
+}
+
+// BenchmarkT1 runs the T1 experiment (E8) and reports the fitted T1 in
+// microseconds (configured: 30 µs).
+func BenchmarkT1(b *testing.B) {
+	var tau float64
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = int64(i + 1)
+		p := expt.DefaultSweepParams()
+		p.Rounds = 60
+		res, err := expt.RunT1(cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tau = res.Fit.Tau * 1e6
+	}
+	b.ReportMetric(tau, "T1-µs")
+}
+
+// BenchmarkRamsey runs the Ramsey experiment (E8) and reports the fitted
+// fringe frequency in kHz (configured detuning: 100 kHz).
+func BenchmarkRamsey(b *testing.B) {
+	var freq float64
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = int64(i + 1)
+		qp := qphys.DefaultQubitParams()
+		qp.FreqDetuningHz = 100e3
+		cfg.Qubit = []qphys.QubitParams{qp}
+		p := expt.DefaultSweepParams()
+		p.Rounds = 60
+		p.DelaysCycles = nil
+		for k := 0; k < 40; k++ {
+			p.DelaysCycles = append(p.DelaysCycles, k*200)
+		}
+		res, err := expt.RunRamsey(cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		freq = res.Fit.Freq / 1e3
+	}
+	b.ReportMetric(freq, "fringe-kHz")
+}
+
+// BenchmarkEcho runs the echo experiment (E8) and reports the fitted
+// echo time constant in microseconds.
+func BenchmarkEcho(b *testing.B) {
+	var tau float64
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = int64(i + 1)
+		qp := qphys.DefaultQubitParams()
+		qp.FreqDetuningHz = 100e3
+		cfg.Qubit = []qphys.QubitParams{qp}
+		p := expt.DefaultSweepParams()
+		p.Rounds = 60
+		res, err := expt.RunEcho(cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tau = res.Fit.Tau * 1e6
+	}
+	b.ReportMetric(tau, "T2echo-µs")
+}
+
+// BenchmarkRB runs randomized benchmarking (E9) and reports the fitted
+// error per Clifford.
+func BenchmarkRB(b *testing.B) {
+	var epc float64
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = int64(i + 1)
+		p := expt.DefaultRBParams()
+		p.Trials = 3
+		p.Rounds = 40
+		res, err := expt.RunRB(cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		epc = res.Fit.ErrorPerClifford()
+	}
+	b.ReportMetric(epc, "err/Clifford")
+}
+
+// BenchmarkQuMAvsAPS2 exercises the §6 comparison (E10): the APS2-style
+// sequencer with TDM synchronization stalls vs QuMA's stall-free
+// label-based timing; metrics report the stall cycles per synchronized
+// round and the memory ratio.
+func BenchmarkQuMAvsAPS2(b *testing.B) {
+	model := aps2.DefaultCostModel()
+	var stalls clock.Cycle
+	for i := 0; i < b.N; i++ {
+		mod := aps2.NewModule("awg")
+		for s := 0; s < 21; s++ {
+			mod.LoadSegment(s, 40)
+		}
+		prog := []aps2.Instr{}
+		for s := 0; s < 21; s++ {
+			prog = append(prog,
+				aps2.Instr{Kind: aps2.OpWaitTrigger},
+				aps2.Instr{Kind: aps2.OpOutput, Segment: s},
+			)
+		}
+		prog = append(prog, aps2.Instr{Kind: aps2.OpHalt})
+		mod.Program = prog
+		sys := aps2.NewSystem(mod)
+		res, err := sys.Run(1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stalls = res.StallCycles
+	}
+	b.ReportMetric(float64(stalls), "stall-cycles")
+	b.ReportMetric(float64(model.WaveformMemoryBytes(1, 21, 2))/float64(model.QuMAMemoryBytes(1)), "mem-ratio")
+}
+
+// BenchmarkAlgorithm2CNOT runs the microcoded CNOT end to end (E11).
+func BenchmarkAlgorithm2CNOT(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.NumQubits = 2
+	cfg.Qubit = []qphys.QubitParams{{}, {}}
+	for i := 0; i < b.N; i++ {
+		m, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.RunAssembly("Wait 8\nPulse {q0}, X180\nWait 4\nApply2 CNOT, q1, q0\nhalt"); err != nil {
+			b.Fatal(err)
+		}
+		if p := m.State.ProbExcited(1); math.Abs(p-1) > 1e-3 {
+			b.Fatalf("CNOT broken: P=%v", p)
+		}
+	}
+}
+
+// BenchmarkFeedbackActiveReset measures the feedback loop (E14): one
+// measure-branch-correct cycle through the whole stack.
+func BenchmarkFeedbackActiveReset(b *testing.B) {
+	src := `
+mov r15, 40000
+mov r6, 0
+QNopReg r15
+Pulse {q0}, X90
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+Wait 340
+beq r7, r6, Done
+Pulse {q0}, X180
+Wait 4
+Done:
+halt
+`
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = int64(i + 1)
+		m, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.RunAssembly(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkTimingControllerEventDriven demonstrates that the timing
+// controller's cost is O(events), not O(cycles): the same event count
+// with 4-cycle vs 40000-cycle intervals must cost the same.
+func BenchmarkTimingControllerEventDriven(b *testing.B) {
+	for _, interval := range []clock.Cycle{4, 40000} {
+		b.Run(fmt.Sprintf("interval-%d", interval), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tc := timing.NewController()
+				q := timing.NewEventQueue[int]("p", nil)
+				tc.Register(q)
+				for k := 1; k <= 1000; k++ {
+					tc.TQ.Push(timing.TimePoint{Interval: interval, Label: timing.Label(k)})
+					q.Push(k, timing.Label(k))
+				}
+				tc.Start()
+				if _, err := tc.Drain(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHorizontalMicrocode compares one horizontal Pulse addressing 8
+// qubits against 8 vertical single-qubit Pulses: the horizontal form
+// costs one instruction decode instead of eight.
+func BenchmarkHorizontalMicrocode(b *testing.B) {
+	all := isa.MaskQ(0, 1, 2, 3, 4, 5, 6, 7)
+	b.Run("horizontal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			qmb := exec.NewQMB(nil, nil, nil)
+			for k := 0; k < 100; k++ {
+				qmb.Wait(4)
+				if err := qmb.Submit(isa.Instruction{Op: isa.OpPulse, QAddr: all, UOp: "X180"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("vertical", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			qmb := exec.NewQMB(nil, nil, nil)
+			for k := 0; k < 100; k++ {
+				qmb.Wait(4)
+				for q := 0; q < 8; q++ {
+					if err := qmb.Submit(isa.Instruction{Op: isa.OpPulse, QAddr: isa.MaskQ(q), UOp: "X180"}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkSeqZMicroOpExpansion measures the µop-level Z emulation (E12):
+// one micro-operation expanding to two codeword triggers, vs the
+// microcode-level expansion that sends two separate pulse events through
+// the timing control unit. The µop route halves the timing-control
+// traffic.
+func BenchmarkSeqZMicroOpExpansion(b *testing.B) {
+	b.Run("uop-level", func(b *testing.B) {
+		u := newSeqZUnit(b)
+		for i := 0; i < b.N; i++ {
+			trs, err := u.Expand("Z", clock.Cycle(i*8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(trs) != 2 {
+				b.Fatal("bad expansion")
+			}
+		}
+	})
+	b.Run("microcode-level", func(b *testing.B) {
+		cs := microcode.StandardControlStore()
+		in := isa.Instruction{Op: isa.OpApply, QAddr: isa.MaskQ(0), UOp: "Z"}
+		for i := 0; i < b.N; i++ {
+			mis, err := cs.Expand(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(mis) != 4 {
+				b.Fatal("bad expansion")
+			}
+		}
+	})
+}
+
+// BenchmarkEncodeDecode measures the binary ISA round trip (E13).
+func BenchmarkEncodeDecode(b *testing.B) {
+	syms := isa.StandardSymbols()
+	in := isa.Instruction{Op: isa.OpPulse, QAddr: isa.MaskQ(2), UOp: "X180"}
+	for i := 0; i < b.N; i++ {
+		w, err := isa.Encode(in, syms)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := isa.Decode(w, syms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func newSeqZUnit(b *testing.B) *uop.Unit {
+	b.Helper()
+	u := uop.NewUnit()
+	if err := u.Define("Z", uop.SeqZ()); err != nil {
+		b.Fatal(err)
+	}
+	return u
+}
+
+// BenchmarkRabiCalibration runs the amplitude-calibration sweep (E15)
+// and reports the extracted π-pulse scale (1.0 = nominal calibration
+// correct).
+func BenchmarkRabiCalibration(b *testing.B) {
+	var piScale float64
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = int64(i + 1)
+		p := expt.DefaultRabiParams()
+		p.Rounds = 60
+		res, err := expt.RunRabi(cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		piScale = res.PiScale
+	}
+	b.ReportMetric(piScale, "pi-scale")
+}
+
+// BenchmarkRepCode runs the feedback-corrected repetition code (E16)
+// and reports the bare and corrected logical error rates.
+func BenchmarkRepCode(b *testing.B) {
+	var bare, corrected float64
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = int64(i + 1)
+		p := expt.DefaultRepCodeParams()
+		p.Rounds = 100
+		res, err := expt.RunRepCode(cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bare, corrected = res.Unprotected, res.Protected
+	}
+	b.ReportMetric(bare, "bare-err")
+	b.ReportMetric(corrected, "corrected-err")
+}
+
+// BenchmarkVLIWIssueRate bundles the AllXY program at increasing widths
+// (E17, the paper's §6 proposal) and reports instructions per bundle.
+func BenchmarkVLIWIssueRate(b *testing.B) {
+	prog := asm.MustAssemble(expt.AllXYProgram(expt.DefaultAllXYParams()))
+	for _, width := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("width-%d", width), func(b *testing.B) {
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				bp, err := exec.BundleProgram(prog, width)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rate = bp.IssueRate()
+			}
+			b.ReportMetric(rate, "instrs/bundle")
+		})
+	}
+}
+
+// BenchmarkVLIWExecution compares scalar vs width-4 VLIW execution of
+// the same pulse-heavy program (ablation for DESIGN.md §5).
+func BenchmarkVLIWExecution(b *testing.B) {
+	src := `
+mov r15, 400
+mov r1, 0
+mov r2, 20
+Loop:
+QNopReg r15
+Pulse {q0}, X90
+Wait 4
+Pulse {q0}, X90
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+addi r1, r1, 1
+bne r1, r2, Loop
+halt
+`
+	prog := asm.MustAssemble(src)
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			qmb := exec.NewQMB(nil, nil, nil)
+			c := exec.NewController(microcode.StandardControlStore(), qmb)
+			if err := c.Load(prog); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Run(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("vliw-4", func(b *testing.B) {
+		bp, err := exec.BundleProgram(prog, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			qmb := exec.NewQMB(nil, nil, nil)
+			vc := exec.NewVLIWController(exec.NewController(microcode.StandardControlStore(), qmb), bp)
+			if err := vc.Run(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMuxReadout measures the §5.1.2 multiplexed-readout path
+// (E19): one combined 4-channel trace demultiplexed and discriminated.
+func BenchmarkMuxReadout(b *testing.B) {
+	p, err := readout.DefaultMuxParams(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := readout.CalibrateMux(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	trace, err := readout.SynthesizeMuxTrace(p, []int{0, 1, 0, 1}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	errs := 0
+	for i := 0; i < b.N; i++ {
+		results, _ := m.Measure(trace)
+		if results[1] != 1 || results[3] != 1 {
+			errs++
+		}
+	}
+	b.ReportMetric(float64(errs)/float64(b.N), "err-rate")
+	b.ReportMetric(4, "qubits-per-MDU")
+}
+
+// BenchmarkICacheLocality compares the quantum-instruction-cache
+// behaviour of the compact Algorithm-3 loop against its unrolled
+// equivalent (E20): hit rates and modelled fetch stalls.
+func BenchmarkICacheLocality(b *testing.B) {
+	loop := asm.MustAssemble(`
+mov r15, 100
+mov r1, 0
+mov r2, 200
+Loop:
+QNopReg r15
+Pulse {q0}, X90
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+addi r1, r1, 1
+bne r1, r2, Loop
+halt
+`)
+	var hitRate float64
+	for i := 0; i < b.N; i++ {
+		qmb := exec.NewQMB(nil, nil, nil)
+		ctrl := exec.NewController(microcode.StandardControlStore(), qmb)
+		ic, err := exec.NewICache(64, 4, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctrl.ICache = ic
+		if err := ctrl.Load(loop); err != nil {
+			b.Fatal(err)
+		}
+		if err := ctrl.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		hitRate = ic.HitRate()
+	}
+	b.ReportMetric(hitRate, "hit-rate")
+}
+
+// BenchmarkPhaseCode runs the dephasing-protected memory (E21).
+func BenchmarkPhaseCode(b *testing.B) {
+	var bare, protected float64
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = int64(i + 1)
+		for q := 0; q < 5; q++ {
+			cfg.Qubit = append(cfg.Qubit, expt.DephasingQubit(20e-6))
+		}
+		p := expt.DefaultRepCodeParams()
+		p.Rounds = 80
+		p.WaitCycles = 800
+		res, err := expt.RunPhaseCode(cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bare, protected = res.Bare, res.Protected
+	}
+	b.ReportMetric(bare, "bare-err")
+	b.ReportMetric(protected, "protected-err")
+}

@@ -1,0 +1,93 @@
+// Command quma-asm assembles QuMA assembly source (the combined auxiliary
+// classical + QuMIS instruction set) into 32-bit binary words, and
+// disassembles binaries back to listings.
+//
+// Usage:
+//
+//	quma-asm [-o out.bin] prog.qasm        assemble to binary (hex words)
+//	quma-asm -d prog.bin                   disassemble
+//	quma-asm -list prog.qasm               assemble and print the listing
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"quma/internal/asm"
+	"quma/internal/isa"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "", "output file (default: stdout)")
+		disasm  = flag.Bool("d", false, "disassemble a binary instead of assembling")
+		listing = flag.Bool("list", false, "print the program listing after assembling")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: quma-asm [-o out] [-d] [-list] <file>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	syms := isa.StandardSymbols()
+	if *disasm {
+		var words []uint32
+		for lineNo, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			var word uint32
+			if _, err := fmt.Sscanf(line, "%x", &word); err != nil {
+				fail(fmt.Errorf("line %d: %q is not a hex word", lineNo+1, line))
+			}
+			words = append(words, word)
+		}
+		prog, err := isa.DecodeProgram(words, syms)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprint(bw, prog.String())
+		return
+	}
+
+	prog, err := asm.Assemble(string(data))
+	if err != nil {
+		fail(err)
+	}
+	if *listing {
+		fmt.Fprint(bw, prog.String())
+		return
+	}
+	words, err := isa.EncodeProgram(prog, syms)
+	if err != nil {
+		fail(err)
+	}
+	for _, word := range words {
+		fmt.Fprintf(bw, "%08x\n", word)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "quma-asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package quma is a full-system reproduction, in pure Go, of
+// "An Experimental Microarchitecture for a Superconducting Quantum
+// Processor" (Fu et al., MICRO 2017) — the QuMA control microarchitecture.
+//
+// The paper's FPGA control box and transmon chip are replaced by
+// simulated substrates with the same interfaces and timing behaviour; the
+// microarchitecture itself (codeword-based event control, queue-based
+// event timing control, multilevel instruction decoding) is implemented
+// cycle-accurately. See DESIGN.md for the system inventory, EXPERIMENTS.md
+// for the paper-vs-measured record, and bench_test.go for the harness
+// that regenerates every table and figure.
+package quma

@@ -1,0 +1,271 @@
+// End-to-end integration scenarios: each runs a complete program through
+// assembler → execution controller → microcode → QMB → timing controller
+// → µop unit → CTPG → simulated chip → readout, and asserts a physical
+// outcome — the way a downstream user exercises the stack.
+package quma
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"quma/internal/core"
+	"quma/internal/openql"
+	"quma/internal/qphys"
+)
+
+func noiselessMachine(t *testing.T, qubits int) *core.Machine {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.NumQubits = qubits
+	cfg.Qubit = make([]qphys.QubitParams, qubits)
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestEndToEndScenarios(t *testing.T) {
+	cases := []struct {
+		name   string
+		qubits int
+		src    string
+		// wantP1 is each qubit's expected P(|1⟩) after the program.
+		wantP1 []float64
+	}{
+		{
+			name:   "pi pulse",
+			qubits: 1,
+			src:    "Wait 8\nPulse {q0}, X180\nWait 4\nhalt",
+			wantP1: []float64{1},
+		},
+		{
+			name:   "four quarter turns",
+			qubits: 1,
+			src: `Wait 8
+Pulse {q0}, X90
+Wait 4
+Pulse {q0}, X90
+Wait 4
+Pulse {q0}, X90
+Wait 4
+Pulse {q0}, X90
+Wait 4
+halt`,
+			wantP1: []float64{0},
+		},
+		{
+			name:   "plus minus cancel",
+			qubits: 1,
+			src:    "Wait 8\nPulse {q0}, Y90\nWait 4\nPulse {q0}, Ym90\nWait 4\nhalt",
+			wantP1: []float64{0},
+		},
+		{
+			name:   "hadamard twice",
+			qubits: 1,
+			src:    "Wait 8\nApply H, q0\nApply H, q0\nhalt",
+			wantP1: []float64{0},
+		},
+		{
+			name:   "microcoded z echo",
+			qubits: 1,
+			src:    "Wait 8\nApply Y90, q0\nApply Z, q0\nApply Ym90, q0\nhalt",
+			wantP1: []float64{1},
+		},
+		{
+			name:   "cz phase kickback",
+			qubits: 2,
+			// |1⟩⊗|+⟩ —CZ→ |1⟩⊗|−⟩; Ym90 maps |−⟩→|1⟩.
+			src: `Wait 8
+Pulse {q0}, X180
+Wait 4
+Pulse {q1}, Y90
+Wait 4
+Pulse {q0, q1}, CZ
+Wait 8
+Pulse {q1}, Ym90
+Wait 4
+halt`,
+			wantP1: []float64{1, 1},
+		},
+		{
+			name:   "ghz state marginals",
+			qubits: 3,
+			src: `Wait 8
+Apply H, q0
+Apply2 CNOT, q1, q0
+Apply2 CNOT, q2, q1
+halt`,
+			wantP1: []float64{0.5, 0.5, 0.5},
+		},
+		{
+			name:   "swap via three cnots",
+			qubits: 2,
+			src: `Wait 8
+Pulse {q0}, X180
+Wait 4
+Apply2 CNOT, q1, q0
+Apply2 CNOT, q0, q1
+Apply2 CNOT, q1, q0
+halt`,
+			wantP1: []float64{0, 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := noiselessMachine(t, tc.qubits)
+			if err := m.RunAssembly(tc.src); err != nil {
+				t.Fatal(err)
+			}
+			for q, want := range tc.wantP1 {
+				if got := m.State.ProbExcited(q); math.Abs(got-want) > 2e-3 {
+					t.Errorf("q%d: P(1) = %v, want %v", q, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestEndToEndGHZIsEntangled(t *testing.T) {
+	m := noiselessMachine(t, 3)
+	err := m.RunAssembly(`
+Wait 8
+Apply H, q0
+Apply2 CNOT, q1, q0
+Apply2 CNOT, q2, q1
+halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pur := m.State.Purity(); math.Abs(pur-1) > 1e-3 {
+		t.Errorf("GHZ global purity = %v, want 1", pur)
+	}
+	r := m.State.ReducedQubit(1)
+	if pur := real(r.Mul(r).Trace()); math.Abs(pur-0.5) > 1e-3 {
+		t.Errorf("GHZ marginal purity = %v, want 0.5", pur)
+	}
+}
+
+func TestEndToEndGHZMeasurementCorrelations(t *testing.T) {
+	// Measuring all three GHZ qubits yields 000 or 111 only.
+	cfg := core.DefaultConfig()
+	cfg.NumQubits = 3
+	cfg.Qubit = make([]qphys.QubitParams, 3)
+	cfg.Readout.NoiseSigma = 0
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.RunAssembly(`
+mov r1, 0
+mov r2, 50
+mov r13, 0   # mismatch counter
+Loop:
+Wait 8
+Apply H, q0
+Apply2 CNOT, q1, q0
+Apply2 CNOT, q2, q1
+Measure q0, r7
+Measure q1, r8
+Measure q2, r9
+Wait 340
+xor r10, r7, r8
+xor r11, r8, r9
+or  r12, r10, r11
+add r13, r13, r12
+# active reset for the next round (deterministic: flip if read 1)
+mov r6, 0
+beq r7, r6, R0
+Pulse {q0}, X180
+Wait 4
+R0:
+beq r8, r6, R1
+Pulse {q1}, X180
+Wait 4
+R1:
+beq r9, r6, R2
+Pulse {q2}, X180
+Wait 4
+R2:
+addi r1, r1, 1
+bne r1, r2, Loop
+halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Controller.Regs[13] != 0 {
+		t.Errorf("GHZ produced %d mismatched readouts in 50 shots", m.Controller.Regs[13])
+	}
+}
+
+func TestEndToEndOpenQLPipeline(t *testing.T) {
+	// High-level description → compiler → machine, asserting through the
+	// same physics.
+	p := openql.NewProgram("chain", 2)
+	p.InitCycles = 0
+	p.Add(openql.NewKernel("k").
+		Wait(8).
+		X(0).
+		CNOT(0, 1). // q1 flips because q0 is |1⟩
+		Z(1).       // phase only: populations unchanged
+		Measure(1, 7))
+	src, err := p.CompileText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "Apply2 CNOT, q1, q0") {
+		t.Fatalf("unexpected compilation:\n%s", src)
+	}
+	cfg := core.DefaultConfig()
+	cfg.NumQubits = 2
+	cfg.Qubit = make([]qphys.QubitParams, 2)
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunAssembly(src); err != nil {
+		t.Fatal(err)
+	}
+	if m.Controller.Regs[7] != 1 {
+		t.Errorf("measured r7 = %d, want 1", m.Controller.Regs[7])
+	}
+}
+
+func TestEndToEndDeterministicTimelineAccounting(t *testing.T) {
+	// The machine's pulse count, measurement count, and digital-output
+	// accounting all agree with the program structure.
+	m := noiselessMachine(t, 1)
+	err := m.RunAssembly(`
+mov r1, 0
+mov r2, 7
+Loop:
+Wait 400
+Pulse {q0}, X180
+Wait 4
+Pulse {q0}, X180
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+addi r1, r1, 1
+bne r1, r2, Loop
+halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PulsesPlayed != 14 {
+		t.Errorf("pulses = %d, want 14", m.PulsesPlayed)
+	}
+	if m.Measurements != 7 {
+		t.Errorf("measurements = %d, want 7", m.Measurements)
+	}
+	if got := m.Digital.TotalHighCycles(0); got != 7*300 {
+		t.Errorf("gate cycles = %d, want 2100", got)
+	}
+	if len(m.Digital.Intervals(0)) != 7 {
+		t.Errorf("gate intervals = %d, want 7", len(m.Digital.Intervals(0)))
+	}
+}

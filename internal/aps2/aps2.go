@@ -1,0 +1,211 @@
+// Package aps2 models the baseline architecture QuMA is evaluated
+// against in the paper's Section 6: the Raytheon BBN APS2 system — a
+// distributed set of arbitrary-pulse-sequencer modules coordinated by a
+// trigger distribution module (TDM) over an interconnect network.
+//
+// Contrasts captured by the model, following the paper:
+//
+//   - one binary per module (vs QuMA's single binary);
+//   - low-level output instructions referencing waveform memory, with
+//     idle waveforms implementing timing (vs explicit timing at the
+//     instruction level);
+//   - synchronization via TDM triggers, during which a module can process
+//     no output instructions (the stall the paper calls out);
+//   - whole-combination waveform memory that grows with the number of
+//     operation combinations (vs QuMA's fixed primitive lookup table).
+//
+// The package provides both an executable sequencer model (to count
+// stalls and playback behaviour) and the analytic memory/upload cost
+// model used in the comparison benchmarks.
+package aps2
+
+import (
+	"fmt"
+
+	"quma/internal/clock"
+)
+
+// OpKind enumerates APS2 sequencer instructions.
+type OpKind int
+
+const (
+	// OpOutput plays a waveform segment from waveform memory.
+	OpOutput OpKind = iota
+	// OpWaitTrigger blocks until the TDM trigger arrives; no output
+	// instructions are processed while waiting.
+	OpWaitTrigger
+	// OpGoto jumps to an instruction index (loops).
+	OpGoto
+	// OpHalt ends the sequence.
+	OpHalt
+)
+
+// Instr is one APS2 sequencer instruction.
+type Instr struct {
+	Kind    OpKind
+	Segment int // OpOutput: waveform-memory segment id
+	Target  int // OpGoto: destination index
+}
+
+// Module is one APS2 module: private waveform memory plus a sequencer.
+type Module struct {
+	Name string
+	// SegmentSamples maps segment id → length in samples (content is
+	// irrelevant to the cost model; lengths drive memory and timing).
+	SegmentSamples map[int]int
+	Program        []Instr
+
+	// BitsPerSample is the storage accounting resolution.
+	BitsPerSample int
+}
+
+// NewModule returns an empty module with 12-bit accounting (matching the
+// paper's memory arithmetic).
+func NewModule(name string) *Module {
+	return &Module{Name: name, SegmentSamples: map[int]int{}, BitsPerSample: 12}
+}
+
+// LoadSegment stores a waveform segment of n samples.
+func (m *Module) LoadSegment(id, samples int) { m.SegmentSamples[id] = samples }
+
+// MemoryBytes returns the waveform-memory footprint (I and Q channels).
+func (m *Module) MemoryBytes() int {
+	total := 0
+	for _, n := range m.SegmentSamples {
+		total += (2*n*m.BitsPerSample + 7) / 8
+	}
+	return total
+}
+
+// Playback records one segment playback with its start time.
+type Playback struct {
+	Module  string
+	Segment int
+	Start   clock.Sample
+}
+
+// System is a set of modules plus the trigger distribution module.
+type System struct {
+	Modules []*Module
+	// TriggerLatencyCycles is the interconnect latency from TDM trigger
+	// issue to module release.
+	TriggerLatencyCycles clock.Cycle
+	// TriggerPeriodCycles is the spacing of TDM trigger broadcasts.
+	TriggerPeriodCycles clock.Cycle
+}
+
+// NewSystem returns a system with representative trigger timing.
+func NewSystem(modules ...*Module) *System {
+	return &System{Modules: modules, TriggerLatencyCycles: 4, TriggerPeriodCycles: 2000}
+}
+
+// RunResult summarizes a system execution.
+type RunResult struct {
+	Playbacks []Playback
+	// StallCycles is the total time modules spent blocked in WaitTrigger
+	// — time during which, per the paper, "no output instructions can be
+	// processed".
+	StallCycles clock.Cycle
+	// Triggers is the number of TDM trigger broadcasts consumed.
+	Triggers int
+}
+
+// Run executes all module programs against the shared TDM trigger
+// schedule and returns playbacks and stall accounting. Each module runs
+// its own program; WaitTrigger blocks until the next trigger broadcast
+// after the module's current time.
+func (s *System) Run(maxInstr int) (*RunResult, error) {
+	res := &RunResult{}
+	triggersUsed := 0
+	for _, mod := range s.Modules {
+		var t clock.Cycle
+		pc := 0
+		steps := 0
+		for pc >= 0 && pc < len(mod.Program) {
+			if steps++; steps > maxInstr {
+				return nil, fmt.Errorf("aps2: module %s exceeded %d instructions", mod.Name, maxInstr)
+			}
+			in := mod.Program[pc]
+			switch in.Kind {
+			case OpOutput:
+				n, ok := mod.SegmentSamples[in.Segment]
+				if !ok {
+					return nil, fmt.Errorf("aps2: module %s: missing segment %d", mod.Name, in.Segment)
+				}
+				res.Playbacks = append(res.Playbacks, Playback{Module: mod.Name, Segment: in.Segment, Start: t.Samples()})
+				t += clock.Sample(n).Cycles()
+				pc++
+			case OpWaitTrigger:
+				// Next trigger boundary strictly after t, plus latency.
+				period := s.TriggerPeriodCycles
+				if period == 0 {
+					period = 1
+				}
+				k := (uint64(t) / uint64(period)) + 1
+				release := clock.Cycle(k*uint64(period)) + s.TriggerLatencyCycles
+				res.StallCycles += release - t
+				t = release
+				triggersUsed++
+				pc++
+			case OpGoto:
+				pc = in.Target
+			case OpHalt:
+				pc = -1
+			default:
+				return nil, fmt.Errorf("aps2: module %s: bad opcode %d", mod.Name, in.Kind)
+			}
+		}
+	}
+	res.Triggers = triggersUsed
+	return res, nil
+}
+
+// CostModel compares the memory and reconfiguration costs of the two
+// control approaches for an AllXY-style workload.
+type CostModel struct {
+	// PulseSamples is the per-pulse sample count (20 for the paper's
+	// single-qubit gates).
+	PulseSamples int
+	// BitsPerSample is the accounting resolution (12 in the paper).
+	BitsPerSample int
+	// PrimitivePulses is the size of QuMA's lookup table (7 for AllXY).
+	PrimitivePulses int
+	// UploadBytesPerSec models the configuration link.
+	UploadBytesPerSec float64
+}
+
+// DefaultCostModel returns the paper's accounting parameters.
+func DefaultCostModel() CostModel {
+	return CostModel{PulseSamples: 20, BitsPerSample: 12, PrimitivePulses: 7, UploadBytesPerSec: 10e6}
+}
+
+func (c CostModel) pulseBytes() int {
+	return (2*c.PulseSamples*c.BitsPerSample + 7) / 8
+}
+
+// QuMAMemoryBytes returns the codeword-scheme memory: the primitive
+// lookup table per qubit, independent of the number of combinations.
+func (c CostModel) QuMAMemoryBytes(qubits int) int {
+	return qubits * c.PrimitivePulses * c.pulseBytes()
+}
+
+// WaveformMemoryBytes returns the conventional scheme's memory: one
+// pre-combined waveform per combination per qubit.
+func (c CostModel) WaveformMemoryBytes(qubits, combinations, pulsesPerCombination int) int {
+	return qubits * combinations * pulsesPerCombination * c.pulseBytes()
+}
+
+// ReconfigureUploadBytes returns the bytes pushed over the link when one
+// combination's sequence changes: QuMA uploads nothing (instructions
+// only); the waveform scheme re-uploads the whole combination.
+func (c CostModel) ReconfigureUploadBytes(waveformScheme bool, pulsesPerCombination int) int {
+	if !waveformScheme {
+		return 0
+	}
+	return pulsesPerCombination * c.pulseBytes()
+}
+
+// UploadSeconds converts bytes to link time.
+func (c CostModel) UploadSeconds(bytes int) float64 {
+	return float64(bytes) / c.UploadBytesPerSec
+}

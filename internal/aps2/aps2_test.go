@@ -1,0 +1,157 @@
+package aps2
+
+import "testing"
+
+func TestModuleMemoryAccounting(t *testing.T) {
+	m := NewModule("awg1")
+	m.LoadSegment(0, 20) // one 20 ns pulse
+	if got := m.MemoryBytes(); got != 60 {
+		t.Errorf("segment memory = %d, want 60", got)
+	}
+	// 21 two-pulse combinations.
+	m2 := NewModule("awg2")
+	for i := 0; i < 21; i++ {
+		m2.LoadSegment(i, 40)
+	}
+	if got := m2.MemoryBytes(); got != 2520 {
+		t.Errorf("combination memory = %d, want 2520", got)
+	}
+}
+
+func TestSequencerPlaysSegments(t *testing.T) {
+	m := NewModule("awg1")
+	m.LoadSegment(0, 20)
+	m.LoadSegment(1, 40)
+	m.Program = []Instr{
+		{Kind: OpOutput, Segment: 0},
+		{Kind: OpOutput, Segment: 1},
+		{Kind: OpHalt},
+	}
+	sys := NewSystem(m)
+	res, err := sys.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Playbacks) != 2 {
+		t.Fatalf("playbacks = %v", res.Playbacks)
+	}
+	if res.Playbacks[1].Start != 20 {
+		t.Errorf("second segment starts at %d, want 20 (back to back)", res.Playbacks[1].Start)
+	}
+	if res.StallCycles != 0 {
+		t.Errorf("stalls = %d, want 0", res.StallCycles)
+	}
+}
+
+func TestWaitTriggerStalls(t *testing.T) {
+	m := NewModule("awg1")
+	m.LoadSegment(0, 20)
+	m.Program = []Instr{
+		{Kind: OpOutput, Segment: 0},
+		{Kind: OpWaitTrigger},
+		{Kind: OpOutput, Segment: 0},
+		{Kind: OpHalt},
+	}
+	sys := NewSystem(m)
+	res, err := sys.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StallCycles == 0 {
+		t.Error("WaitTrigger must stall the sequencer")
+	}
+	if res.Triggers != 1 {
+		t.Errorf("triggers = %d, want 1", res.Triggers)
+	}
+	// Output resumes only after the trigger boundary + latency.
+	want := (sys.TriggerPeriodCycles + sys.TriggerLatencyCycles).Samples()
+	if res.Playbacks[1].Start != want {
+		t.Errorf("post-trigger output at %d, want %d", res.Playbacks[1].Start, want)
+	}
+}
+
+func TestGotoLoop(t *testing.T) {
+	m := NewModule("awg1")
+	m.LoadSegment(0, 20)
+	m.Program = []Instr{
+		{Kind: OpOutput, Segment: 0},
+		{Kind: OpGoto, Target: 0},
+	}
+	sys := NewSystem(m)
+	if _, err := sys.Run(50); err == nil {
+		t.Error("unbounded loop must hit the instruction cap")
+	}
+}
+
+func TestMissingSegment(t *testing.T) {
+	m := NewModule("awg1")
+	m.Program = []Instr{{Kind: OpOutput, Segment: 9}}
+	sys := NewSystem(m)
+	if _, err := sys.Run(10); err == nil {
+		t.Error("missing segment must fail")
+	}
+}
+
+func TestCostModelMatchesPaperNumbers(t *testing.T) {
+	c := DefaultCostModel()
+	// Paper §5.1.1: QuMA stores 7 pulses = 420 bytes; the conventional
+	// method stores 21 two-pulse waveforms = 2520 bytes.
+	if got := c.QuMAMemoryBytes(1); got != 420 {
+		t.Errorf("QuMA memory = %d, want 420", got)
+	}
+	if got := c.WaveformMemoryBytes(1, 21, 2); got != 2520 {
+		t.Errorf("waveform memory = %d, want 2520", got)
+	}
+}
+
+func TestCostModelScaling(t *testing.T) {
+	c := DefaultCostModel()
+	// QuMA memory is flat in combinations; waveform memory is linear.
+	q1 := c.QuMAMemoryBytes(1)
+	for _, combos := range []int{10, 100, 1000} {
+		if c.QuMAMemoryBytes(1) != q1 {
+			t.Fatal("QuMA memory must not depend on combinations")
+		}
+		w := c.WaveformMemoryBytes(1, combos, 2)
+		if w != combos*2*60 {
+			t.Errorf("waveform memory for %d combos = %d", combos, w)
+		}
+	}
+	// Both scale linearly in qubits.
+	if c.QuMAMemoryBytes(8) != 8*q1 {
+		t.Error("QuMA memory must scale linearly in qubits")
+	}
+}
+
+func TestReconfigureCost(t *testing.T) {
+	c := DefaultCostModel()
+	if c.ReconfigureUploadBytes(false, 2) != 0 {
+		t.Error("QuMA reconfiguration must be free of waveform uploads")
+	}
+	if got := c.ReconfigureUploadBytes(true, 2); got != 120 {
+		t.Errorf("waveform reconfiguration = %d bytes, want 120", got)
+	}
+	if c.UploadSeconds(120) <= 0 {
+		t.Error("upload time must be positive")
+	}
+}
+
+func TestMultiModuleIndependentTimelines(t *testing.T) {
+	a := NewModule("a")
+	a.LoadSegment(0, 20)
+	a.Program = []Instr{{Kind: OpOutput, Segment: 0}, {Kind: OpHalt}}
+	b := NewModule("b")
+	b.LoadSegment(0, 40)
+	b.Program = []Instr{{Kind: OpWaitTrigger}, {Kind: OpOutput, Segment: 0}, {Kind: OpHalt}}
+	sys := NewSystem(a, b)
+	res, err := sys.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Playbacks) != 2 {
+		t.Fatalf("playbacks = %v", res.Playbacks)
+	}
+	if res.Playbacks[0].Start == res.Playbacks[1].Start {
+		t.Error("modules must have independent timelines")
+	}
+}

@@ -1,0 +1,421 @@
+// Package asm assembles the paper's textual assembly syntax (as seen in
+// Table 5 and Algorithm 3) into isa.Program values, and disassembles them
+// back. It is the front door for the cmd/quma-asm tool and for the
+// OpenQL-style compiler's output.
+//
+// Syntax, one instruction per line:
+//
+//	# comment (also //)
+//	Outer_Loop:              ; label definition
+//	mov r15, 40000
+//	QNopReg r15
+//	Pulse {q2}, X180         ; one or more qubits: {q0, q1}
+//	Wait 4
+//	MPG {q2}, 300
+//	MD {q2}, r7              ; destination register optional (default r0)
+//	Apply X180, q0           ; QIS gate, expanded by microcode
+//	Apply2 CNOT, q1, q0
+//	Measure q0, r7
+//	load r9, r3[0]
+//	store r9, r3[1]
+//	addi r1, r1, 1
+//	bne r1, r2, Outer_Loop
+//	halt
+//
+// Mnemonics are case-insensitive; operation names (X180, CZ, …) are
+// case-sensitive because they index the micro-operation tables.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"quma/internal/isa"
+)
+
+// Assemble parses source text into a validated program.
+func Assemble(src string) (*isa.Program, error) {
+	p := &isa.Program{Labels: map[string]int{}}
+	type patch struct {
+		instr int
+		label string
+		line  int
+	}
+	var patches []patch
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels: one or more "name:" prefixes on a line.
+		for {
+			idx := strings.Index(line, ":")
+			if idx < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:idx])
+			if !isIdent(name) {
+				return nil, fmt.Errorf("line %d: invalid label %q", lineNo+1, name)
+			}
+			if _, dup := p.Labels[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, name)
+			}
+			p.Labels[name] = len(p.Instrs)
+			line = strings.TrimSpace(line[idx+1:])
+		}
+		if line == "" {
+			continue
+		}
+		in, labelRef, err := parseInstruction(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		if labelRef != "" {
+			patches = append(patches, patch{instr: len(p.Instrs), label: labelRef, line: lineNo + 1})
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	for _, pt := range patches {
+		tgt, ok := p.Labels[pt.label]
+		if !ok {
+			return nil, fmt.Errorf("line %d: undefined label %q", pt.line, pt.label)
+		}
+		p.Instrs[pt.instr].Imm = int64(tgt)
+		p.Instrs[pt.instr].Label = pt.label
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error, for tests and fixed
+// built-in programs.
+func MustAssemble(src string) *isa.Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Disassemble renders a program back to assembly text.
+func Disassemble(p *isa.Program) string { return p.String() }
+
+func stripComment(line string) string {
+	if i := strings.Index(line, "#"); i >= 0 {
+		line = line[:i]
+	}
+	if i := strings.Index(line, "//"); i >= 0 {
+		line = line[:i]
+	}
+	return line
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseInstruction parses one mnemonic line. It returns the instruction
+// and, for branches, the referenced label (resolved by the caller).
+func parseInstruction(line string) (isa.Instruction, string, error) {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	args := splitArgs(rest)
+	var in isa.Instruction
+
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s expects %d operands, got %d (%q)", mnemonic, n, len(args), rest)
+		}
+		return nil
+	}
+
+	switch strings.ToLower(mnemonic) {
+	case "nop":
+		in.Op = isa.OpNop
+		return in, "", need(0)
+	case "halt":
+		in.Op = isa.OpHalt
+		return in, "", need(0)
+	case "mov":
+		in.Op = isa.OpMov
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		return in, "", firstErr(parseReg(args[0], &in.Rd), parseImm(args[1], &in.Imm))
+	case "movr":
+		in.Op = isa.OpMovReg
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		return in, "", firstErr(parseReg(args[0], &in.Rd), parseReg(args[1], &in.Rs))
+	case "add", "sub", "and", "or", "xor":
+		in.Op = map[string]isa.Opcode{
+			"add": isa.OpAdd, "sub": isa.OpSub, "and": isa.OpAnd,
+			"or": isa.OpOr, "xor": isa.OpXor,
+		}[strings.ToLower(mnemonic)]
+		if err := need(3); err != nil {
+			return in, "", err
+		}
+		return in, "", firstErr(parseReg(args[0], &in.Rd), parseReg(args[1], &in.Rs), parseReg(args[2], &in.Rt))
+	case "addi":
+		in.Op = isa.OpAddi
+		if err := need(3); err != nil {
+			return in, "", err
+		}
+		return in, "", firstErr(parseReg(args[0], &in.Rd), parseReg(args[1], &in.Rs), parseImm(args[2], &in.Imm))
+	case "load":
+		in.Op = isa.OpLoad
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		return in, "", firstErr(parseReg(args[0], &in.Rd), parseMem(args[1], &in.Rs, &in.Imm))
+	case "store":
+		in.Op = isa.OpStore
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		return in, "", firstErr(parseReg(args[0], &in.Rs), parseMem(args[1], &in.Rd, &in.Imm))
+	case "hld":
+		in.Op = isa.OpHostLoad
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		return in, "", firstErr(parseReg(args[0], &in.Rd), parseImm(args[1], &in.Imm))
+	case "hst":
+		in.Op = isa.OpHostStore
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		return in, "", firstErr(parseReg(args[0], &in.Rs), parseImm(args[1], &in.Imm))
+	case "beq", "bne", "blt":
+		in.Op = map[string]isa.Opcode{"beq": isa.OpBeq, "bne": isa.OpBne, "blt": isa.OpBlt}[strings.ToLower(mnemonic)]
+		if err := need(3); err != nil {
+			return in, "", err
+		}
+		if err := firstErr(parseReg(args[0], &in.Rs), parseReg(args[1], &in.Rt)); err != nil {
+			return in, "", err
+		}
+		return parseTarget(in, args[2])
+	case "jmp":
+		in.Op = isa.OpJmp
+		if err := need(1); err != nil {
+			return in, "", err
+		}
+		return parseTarget(in, args[0])
+	case "qnopreg":
+		in.Op = isa.OpQNopReg
+		if err := need(1); err != nil {
+			return in, "", err
+		}
+		return in, "", parseReg(args[0], &in.Rs)
+	case "wait":
+		in.Op = isa.OpWait
+		if err := need(1); err != nil {
+			return in, "", err
+		}
+		return in, "", parseImm(args[0], &in.Imm)
+	case "waitreg":
+		in.Op = isa.OpWaitReg
+		if err := need(1); err != nil {
+			return in, "", err
+		}
+		return in, "", parseReg(args[0], &in.Rs)
+	case "pulse":
+		in.Op = isa.OpPulse
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		if err := parseMask(args[0], &in.QAddr); err != nil {
+			return in, "", err
+		}
+		in.UOp = args[1]
+		return in, "", nil
+	case "mpg":
+		in.Op = isa.OpMPG
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		return in, "", firstErr(parseMask(args[0], &in.QAddr), parseImm(args[1], &in.Imm))
+	case "md":
+		in.Op = isa.OpMD
+		if len(args) == 1 {
+			// Algorithm 3 writes "MD {q2}" with an implicit destination.
+			return in, "", parseMask(args[0], &in.QAddr)
+		}
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		return in, "", firstErr(parseMask(args[0], &in.QAddr), parseReg(args[1], &in.Rd))
+	case "apply":
+		in.Op = isa.OpApply
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		in.UOp = args[0]
+		return in, "", parseQubit(args[1], &in.QAddr)
+	case "apply2":
+		in.Op = isa.OpApply2
+		if err := need(3); err != nil {
+			return in, "", err
+		}
+		in.UOp = args[0]
+		var a, b isa.QubitMask
+		if err := firstErr(parseQubit(args[1], &a), parseQubit(args[2], &b)); err != nil {
+			return in, "", err
+		}
+		if a == b {
+			return in, "", fmt.Errorf("Apply2 operands must be distinct qubits")
+		}
+		in.QAddr = a | b
+		// Encode operand order: the first-listed qubit index goes in Imm
+		// so microcode can distinguish control/target.
+		in.Imm = int64(a.Qubits()[0])
+		return in, "", nil
+	case "measure":
+		in.Op = isa.OpMeasure
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		return in, "", firstErr(parseQubit(args[0], &in.QAddr), parseReg(args[1], &in.Rd))
+	}
+	return in, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+}
+
+func parseTarget(in isa.Instruction, arg string) (isa.Instruction, string, error) {
+	if n, err := strconv.ParseInt(arg, 10, 64); err == nil {
+		in.Imm = n
+		return in, "", nil
+	}
+	if !isIdent(arg) {
+		return in, "", fmt.Errorf("invalid branch target %q", arg)
+	}
+	return in, arg, nil
+}
+
+// splitArgs splits an operand list on commas, but keeps {q0, q1} masks
+// intact.
+func splitArgs(s string) []string {
+	var out []string
+	depth := 0
+	cur := strings.Builder{}
+	for _, r := range s {
+		switch r {
+		case '{':
+			depth++
+			cur.WriteRune(r)
+		case '}':
+			depth--
+			cur.WriteRune(r)
+		case ',':
+			if depth > 0 {
+				cur.WriteRune(r)
+			} else {
+				out = append(out, strings.TrimSpace(cur.String()))
+				cur.Reset()
+			}
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if t := strings.TrimSpace(cur.String()); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+func parseReg(s string, r *isa.Reg) error {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "$")
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return fmt.Errorf("invalid register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return fmt.Errorf("invalid register %q", s)
+	}
+	*r = isa.Reg(n)
+	return nil
+}
+
+func parseImm(s string, v *int64) error {
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return fmt.Errorf("invalid immediate %q", s)
+	}
+	*v = n
+	return nil
+}
+
+// parseMem parses rbase[offset].
+func parseMem(s string, base *isa.Reg, off *int64) error {
+	open := strings.Index(s, "[")
+	if open < 0 || !strings.HasSuffix(s, "]") {
+		return fmt.Errorf("invalid memory operand %q (want rN[imm])", s)
+	}
+	if err := parseReg(s[:open], base); err != nil {
+		return err
+	}
+	return parseImm(s[open+1:len(s)-1], off)
+}
+
+// parseMask parses {q0, q1, …}.
+func parseMask(s string, m *isa.QubitMask) error {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "{") || !strings.HasSuffix(s, "}") {
+		return fmt.Errorf("invalid qubit set %q (want {q0, q1})", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return fmt.Errorf("empty qubit set")
+	}
+	var mask isa.QubitMask
+	for _, part := range strings.Split(inner, ",") {
+		var single isa.QubitMask
+		if err := parseQubit(part, &single); err != nil {
+			return err
+		}
+		mask |= single
+	}
+	*m = mask
+	return nil
+}
+
+func parseQubit(s string, m *isa.QubitMask) error {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || (s[0] != 'q' && s[0] != 'Q') {
+		return fmt.Errorf("invalid qubit %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n > 7 {
+		return fmt.Errorf("invalid qubit %q", s)
+	}
+	*m = isa.MaskQ(n)
+	return nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,320 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"quma/internal/isa"
+)
+
+func TestAssembleAlgorithm3Prefix(t *testing.T) {
+	// The opening of the paper's Algorithm 3 (AllXY QuMIS program).
+	src := `
+mov r15 , 40000  # 200 us
+mov r1, 0        # loop counter
+mov r2, 25600    # number of averages
+
+Outer_Loop:
+QNopReg r15      # Identity , Identity
+Pulse {q2}, I
+Wait 4
+Pulse {q2}, I
+Wait 4
+MPG {q2}, 300
+MD {q2}
+addi r1, r1, 1
+bne r1, r2, Outer_Loop
+halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 13 {
+		t.Fatalf("got %d instructions, want 13", len(p.Instrs))
+	}
+	if p.Labels["Outer_Loop"] != 3 {
+		t.Errorf("Outer_Loop = %d, want 3", p.Labels["Outer_Loop"])
+	}
+	bne := p.Instrs[11]
+	if bne.Op != isa.OpBne || bne.Imm != 3 || bne.Label != "Outer_Loop" {
+		t.Errorf("bne = %+v", bne)
+	}
+	if p.Instrs[4].Op != isa.OpPulse || p.Instrs[4].UOp != "I" || !p.Instrs[4].QAddr.Contains(2) {
+		t.Errorf("pulse = %+v", p.Instrs[4])
+	}
+	if p.Instrs[8].Op != isa.OpMPG || p.Instrs[8].Imm != 300 {
+		t.Errorf("mpg = %+v", p.Instrs[8])
+	}
+	if p.Instrs[9].Op != isa.OpMD || p.Instrs[9].Rd != 0 {
+		t.Errorf("md with implicit rd = %+v", p.Instrs[9])
+	}
+}
+
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	src := `
+mov r3, 100
+Loop:
+QNopReg r15
+Pulse {q0, q1}, CZ
+Wait 8
+MPG {q0}, 300
+MD {q0}, r7
+load r9, r3[0]
+add r9, r9, r7
+store r9, r3[0]
+addi r1, r1, 1
+bne r1, r2, Loop
+halt
+`
+	p1, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(p1)
+	p2, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, text)
+	}
+	if len(p1.Instrs) != len(p2.Instrs) {
+		t.Fatal("instruction count changed")
+	}
+	for i := range p1.Instrs {
+		if p1.Instrs[i].String() != p2.Instrs[i].String() {
+			t.Errorf("instr %d: %q != %q", i, p1.Instrs[i], p2.Instrs[i])
+		}
+	}
+}
+
+func TestAssembleQISInstructions(t *testing.T) {
+	p, err := Assemble(`
+Apply X180, q0
+Apply2 CNOT, q1, q0
+Measure q0, r7
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].Op != isa.OpApply || p.Instrs[0].UOp != "X180" {
+		t.Errorf("apply = %+v", p.Instrs[0])
+	}
+	a2 := p.Instrs[1]
+	if a2.Op != isa.OpApply2 || a2.QAddr != isa.MaskQ(0, 1) || a2.Imm != 1 {
+		t.Errorf("apply2 = %+v (Imm must record first operand q1)", a2)
+	}
+	if p.Instrs[2].Op != isa.OpMeasure || p.Instrs[2].Rd != 7 {
+		t.Errorf("measure = %+v", p.Instrs[2])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", "frobnicate r1", "unknown mnemonic"},
+		{"bad register", "mov r99, 1", "invalid register"},
+		{"bad qubit", "Pulse {q9}, X180", "invalid qubit"},
+		{"empty mask", "Pulse {}, X180", "empty qubit set"},
+		{"missing brace", "Pulse q0, X180", "invalid qubit set"},
+		{"undefined label", "bne r1, r2, Nowhere", "undefined label"},
+		{"duplicate label", "L:\nnop\nL:\nnop", "duplicate label"},
+		{"bad mem operand", "load r1, r2", "invalid memory operand"},
+		{"bad immediate", "Wait abc", "invalid immediate"},
+		{"same qubits apply2", "Apply2 CNOT, q1, q1", "distinct"},
+		{"operand count", "add r1, r2", "expects 3 operands"},
+		{"bad label", "9bad:\nnop", "invalid label"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.src); err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p, err := Assemble(`
+# full line comment
+// another comment style
+
+nop   # trailing
+halt  // trailing
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 2 {
+		t.Errorf("got %d instrs, want 2", len(p.Instrs))
+	}
+}
+
+func TestCaseInsensitiveMnemonics(t *testing.T) {
+	p, err := Assemble("PULSE {q0}, X180\nwait 4\nHALT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].Op != isa.OpPulse || p.Instrs[0].UOp != "X180" {
+		t.Error("mnemonic case-insensitivity broken")
+	}
+}
+
+func TestLabelOnSameLineAsInstruction(t *testing.T) {
+	p, err := Assemble("Start: nop\njmp Start")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["Start"] != 0 || p.Instrs[1].Imm != 0 {
+		t.Errorf("labels = %v, jmp = %+v", p.Labels, p.Instrs[1])
+	}
+}
+
+func TestNumericBranchTarget(t *testing.T) {
+	p, err := Assemble("nop\nnop\njmp 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[2].Imm != 0 {
+		t.Error("numeric target not parsed")
+	}
+}
+
+func TestDollarRegisterSyntax(t *testing.T) {
+	// Table 6 writes "MD QAddr, $rd".
+	p, err := Assemble("MD {q0}, $r7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].Rd != 7 {
+		t.Errorf("rd = %v", p.Instrs[0].Rd)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustAssemble("bogus")
+}
+
+func TestEncodedRoundTripThroughBinary(t *testing.T) {
+	// Assemble → encode → decode → reassemble-from-listing equality.
+	p, err := Assemble(`
+mov r15, 40000
+Loop:
+QNopReg r15
+Pulse {q2}, X180
+Wait 4
+MPG {q2}, 300
+MD {q2}, r7
+addi r1, r1, 1
+bne r1, r2, Loop
+halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := isa.StandardSymbols()
+	words, err := isa.EncodeProgram(p, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := isa.DecodeProgram(words, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.Instrs {
+		want := p.Instrs[i]
+		want.Label = "" // labels do not survive binary
+		if back.Instrs[i].String() != want.String() {
+			t.Errorf("instr %d: %q != %q", i, back.Instrs[i], want)
+		}
+	}
+}
+
+func TestHostExchangeAssembly(t *testing.T) {
+	p, err := Assemble("hld r1, 3\nhst r2, 4\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].Op != isa.OpHostLoad || p.Instrs[0].Rd != 1 || p.Instrs[0].Imm != 3 {
+		t.Errorf("hld = %+v", p.Instrs[0])
+	}
+	if p.Instrs[1].Op != isa.OpHostStore || p.Instrs[1].Rs != 2 || p.Instrs[1].Imm != 4 {
+		t.Errorf("hst = %+v", p.Instrs[1])
+	}
+	// Round trip through the listing.
+	p2, err := Assemble(Disassemble(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Instrs[0].String() != p.Instrs[0].String() {
+		t.Error("hld listing round trip failed")
+	}
+}
+
+// Property: any structurally valid random program survives
+// disassemble → reassemble with identical instruction listings.
+func TestPropertyListingRoundTrip(t *testing.T) {
+	uops := []string{"I", "X180", "X90", "Xm90", "Y180", "Y90", "Ym90", "CZ"}
+	gen := func(rng *rand.Rand) *isa.Program {
+		n := rng.Intn(30) + 2
+		p := &isa.Program{Labels: map[string]int{}}
+		for i := 0; i < n-1; i++ {
+			var in isa.Instruction
+			switch rng.Intn(12) {
+			case 0:
+				in = isa.Instruction{Op: isa.OpMov, Rd: isa.Reg(rng.Intn(16)), Imm: int64(rng.Intn(100000))}
+			case 1:
+				in = isa.Instruction{Op: isa.OpAdd, Rd: isa.Reg(rng.Intn(16)), Rs: isa.Reg(rng.Intn(16)), Rt: isa.Reg(rng.Intn(16))}
+			case 2:
+				in = isa.Instruction{Op: isa.OpAddi, Rd: isa.Reg(rng.Intn(16)), Rs: isa.Reg(rng.Intn(16)), Imm: int64(rng.Intn(200) - 100)}
+			case 3:
+				in = isa.Instruction{Op: isa.OpLoad, Rd: isa.Reg(rng.Intn(16)), Rs: isa.Reg(rng.Intn(16)), Imm: int64(rng.Intn(64))}
+			case 4:
+				in = isa.Instruction{Op: isa.OpStore, Rs: isa.Reg(rng.Intn(16)), Rd: isa.Reg(rng.Intn(16)), Imm: int64(rng.Intn(64))}
+			case 5:
+				in = isa.Instruction{Op: isa.OpWait, Imm: int64(rng.Intn(40000) + 1)}
+			case 6:
+				in = isa.Instruction{Op: isa.OpQNopReg, Rs: isa.Reg(rng.Intn(16))}
+			case 7:
+				in = isa.Instruction{Op: isa.OpPulse, QAddr: isa.MaskQ(rng.Intn(8)), UOp: uops[rng.Intn(len(uops))]}
+			case 8:
+				in = isa.Instruction{Op: isa.OpMPG, QAddr: isa.MaskQ(rng.Intn(8)), Imm: int64(rng.Intn(1000) + 1)}
+			case 9:
+				in = isa.Instruction{Op: isa.OpMD, QAddr: isa.MaskQ(rng.Intn(8)), Rd: isa.Reg(rng.Intn(16))}
+			case 10:
+				in = isa.Instruction{Op: isa.OpBne, Rs: isa.Reg(rng.Intn(16)), Rt: isa.Reg(rng.Intn(16)), Imm: int64(rng.Intn(n))}
+			case 11:
+				in = isa.Instruction{Op: isa.OpHostLoad, Rd: isa.Reg(rng.Intn(16)), Imm: int64(rng.Intn(64))}
+			}
+			p.Instrs = append(p.Instrs, in)
+		}
+		p.Instrs = append(p.Instrs, isa.Instruction{Op: isa.OpHalt})
+		return p
+	}
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := gen(rng)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid program: %v", seed, err)
+		}
+		back, err := Assemble(Disassemble(p))
+		if err != nil {
+			t.Fatalf("seed %d: reassembly failed: %v\n%s", seed, err, Disassemble(p))
+		}
+		if len(back.Instrs) != len(p.Instrs) {
+			t.Fatalf("seed %d: length changed", seed)
+		}
+		for i := range p.Instrs {
+			want := p.Instrs[i]
+			want.Label = ""
+			got := back.Instrs[i]
+			got.Label = ""
+			if got.String() != want.String() {
+				t.Errorf("seed %d instr %d: %q != %q", seed, i, got, want)
+			}
+		}
+	}
+}

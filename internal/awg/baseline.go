@@ -1,0 +1,71 @@
+package awg
+
+import (
+	"fmt"
+
+	"quma/internal/pulse"
+)
+
+// WaveformAWG models the conventional control method the paper contrasts
+// with QuMA (Section 4.2.2): for every distinct *combination* of
+// operations, an entire pre-combined waveform is uploaded to the
+// generator's memory and played back as a unit. Any change to the sequence
+// requires re-uploading whole waveforms, and memory grows with the number
+// of combinations rather than the number of primitive pulses.
+type WaveformAWG struct {
+	// UploadBytesPerSec models the configuration link bandwidth (the
+	// paper's control box uses USB; 10 MB/s is representative).
+	UploadBytesPerSec float64
+	// BitsPerSample is the storage accounting resolution.
+	BitsPerSample int
+
+	segments      map[int]pulse.Waveform
+	uploadedBytes int
+}
+
+// NewWaveformAWG returns a baseline AWG with a 10 MB/s upload link and
+// 12-bit sample accounting (matching the paper's 420 B vs 2520 B example).
+func NewWaveformAWG() *WaveformAWG {
+	return &WaveformAWG{
+		UploadBytesPerSec: 10e6,
+		BitsPerSample:     12,
+		segments:          make(map[int]pulse.Waveform),
+	}
+}
+
+// UploadSegment stores the complete waveform for one operation combination
+// under the given index, accumulating upload-cost accounting.
+func (a *WaveformAWG) UploadSegment(index int, w pulse.Waveform) {
+	a.segments[index] = w.Clone()
+	a.uploadedBytes += w.MemoryBytes(a.BitsPerSample)
+}
+
+// Play returns the waveform for a stored combination.
+func (a *WaveformAWG) Play(index int) (pulse.Waveform, error) {
+	w, ok := a.segments[index]
+	if !ok {
+		return pulse.Waveform{}, fmt.Errorf("awg: no waveform uploaded for segment %d", index)
+	}
+	return w, nil
+}
+
+// MemoryBytes returns the total waveform memory in use.
+func (a *WaveformAWG) MemoryBytes() int {
+	total := 0
+	for _, w := range a.segments {
+		total += w.MemoryBytes(a.BitsPerSample)
+	}
+	return total
+}
+
+// UploadedBytes returns the cumulative bytes pushed over the configuration
+// link, including re-uploads.
+func (a *WaveformAWG) UploadedBytes() int { return a.uploadedBytes }
+
+// UploadSeconds returns the time spent uploading at the modelled link rate.
+func (a *WaveformAWG) UploadSeconds() float64 {
+	return float64(a.uploadedBytes) / a.UploadBytesPerSec
+}
+
+// NumSegments returns the number of stored combinations.
+func (a *WaveformAWG) NumSegments() int { return len(a.segments) }

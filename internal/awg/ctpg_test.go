@@ -1,0 +1,202 @@
+package awg
+
+import (
+	"math"
+	"testing"
+
+	"quma/internal/clock"
+	"quma/internal/pulse"
+	"quma/internal/qphys"
+)
+
+func TestStandardLibraryMatchesTable1(t *testing.T) {
+	lib := StandardLibrary()
+	if len(lib) != 7 {
+		t.Fatalf("library has %d entries, want 7 (paper Table 1)", len(lib))
+	}
+	want := []struct {
+		cw   Codeword
+		name string
+	}{
+		{0, "I"}, {1, "X180"}, {2, "X90"}, {3, "Xm90"},
+		{4, "Y180"}, {5, "Y90"}, {6, "Ym90"},
+	}
+	for i, w := range want {
+		if lib[i].Codeword != w.cw || lib[i].Name != w.name {
+			t.Errorf("entry %d = (%d,%s), want (%d,%s)", i, lib[i].Codeword, lib[i].Name, w.cw, w.name)
+		}
+	}
+}
+
+func TestStandardPulsesImplementTheirGates(t *testing.T) {
+	// Every Table 1 waveform, played at t0=0, must apply the advertised
+	// rotation to the simulated qubit.
+	wantGate := map[string]qphys.Matrix{
+		"I":    qphys.Identity(2),
+		"X180": qphys.RX(math.Pi),
+		"X90":  qphys.RX(math.Pi / 2),
+		"Xm90": qphys.RX(-math.Pi / 2),
+		"Y180": qphys.RY(math.Pi),
+		"Y90":  qphys.RY(math.Pi / 2),
+		"Ym90": qphys.RY(-math.Pi / 2),
+	}
+	for _, p := range StandardLibrary() {
+		w := SynthesizeStandard(p, pulse.DefaultSSBHz, 0)
+		phi, theta := pulse.Rotation(w, pulse.DefaultSSBHz, 0)
+		got := qphys.REquator(phi, theta)
+		if !got.EqualUpToGlobalPhase(wantGate[p.Name], 1e-3) {
+			t.Errorf("%s: waveform implements wrong gate (phi=%v theta=%v)", p.Name, phi, theta)
+		}
+	}
+}
+
+func TestUploadStandardLibraryAndLookup(t *testing.T) {
+	c := NewCTPG()
+	if err := c.UploadStandardLibrary(0); err != nil {
+		t.Fatal(err)
+	}
+	cws := c.Codewords()
+	if len(cws) != 7 {
+		t.Fatalf("LUT has %d codewords, want 7", len(cws))
+	}
+	w, name, ok := c.Lookup(1)
+	if !ok || name != "X180" {
+		t.Fatalf("Lookup(1) = %q, %v", name, ok)
+	}
+	if w.Len() != StandardDurationSamples {
+		t.Errorf("pulse length %d, want %d", w.Len(), StandardDurationSamples)
+	}
+}
+
+func TestUploadRejectsOverdrive(t *testing.T) {
+	c := NewCTPG()
+	w := pulse.Waveform{I: []float64{1.5}, Q: []float64{0}}
+	if err := c.Upload(9, "too-big", w); err == nil {
+		t.Error("expected error for waveform exceeding DAC range")
+	}
+}
+
+func TestTriggerFixedDelay(t *testing.T) {
+	c := NewCTPG()
+	if err := c.UploadStandardLibrary(0); err != nil {
+		t.Fatal(err)
+	}
+	pb, err := c.Trigger(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStart := (clock.Cycle(100) + FixedDelayCycles).Samples()
+	if pb.Start != wantStart {
+		t.Errorf("playback start %d, want %d (fixed 80 ns delay)", pb.Start, wantStart)
+	}
+	if len(c.Playbacks()) != 1 {
+		t.Error("playback not logged")
+	}
+}
+
+func TestTriggerUnknownCodeword(t *testing.T) {
+	c := NewCTPG()
+	if _, err := c.Trigger(42, 0); err == nil {
+		t.Error("expected error for unknown codeword")
+	}
+}
+
+func TestBackToBackTriggersPreserveSpacing(t *testing.T) {
+	// Two codewords 4 cycles (20 ns) apart must emerge exactly 20 ns
+	// apart: the fixed delay cancels, which is the property that makes
+	// codeword timing equivalent to pulse timing.
+	c := NewCTPG()
+	if err := c.UploadStandardLibrary(0); err != nil {
+		t.Fatal(err)
+	}
+	pb1, _ := c.Trigger(1, 1000)
+	pb2, _ := c.Trigger(1, 1004)
+	if got := pb2.Start - pb1.Start; got != 20 {
+		t.Errorf("output spacing %d samples, want 20", got)
+	}
+}
+
+func TestResetPlaybacks(t *testing.T) {
+	c := NewCTPG()
+	if err := c.UploadStandardLibrary(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Trigger(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	c.ResetPlaybacks()
+	if len(c.Playbacks()) != 0 {
+		t.Error("playback log not cleared")
+	}
+}
+
+func TestMemoryBytes420(t *testing.T) {
+	// The paper's headline number: the 7 AllXY pulses consume 420 bytes
+	// at 12-bit samples; the waveform method needs 2520 bytes.
+	c := NewCTPG()
+	if err := c.UploadStandardLibrary(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MemoryBytes(12); got != 420 {
+		t.Errorf("CTPG memory = %d bytes, want 420", got)
+	}
+}
+
+func TestAmplitudeErrorScalesRotation(t *testing.T) {
+	p := StandardPulse{Codeword: 1, Name: "X180", Phi: 0, Theta: math.Pi}
+	w := SynthesizeStandard(p, pulse.DefaultSSBHz, -0.1)
+	_, theta := pulse.Rotation(w, pulse.DefaultSSBHz, 0)
+	if math.Abs(theta-0.9*math.Pi) > 1e-9 {
+		t.Errorf("theta with ε=-0.1: %v, want 0.9π", theta)
+	}
+}
+
+func TestReUploadReplacesEntry(t *testing.T) {
+	c := NewCTPG()
+	if err := c.UploadStandardLibrary(0); err != nil {
+		t.Fatal(err)
+	}
+	recal := SynthesizeStandard(StandardPulse{1, "X180", 0, math.Pi}, c.SSBHz, 0.05)
+	if err := c.Upload(1, "X180-recal", recal); err != nil {
+		t.Fatal(err)
+	}
+	_, name, _ := c.Lookup(1)
+	if name != "X180-recal" {
+		t.Error("re-upload did not replace the entry")
+	}
+	if len(c.Codewords()) != 7 {
+		t.Error("re-upload must not add a codeword")
+	}
+}
+
+func TestWaveformAWGBaseline(t *testing.T) {
+	a := NewWaveformAWG()
+	seg := pulse.Synthesize(pulse.GaussianEnvelope(40, 4, 0.5), pulse.DefaultSSBHz, 0)
+	for i := 0; i < 21; i++ {
+		a.UploadSegment(i, seg)
+	}
+	if a.NumSegments() != 21 {
+		t.Fatalf("segments = %d", a.NumSegments())
+	}
+	if got := a.MemoryBytes(); got != 2520 {
+		t.Errorf("baseline memory = %d bytes, want paper's 2520", got)
+	}
+	if _, err := a.Play(3); err != nil {
+		t.Error(err)
+	}
+	if _, err := a.Play(99); err == nil {
+		t.Error("expected error for missing segment")
+	}
+	if a.UploadSeconds() <= 0 {
+		t.Error("upload time must be positive")
+	}
+	// Re-uploading (a sequence change) accumulates link cost but not memory.
+	before := a.UploadedBytes()
+	a.UploadSegment(0, seg)
+	if a.UploadedBytes() != before+seg.MemoryBytes(12) {
+		t.Error("re-upload must accumulate link bytes")
+	}
+	if a.MemoryBytes() != 2520 {
+		t.Error("re-upload must not grow memory")
+	}
+}

@@ -1,0 +1,102 @@
+package awg
+
+import "testing"
+
+func TestDigitalTriggerValidation(t *testing.T) {
+	d := NewDigitalOutputUnit()
+	if err := d.Trigger(0b01, 0, 10); err == nil {
+		t.Error("zero duration must fail")
+	}
+	if err := d.Trigger(0, 300, 10); err == nil {
+		t.Error("empty mask must fail")
+	}
+}
+
+func TestDigitalLevels(t *testing.T) {
+	d := NewDigitalOutputUnit()
+	// The paper's measurement trigger: output 1 high for 300 cycles.
+	if err := d.Trigger(0b10, 300, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if !d.High(1, 1000) || !d.High(1, 1299) {
+		t.Error("output must be high inside the window")
+	}
+	if d.High(1, 999) || d.High(1, 1300) {
+		t.Error("output must be low outside the window")
+	}
+	if d.High(0, 1100) {
+		t.Error("unselected output must stay low")
+	}
+	if d.High(9, 1100) || d.High(-1, 1100) {
+		t.Error("out-of-range channels are always low")
+	}
+}
+
+func TestDigitalMaskFansOut(t *testing.T) {
+	d := NewDigitalOutputUnit()
+	if err := d.Trigger(0b1001_0001, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range []int{0, 4, 7} {
+		if !d.High(ch, 5) {
+			t.Errorf("channel %d should be high", ch)
+		}
+	}
+	for _, ch := range []int{1, 2, 3, 5, 6} {
+		if d.High(ch, 5) {
+			t.Errorf("channel %d should be low", ch)
+		}
+	}
+}
+
+func TestDigitalIntervalsMerge(t *testing.T) {
+	d := NewDigitalOutputUnit()
+	// Overlapping and abutting triggers coalesce.
+	if err := d.Trigger(1, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Trigger(1, 10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Trigger(1, 5, 15); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Trigger(1, 5, 100); err != nil {
+		t.Fatal(err)
+	}
+	ivs := d.Intervals(0)
+	if len(ivs) != 2 {
+		t.Fatalf("intervals = %v, want 2 merged spans", ivs)
+	}
+	if ivs[0].Start != 0 || ivs[0].End != 20 {
+		t.Errorf("merged span = %v, want [0,20)", ivs[0])
+	}
+	if d.TotalHighCycles(0) != 25 {
+		t.Errorf("total high = %d, want 25", d.TotalHighCycles(0))
+	}
+}
+
+func TestDigitalIntervalsSortedInput(t *testing.T) {
+	d := NewDigitalOutputUnit()
+	if err := d.Trigger(1, 5, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Trigger(1, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	ivs := d.Intervals(0)
+	if len(ivs) != 2 || ivs[0].Start != 0 {
+		t.Errorf("intervals not sorted: %v", ivs)
+	}
+}
+
+func TestDigitalReset(t *testing.T) {
+	d := NewDigitalOutputUnit()
+	if err := d.Trigger(0xff, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	d.Reset()
+	if d.High(3, 5) || d.Intervals(3) != nil {
+		t.Error("reset must clear history")
+	}
+}

@@ -1,0 +1,80 @@
+// Package clock defines the time base shared by every QuMA component.
+//
+// The paper's control electronics run at 200 MHz, i.e. one control cycle
+// every 5 ns, while the arbitrary waveform generators sample analog
+// envelopes at 1 GSample/s, i.e. one sample every 1 ns. All timing in the
+// deterministic domain is expressed in cycles; all waveform content is
+// expressed in samples. This package holds the two units and the
+// conversions between them so that no other package hard-codes the ratio.
+package clock
+
+import "fmt"
+
+// Cycle counts 5 ns control cycles of the deterministic timing domain.
+// TD, the deterministic-domain clock maintained by the timing controller,
+// is a Cycle value.
+type Cycle uint64
+
+// Sample counts 1 ns DAC/ADC samples.
+type Sample uint64
+
+const (
+	// CycleNanos is the duration of one control cycle in nanoseconds
+	// (200 MHz control clock).
+	CycleNanos = 5
+	// SampleNanos is the duration of one DAC sample in nanoseconds
+	// (1 GSample/s).
+	SampleNanos = 1
+	// SamplesPerCycle is the number of DAC samples per control cycle.
+	SamplesPerCycle = CycleNanos / SampleNanos
+	// SampleRateHz is the DAC/ADC sampling rate.
+	SampleRateHz = 1e9
+	// CycleRateHz is the control clock rate.
+	CycleRateHz = 200e6
+)
+
+// Nanos returns the cycle count expressed in nanoseconds.
+func (c Cycle) Nanos() uint64 { return uint64(c) * CycleNanos }
+
+// Seconds returns the cycle count expressed in seconds.
+func (c Cycle) Seconds() float64 { return float64(c) * CycleNanos * 1e-9 }
+
+// Samples returns the number of 1 ns samples spanned by c cycles.
+func (c Cycle) Samples() Sample { return Sample(uint64(c) * SamplesPerCycle) }
+
+// String renders the cycle count with its wall-clock equivalent, e.g.
+// "40000cy (200µs)".
+func (c Cycle) String() string {
+	ns := c.Nanos()
+	switch {
+	case ns >= 1e3 && ns%1e3 == 0:
+		return fmt.Sprintf("%dcy (%gµs)", uint64(c), float64(ns)/1e3)
+	case ns >= 1e3:
+		return fmt.Sprintf("%dcy (%gns)", uint64(c), float64(ns))
+	default:
+		return fmt.Sprintf("%dcy (%dns)", uint64(c), ns)
+	}
+}
+
+// Nanos returns the sample count expressed in nanoseconds.
+func (s Sample) Nanos() uint64 { return uint64(s) * SampleNanos }
+
+// Seconds returns the sample count expressed in seconds.
+func (s Sample) Seconds() float64 { return float64(s) * SampleNanos * 1e-9 }
+
+// Cycles returns the number of whole control cycles spanned by s samples,
+// rounding up: a pulse of 22 samples occupies 5 cycles of the control clock.
+func (s Sample) Cycles() Cycle {
+	return Cycle((uint64(s) + SamplesPerCycle - 1) / SamplesPerCycle)
+}
+
+// FromNanos converts a duration in nanoseconds to whole cycles, rounding up.
+func FromNanos(ns uint64) Cycle {
+	return Cycle((ns + CycleNanos - 1) / CycleNanos)
+}
+
+// FromSeconds converts a duration in seconds to whole cycles, rounding to
+// the nearest cycle.
+func FromSeconds(sec float64) Cycle {
+	return Cycle(sec*1e9/CycleNanos + 0.5)
+}

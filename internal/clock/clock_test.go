@@ -1,0 +1,68 @@
+package clock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCycleConversions(t *testing.T) {
+	c := Cycle(4)
+	if c.Nanos() != 20 {
+		t.Errorf("4 cycles = %d ns, want 20", c.Nanos())
+	}
+	if c.Samples() != 20 {
+		t.Errorf("4 cycles = %d samples, want 20", c.Samples())
+	}
+	if c.Seconds() != 20e-9 {
+		t.Errorf("seconds = %v", c.Seconds())
+	}
+}
+
+func TestSampleCyclesRoundsUp(t *testing.T) {
+	cases := []struct {
+		s Sample
+		c Cycle
+	}{{0, 0}, {1, 1}, {5, 1}, {6, 2}, {20, 4}, {22, 5}}
+	for _, tc := range cases {
+		if got := tc.s.Cycles(); got != tc.c {
+			t.Errorf("%d samples -> %d cycles, want %d", tc.s, got, tc.c)
+		}
+	}
+}
+
+func TestFromNanosRoundsUp(t *testing.T) {
+	if FromNanos(1) != 1 || FromNanos(5) != 1 || FromNanos(6) != 2 {
+		t.Error("FromNanos rounding wrong")
+	}
+}
+
+func TestFromSeconds(t *testing.T) {
+	if got := FromSeconds(200e-6); got != 40000 {
+		t.Errorf("200µs = %d cycles, want 40000", got)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if s := Cycle(40000).String(); s != "40000cy (200µs)" {
+		t.Errorf("string = %q", s)
+	}
+	if s := Cycle(4).String(); s != "4cy (20ns)" {
+		t.Errorf("string = %q", s)
+	}
+	if s := Cycle(300).String(); s != "300cy (1500ns)" {
+		t.Errorf("string = %q", s)
+	}
+}
+
+// Property: cycle→sample→cycle round-trips exactly.
+func TestPropertySampleCycleRoundTrip(t *testing.T) {
+	f := func(c uint32) bool {
+		cy := Cycle(c)
+		return cy.Samples().Cycles() == cy
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestDigitalOutputGatesMeasurementPulse(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.RunAssembly(`
+Wait 40000
+Pulse {q0}, X180
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs := m.Digital.Intervals(0)
+	if len(ivs) != 1 {
+		t.Fatalf("digital output 0 intervals = %v, want 1", ivs)
+	}
+	if ivs[0].Start != 40004 || ivs[0].End != 40304 {
+		t.Errorf("measurement gate = [%d,%d), want [40004,40304)", ivs[0].Start, ivs[0].End)
+	}
+	if m.Digital.TotalHighCycles(0) != 300 {
+		t.Errorf("gate length = %d cycles, want 300", m.Digital.TotalHighCycles(0))
+	}
+	// No other output fired.
+	for ch := 1; ch < 8; ch++ {
+		if m.Digital.Intervals(ch) != nil {
+			t.Errorf("output %d unexpectedly fired", ch)
+		}
+	}
+}
+
+func TestDigitalOutputMultiQubitMeasurement(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumQubits = 3
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Horizontal MPG addresses several qubits with one instruction.
+	err = m.RunAssembly(`
+Wait 100
+MPG {q0, q2}, 300
+MD {q0, q2}, r7
+halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Digital.TotalHighCycles(0) != 300 || m.Digital.TotalHighCycles(2) != 300 {
+		t.Error("both selected outputs must gate")
+	}
+	if m.Digital.TotalHighCycles(1) != 0 {
+		t.Error("unselected output must stay low")
+	}
+	// Packed multi-qubit result: both qubits read 0 (ground).
+	if m.Controller.Regs[7] != 0 {
+		t.Errorf("packed result = %d, want 0", m.Controller.Regs[7])
+	}
+}
+
+func TestMultiQubitPackedResult(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumQubits = 2
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Excite q1 only; the packed MD word must have bit 1 set.
+	err = m.RunAssembly(`
+Wait 100
+Pulse {q1}, X180
+Wait 4
+MPG {q0, q1}, 300
+MD {q0, q1}, r7
+halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Controller.Regs[7] != 0b10 {
+		t.Errorf("packed result = %b, want 10", m.Controller.Regs[7])
+	}
+}

@@ -1,0 +1,370 @@
+// Package core assembles the complete QuMA machine: the quantum control
+// box of the paper's Section 7 (execution controller, physical microcode
+// unit, quantum microinstruction buffer, timing control unit,
+// micro-operation units, codeword-triggered pulse generation units,
+// measurement discrimination unit, data collection unit) wired to a
+// simulated transmon chip in place of the dilution refrigerator.
+//
+// The machine runs programs written in the combined auxiliary-classical +
+// QuMIS instruction set (optionally containing QIS gate instructions,
+// which the microcode unit expands), and exposes the observables an
+// experimentalist gets from the real box: per-index averaged integration
+// results, measurement registers, pulse playback logs, and an event
+// timeline.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"quma/internal/asm"
+	"quma/internal/awg"
+	"quma/internal/clock"
+	"quma/internal/exec"
+	"quma/internal/isa"
+	"quma/internal/microcode"
+	"quma/internal/pulse"
+	"quma/internal/qphys"
+	"quma/internal/readout"
+	"quma/internal/uop"
+)
+
+// Config describes a QuMA machine instance.
+type Config struct {
+	// NumQubits is the simulated register size (1–8; the control box has
+	// 8 digital outputs and three AWG boards in the paper).
+	NumQubits int
+	// Qubit holds per-qubit coherence/control parameters; missing entries
+	// default to qphys.DefaultQubitParams.
+	Qubit []qphys.QubitParams
+	// Readout configures the measurement chain (shared calibration).
+	Readout readout.Params
+	// AmplitudeError is the fractional pulse-amplitude miscalibration ε
+	// applied when uploading the standard library (AllXY error-signature
+	// knob).
+	AmplitudeError float64
+	// SSBHz is the single-sideband modulation frequency.
+	SSBHz float64
+	// Seed seeds the machine's deterministic PRNG.
+	Seed int64
+	// CollectK enables the data collection unit with K results per round
+	// when positive.
+	CollectK int
+	// TraceEvents enables the event timeline log (Fig. 3 / Fig. 5
+	// reproduction); experiments with millions of shots leave it off.
+	TraceEvents bool
+}
+
+// DefaultConfig returns a single-qubit machine with the paper's
+// parameters.
+func DefaultConfig() Config {
+	return Config{
+		NumQubits: 1,
+		Readout:   readout.DefaultParams(),
+		SSBHz:     pulse.DefaultSSBHz,
+		Seed:      1,
+	}
+}
+
+// TraceEntry is one event of the deterministic-domain timeline.
+type TraceEntry struct {
+	TD   clock.Cycle
+	Kind string // "pulse", "mpg", "md"
+	Desc string
+}
+
+func (e TraceEntry) String() string {
+	return fmt.Sprintf("TD=%-8d (%6.2fµs)  %-5s %s", e.TD, float64(e.TD.Nanos())/1e3, e.Kind, e.Desc)
+}
+
+// Machine is a fully wired QuMA control box plus simulated chip.
+type Machine struct {
+	Cfg        Config
+	Controller *exec.Controller
+	QMB        *exec.QMB
+	UOp        *uop.Unit
+	CTPG       []*awg.CTPG // one drive channel per qubit
+	Digital    *awg.DigitalOutputUnit
+	MDU        *readout.MDU
+	Collector  *readout.DataCollector
+	State      *qphys.Density
+
+	rng      *rand.Rand
+	lastTime []clock.Sample // per-qubit time up to which physics advanced
+	trace    []TraceEntry
+	rotCache map[rotKey]rotVal
+	// PulsesPlayed counts codeword-triggered playbacks.
+	PulsesPlayed uint64
+	// Measurements counts MD events executed.
+	Measurements uint64
+	runErr       error
+}
+
+type rotKey struct {
+	q     int
+	cw    awg.Codeword
+	phase clock.Sample // playback start modulo the SSB period
+}
+
+type rotVal struct {
+	phi, theta float64
+}
+
+// New builds and calibrates a machine: uploads the Table 1 pulse library
+// to every CTPG, fills the micro-operation units with pass-through
+// entries, calibrates the MDU, and loads the standard Q control store.
+func New(cfg Config) (*Machine, error) {
+	if cfg.NumQubits < 1 || cfg.NumQubits > 8 {
+		return nil, fmt.Errorf("core: NumQubits %d out of range 1..8", cfg.NumQubits)
+	}
+	if cfg.SSBHz == 0 {
+		cfg.SSBHz = pulse.DefaultSSBHz
+	}
+	if cfg.Readout.IntegrationSamples == 0 {
+		cfg.Readout = readout.DefaultParams()
+	}
+	for len(cfg.Qubit) < cfg.NumQubits {
+		cfg.Qubit = append(cfg.Qubit, qphys.DefaultQubitParams())
+	}
+
+	m := &Machine{
+		Cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		State:    qphys.NewDensity(cfg.NumQubits),
+		lastTime: make([]clock.Sample, cfg.NumQubits),
+		rotCache: make(map[rotKey]rotVal),
+	}
+	for q := 0; q < cfg.NumQubits; q++ {
+		c := awg.NewCTPG()
+		c.SSBHz = cfg.SSBHz
+		if err := c.UploadStandardLibrary(cfg.AmplitudeError); err != nil {
+			return nil, fmt.Errorf("core: calibrating qubit %d: %w", q, err)
+		}
+		m.CTPG = append(m.CTPG, c)
+	}
+	m.UOp = uop.NewUnit()
+	m.UOp.DefineStandardLibrary()
+	m.Digital = awg.NewDigitalOutputUnit()
+	m.MDU = readout.Calibrate(cfg.Readout)
+	if cfg.CollectK > 0 {
+		m.Collector = readout.NewDataCollector(cfg.CollectK)
+	}
+
+	m.QMB = exec.NewQMB(m.onPulse, m.onMPG, nil)
+	m.Controller = exec.NewController(microcode.StandardControlStore(), m.QMB)
+	// MD needs the controller for write-back, so it is wired afterwards.
+	m.QMB.MDQ.OnFire = m.onMD
+	return m, nil
+}
+
+// RunAssembly assembles and runs a program, returning the first error
+// from either domain.
+func (m *Machine) RunAssembly(src string) error {
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return err
+	}
+	return m.RunProgram(p)
+}
+
+// RunProgram executes a program to completion (halt) with the default
+// step bound.
+func (m *Machine) RunProgram(p *isa.Program) error {
+	if err := m.Controller.Load(p); err != nil {
+		return err
+	}
+	m.runErr = nil
+	if err := m.Controller.Run(0); err != nil {
+		return err
+	}
+	return m.runErr
+}
+
+// Trace returns the deterministic-domain event timeline (empty unless
+// Config.TraceEvents).
+func (m *Machine) Trace() []TraceEntry { return m.trace }
+
+// ResetTrace clears the timeline.
+func (m *Machine) ResetTrace() { m.trace = nil }
+
+// UploadPulse replaces (or adds) a calibrated waveform in qubit q's CTPG
+// lookup table and invalidates the machine's cached rotations for that
+// codeword. This is the recalibration path: LUT content is configuration
+// state, changed without touching programs. Use this instead of writing
+// to the CTPG directly, or stale rotations may be applied.
+func (m *Machine) UploadPulse(q int, cw awg.Codeword, name string, w pulse.Waveform) error {
+	if q < 0 || q >= len(m.CTPG) {
+		return fmt.Errorf("core: no drive channel for qubit %d", q)
+	}
+	if err := m.CTPG[q].Upload(cw, name, w); err != nil {
+		return err
+	}
+	for k := range m.rotCache {
+		if k.q == q && k.cw == cw {
+			delete(m.rotCache, k)
+		}
+	}
+	return nil
+}
+
+// MemoryFootprintBytes returns the total CTPG lookup-table memory at the
+// paper's 12-bit accounting.
+func (m *Machine) MemoryFootprintBytes() int {
+	total := 0
+	for _, c := range m.CTPG {
+		total += c.MemoryBytes(12)
+	}
+	return total
+}
+
+// fail records the first deterministic-domain error; the paper's hardware
+// would raise it as a fault flag.
+func (m *Machine) fail(err error) {
+	if m.runErr == nil && err != nil {
+		m.runErr = err
+	}
+}
+
+// advance applies decoherence to qubit q from its last-advanced time to
+// the target sample time.
+func (m *Machine) advance(q int, to clock.Sample) {
+	if to <= m.lastTime[q] {
+		return
+	}
+	dt := float64(to-m.lastTime[q]) * 1e-9
+	qphys.Idle(m.State, q, dt, m.Cfg.Qubit[q])
+	m.lastTime[q] = to
+}
+
+// onPulse handles a fired pulse micro-operation: expand through the
+// micro-operation unit, trigger the CTPG(s), and apply the resulting
+// physics to the chip.
+func (m *Machine) onPulse(e exec.PulseEvent, td clock.Cycle) {
+	qs := e.Qubits.Qubits()
+	if e.UOp == "CZ" {
+		if len(qs) != 2 {
+			m.fail(fmt.Errorf("core: CZ requires exactly 2 qubits, got %s", e.Qubits))
+			return
+		}
+		// The CZ flux pulse goes out on a dedicated flux line with the
+		// same fixed latency as drive pulses.
+		at := (td + awg.FixedDelayCycles).Samples()
+		m.advance(qs[0], at)
+		m.advance(qs[1], at)
+		m.State.Apply2(qphys.CZ(), qs[0], qs[1])
+		m.tracef(td, "pulse", "CZ %s", e.Qubits)
+		m.PulsesPlayed++
+		return
+	}
+	for _, q := range qs {
+		if q >= len(m.CTPG) {
+			m.fail(fmt.Errorf("core: qubit %d has no drive channel", q))
+			return
+		}
+		triggers, err := m.UOp.Expand(e.UOp, td)
+		if err != nil {
+			m.fail(err)
+			return
+		}
+		for _, tr := range triggers {
+			pb, err := m.CTPG[q].Trigger(tr.CW, tr.At)
+			if err != nil {
+				m.fail(err)
+				return
+			}
+			m.applyPlayback(q, pb)
+		}
+	}
+	m.tracef(td, "pulse", "%s %s", e.UOp, e.Qubits)
+}
+
+// applyPlayback converts a CTPG playback into a rotation on qubit q.
+func (m *Machine) applyPlayback(q int, pb awg.Playback) {
+	m.advance(q, pb.Start)
+	phi, theta := m.rotationOf(q, pb)
+	if theta != 0 {
+		m.State.Apply1(qphys.REquator(phi, theta), q)
+	}
+	m.PulsesPlayed++
+}
+
+// rotationOf demodulates the played waveform at its absolute start time.
+// Since the waveform content is fixed per codeword, the result depends
+// only on the start time modulo the SSB period, which makes it cacheable.
+func (m *Machine) rotationOf(q int, pb awg.Playback) (float64, float64) {
+	period := clock.Sample(0)
+	if m.Cfg.SSBHz != 0 {
+		p := math.Abs(1e9 / m.Cfg.SSBHz)
+		if p == math.Trunc(p) {
+			period = clock.Sample(p)
+		}
+	}
+	if period == 0 {
+		phi, theta := pulse.Rotation(pb.Wave, m.Cfg.SSBHz, pb.Start)
+		return phi, theta
+	}
+	key := rotKey{q: q, cw: pb.Codeword, phase: pb.Start % period}
+	if v, ok := m.rotCache[key]; ok {
+		return v.phi, v.theta
+	}
+	phi, theta := pulse.Rotation(pb.Wave, m.Cfg.SSBHz, pb.Start)
+	m.rotCache[key] = rotVal{phi: phi, theta: theta}
+	return phi, theta
+}
+
+// onMPG handles measurement-pulse generation: the digital output unit
+// raises the outputs selected by QAddr for the pulse duration, gating
+// the external measurement-carrier source (paper §7.1). The pulse only
+// interrogates the resonator; its effect on the qubit (projection) is
+// accounted for in onMD, which fires at the same time point in the
+// paper's programs.
+func (m *Machine) onMPG(e exec.MPGEvent, td clock.Cycle) {
+	if err := m.Digital.Trigger(uint8(e.Qubits), e.Duration, td); err != nil {
+		m.fail(err)
+		return
+	}
+	m.tracef(td, "mpg", "%s for %d cycles", e.Qubits, e.Duration)
+}
+
+// onMD runs the measurement chain for each addressed qubit: advance
+// physics to TD, project the state, synthesize the transmitted trace,
+// integrate and discriminate in the MDU, record the integration result,
+// and write the packed binary results to the destination register.
+func (m *Machine) onMD(e exec.MDEvent, td clock.Cycle) {
+	var packed int64
+	for _, q := range e.Qubits.Qubits() {
+		if q >= m.Cfg.NumQubits {
+			m.fail(fmt.Errorf("core: MD on absent qubit %d", q))
+			return
+		}
+		m.advance(q, td.Samples())
+		outcome := m.State.Measure(q, m.rng)
+		trace := readout.SynthesizeTrace(m.Cfg.Readout, outcome, m.rng)
+		result, s := m.MDU.Measure(trace)
+		if m.Collector != nil {
+			m.Collector.Record(s)
+		}
+		if result == 1 {
+			packed |= 1 << q
+		}
+		m.Measurements++
+		// The discrimination result is available Latency cycles after
+		// integration; physics time advances accordingly.
+		m.advance(q, (td + m.MDU.TotalLatency()).Samples())
+	}
+	// Single-qubit MD writes 0/1; multi-qubit MD packs bit q of the
+	// result word, mirroring the combined-readout extension of §5.1.2.
+	if len(e.Qubits.Qubits()) == 1 && packed != 0 {
+		packed = 1
+	}
+	m.Controller.WriteReg(e.Rd, packed)
+	m.tracef(td, "md", "%s -> %s", e.Qubits, e.Rd)
+}
+
+func (m *Machine) tracef(td clock.Cycle, kind, format string, args ...any) {
+	if !m.Cfg.TraceEvents {
+		return
+	}
+	m.trace = append(m.trace, TraceEntry{TD: td, Kind: kind, Desc: fmt.Sprintf(format, args...)})
+}

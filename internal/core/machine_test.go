@@ -1,0 +1,479 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"quma/internal/qphys"
+)
+
+func TestNewValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumQubits = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("NumQubits=0 must fail")
+	}
+	cfg.NumQubits = 9
+	if _, err := New(cfg); err == nil {
+		t.Error("NumQubits=9 must fail")
+	}
+}
+
+func TestPiPulseThenMeasureReadsOne(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 shots of init → X180 → measure, counting results in r9.
+	err = m.RunAssembly(`
+mov r15, 40000     # 200 µs init
+mov r1, 0
+mov r2, 100
+mov r9, 0
+Loop:
+QNopReg r15
+Pulse {q0}, X180
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+add r9, r9, r7
+addi r1, r1, 1
+bne r1, r2, Loop
+halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := m.Controller.Regs[9]
+	if ones < 90 {
+		t.Errorf("π pulse measured |1⟩ only %d/100 times", ones)
+	}
+	if m.Measurements != 100 {
+		t.Errorf("measurements = %d, want 100", m.Measurements)
+	}
+	if m.PulsesPlayed != 100 {
+		t.Errorf("pulses = %d, want 100", m.PulsesPlayed)
+	}
+}
+
+func TestIdentityStaysGround(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.RunAssembly(`
+mov r15, 40000
+mov r1, 0
+mov r2, 100
+mov r9, 0
+Loop:
+QNopReg r15
+Pulse {q0}, I
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+add r9, r9, r7
+addi r1, r1, 1
+bne r1, r2, Loop
+halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ones := m.Controller.Regs[9]; ones > 10 {
+		t.Errorf("identity measured |1⟩ %d/100 times", ones)
+	}
+}
+
+func TestHalfPiIsFiftyFifty(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.RunAssembly(`
+mov r15, 40000
+mov r1, 0
+mov r2, 400
+mov r9, 0
+Loop:
+QNopReg r15
+Pulse {q0}, X90
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+add r9, r9, r7
+addi r1, r1, 1
+bne r1, r2, Loop
+halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(m.Controller.Regs[9]) / 400
+	if math.Abs(frac-0.5) > 0.1 {
+		t.Errorf("X90 measured fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestBackToBackX90MakesPi(t *testing.T) {
+	// Two X90 pulses 20 ns apart must compose to a π rotation — the
+	// paper's timing-precision requirement: the second pulse's axis stays
+	// x only if it starts exactly one SSB period after the first.
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.RunAssembly(`
+mov r15, 40000
+mov r1, 0
+mov r2, 100
+mov r9, 0
+Loop:
+QNopReg r15
+Pulse {q0}, X90
+Wait 4
+Pulse {q0}, X90
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+add r9, r9, r7
+addi r1, r1, 1
+bne r1, r2, Loop
+halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ones := m.Controller.Regs[9]; ones < 90 {
+		t.Errorf("X90·X90 measured |1⟩ only %d/100", ones)
+	}
+}
+
+func TestMisalignedWaitRotatesAxis(t *testing.T) {
+	// Shifting the second X90 by one cycle (5 ns) turns it into a y-axis
+	// rotation: X90 then Y90 leaves P(1) at 1/2 + ... — crucially NOT ~1.
+	// This is the paper's Section 4.2.3 sensitivity reproduced through
+	// the whole stack.
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.RunAssembly(`
+mov r15, 40000
+mov r1, 0
+mov r2, 200
+mov r9, 0
+Loop:
+QNopReg r15
+Pulse {q0}, X90
+Wait 5
+Pulse {q0}, X90
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+add r9, r9, r7
+addi r1, r1, 1
+bne r1, r2, Loop
+halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(m.Controller.Regs[9]) / 200
+	if frac > 0.75 {
+		t.Errorf("5 ns slip still composed to π (frac=%v); SSB phase not modelled?", frac)
+	}
+}
+
+func TestActiveResetFeedback(t *testing.T) {
+	// The paper's future-work feedback: measure, and if |1⟩, apply X180
+	// to reset. Afterwards a second measurement must read |0⟩ almost
+	// always. Start from a superposition so both branches are exercised.
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.RunAssembly(`
+mov r15, 40000
+mov r1, 0
+mov r2, 200
+mov r9, 0       # counts |1⟩ on verification measurement
+mov r6, 0
+Loop:
+QNopReg r15
+Pulse {q0}, X90   # superposition
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+Wait 340          # measurement window + MDU latency
+beq r7, r6, Verify  # |0⟩: no correction
+Pulse {q0}, X180    # |1⟩: flip back
+Wait 4
+Verify:
+MPG {q0}, 300
+MD {q0}, r8
+add r9, r9, r8
+addi r1, r1, 1
+bne r1, r2, Loop
+halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(m.Controller.Regs[9]) / 200
+	if frac > 0.08 {
+		t.Errorf("active reset left |1⟩ fraction %v, want < 0.08", frac)
+	}
+}
+
+func TestTraceTimeline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TraceEvents = true
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.RunAssembly(`
+Wait 40000
+Pulse {q0}, I
+Wait 4
+Pulse {q0}, I
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Trace()
+	if len(tr) != 4 {
+		t.Fatalf("trace has %d entries: %v", len(tr), tr)
+	}
+	if tr[0].TD != 40000 || tr[1].TD != 40004 || tr[2].TD != 40008 || tr[3].TD != 40008 {
+		t.Errorf("trace TDs = %v", tr)
+	}
+	if tr[2].Kind != "mpg" || tr[3].Kind != "md" {
+		t.Errorf("trace kinds = %v", tr)
+	}
+	if !strings.Contains(tr[0].String(), "µs") {
+		t.Error("trace formatting broken")
+	}
+	m.ResetTrace()
+	if len(m.Trace()) != 0 {
+		t.Error("ResetTrace failed")
+	}
+}
+
+func TestMemoryFootprint420(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MemoryFootprintBytes(); got != 420 {
+		t.Errorf("footprint = %d, want 420 (paper §5.1.1)", got)
+	}
+}
+
+func TestCNOTViaMicrocodeTruthTable(t *testing.T) {
+	// Algorithm 2 end to end: for each computational input, prepare,
+	// run CNOT (target q1, control q0), and check populations.
+	for _, tc := range []struct {
+		prep     string
+		wantQ0   float64
+		wantQ1   float64
+		scenario string
+	}{
+		{"", 0, 0, "|00> -> |00>"},
+		{"Pulse {q0}, X180\nWait 4\n", 1, 1, "|10> -> |11>"},
+		{"Pulse {q1}, X180\nWait 4\n", 0, 1, "|01> -> |01>"},
+		{"Pulse {q0}, X180\nWait 4\nPulse {q1}, X180\nWait 4\n", 1, 0, "|11> -> |10>"},
+	} {
+		cfg := DefaultConfig()
+		cfg.NumQubits = 2
+		// Disable decoherence for an exact truth table.
+		cfg.Qubit = []qphys.QubitParams{{}, {}}
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = m.RunAssembly("Wait 8\n" + tc.prep + "Apply2 CNOT, q1, q0\nhalt")
+		if err != nil {
+			t.Fatalf("%s: %v", tc.scenario, err)
+		}
+		p0 := m.State.ProbExcited(0)
+		p1 := m.State.ProbExcited(1)
+		if math.Abs(p0-tc.wantQ0) > 1e-3 || math.Abs(p1-tc.wantQ1) > 1e-3 {
+			t.Errorf("%s: P(q0)=%v P(q1)=%v, want %v/%v", tc.scenario, p0, p1, tc.wantQ0, tc.wantQ1)
+		}
+	}
+}
+
+func TestBellStateViaMicrocode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumQubits = 2
+	cfg.Qubit = []qphys.QubitParams{{}, {}}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// H on control then CNOT: Bell pair; marginals are maximally mixed.
+	err = m.RunAssembly(`
+Wait 8
+Apply H, q0
+Apply2 CNOT, q1, q0
+halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.State.ProbExcited(0); math.Abs(p-0.5) > 1e-3 {
+		t.Errorf("P(q0)=%v, want 0.5", p)
+	}
+	if p := m.State.ProbExcited(1); math.Abs(p-0.5) > 1e-3 {
+		t.Errorf("P(q1)=%v, want 0.5", p)
+	}
+	if pur := m.State.Purity(); math.Abs(pur-1) > 1e-3 {
+		t.Errorf("purity = %v, want ~1 (pure entangled state)", pur)
+	}
+}
+
+func TestApplyZViaMicroprogram(t *testing.T) {
+	// Prepare |+⟩ with Y90, apply the microcoded Z (emulated as Y180 then
+	// X180 pulses), and unwind with Ym90: with the Z the qubit ends in
+	// |1⟩; without it, Y90 followed by Ym90 is the identity and it ends
+	// in |0⟩.
+	cfg := DefaultConfig()
+	cfg.Qubit = []qphys.QubitParams{{}}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.RunAssembly(`
+Wait 8
+Apply Y90, q0
+Apply Z, q0
+Apply Ym90, q0
+halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.State.ProbExcited(0); math.Abs(p-1) > 1e-3 {
+		t.Errorf("Y90·Z·Ym90 gave P(1)=%v, want 1", p)
+	}
+
+	m2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.RunAssembly("Wait 8\nApply Y90, q0\nApply Ym90, q0\nhalt"); err != nil {
+		t.Fatal(err)
+	}
+	if p := m2.State.ProbExcited(0); p > 1e-3 {
+		t.Errorf("Y90·Ym90 gave P(1)=%v, want 0", p)
+	}
+}
+
+func TestDataCollectorIntegration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CollectK = 2
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.RunAssembly(`
+mov r15, 40000
+mov r1, 0
+mov r2, 50
+Loop:
+QNopReg r15
+Pulse {q0}, I
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+QNopReg r15
+Pulse {q0}, X180
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+addi r1, r1, 1
+bne r1, r2, Loop
+halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Collector.Rounds() != 50 {
+		t.Fatalf("rounds = %d", m.Collector.Rounds())
+	}
+	avgs := m.Collector.Averages()
+	// Index 0 is the |0⟩ calibration, index 1 the |1⟩ one; they must be
+	// well separated in integration units.
+	if avgs[1] <= avgs[0] {
+		t.Errorf("averaged integration results not separated: %v", avgs)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func() int64 {
+		m, err := New(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = m.RunAssembly(`
+mov r15, 40000
+mov r1, 0
+mov r2, 50
+mov r9, 0
+Loop:
+QNopReg r15
+Pulse {q0}, X90
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+add r9, r9, r7
+addi r1, r1, 1
+bne r1, r2, Loop
+halt
+`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Controller.Regs[9]
+	}
+	if run() != run() {
+		t.Error("same seed must reproduce identical results")
+	}
+}
+
+func TestRunAssemblyError(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunAssembly("bogus instruction"); err == nil {
+		t.Error("expected assembly error")
+	}
+}
+
+func TestUnknownUOpSurfacesAsRunError(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunAssembly("Wait 4\nPulse {q0}, NOSUCH\nhalt"); err == nil {
+		t.Error("unknown micro-operation must surface as an error")
+	}
+}
+
+func TestPulseOnAbsentQubit(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunAssembly("Wait 4\nPulse {q3}, X180\nhalt"); err == nil {
+		t.Error("pulse on absent qubit must fail")
+	}
+}

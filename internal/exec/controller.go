@@ -1,0 +1,277 @@
+package exec
+
+import (
+	"fmt"
+
+	"quma/internal/clock"
+	"quma/internal/isa"
+	"quma/internal/microcode"
+)
+
+// DefaultMemWords is the default data-memory size in 64-bit words.
+const DefaultMemWords = 4096
+
+// DefaultMaxSteps bounds Run against runaway programs.
+const DefaultMaxSteps = 200_000_000
+
+// Controller is the execution controller: register file, data memory,
+// program counter, the classical ALU, and the dispatch path that sends
+// quantum instructions through the physical microcode unit into the QMB.
+//
+// Timing domains: the controller executes instructions "as fast as
+// possible" (each Step fills queues without advancing the deterministic
+// clock). The deterministic domain is drained lazily — whenever a
+// classical instruction needs a register that a pending measurement
+// discrimination will write, or when the program halts. This mirrors the
+// hardware, where instruction execution runs ahead during waits and only
+// feedback reads synchronize the two domains.
+type Controller struct {
+	Regs [isa.NumRegs]int64
+	Mem  []int64
+	// HostMem is the shared region the host CPU and the quantum
+	// coprocessor exchange data through (hld/hst) — the heterogeneous-
+	// platform extension of the paper's Section 6.
+	HostMem []int64
+	PC      int
+
+	// CS is the Q control store used by the physical microcode unit.
+	CS *microcode.ControlStore
+	// QMB is the quantum microinstruction buffer fed by quantum
+	// instructions.
+	QMB *QMB
+	// ICache, when non-nil, records every instruction fetch through the
+	// quantum instruction cache model (Figures 6/7).
+	ICache *ICache
+
+	prog   *isa.Program
+	halted bool
+	// Steps counts executed instructions.
+	Steps uint64
+	// pendingMD counts queued MD events per destination register; reads
+	// of such registers force a drain.
+	pendingMD [isa.NumRegs]int
+}
+
+// NewController returns a controller wired to the given control store and
+// QMB, with zeroed registers and DefaultMemWords words of data memory.
+func NewController(cs *microcode.ControlStore, qmb *QMB) *Controller {
+	return &Controller{
+		CS:      cs,
+		QMB:     qmb,
+		Mem:     make([]int64, DefaultMemWords),
+		HostMem: make([]int64, 256),
+	}
+}
+
+// Load installs a program and resets PC and halt state (registers and
+// memory are preserved, as on the real box where the PC uploads programs
+// without clearing data).
+func (c *Controller) Load(p *isa.Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	c.prog = p
+	c.PC = 0
+	c.halted = false
+	return nil
+}
+
+// Halted reports whether the program has stopped.
+func (c *Controller) Halted() bool { return c.halted }
+
+// WriteReg writes a register (used by the MD fire handler for measurement
+// write-back) and retires one pending-MD marker for it.
+func (c *Controller) WriteReg(r isa.Reg, v int64) {
+	c.Regs[r] = v
+	if c.pendingMD[r] > 0 {
+		c.pendingMD[r]--
+	}
+}
+
+// drain runs the deterministic domain to exhaustion.
+func (c *Controller) drain() error {
+	if !c.QMB.TC.Started() {
+		c.QMB.TC.Start()
+	}
+	_, err := c.QMB.TC.Drain()
+	return err
+}
+
+// syncIfRead drains the timing domain if register r has a pending
+// measurement write — the feedback synchronization point.
+func (c *Controller) syncIfRead(r isa.Reg) error {
+	if c.pendingMD[r] > 0 {
+		return c.drain()
+	}
+	return nil
+}
+
+// Step executes one instruction. Quantum instructions are expanded by the
+// physical microcode unit and submitted to the QMB; classical
+// instructions retire immediately.
+func (c *Controller) Step() error {
+	if c.prog == nil {
+		return fmt.Errorf("exec: no program loaded")
+	}
+	if c.halted {
+		return fmt.Errorf("exec: stepping a halted controller")
+	}
+	if c.PC < 0 || c.PC >= len(c.prog.Instrs) {
+		return fmt.Errorf("exec: PC %d outside program", c.PC)
+	}
+	if c.ICache != nil {
+		c.ICache.Fetch(c.PC)
+	}
+	in := c.prog.Instrs[c.PC]
+	c.Steps++
+	nextPC := c.PC + 1
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpHalt:
+		c.halted = true
+		if err := c.drain(); err != nil {
+			return err
+		}
+	case isa.OpMov:
+		c.Regs[in.Rd] = in.Imm
+	case isa.OpMovReg:
+		if err := c.syncIfRead(in.Rs); err != nil {
+			return err
+		}
+		c.Regs[in.Rd] = c.Regs[in.Rs]
+	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor:
+		if err := c.syncIfRead(in.Rs); err != nil {
+			return err
+		}
+		if err := c.syncIfRead(in.Rt); err != nil {
+			return err
+		}
+		a, b := c.Regs[in.Rs], c.Regs[in.Rt]
+		switch in.Op {
+		case isa.OpAdd:
+			c.Regs[in.Rd] = a + b
+		case isa.OpSub:
+			c.Regs[in.Rd] = a - b
+		case isa.OpAnd:
+			c.Regs[in.Rd] = a & b
+		case isa.OpOr:
+			c.Regs[in.Rd] = a | b
+		case isa.OpXor:
+			c.Regs[in.Rd] = a ^ b
+		}
+	case isa.OpAddi:
+		if err := c.syncIfRead(in.Rs); err != nil {
+			return err
+		}
+		c.Regs[in.Rd] = c.Regs[in.Rs] + in.Imm
+	case isa.OpLoad:
+		if err := c.syncIfRead(in.Rs); err != nil {
+			return err
+		}
+		addr := c.Regs[in.Rs] + in.Imm
+		if addr < 0 || addr >= int64(len(c.Mem)) {
+			return fmt.Errorf("exec: load address %d out of range at PC %d", addr, c.PC)
+		}
+		c.Regs[in.Rd] = c.Mem[addr]
+	case isa.OpStore:
+		if err := c.syncIfRead(in.Rs); err != nil {
+			return err
+		}
+		if err := c.syncIfRead(in.Rd); err != nil {
+			return err
+		}
+		addr := c.Regs[in.Rd] + in.Imm
+		if addr < 0 || addr >= int64(len(c.Mem)) {
+			return fmt.Errorf("exec: store address %d out of range at PC %d", addr, c.PC)
+		}
+		c.Mem[addr] = c.Regs[in.Rs]
+	case isa.OpBeq, isa.OpBne, isa.OpBlt:
+		if err := c.syncIfRead(in.Rs); err != nil {
+			return err
+		}
+		if err := c.syncIfRead(in.Rt); err != nil {
+			return err
+		}
+		a, b := c.Regs[in.Rs], c.Regs[in.Rt]
+		taken := false
+		switch in.Op {
+		case isa.OpBeq:
+			taken = a == b
+		case isa.OpBne:
+			taken = a != b
+		case isa.OpBlt:
+			taken = a < b
+		}
+		if taken {
+			nextPC = int(in.Imm)
+		}
+	case isa.OpJmp:
+		nextPC = int(in.Imm)
+
+	case isa.OpHostLoad:
+		if in.Imm < 0 || in.Imm >= int64(len(c.HostMem)) {
+			return fmt.Errorf("exec: host load address %d out of range at PC %d", in.Imm, c.PC)
+		}
+		c.Regs[in.Rd] = c.HostMem[in.Imm]
+	case isa.OpHostStore:
+		if err := c.syncIfRead(in.Rs); err != nil {
+			return err
+		}
+		if in.Imm < 0 || in.Imm >= int64(len(c.HostMem)) {
+			return fmt.Errorf("exec: host store address %d out of range at PC %d", in.Imm, c.PC)
+		}
+		c.HostMem[in.Imm] = c.Regs[in.Rs]
+
+	case isa.OpQNopReg, isa.OpWaitReg:
+		// Register-timed wait: the interval is read at issue time, which
+		// is what lets one static instruction produce run-time-computed
+		// timing (paper Section 5.3.2).
+		if err := c.syncIfRead(in.Rs); err != nil {
+			return err
+		}
+		v := c.Regs[in.Rs]
+		if v < 0 {
+			return fmt.Errorf("exec: %s read negative interval %d", in, v)
+		}
+		c.QMB.Wait(clock.Cycle(v))
+
+	default:
+		if !in.Op.IsQuantum() {
+			return fmt.Errorf("exec: unhandled opcode %s at PC %d", in.Op, c.PC)
+		}
+		mis, err := c.CS.Expand(in)
+		if err != nil {
+			return fmt.Errorf("exec: PC %d: %w", c.PC, err)
+		}
+		for _, mi := range mis {
+			if mi.Op == isa.OpMD {
+				c.pendingMD[mi.Rd]++
+			}
+			if err := c.QMB.Submit(mi); err != nil {
+				return fmt.Errorf("exec: PC %d: %w", c.PC, err)
+			}
+		}
+	}
+
+	c.PC = nextPC
+	return nil
+}
+
+// Run executes until halt or maxSteps instructions (DefaultMaxSteps when
+// maxSteps <= 0).
+func (c *Controller) Run(maxSteps uint64) error {
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	start := c.Steps
+	for !c.halted {
+		if c.Steps-start >= maxSteps {
+			return fmt.Errorf("exec: exceeded %d steps without halting", maxSteps)
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

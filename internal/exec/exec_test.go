@@ -1,0 +1,503 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"quma/internal/asm"
+	"quma/internal/clock"
+	"quma/internal/isa"
+	"quma/internal/microcode"
+	"quma/internal/timing"
+)
+
+func newRig() (*Controller, *QMB, *[]string) {
+	log := &[]string{}
+	qmb := NewQMB(
+		func(e PulseEvent, td clock.Cycle) {
+			*log = append(*log, fmt.Sprintf("TD=%d pulse %s %s", td, e.UOp, e.Qubits))
+		},
+		func(e MPGEvent, td clock.Cycle) {
+			*log = append(*log, fmt.Sprintf("TD=%d mpg %s %d", td, e.Qubits, e.Duration))
+		},
+		nil, // MD handler set below to allow write-back
+	)
+	c := NewController(microcode.StandardControlStore(), qmb)
+	qmb.MDQ.OnFire = func(e MDEvent, td clock.Cycle) {
+		*log = append(*log, fmt.Sprintf("TD=%d md %s -> %s", td, e.Qubits, e.Rd))
+		c.WriteReg(e.Rd, 1) // pretend every measurement reads |1⟩
+	}
+	return c, qmb, log
+}
+
+func TestClassicalALU(t *testing.T) {
+	c, _, _ := newRig()
+	p := asm.MustAssemble(`
+mov r1, 7
+mov r2, 5
+add r3, r1, r2
+sub r4, r1, r2
+and r5, r1, r2
+or  r6, r1, r2
+xor r7, r1, r2
+addi r8, r1, -3
+movr r9, r3
+halt
+`)
+	if err := c.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := map[isa.Reg]int64{3: 12, 4: 2, 5: 5, 6: 7, 7: 2, 8: 4, 9: 12}
+	for r, v := range want {
+		if c.Regs[r] != v {
+			t.Errorf("r%d = %d, want %d", r, c.Regs[r], v)
+		}
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	c, _, _ := newRig()
+	p := asm.MustAssemble(`
+mov r1, 100
+mov r2, 42
+store r2, r1[3]
+load r3, r1[3]
+halt
+`)
+	if err := c.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Mem[103] != 42 || c.Regs[3] != 42 {
+		t.Errorf("mem[103]=%d r3=%d", c.Mem[103], c.Regs[3])
+	}
+}
+
+func TestLoadStoreBounds(t *testing.T) {
+	c, _, _ := newRig()
+	p := asm.MustAssemble("mov r1, 100000\nload r2, r1[0]\nhalt")
+	if err := c.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0); err == nil {
+		t.Error("expected out-of-range load error")
+	}
+}
+
+func TestLoopExecution(t *testing.T) {
+	c, _, _ := newRig()
+	p := asm.MustAssemble(`
+mov r1, 0
+mov r2, 10
+mov r3, 0
+Loop:
+add r3, r3, r1
+addi r1, r1, 1
+bne r1, r2, Loop
+halt
+`)
+	if err := c.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[3] != 45 {
+		t.Errorf("sum = %d, want 45", c.Regs[3])
+	}
+}
+
+func TestRunawayGuard(t *testing.T) {
+	c, _, _ := newRig()
+	p := asm.MustAssemble("Loop:\njmp Loop")
+	if err := c.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(1000); err == nil {
+		t.Error("expected step-limit error")
+	}
+}
+
+func TestQMBTimingRuleSharedLabel(t *testing.T) {
+	// MPG and MD with no Wait between them share one time point; Wait
+	// opens a new one.
+	qmb := NewQMB(nil, nil, nil)
+	submit := func(src string) {
+		for _, in := range asm.MustAssemble(src).Instrs {
+			if in.Op == isa.OpHalt {
+				continue
+			}
+			if err := qmb.Submit(in); err != nil {
+				panic(err)
+			}
+		}
+	}
+	submit("Wait 10\nPulse {q0}, I\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt")
+	if got := qmb.LabelsIssued(); got != 2 {
+		t.Errorf("labels issued = %d, want 2", got)
+	}
+	tq := qmb.TC.TQ.Snapshot()
+	if len(tq) != 2 || tq[0].Interval != 10 || tq[1].Interval != 4 {
+		t.Errorf("timing queue = %+v", tq)
+	}
+	// MPG and MD both carry label 2.
+	_, ml, _ := qmb.MPGQ.Peek()
+	_, dl, _ := qmb.MDQ.Peek()
+	if ml != 2 || dl != 2 {
+		t.Errorf("MPG label %d, MD label %d, want both 2", ml, dl)
+	}
+}
+
+func TestQMBHorizontalPulseDecomposition(t *testing.T) {
+	qmb := NewQMB(nil, nil, nil)
+	if err := qmb.Submit(isa.Instruction{Op: isa.OpPulse, QAddr: isa.MaskQ(0, 3), UOp: "X180"}); err != nil {
+		t.Fatal(err)
+	}
+	snap := qmb.PulseQ.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("horizontal X180 must decompose into 2 micro-operations, got %d", len(snap))
+	}
+	if snap[0].Label != snap[1].Label {
+		t.Error("decomposed micro-operations must share the time point")
+	}
+	if !snap[0].Event.Qubits.Contains(0) || !snap[1].Event.Qubits.Contains(3) {
+		t.Errorf("wrong qubits: %v", snap)
+	}
+}
+
+func TestQMBTwoQubitOpStaysWhole(t *testing.T) {
+	qmb := NewQMB(nil, nil, nil)
+	if err := qmb.Submit(isa.Instruction{Op: isa.OpPulse, QAddr: isa.MaskQ(0, 1), UOp: "CZ"}); err != nil {
+		t.Fatal(err)
+	}
+	snap := qmb.PulseQ.Snapshot()
+	if len(snap) != 1 || snap[0].Event.Qubits != isa.MaskQ(0, 1) {
+		t.Errorf("CZ must stay one event: %v", snap)
+	}
+}
+
+func TestQMBRejections(t *testing.T) {
+	qmb := NewQMB(nil, nil, nil)
+	if err := qmb.Submit(isa.Instruction{Op: isa.OpWait, Imm: -1}); err == nil {
+		t.Error("negative wait must fail")
+	}
+	if err := qmb.Submit(isa.Instruction{Op: isa.OpMPG, QAddr: isa.MaskQ(0)}); err == nil {
+		t.Error("zero-duration MPG must fail")
+	}
+	if err := qmb.Submit(isa.Instruction{Op: isa.OpAdd}); err == nil {
+		t.Error("classical instruction must fail")
+	}
+}
+
+// TestTables2to4QueueTrace reproduces the paper's Tables 2–4: the queue
+// states of the AllXY experiment before TD starts, at TD=40000, and at
+// TD=40008 (experiment E3).
+func TestTables2to4QueueTrace(t *testing.T) {
+	c, qmb, _ := newRig()
+	p := asm.MustAssemble(`
+mov r15, 40000
+QNopReg r15
+Pulse {q0}, I
+Wait 4
+Pulse {q0}, I
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+QNopReg r15
+Pulse {q0}, X180
+Wait 4
+Pulse {q0}, X180
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+halt
+`)
+	if err := c.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	// Execute everything except halt so the queues stay filled.
+	for i := 0; i < len(p.Instrs)-1; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// ---- Table 2: before TD starts.
+	tq := qmb.TC.TQ.Snapshot()
+	wantTQ := []struct {
+		iv clock.Cycle
+		l  timing.Label
+	}{{40000, 1}, {4, 2}, {4, 3}, {40000, 4}, {4, 5}, {4, 6}}
+	if len(tq) != len(wantTQ) {
+		t.Fatalf("timing queue has %d entries, want %d", len(tq), len(wantTQ))
+	}
+	for i, w := range wantTQ {
+		if tq[i].Interval != w.iv || tq[i].Label != w.l {
+			t.Errorf("timing[%d] = (%d,%d), want (%d,%d)", i, tq[i].Interval, tq[i].Label, w.iv, w.l)
+		}
+	}
+	pq := qmb.PulseQ.Snapshot()
+	wantPulse := []struct {
+		uop string
+		l   timing.Label
+	}{{"I", 1}, {"I", 2}, {"X180", 4}, {"X180", 5}}
+	if len(pq) != len(wantPulse) {
+		t.Fatalf("pulse queue has %d entries, want %d", len(pq), len(wantPulse))
+	}
+	for i, w := range wantPulse {
+		if pq[i].Event.UOp != w.uop || pq[i].Label != w.l {
+			t.Errorf("pulse[%d] = (%s,%d), want (%s,%d)", i, pq[i].Event.UOp, pq[i].Label, w.uop, w.l)
+		}
+	}
+	if mq := qmb.MPGQ.Snapshot(); len(mq) != 2 || mq[0].Label != 3 || mq[1].Label != 6 {
+		t.Errorf("MPG queue = %v", mq)
+	}
+	if dq := qmb.MDQ.Snapshot(); len(dq) != 2 || dq[0].Label != 3 || dq[0].Event.Rd != 7 || dq[1].Label != 6 {
+		t.Errorf("MD queue = %v", dq)
+	}
+
+	// ---- Table 3: TD = 40000 (first time point fired).
+	qmb.TC.Start()
+	if _, err := qmb.TC.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if qmb.TC.TD() != 40000 {
+		t.Fatalf("TD = %d, want 40000", qmb.TC.TD())
+	}
+	if pq := qmb.PulseQ.Snapshot(); len(pq) != 3 || pq[0].Event.UOp != "I" || pq[0].Label != 2 {
+		t.Errorf("Table 3 pulse queue = %v", pq)
+	}
+	if qmb.MPGQ.Len() != 2 || qmb.MDQ.Len() != 2 {
+		t.Error("Table 3: MPG/MD queues must be untouched")
+	}
+
+	// ---- Table 4: TD = 40008 (labels 2 and 3 fired).
+	for i := 0; i < 2; i++ {
+		if _, err := qmb.TC.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if qmb.TC.TD() != 40008 {
+		t.Fatalf("TD = %d, want 40008", qmb.TC.TD())
+	}
+	if pq := qmb.PulseQ.Snapshot(); len(pq) != 2 || pq[0].Event.UOp != "X180" || pq[0].Label != 4 {
+		t.Errorf("Table 4 pulse queue = %v", pq)
+	}
+	if mq := qmb.MPGQ.Snapshot(); len(mq) != 1 || mq[0].Label != 6 {
+		t.Errorf("Table 4 MPG queue = %v", mq)
+	}
+	if dq := qmb.MDQ.Snapshot(); len(dq) != 1 || dq[0].Label != 6 {
+		t.Errorf("Table 4 MD queue = %v", dq)
+	}
+	if tq := qmb.TC.TQ.Snapshot(); len(tq) != 3 || tq[0].Interval != 40000 || tq[0].Label != 4 {
+		t.Errorf("Table 4 timing queue = %v", tq)
+	}
+}
+
+func TestFeedbackReadSynchronizes(t *testing.T) {
+	// A branch on a measurement register must see the deterministic-
+	// domain result: MD writes 1, so the conditional pulse is skipped.
+	c, qmb, log := newRig()
+	p := asm.MustAssemble(`
+mov r15, 100
+mov r6, 1
+QNopReg r15
+MPG {q0}, 300
+MD {q0}, r7
+Wait 300
+beq r7, r6, Done     # r7 reads 1 -> skip the correction pulse
+Pulse {q0}, X180
+Wait 4
+Done:
+halt
+`)
+	if err := c.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Regs[7] != 1 {
+		t.Fatalf("r7 = %d, want measurement result 1", c.Regs[7])
+	}
+	for _, l := range *log {
+		if l == "TD=400 pulse X180 {q0}" {
+			t.Error("correction pulse must have been skipped")
+		}
+	}
+	_ = qmb
+}
+
+func TestApplyGateExpandsThroughMicrocode(t *testing.T) {
+	c, qmb, _ := newRig()
+	p := asm.MustAssemble(`
+Wait 8
+Apply X180, q0
+Apply2 CNOT, q1, q0
+halt
+`)
+	if err := c.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(p.Instrs)-1; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := qmb.PulseQ.Snapshot()
+	// X180 (1 pulse) + CNOT (Ym90, CZ, Y90 = 3 pulses).
+	if len(snap) != 4 {
+		t.Fatalf("pulse queue = %v", snap)
+	}
+	if snap[1].Event.UOp != "Ym90" || snap[2].Event.UOp != "CZ" || snap[3].Event.UOp != "Y90" {
+		t.Errorf("CNOT expansion wrong: %v", snap)
+	}
+	if snap[2].Event.Qubits != isa.MaskQ(0, 1) {
+		t.Errorf("CZ qubits = %s", snap[2].Event.Qubits)
+	}
+}
+
+func TestQNopRegReadsRegisterAtIssue(t *testing.T) {
+	// Updating r15 between issues changes the produced interval, the
+	// paper's run-time-computed timing example.
+	c, qmb, _ := newRig()
+	p := asm.MustAssemble(`
+mov r15, 100
+QNopReg r15
+Pulse {q0}, I
+mov r15, 200
+QNopReg r15
+Pulse {q0}, I
+halt
+`)
+	if err := c.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(p.Instrs)-1; i++ {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tq := qmb.TC.TQ.Snapshot()
+	if len(tq) != 2 || tq[0].Interval != 100 || tq[1].Interval != 200 {
+		t.Errorf("timing queue = %v", tq)
+	}
+}
+
+func TestQNopRegNegativeErrors(t *testing.T) {
+	c, _, _ := newRig()
+	p := asm.MustAssemble("mov r15, -5\nQNopReg r15\nhalt")
+	if err := c.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0); err == nil {
+		t.Error("negative register wait must fail")
+	}
+}
+
+func TestHaltDrainsQueues(t *testing.T) {
+	c, qmb, log := newRig()
+	p := asm.MustAssemble("Wait 20\nPulse {q0}, X180\nWait 4\nhalt")
+	if err := c.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if qmb.PulseQ.Len() != 0 {
+		t.Error("halt must drain pending events")
+	}
+	if len(*log) != 1 || (*log)[0] != "TD=20 pulse X180 {q0}" {
+		t.Errorf("log = %v", *log)
+	}
+}
+
+func TestStepAfterHaltErrors(t *testing.T) {
+	c, _, _ := newRig()
+	if err := c.Load(asm.MustAssemble("halt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Step(); err == nil {
+		t.Error("stepping after halt must fail")
+	}
+}
+
+func TestRunWithoutProgram(t *testing.T) {
+	c, _, _ := newRig()
+	if err := c.Step(); err == nil {
+		t.Error("expected error with no program")
+	}
+}
+
+func TestHostDataExchange(t *testing.T) {
+	// The §6 heterogeneous extension: the host seeds shared memory, the
+	// program computes on it and writes results back.
+	c, _, _ := newRig()
+	c.HostMem[0] = 21
+	p := asm.MustAssemble(`
+hld r1, 0
+add r2, r1, r1
+hst r2, 1
+halt
+`)
+	if err := c.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.HostMem[1] != 42 {
+		t.Errorf("host mem[1] = %d, want 42", c.HostMem[1])
+	}
+}
+
+func TestHostMemBounds(t *testing.T) {
+	c, _, _ := newRig()
+	p := asm.MustAssemble("hld r1, 9999\nhalt")
+	if err := c.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0); err == nil {
+		t.Error("out-of-range host load must fail")
+	}
+	c2, _, _ := newRig()
+	p2 := asm.MustAssemble("hst r1, -1\nhalt")
+	if err := c2.Load(p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Run(0); err == nil {
+		t.Error("negative host store must fail")
+	}
+}
+
+func TestHostStoreAfterMeasurementSynchronizes(t *testing.T) {
+	// Writing a measurement result to the host must see the
+	// deterministic-domain value.
+	c, _, _ := newRig()
+	p := asm.MustAssemble(`
+mov r15, 100
+QNopReg r15
+MPG {q0}, 300
+MD {q0}, r7
+Wait 300
+hst r7, 5
+halt
+`)
+	if err := c.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if c.HostMem[5] != 1 {
+		t.Errorf("host mem[5] = %d, want measurement result 1", c.HostMem[5])
+	}
+}

@@ -1,0 +1,89 @@
+package exec
+
+import "fmt"
+
+// ICache models the quantum instruction cache that sits in front of the
+// execution controller in the paper's implementation (Figures 6 and 7:
+// the host CPU streams the combined classical + QuMIS binary into the
+// "quantum instruction cache", from which the execution controller
+// fetches). It is a direct-mapped cache with configurable line length;
+// misses model the host-link fetch penalty.
+//
+// The experiment programs of Section 8 are tight loops (Algorithm 3), so
+// after the first iteration every fetch hits — which is why the paper's
+// single-stream design sustains the required issue rate for one qubit.
+// The miss accounting quantifies what unrolled or very large programs
+// would cost.
+type ICache struct {
+	// Lines is the number of cache lines (power of two not required).
+	Lines int
+	// LineWords is the number of 32-bit instruction words per line.
+	LineWords int
+	// MissPenaltyCycles is the modelled host-fetch latency per miss.
+	MissPenaltyCycles uint64
+
+	tags []int64
+
+	fetches    uint64
+	misses     uint64
+	stalls     uint64
+	capacityOK bool
+}
+
+// NewICache returns a cache of the given geometry. The paper's prototype
+// buffers the whole (small) experiment program; 64 lines × 16 words
+// covers Algorithm 3 comfortably.
+func NewICache(lines, lineWords int, missPenalty uint64) (*ICache, error) {
+	if lines < 1 || lineWords < 1 {
+		return nil, fmt.Errorf("exec: invalid icache geometry %d×%d", lines, lineWords)
+	}
+	c := &ICache{Lines: lines, LineWords: lineWords, MissPenaltyCycles: missPenalty}
+	c.tags = make([]int64, lines)
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c, nil
+}
+
+// Fetch records an instruction fetch at the given PC and returns whether
+// it hit.
+func (c *ICache) Fetch(pc int) bool {
+	c.fetches++
+	block := int64(pc / c.LineWords)
+	idx := int(block) % c.Lines
+	if c.tags[idx] == block {
+		return true
+	}
+	c.tags[idx] = block
+	c.misses++
+	c.stalls += c.MissPenaltyCycles
+	return false
+}
+
+// Reset clears contents and statistics.
+func (c *ICache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	c.fetches, c.misses, c.stalls = 0, 0, 0
+}
+
+// Fetches returns the total fetch count.
+func (c *ICache) Fetches() uint64 { return c.fetches }
+
+// Misses returns the miss count.
+func (c *ICache) Misses() uint64 { return c.misses }
+
+// StallCycles returns the accumulated modelled fetch-stall cycles.
+func (c *ICache) StallCycles() uint64 { return c.stalls }
+
+// HitRate returns hits/fetches (1.0 for an empty history).
+func (c *ICache) HitRate() float64 {
+	if c.fetches == 0 {
+		return 1
+	}
+	return 1 - float64(c.misses)/float64(c.fetches)
+}
+
+// CapacityWords returns the total instruction capacity.
+func (c *ICache) CapacityWords() int { return c.Lines * c.LineWords }

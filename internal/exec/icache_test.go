@@ -1,0 +1,141 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"quma/internal/asm"
+	"quma/internal/microcode"
+)
+
+func TestICacheGeometryValidation(t *testing.T) {
+	if _, err := NewICache(0, 8, 10); err == nil {
+		t.Error("zero lines must fail")
+	}
+	if _, err := NewICache(8, 0, 10); err == nil {
+		t.Error("zero line words must fail")
+	}
+}
+
+func TestICacheColdMissThenHit(t *testing.T) {
+	c, err := NewICache(4, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fetch(0) {
+		t.Error("cold fetch must miss")
+	}
+	for pc := 1; pc < 4; pc++ {
+		if !c.Fetch(pc) {
+			t.Errorf("same-line fetch at %d must hit", pc)
+		}
+	}
+	if !c.Fetch(0) {
+		t.Error("refetch must hit")
+	}
+	if c.Misses() != 1 || c.Fetches() != 5 {
+		t.Errorf("stats = %d/%d", c.Misses(), c.Fetches())
+	}
+	if c.StallCycles() != 10 {
+		t.Errorf("stalls = %d", c.StallCycles())
+	}
+}
+
+func TestICacheConflictEviction(t *testing.T) {
+	c, err := NewICache(2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PCs 0 and 2 map to line 0 with 1-word lines and 2 lines.
+	c.Fetch(0)
+	c.Fetch(2)
+	if c.Fetch(0) {
+		t.Error("conflicting line must have been evicted")
+	}
+}
+
+func TestICacheReset(t *testing.T) {
+	c, err := NewICache(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Fetch(0)
+	c.Reset()
+	if c.Fetches() != 0 || c.HitRate() != 1 {
+		t.Error("reset incomplete")
+	}
+	if c.Fetch(0) {
+		t.Error("post-reset fetch must miss")
+	}
+}
+
+func TestICacheLoopLocality(t *testing.T) {
+	// An Algorithm-3-style loop fits in the cache: after the first
+	// iteration the hit rate approaches 1 — the property that lets the
+	// paper's controller stream one small binary for a 25600-round
+	// experiment.
+	qmb := NewQMB(nil, nil, nil)
+	ctrl := NewController(microcode.StandardControlStore(), qmb)
+	ic, err := NewICache(64, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.ICache = ic
+	prog := asm.MustAssemble(`
+mov r15, 100
+mov r1, 0
+mov r2, 200
+Loop:
+QNopReg r15
+Pulse {q0}, X90
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+addi r1, r1, 1
+bne r1, r2, Loop
+halt
+`)
+	if err := ctrl.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if hr := ic.HitRate(); hr < 0.99 {
+		t.Errorf("loop hit rate = %v, want > 0.99", hr)
+	}
+	if ic.Misses() > uint64(ic.Lines) {
+		t.Errorf("misses = %d, want only cold misses", ic.Misses())
+	}
+}
+
+func TestICacheUnrolledProgramThrashes(t *testing.T) {
+	// A fully unrolled program larger than the cache misses on every
+	// line — the cost the compact loop encoding avoids.
+	var b strings.Builder
+	for i := 0; i < 600; i++ {
+		fmt.Fprintf(&b, "Wait 4\nPulse {q0}, I\n")
+	}
+	b.WriteString("halt\n")
+	qmb := NewQMB(nil, nil, nil)
+	ctrl := NewController(microcode.StandardControlStore(), qmb)
+	ic, err := NewICache(16, 4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.ICache = ic
+	if err := ctrl.Load(asm.MustAssemble(b.String())); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// 1201 instructions / 4 words per line ≈ 301 lines streamed once.
+	if ic.Misses() < 300 {
+		t.Errorf("misses = %d, want ≈ one per line", ic.Misses())
+	}
+	if ic.HitRate() > 0.8 {
+		t.Errorf("hit rate = %v, expected streaming behaviour", ic.HitRate())
+	}
+}

@@ -1,0 +1,70 @@
+package exec
+
+import "fmt"
+
+// Issue-rate scalability model for the paper's Section 6 discussion:
+// "the limited time for executing instructions in quantum computers may
+// form a challenge in QuMA when more qubits ask for a higher operation
+// output rate while only a single instruction stream is used."
+//
+// The model balances instruction supply against micro-operation demand:
+//
+//   - supply: the controller issues IssueWidth instructions per 5 ns
+//     cycle (1 for the scalar prototype, more with VLIW);
+//   - demand: each qubit performs one gate every OpIntervalCycles, and
+//     driving one gate costs InstrsPerOp instructions (Pulse + Wait = 2
+//     in the prototype); horizontal instructions spread that cost over
+//     HorizontalQubits qubits at once.
+type IssueModel struct {
+	// IssueWidth is instructions issued per cycle.
+	IssueWidth float64
+	// InstrsPerOp is the instruction cost of one gate slot (2 for
+	// Pulse + Wait).
+	InstrsPerOp float64
+	// OpIntervalCycles is the gate repetition interval per qubit in
+	// cycles (4 for back-to-back 20 ns gates).
+	OpIntervalCycles float64
+	// HorizontalQubits is how many qubits one horizontal instruction
+	// addresses (1 = fully vertical code).
+	HorizontalQubits float64
+}
+
+// PrototypeIssueModel returns the paper's single-stream prototype:
+// 1 instruction per cycle, 2 instructions per gate slot, gates every 4
+// cycles, vertical code.
+func PrototypeIssueModel() IssueModel {
+	return IssueModel{IssueWidth: 1, InstrsPerOp: 2, OpIntervalCycles: 4, HorizontalQubits: 1}
+}
+
+// DemandPerQubit returns the instructions per cycle one qubit consumes.
+func (m IssueModel) DemandPerQubit() float64 {
+	if m.OpIntervalCycles <= 0 || m.HorizontalQubits <= 0 {
+		return 0
+	}
+	return m.InstrsPerOp / m.OpIntervalCycles / m.HorizontalQubits
+}
+
+// MaxQubits returns the largest qubit count whose gate stream the
+// instruction issue can sustain.
+func (m IssueModel) MaxQubits() float64 {
+	d := m.DemandPerQubit()
+	if d == 0 {
+		return 0
+	}
+	return m.IssueWidth / d
+}
+
+// Utilization returns the fraction of issue bandwidth consumed by n
+// qubits (>1 means the stream cannot keep up and the deterministic
+// queues will eventually underrun).
+func (m IssueModel) Utilization(n int) float64 {
+	if m.IssueWidth <= 0 {
+		return 0
+	}
+	return float64(n) * m.DemandPerQubit() / m.IssueWidth
+}
+
+func (m IssueModel) String() string {
+	return fmt.Sprintf("issue=%g instr/cy, %g instr/op, op every %g cy, horizontal×%g → max %.1f qubits",
+		m.IssueWidth, m.InstrsPerOp, m.OpIntervalCycles, m.HorizontalQubits, m.MaxQubits())
+}

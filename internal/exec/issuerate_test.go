@@ -1,0 +1,60 @@
+package exec
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPrototypeIssueModel(t *testing.T) {
+	m := PrototypeIssueModel()
+	// 2 instructions per gate / 4 cycles = 0.5 instr/cycle per qubit;
+	// a 1-wide stream sustains 2 qubits of continuous gating.
+	if got := m.DemandPerQubit(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("demand = %v, want 0.5", got)
+	}
+	if got := m.MaxQubits(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("max qubits = %v, want 2", got)
+	}
+	if u := m.Utilization(1); math.Abs(u-0.5) > 1e-12 {
+		t.Errorf("utilization(1) = %v", u)
+	}
+	if u := m.Utilization(4); u <= 1 {
+		t.Errorf("4 qubits must oversubscribe a scalar stream: %v", u)
+	}
+}
+
+func TestIssueModelLevers(t *testing.T) {
+	// The paper's two mitigations: VLIW width and horizontal microcode.
+	base := PrototypeIssueModel()
+	vliw := base
+	vliw.IssueWidth = 4
+	if vliw.MaxQubits() != 4*base.MaxQubits() {
+		t.Error("issue width must scale capacity linearly")
+	}
+	horiz := base
+	horiz.HorizontalQubits = 8
+	if horiz.MaxQubits() != 8*base.MaxQubits() {
+		t.Error("horizontal addressing must scale capacity linearly")
+	}
+	// Realistic experiments gate far less often than back to back:
+	// AllXY's 200 µs init means the average demand is tiny.
+	idle := base
+	idle.OpIntervalCycles = 40000
+	if idle.MaxQubits() < 10000 {
+		t.Errorf("sparse gating capacity = %v", idle.MaxQubits())
+	}
+}
+
+func TestIssueModelDegenerate(t *testing.T) {
+	m := IssueModel{}
+	if m.DemandPerQubit() != 0 || m.MaxQubits() != 0 || m.Utilization(3) != 0 {
+		t.Error("degenerate model must return zeros")
+	}
+}
+
+func TestIssueModelString(t *testing.T) {
+	if !strings.Contains(PrototypeIssueModel().String(), "max 2.0 qubits") {
+		t.Errorf("string = %s", PrototypeIssueModel())
+	}
+}

@@ -1,0 +1,210 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"quma/internal/core"
+	"quma/internal/fit"
+	"quma/internal/readout"
+)
+
+// AllXYPair is one of the 21 gate pairs of the AllXY sequence.
+type AllXYPair struct {
+	Label  string // Fig. 9 label: upper case = π, lower case = π/2
+	First  string // Table 1 pulse name
+	Second string
+	Ideal  float64 // ideal |1⟩ fidelity after the pair
+}
+
+// AllXYPairs returns the 21 gate pairs in the paper's Figure 9 order:
+// the first 5 return the qubit to |0⟩, the next 12 leave it on the
+// equator (fidelity ½), and the final 4 drive it to |1⟩.
+func AllXYPairs() []AllXYPair {
+	return []AllXYPair{
+		{"II", "I", "I", 0},
+		{"XX", "X180", "X180", 0},
+		{"YY", "Y180", "Y180", 0},
+		{"XY", "X180", "Y180", 0},
+		{"YX", "Y180", "X180", 0},
+		{"xI", "X90", "I", 0.5},
+		{"yI", "Y90", "I", 0.5},
+		{"xy", "X90", "Y90", 0.5},
+		{"yx", "Y90", "X90", 0.5},
+		{"xY", "X90", "Y180", 0.5},
+		{"yX", "Y90", "X180", 0.5},
+		{"Xy", "X180", "Y90", 0.5},
+		{"Yx", "Y180", "X90", 0.5},
+		{"xX", "X90", "X180", 0.5},
+		{"Xx", "X180", "X90", 0.5},
+		{"yY", "Y90", "Y180", 0.5},
+		{"Yy", "Y180", "Y90", 0.5},
+		{"XI", "X180", "I", 1},
+		{"YI", "Y180", "I", 1},
+		{"xx", "X90", "X90", 1},
+		{"yy", "Y90", "Y90", 1},
+	}
+}
+
+// AllXYParams configures an AllXY run.
+type AllXYParams struct {
+	// Qubit is the driven qubit index (the paper uses qubit 2 of its
+	// 10-qubit chip).
+	Qubit int
+	// Rounds is N, the number of averaging rounds (paper: 25600).
+	Rounds int
+	// InitCycles is the initialization wait per shot (paper: 40000 cycles
+	// = 200 µs ≈ 6–7 T1).
+	InitCycles int
+	// Doubled repeats each combination twice back to back, as in the
+	// paper's run ("each of the 21 combinations is measured twice to make
+	// a direct visual distinction between systematic errors and low
+	// signal-to-noise"), giving K = 42 points.
+	Doubled bool
+	// MeasureCycles is the MPG duration (paper: 300).
+	MeasureCycles int
+}
+
+// DefaultAllXYParams returns the paper's settings with a reduced round
+// count suitable for tests (the cmd tools crank Rounds back up).
+func DefaultAllXYParams() AllXYParams {
+	return AllXYParams{Qubit: 0, Rounds: 100, InitCycles: 40000, Doubled: true, MeasureCycles: 300}
+}
+
+// points returns the measurement-index count per round.
+func (p AllXYParams) points() int {
+	if p.Doubled {
+		return 42
+	}
+	return 21
+}
+
+// AllXYProgram emits the combined classical + QuMIS assembly of the
+// paper's Algorithm 3: the inner 21-combination loop unrolled, the outer
+// averaging loop implemented with auxiliary classical instructions.
+func AllXYProgram(p AllXYParams) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mov r15, %d  # init wait\n", p.InitCycles)
+	fmt.Fprintf(&b, "mov r1, 0     # loop counter\n")
+	fmt.Fprintf(&b, "mov r2, %d  # number of averages\n", p.Rounds)
+	fmt.Fprintf(&b, "\nOuter_Loop:\n")
+	reps := 1
+	if p.Doubled {
+		reps = 2
+	}
+	for _, pair := range AllXYPairs() {
+		for r := 0; r < reps; r++ {
+			fmt.Fprintf(&b, "# %s\n", pair.Label)
+			fmt.Fprintf(&b, "QNopReg r15\n")
+			fmt.Fprintf(&b, "Pulse {q%d}, %s\n", p.Qubit, pair.First)
+			fmt.Fprintf(&b, "Wait 4\n")
+			fmt.Fprintf(&b, "Pulse {q%d}, %s\n", p.Qubit, pair.Second)
+			fmt.Fprintf(&b, "Wait 4\n")
+			fmt.Fprintf(&b, "MPG {q%d}, %d\n", p.Qubit, p.MeasureCycles)
+			fmt.Fprintf(&b, "MD {q%d}, r7\n", p.Qubit)
+		}
+	}
+	fmt.Fprintf(&b, "addi r1, r1, 1\n")
+	fmt.Fprintf(&b, "bne r1, r2, Outer_Loop\n")
+	fmt.Fprintf(&b, "halt\n")
+	return b.String()
+}
+
+// AllXYResult holds the analyzed outcome of an AllXY run.
+type AllXYResult struct {
+	Params AllXYParams
+	// Raw are the averaged integration results S̄_i (K points).
+	Raw []float64
+	// Fidelities are the readout-rescaled |1⟩ fidelities (K points).
+	Fidelities []float64
+	// Ideal is the staircase the fidelities are compared against.
+	Ideal []float64
+	// Deviation is the RMS deviation from the ideal staircase — the
+	// number quoted in the paper's Figure 9 (0.012 on hardware).
+	Deviation float64
+	// PulsesPlayed and MemoryBytes record the scalability accounting.
+	PulsesPlayed uint64
+	MemoryBytes  int
+}
+
+// RunAllXY executes the AllXY experiment on a machine built from cfg.
+// cfg.CollectK and cfg.NumQubits are set as needed.
+func RunAllXY(cfg core.Config, p AllXYParams) (*AllXYResult, error) {
+	if p.Rounds <= 0 {
+		return nil, fmt.Errorf("expt: Rounds must be positive")
+	}
+	cfg.CollectK = p.points()
+	if cfg.NumQubits <= p.Qubit {
+		cfg.NumQubits = p.Qubit + 1
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.RunAssembly(AllXYProgram(p)); err != nil {
+		return nil, err
+	}
+	if got := m.Collector.Rounds(); got != p.Rounds {
+		return nil, fmt.Errorf("expt: collected %d rounds, want %d", got, p.Rounds)
+	}
+	return analyzeAllXY(p, m)
+}
+
+func analyzeAllXY(p AllXYParams, m *core.Machine) (*AllXYResult, error) {
+	raw := m.Collector.Averages()
+	reps := 1
+	if p.Doubled {
+		reps = 2
+	}
+	// Calibration points, as in the paper's Section 8: the II
+	// combination gives S̄_|0⟩; the XI and YI combinations give S̄_|1⟩.
+	cal0 := 0.0
+	for r := 0; r < reps; r++ {
+		cal0 += raw[0*reps+r]
+	}
+	cal0 /= float64(reps)
+	cal1 := 0.0
+	for _, combo := range []int{17, 18} {
+		for r := 0; r < reps; r++ {
+			cal1 += raw[combo*reps+r]
+		}
+	}
+	cal1 /= float64(2 * reps)
+	if cal1 == cal0 {
+		return nil, fmt.Errorf("expt: degenerate calibration points (S0 = S1 = %v)", cal0)
+	}
+	fid := readout.RescaleToFidelity(raw, cal0, cal1)
+	ideal := make([]float64, 0, len(fid))
+	for _, pair := range AllXYPairs() {
+		for r := 0; r < reps; r++ {
+			ideal = append(ideal, pair.Ideal)
+		}
+	}
+	return &AllXYResult{
+		Params:       p,
+		Raw:          raw,
+		Fidelities:   fid,
+		Ideal:        ideal,
+		Deviation:    fit.RMSDeviation(fid, ideal),
+		PulsesPlayed: m.PulsesPlayed,
+		MemoryBytes:  m.MemoryFootprintBytes(),
+	}, nil
+}
+
+// Staircase renders the result as an ASCII table: one row per point with
+// label, ideal, and measured fidelity.
+func (r *AllXYResult) Staircase() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-6s %-9s %s\n", "idx", "pair", "ideal", "measured F|1>")
+	reps := 1
+	if r.Params.Doubled {
+		reps = 2
+	}
+	pairs := AllXYPairs()
+	for i, f := range r.Fidelities {
+		pair := pairs[i/reps]
+		fmt.Fprintf(&b, "%-4d %-6s %-9.2f %.4f\n", i, pair.Label, pair.Ideal, f)
+	}
+	fmt.Fprintf(&b, "Deviation: %.4f\n", r.Deviation)
+	return b.String()
+}

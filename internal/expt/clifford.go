@@ -1,0 +1,143 @@
+// Package expt implements the quantum experiments the paper runs to
+// validate QuMA (Section 8): AllXY, T1, T2 Ramsey, T2 Echo, and
+// randomized benchmarking — each as a program generator that emits the
+// combined classical + QuMIS assembly executed by the machine, plus the
+// analysis that turns averaged measurement results into the paper's
+// figures.
+package expt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"quma/internal/qphys"
+)
+
+// Clifford is one element of the single-qubit Clifford group: its unitary
+// and a decomposition into Table 1 primitive pulses (time order).
+type Clifford struct {
+	// Index is the element's position in the canonical enumeration.
+	Index int
+	// Pulses is the primitive-pulse decomposition in time order.
+	Pulses []string
+	// U is the unitary (up to global phase).
+	U qphys.Matrix
+}
+
+// cliffordGroup is the lazily built group table.
+var cliffordGroup []Clifford
+
+// primitiveGate returns the unitary for a Table 1 pulse name.
+func primitiveGate(name string) qphys.Matrix {
+	switch name {
+	case "I":
+		return qphys.Identity(2)
+	case "X180":
+		return qphys.RX(math.Pi)
+	case "X90":
+		return qphys.RX(math.Pi / 2)
+	case "Xm90":
+		return qphys.RX(-math.Pi / 2)
+	case "Y180":
+		return qphys.RY(math.Pi)
+	case "Y90":
+		return qphys.RY(math.Pi / 2)
+	case "Ym90":
+		return qphys.RY(-math.Pi / 2)
+	}
+	panic(fmt.Sprintf("expt: unknown primitive %q", name))
+}
+
+// CliffordGroup returns the 24 single-qubit Cliffords, each with a
+// shortest decomposition into the Table 1 pulse set. The table is built
+// once by breadth-first closure over the generators.
+func CliffordGroup() []Clifford {
+	if cliffordGroup != nil {
+		return cliffordGroup
+	}
+	gens := []string{"X90", "Y90", "Xm90", "Ym90", "X180", "Y180"}
+	type node struct {
+		pulses []string
+		u      qphys.Matrix
+	}
+	frontier := []node{{pulses: nil, u: qphys.Identity(2)}}
+	var group []node
+	seen := func(u qphys.Matrix) bool {
+		for _, g := range group {
+			if g.u.EqualUpToGlobalPhase(u, 1e-9) {
+				return true
+			}
+		}
+		return false
+	}
+	for len(group) < 24 && len(frontier) > 0 {
+		var next []node
+		for _, n := range frontier {
+			if seen(n.u) {
+				continue
+			}
+			group = append(group, n)
+			for _, g := range gens {
+				u2 := primitiveGate(g).Mul(n.u) // apply g after n
+				pulses := append(append([]string{}, n.pulses...), g)
+				next = append(next, node{pulses: pulses, u: u2})
+			}
+		}
+		frontier = next
+	}
+	if len(group) != 24 {
+		panic(fmt.Sprintf("expt: Clifford closure found %d elements, want 24", len(group)))
+	}
+	cliffordGroup = make([]Clifford, 24)
+	for i, g := range group {
+		pulses := g.pulses
+		if len(pulses) == 0 {
+			pulses = []string{"I"}
+		}
+		cliffordGroup[i] = Clifford{Index: i, Pulses: pulses, U: g.u}
+	}
+	return cliffordGroup
+}
+
+// InverseClifford returns the group element whose unitary inverts the
+// product u (i.e. inv·u ∝ I).
+func InverseClifford(u qphys.Matrix) Clifford {
+	inv := u.Dagger()
+	for _, c := range CliffordGroup() {
+		if c.U.EqualUpToGlobalPhase(inv, 1e-9) {
+			return c
+		}
+	}
+	panic("expt: matrix is not a Clifford")
+}
+
+// RandomCliffordSequence draws m uniformly random Cliffords plus the
+// recovery element that returns the qubit to |0⟩, and returns the full
+// pulse list (time order) and the total element count including recovery.
+func RandomCliffordSequence(m int, rng *rand.Rand) (pulses []string, elements []Clifford) {
+	group := CliffordGroup()
+	total := qphys.Identity(2)
+	for i := 0; i < m; i++ {
+		c := group[rng.Intn(len(group))]
+		elements = append(elements, c)
+		pulses = append(pulses, c.Pulses...)
+		total = c.U.Mul(total)
+	}
+	rec := InverseClifford(total)
+	elements = append(elements, rec)
+	pulses = append(pulses, rec.Pulses...)
+	return pulses, elements
+}
+
+// AvgPulsesPerClifford returns the mean primitive-pulse count over the
+// group — a figure of merit for the decomposition (≈ 1.875 for the
+// standard generator set... the exact value depends on the closure
+// order; it is reported, not asserted).
+func AvgPulsesPerClifford() float64 {
+	total := 0
+	for _, c := range CliffordGroup() {
+		total += len(c.Pulses)
+	}
+	return float64(total) / 24
+}

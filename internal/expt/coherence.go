@@ -1,0 +1,183 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"quma/internal/core"
+	"quma/internal/fit"
+)
+
+// SweepParams configures a delay-sweep coherence experiment (T1, Ramsey,
+// Echo).
+type SweepParams struct {
+	Qubit int
+	// Rounds is the averaging count per delay point.
+	Rounds int
+	// InitCycles is the per-shot initialization wait.
+	InitCycles int
+	// DelaysCycles are the swept delays in 5 ns cycles. For phase-
+	// coherent pulse trains these should be multiples of 4 cycles (one
+	// SSB period).
+	DelaysCycles []int
+	// MeasureCycles is the MPG duration.
+	MeasureCycles int
+}
+
+// DefaultSweepParams returns a 16-point sweep to 60 µs, 200 rounds.
+func DefaultSweepParams() SweepParams {
+	delays := make([]int, 16)
+	for i := range delays {
+		delays[i] = i * 800 // 0 .. 60 µs in 4 µs steps
+	}
+	return SweepParams{Qubit: 0, Rounds: 200, InitCycles: 40000, DelaysCycles: delays, MeasureCycles: 300}
+}
+
+// SweepResult holds a fitted delay sweep.
+type SweepResult struct {
+	Params SweepParams
+	// DelaysSec are the delays in seconds.
+	DelaysSec []float64
+	// Excited is the measured |1⟩ population per delay (readout-
+	// uncorrected; the simulated readout is high fidelity).
+	Excited []float64
+}
+
+// sweepProgram emits one program measuring every delay point in a round-
+// robin so the data collector averages each index over Rounds.
+//
+// shape: per delay point, body(delay) must emit the pulses; the caller's
+// body receives the delay in cycles.
+func sweepProgram(p SweepParams, body func(b *strings.Builder, delayCycles int)) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mov r15, %d\n", p.InitCycles)
+	fmt.Fprintf(&b, "mov r1, 0\n")
+	fmt.Fprintf(&b, "mov r2, %d\n", p.Rounds)
+	fmt.Fprintf(&b, "Outer_Loop:\n")
+	for _, d := range p.DelaysCycles {
+		fmt.Fprintf(&b, "QNopReg r15\n")
+		body(&b, d)
+		fmt.Fprintf(&b, "MPG {q%d}, %d\n", p.Qubit, p.MeasureCycles)
+		fmt.Fprintf(&b, "MD {q%d}, r7\n", p.Qubit)
+	}
+	fmt.Fprintf(&b, "addi r1, r1, 1\n")
+	fmt.Fprintf(&b, "bne r1, r2, Outer_Loop\n")
+	fmt.Fprintf(&b, "halt\n")
+	return b.String()
+}
+
+// runSweep executes a sweep and converts averaged integration results to
+// populations via the MDU's two calibration levels.
+func runSweep(cfg core.Config, p SweepParams, body func(b *strings.Builder, delayCycles int)) (*SweepResult, error) {
+	if len(p.DelaysCycles) == 0 || p.Rounds <= 0 {
+		return nil, fmt.Errorf("expt: empty sweep")
+	}
+	cfg.CollectK = len(p.DelaysCycles)
+	if cfg.NumQubits <= p.Qubit {
+		cfg.NumQubits = p.Qubit + 1
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.RunAssembly(sweepProgram(p, body)); err != nil {
+		return nil, err
+	}
+	raw := m.Collector.Averages()
+	// Convert integration averages to populations using the calibrated
+	// means (analytic calibration; the AllXY experiment demonstrates the
+	// in-experiment calibration path).
+	s0 := real(cfg.Readout.Mean0 * m.MDU.Weight)
+	s1 := real(cfg.Readout.Mean1 * m.MDU.Weight)
+	res := &SweepResult{Params: p}
+	for i, s := range raw {
+		res.DelaysSec = append(res.DelaysSec, float64(p.DelaysCycles[i])*5e-9)
+		res.Excited = append(res.Excited, (s-s0)/(s1-s0))
+	}
+	return res, nil
+}
+
+// T1Result is a fitted T1 relaxation measurement.
+type T1Result struct {
+	SweepResult
+	Fit fit.ExpDecay
+}
+
+// RunT1 measures energy relaxation: X180, wait τ, measure; P(1) decays as
+// e^{-τ/T1}.
+func RunT1(cfg core.Config, p SweepParams) (*T1Result, error) {
+	sr, err := runSweep(cfg, p, func(b *strings.Builder, d int) {
+		fmt.Fprintf(b, "Pulse {q%d}, X180\nWait 4\n", p.Qubit)
+		if d > 0 {
+			fmt.Fprintf(b, "Wait %d\n", d)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	f, err := fit.FitExpDecay(sr.DelaysSec, sr.Excited)
+	if err != nil {
+		return nil, fmt.Errorf("expt: T1 fit: %w", err)
+	}
+	return &T1Result{SweepResult: *sr, Fit: f}, nil
+}
+
+// RamseyResult is a fitted T2* Ramsey measurement.
+type RamseyResult struct {
+	SweepResult
+	Fit fit.DampedCosine
+}
+
+// RunRamsey measures dephasing: X90, wait τ, X90, measure. With a drive
+// detuning Δ (set via cfg.Qubit[q].FreqDetuningHz) the population
+// oscillates at Δ under an e^{-τ/T2*} envelope.
+func RunRamsey(cfg core.Config, p SweepParams) (*RamseyResult, error) {
+	sr, err := runSweep(cfg, p, func(b *strings.Builder, d int) {
+		fmt.Fprintf(b, "Pulse {q%d}, X90\nWait 4\n", p.Qubit)
+		if d > 0 {
+			fmt.Fprintf(b, "Wait %d\n", d)
+		}
+		fmt.Fprintf(b, "Pulse {q%d}, X90\nWait 4\n", p.Qubit)
+	})
+	if err != nil {
+		return nil, err
+	}
+	f, err := fit.FitDampedCosine(sr.DelaysSec, sr.Excited)
+	if err != nil {
+		return nil, fmt.Errorf("expt: Ramsey fit: %w", err)
+	}
+	return &RamseyResult{SweepResult: *sr, Fit: f}, nil
+}
+
+// EchoResult is a fitted T2 echo measurement.
+type EchoResult struct {
+	SweepResult
+	Fit fit.ExpDecay
+}
+
+// RunEcho measures echo coherence: X90, wait τ/2, X180, wait τ/2, X90.
+// The π pulse refocuses static detuning, so the envelope decays with the
+// echo time constant instead of oscillating.
+func RunEcho(cfg core.Config, p SweepParams) (*EchoResult, error) {
+	sr, err := runSweep(cfg, p, func(b *strings.Builder, d int) {
+		half := d / 2
+		half -= half % 4 // keep the π pulse SSB-phase aligned
+		fmt.Fprintf(b, "Pulse {q%d}, X90\nWait 4\n", p.Qubit)
+		if half > 0 {
+			fmt.Fprintf(b, "Wait %d\n", half)
+		}
+		fmt.Fprintf(b, "Pulse {q%d}, Y180\nWait 4\n", p.Qubit)
+		if half > 0 {
+			fmt.Fprintf(b, "Wait %d\n", half)
+		}
+		fmt.Fprintf(b, "Pulse {q%d}, X90\nWait 4\n", p.Qubit)
+	})
+	if err != nil {
+		return nil, err
+	}
+	f, err := fit.FitExpDecay(sr.DelaysSec, sr.Excited)
+	if err != nil {
+		return nil, fmt.Errorf("expt: echo fit: %w", err)
+	}
+	return &EchoResult{SweepResult: *sr, Fit: f}, nil
+}

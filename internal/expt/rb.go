@@ -1,0 +1,131 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"quma/internal/core"
+	"quma/internal/fit"
+)
+
+// RBParams configures single-qubit randomized benchmarking.
+type RBParams struct {
+	Qubit int
+	// Lengths are the Clifford sequence lengths m to sample.
+	Lengths []int
+	// Trials is the number of random sequences per length.
+	Trials int
+	// Rounds is the averaging count per sequence.
+	Rounds int
+	// InitCycles is the per-shot initialization wait.
+	InitCycles int
+	// MeasureCycles is the MPG duration.
+	MeasureCycles int
+	// Seed drives sequence sampling (independent of the machine's own
+	// measurement PRNG).
+	Seed int64
+}
+
+// DefaultRBParams returns a short benchmark suitable for tests.
+func DefaultRBParams() RBParams {
+	return RBParams{
+		Qubit:         0,
+		Lengths:       []int{1, 4, 8, 16, 32, 64, 128},
+		Trials:        4,
+		Rounds:        60,
+		InitCycles:    40000,
+		MeasureCycles: 300,
+		Seed:          7,
+	}
+}
+
+// RBResult holds the benchmark outcome.
+type RBResult struct {
+	Params RBParams
+	// Survival[i] is the mean ground-state return probability at
+	// Lengths[i], averaged over trials.
+	Survival []float64
+	// PerTrial[i][t] is the survival of each random sequence.
+	PerTrial [][]float64
+	// Fit is the F(m) = A·p^m + B decay.
+	Fit fit.RBDecay
+	// AvgPulsesPerClifford reports the decomposition cost.
+	AvgPulsesPerClifford float64
+}
+
+// rbProgram emits a program that runs one Clifford sequence (with
+// recovery) for Rounds shots and accumulates the measured ones in r9.
+func rbProgram(p RBParams, pulses []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mov r15, %d\n", p.InitCycles)
+	fmt.Fprintf(&b, "mov r1, 0\n")
+	fmt.Fprintf(&b, "mov r2, %d\n", p.Rounds)
+	fmt.Fprintf(&b, "mov r9, 0\n")
+	fmt.Fprintf(&b, "Loop:\n")
+	fmt.Fprintf(&b, "QNopReg r15\n")
+	for _, g := range pulses {
+		fmt.Fprintf(&b, "Pulse {q%d}, %s\nWait 4\n", p.Qubit, g)
+	}
+	fmt.Fprintf(&b, "MPG {q%d}, %d\n", p.Qubit, p.MeasureCycles)
+	fmt.Fprintf(&b, "MD {q%d}, r7\n", p.Qubit)
+	fmt.Fprintf(&b, "add r9, r9, r7\n")
+	fmt.Fprintf(&b, "addi r1, r1, 1\n")
+	fmt.Fprintf(&b, "bne r1, r2, Loop\n")
+	fmt.Fprintf(&b, "halt\n")
+	return b.String()
+}
+
+// RunRB executes randomized benchmarking on a machine built from cfg and
+// fits the exponential decay of the ground-state survival probability.
+func RunRB(cfg core.Config, p RBParams) (*RBResult, error) {
+	if len(p.Lengths) < 3 || p.Trials < 1 || p.Rounds < 1 {
+		return nil, fmt.Errorf("expt: RB needs ≥3 lengths and ≥1 trial/round")
+	}
+	if cfg.NumQubits <= p.Qubit {
+		cfg.NumQubits = p.Qubit + 1
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	seqRng := rand.New(rand.NewSource(p.Seed))
+	res := &RBResult{Params: p, AvgPulsesPerClifford: AvgPulsesPerClifford()}
+	var ms, fs []float64
+	for _, length := range p.Lengths {
+		var trials []float64
+		sum := 0.0
+		for t := 0; t < p.Trials; t++ {
+			pulses, _ := RandomCliffordSequence(length, seqRng)
+			if err := m.RunAssembly(rbProgram(p, pulses)); err != nil {
+				return nil, fmt.Errorf("expt: RB m=%d trial %d: %w", length, t, err)
+			}
+			ones := m.Controller.Regs[9]
+			survival := 1 - float64(ones)/float64(p.Rounds)
+			trials = append(trials, survival)
+			sum += survival
+		}
+		res.PerTrial = append(res.PerTrial, trials)
+		mean := sum / float64(p.Trials)
+		res.Survival = append(res.Survival, mean)
+		ms = append(ms, float64(length))
+		fs = append(fs, mean)
+	}
+	f, err := fit.FitRBDecay(ms, fs)
+	if err != nil {
+		return nil, fmt.Errorf("expt: RB fit: %w", err)
+	}
+	res.Fit = f
+	return res, nil
+}
+
+// Table renders length/survival rows plus the fitted error per Clifford.
+func (r *RBResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-10s %s\n", "m", "survival", "fit F(m)")
+	for i, m := range r.Params.Lengths {
+		fmt.Fprintf(&b, "%-6d %-10.4f %.4f\n", m, r.Survival[i], r.Fit.Eval(float64(m)))
+	}
+	fmt.Fprintf(&b, "p = %.5f, error per Clifford = %.5f\n", r.Fit.P, r.Fit.ErrorPerClifford())
+	return b.String()
+}

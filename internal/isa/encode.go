@@ -1,0 +1,229 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Binary encoding: every instruction packs into one 32-bit word, with the
+// opcode in the top 5 bits and per-opcode field layouts below:
+//
+//	R-type  (add …):   rd[26:23] rs[22:19] rt[18:15]
+//	I-type  (mov …):   rd[26:23] rs[22:19] imm[18:0]  (signed 19-bit)
+//	Branch:            rs[22:19] rt[18:15] target[14:0] (absolute index)
+//	Pulse/Apply:       qaddr[26:19] uopid[18:11]
+//	Apply2:            qaddr[26:19] uopid[18:11]
+//	MPG:               qaddr[26:19] dur[18:0]
+//	MD/Measure:        qaddr[26:19] rd[18:15]
+//	QNopReg/WaitReg:   rs[22:19]
+//
+// Micro-operation and gate names are carried as 8-bit indices into a
+// SymbolTable that both the assembler and the control box share, mirroring
+// how the real device's codeword/uOp numbering is configuration state.
+
+const (
+	opcodeShift = 27
+	immBits     = 19
+	immMask     = (1 << immBits) - 1
+	immMax      = 1<<(immBits-1) - 1
+	immMin      = -(1 << (immBits - 1))
+)
+
+// SymbolTable maps micro-operation/gate names to the 8-bit identifiers
+// used in the binary encoding.
+type SymbolTable struct {
+	names []string
+	index map[string]int
+}
+
+// NewSymbolTable returns an empty table.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{index: make(map[string]int)}
+}
+
+// StandardSymbols returns a table pre-populated with the Table 1 pulse
+// library and the composite operations used by the microcode unit.
+func StandardSymbols() *SymbolTable {
+	t := NewSymbolTable()
+	for _, n := range []string{
+		"I", "X180", "X90", "Xm90", "Y180", "Y90", "Ym90",
+		"Z", "Z90", "Zm90", "H", "CZ", "CNOT", "Meas",
+	} {
+		t.Intern(n)
+	}
+	return t
+}
+
+// Intern returns the id for name, assigning the next free id if new.
+func (t *SymbolTable) Intern(name string) int {
+	if id, ok := t.index[name]; ok {
+		return id
+	}
+	id := len(t.names)
+	if id > 255 {
+		panic("isa: symbol table overflow (max 256 operation names)")
+	}
+	t.names = append(t.names, name)
+	t.index[name] = id
+	return id
+}
+
+// Lookup returns the id for name if present.
+func (t *SymbolTable) Lookup(name string) (int, bool) {
+	id, ok := t.index[name]
+	return id, ok
+}
+
+// Name returns the name for id.
+func (t *SymbolTable) Name(id int) (string, bool) {
+	if id < 0 || id >= len(t.names) {
+		return "", false
+	}
+	return t.names[id], true
+}
+
+// Names returns all interned names sorted by id.
+func (t *SymbolTable) Names() []string {
+	out := append([]string{}, t.names...)
+	return out
+}
+
+// Len returns the number of interned names.
+func (t *SymbolTable) Len() int { return len(t.names) }
+
+// SortedNames returns the names alphabetically (for listings).
+func (t *SymbolTable) SortedNames() []string {
+	out := append([]string{}, t.names...)
+	sort.Strings(out)
+	return out
+}
+
+// Encode packs the instruction into a 32-bit word. Names are interned
+// into the symbol table on the fly.
+func Encode(in Instruction, syms *SymbolTable) (uint32, error) {
+	if in.Op >= numOpcodes {
+		return 0, fmt.Errorf("isa: cannot encode invalid opcode %d", in.Op)
+	}
+	w := uint32(in.Op) << opcodeShift
+	encImm := func(v int64) (uint32, error) {
+		if v < immMin || v > immMax {
+			return 0, fmt.Errorf("isa: immediate %d out of 19-bit range in %q", v, in)
+		}
+		return uint32(v) & immMask, nil
+	}
+	switch in.Op {
+	case OpNop, OpHalt:
+		return w, nil
+	case OpMovReg:
+		return w | uint32(in.Rd)<<23 | uint32(in.Rs)<<19, nil
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor:
+		return w | uint32(in.Rd)<<23 | uint32(in.Rs)<<19 | uint32(in.Rt)<<15, nil
+	case OpMov, OpAddi, OpLoad, OpStore, OpWait, OpHostLoad, OpHostStore:
+		imm, err := encImm(in.Imm)
+		if err != nil {
+			return 0, err
+		}
+		return w | uint32(in.Rd)<<23 | uint32(in.Rs)<<19 | imm, nil
+	case OpBeq, OpBne, OpBlt, OpJmp:
+		// Branch targets are absolute instruction indices in a 15-bit
+		// field below the rt register.
+		if in.Imm < 0 || in.Imm >= 1<<15 {
+			return 0, fmt.Errorf("isa: branch target %d out of 15-bit range in %q", in.Imm, in)
+		}
+		return w | uint32(in.Rs)<<19 | uint32(in.Rt)<<15 | uint32(in.Imm), nil
+	case OpQNopReg, OpWaitReg:
+		return w | uint32(in.Rs)<<19, nil
+	case OpPulse, OpApply, OpApply2:
+		id := syms.Intern(in.UOp)
+		return w | uint32(in.QAddr)<<19 | uint32(id)<<11, nil
+	case OpMPG:
+		imm, err := encImm(in.Imm)
+		if err != nil {
+			return 0, err
+		}
+		if imm&^uint32((1<<11)-1) != 0 {
+			return 0, fmt.Errorf("isa: MPG duration %d exceeds 11-bit field", in.Imm)
+		}
+		return w | uint32(in.QAddr)<<19 | imm, nil
+	case OpMD, OpMeasure:
+		return w | uint32(in.QAddr)<<19 | uint32(in.Rd)<<15, nil
+	}
+	return 0, fmt.Errorf("isa: no encoding for opcode %s", in.Op)
+}
+
+// Decode unpacks a 32-bit word back into an Instruction.
+func Decode(w uint32, syms *SymbolTable) (Instruction, error) {
+	op := Opcode(w >> opcodeShift)
+	if op >= numOpcodes {
+		return Instruction{}, fmt.Errorf("isa: invalid opcode %d in word %#x", op, w)
+	}
+	in := Instruction{Op: op}
+	decImm := func() int64 {
+		v := int64(w & immMask)
+		if v > immMax {
+			v -= 1 << immBits
+		}
+		return v
+	}
+	switch op {
+	case OpNop, OpHalt:
+	case OpMovReg:
+		in.Rd = Reg(w >> 23 & 0xf)
+		in.Rs = Reg(w >> 19 & 0xf)
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor:
+		in.Rd = Reg(w >> 23 & 0xf)
+		in.Rs = Reg(w >> 19 & 0xf)
+		in.Rt = Reg(w >> 15 & 0xf)
+	case OpMov, OpAddi, OpLoad, OpStore, OpWait, OpHostLoad, OpHostStore:
+		in.Rd = Reg(w >> 23 & 0xf)
+		in.Rs = Reg(w >> 19 & 0xf)
+		in.Imm = decImm()
+	case OpBeq, OpBne, OpBlt, OpJmp:
+		in.Rs = Reg(w >> 19 & 0xf)
+		in.Rt = Reg(w >> 15 & 0xf)
+		in.Imm = int64(w & (1<<15 - 1))
+	case OpQNopReg, OpWaitReg:
+		in.Rs = Reg(w >> 19 & 0xf)
+	case OpPulse, OpApply, OpApply2:
+		in.QAddr = QubitMask(w >> 19 & 0xff)
+		name, ok := syms.Name(int(w >> 11 & 0xff))
+		if !ok {
+			return Instruction{}, fmt.Errorf("isa: unknown operation id %d in word %#x", w>>11&0xff, w)
+		}
+		in.UOp = name
+	case OpMPG:
+		in.QAddr = QubitMask(w >> 19 & 0xff)
+		in.Imm = int64(w & ((1 << 11) - 1))
+	case OpMD, OpMeasure:
+		in.QAddr = QubitMask(w >> 19 & 0xff)
+		in.Rd = Reg(w >> 15 & 0xf)
+	}
+	return in, nil
+}
+
+// EncodeProgram encodes all instructions of a program.
+func EncodeProgram(p *Program, syms *SymbolTable) ([]uint32, error) {
+	out := make([]uint32, 0, len(p.Instrs))
+	for i, in := range p.Instrs {
+		w, err := Encode(in, syms)
+		if err != nil {
+			return nil, fmt.Errorf("instr %d: %w", i, err)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// DecodeProgram decodes a word sequence into a program (labels are not
+// recoverable from binary).
+func DecodeProgram(words []uint32, syms *SymbolTable) (*Program, error) {
+	p := &Program{Labels: map[string]int{}}
+	for i, w := range words {
+		in, err := Decode(w, syms)
+		if err != nil {
+			return nil, fmt.Errorf("word %d: %w", i, err)
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	return p, nil
+}

@@ -1,0 +1,294 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaskQ(t *testing.T) {
+	m := MaskQ(0, 2, 7)
+	if !m.Contains(0) || !m.Contains(2) || !m.Contains(7) || m.Contains(1) {
+		t.Errorf("mask = %08b", m)
+	}
+	qs := m.Qubits()
+	if len(qs) != 3 || qs[0] != 0 || qs[1] != 2 || qs[2] != 7 {
+		t.Errorf("qubits = %v", qs)
+	}
+	if m.String() != "{q0, q2, q7}" {
+		t.Errorf("string = %s", m)
+	}
+}
+
+func TestMaskQPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for qubit 8")
+		}
+	}()
+	MaskQ(8)
+}
+
+func TestInstructionStringsMatchPaperSyntax(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: OpMov, Rd: 15, Imm: 40000}, "mov r15, 40000"},
+		{Instruction{Op: OpQNopReg, Rs: 15}, "QNopReg r15"},
+		{Instruction{Op: OpPulse, QAddr: MaskQ(2), UOp: "X180"}, "Pulse {q2}, X180"},
+		{Instruction{Op: OpWait, Imm: 4}, "Wait 4"},
+		{Instruction{Op: OpMPG, QAddr: MaskQ(2), Imm: 300}, "MPG {q2}, 300"},
+		{Instruction{Op: OpMD, QAddr: MaskQ(2), Rd: 7}, "MD {q2}, r7"},
+		{Instruction{Op: OpAdd, Rd: 9, Rs: 9, Rt: 7}, "add r9, r9, r7"},
+		{Instruction{Op: OpAddi, Rd: 1, Rs: 1, Imm: 1}, "addi r1, r1, 1"},
+		{Instruction{Op: OpBne, Rs: 1, Rt: 2, Label: "Outer_Loop"}, "bne r1, r2, Outer_Loop"},
+		{Instruction{Op: OpLoad, Rd: 9, Rs: 3, Imm: 0}, "load r9, r3[0]"},
+		{Instruction{Op: OpStore, Rs: 9, Rd: 3, Imm: 1}, "store r9, r3[1]"},
+		{Instruction{Op: OpApply, QAddr: MaskQ(0), UOp: "X180"}, "Apply X180, q0"},
+		{Instruction{Op: OpMeasure, QAddr: MaskQ(0), Rd: 7}, "Measure q0, r7"},
+		{Instruction{Op: OpApply2, QAddr: MaskQ(0, 1), UOp: "CNOT"}, "Apply2 CNOT, q0, q1"},
+		{Instruction{Op: OpPulse, QAddr: MaskQ(0, 1), UOp: "CZ"}, "Pulse {q0, q1}, CZ"},
+		{Instruction{Op: OpHalt}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestValidateCatchesBadBranch(t *testing.T) {
+	p := &Program{Instrs: []Instruction{
+		{Op: OpBne, Rs: 1, Rt: 2, Imm: 5},
+		{Op: OpHalt},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Error("branch target outside program must fail validation")
+	}
+}
+
+func TestValidateCatchesEmptyPulse(t *testing.T) {
+	p := &Program{Instrs: []Instruction{{Op: OpPulse, UOp: "X180"}}}
+	if err := p.Validate(); err == nil {
+		t.Error("Pulse with empty QAddr must fail")
+	}
+	p = &Program{Instrs: []Instruction{{Op: OpPulse, QAddr: MaskQ(0)}}}
+	if err := p.Validate(); err == nil {
+		t.Error("Pulse with empty name must fail")
+	}
+}
+
+func TestValidateAcceptsAlgorithm3Fragment(t *testing.T) {
+	p := &Program{
+		Instrs: []Instruction{
+			{Op: OpMov, Rd: 15, Imm: 40000},
+			{Op: OpMov, Rd: 1, Imm: 0},
+			{Op: OpMov, Rd: 2, Imm: 25600},
+			{Op: OpQNopReg, Rs: 15},
+			{Op: OpPulse, QAddr: MaskQ(2), UOp: "I"},
+			{Op: OpWait, Imm: 4},
+			{Op: OpPulse, QAddr: MaskQ(2), UOp: "I"},
+			{Op: OpWait, Imm: 4},
+			{Op: OpMPG, QAddr: MaskQ(2), Imm: 300},
+			{Op: OpMD, QAddr: MaskQ(2), Rd: 7},
+			{Op: OpAddi, Rd: 1, Rs: 1, Imm: 1},
+			{Op: OpBne, Rs: 1, Rt: 2, Imm: 3},
+			{Op: OpHalt},
+		},
+		Labels: map[string]int{"Outer_Loop": 3},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	if !strings.Contains(s, "Outer_Loop:") {
+		t.Error("program listing must include label")
+	}
+}
+
+func TestEncodeDecodeRoundTripExamples(t *testing.T) {
+	syms := StandardSymbols()
+	cases := []Instruction{
+		{Op: OpNop},
+		{Op: OpHalt},
+		{Op: OpMov, Rd: 15, Imm: 40000},
+		{Op: OpMov, Rd: 1, Imm: -17},
+		{Op: OpMovReg, Rd: 3, Rs: 14},
+		{Op: OpAdd, Rd: 9, Rs: 9, Rt: 7},
+		{Op: OpSub, Rd: 1, Rs: 2, Rt: 3},
+		{Op: OpAnd, Rd: 1, Rs: 2, Rt: 3},
+		{Op: OpOr, Rd: 1, Rs: 2, Rt: 3},
+		{Op: OpXor, Rd: 1, Rs: 2, Rt: 3},
+		{Op: OpAddi, Rd: 1, Rs: 1, Imm: 1},
+		{Op: OpLoad, Rd: 9, Rs: 3, Imm: 20},
+		{Op: OpStore, Rs: 9, Rd: 3, Imm: 21},
+		{Op: OpBeq, Rs: 1, Rt: 2, Imm: 77},
+		{Op: OpBne, Rs: 1, Rt: 2, Imm: 3},
+		{Op: OpBlt, Rs: 4, Rt: 5, Imm: 0},
+		{Op: OpJmp, Imm: 12},
+		{Op: OpQNopReg, Rs: 15},
+		{Op: OpWait, Imm: 40000},
+		{Op: OpWaitReg, Rs: 15},
+		{Op: OpPulse, QAddr: MaskQ(2), UOp: "X180"},
+		{Op: OpPulse, QAddr: MaskQ(0, 1), UOp: "CZ"},
+		{Op: OpMPG, QAddr: MaskQ(2), Imm: 300},
+		{Op: OpMD, QAddr: MaskQ(2), Rd: 7},
+		{Op: OpApply, QAddr: MaskQ(0), UOp: "H"},
+		{Op: OpApply2, QAddr: MaskQ(0, 1), UOp: "CNOT"},
+		{Op: OpMeasure, QAddr: MaskQ(0), Rd: 7},
+		{Op: OpHostLoad, Rd: 3, Imm: 17},
+		{Op: OpHostStore, Rs: 4, Imm: 18},
+	}
+	for _, in := range cases {
+		w, err := Encode(in, syms)
+		if err != nil {
+			t.Fatalf("encode %q: %v", in, err)
+		}
+		out, err := Decode(w, syms)
+		if err != nil {
+			t.Fatalf("decode %q: %v", in, err)
+		}
+		if out.String() != in.String() {
+			t.Errorf("round trip %q -> %q", in, out)
+		}
+	}
+}
+
+func TestEncodeRejectsHugeImmediate(t *testing.T) {
+	syms := NewSymbolTable()
+	if _, err := Encode(Instruction{Op: OpMov, Rd: 1, Imm: 1 << 20}, syms); err == nil {
+		t.Error("expected range error")
+	}
+	if _, err := Encode(Instruction{Op: OpMPG, QAddr: MaskQ(0), Imm: 5000}, syms); err == nil {
+		t.Error("expected MPG duration range error")
+	}
+	if _, err := Encode(Instruction{Op: OpJmp, Imm: 1 << 16}, syms); err == nil {
+		t.Error("expected branch range error")
+	}
+}
+
+func TestDecodeInvalidOpcode(t *testing.T) {
+	if _, err := Decode(0xffffffff, NewSymbolTable()); err == nil {
+		t.Error("expected invalid opcode error")
+	}
+}
+
+func TestDecodeUnknownSymbol(t *testing.T) {
+	syms := NewSymbolTable()
+	w, err := Encode(Instruction{Op: OpPulse, QAddr: MaskQ(0), UOp: "X180"}, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(w, NewSymbolTable()); err == nil {
+		t.Error("decoding with a mismatched symbol table must fail")
+	}
+}
+
+func TestEncodeProgramRoundTrip(t *testing.T) {
+	syms := StandardSymbols()
+	p := &Program{Instrs: []Instruction{
+		{Op: OpMov, Rd: 15, Imm: 40000},
+		{Op: OpQNopReg, Rs: 15},
+		{Op: OpPulse, QAddr: MaskQ(2), UOp: "X180"},
+		{Op: OpWait, Imm: 4},
+		{Op: OpMPG, QAddr: MaskQ(2), Imm: 300},
+		{Op: OpMD, QAddr: MaskQ(2), Rd: 7},
+		{Op: OpHalt},
+	}}
+	words, err := EncodeProgram(p, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeProgram(words, syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Instrs) != len(p.Instrs) {
+		t.Fatal("length mismatch")
+	}
+	for i := range p.Instrs {
+		if back.Instrs[i].String() != p.Instrs[i].String() {
+			t.Errorf("instr %d: %q != %q", i, back.Instrs[i], p.Instrs[i])
+		}
+	}
+}
+
+func TestSymbolTable(t *testing.T) {
+	s := NewSymbolTable()
+	a := s.Intern("X180")
+	b := s.Intern("Y180")
+	if a2 := s.Intern("X180"); a2 != a {
+		t.Error("re-intern must return same id")
+	}
+	if a == b {
+		t.Error("distinct names must get distinct ids")
+	}
+	if n, ok := s.Name(b); !ok || n != "Y180" {
+		t.Errorf("Name(%d) = %q, %v", b, n, ok)
+	}
+	if _, ok := s.Name(99); ok {
+		t.Error("out-of-range id must miss")
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Error("unknown name must miss")
+	}
+	if s.Len() != 2 {
+		t.Errorf("len = %d", s.Len())
+	}
+}
+
+// Property: encode/decode round-trips for randomly generated valid
+// instructions.
+func TestPropertyEncodeDecodeRoundTrip(t *testing.T) {
+	syms := StandardSymbols()
+	uops := []string{"I", "X180", "X90", "Y90", "CZ", "H"}
+	f := func(opRaw uint8, rd, rs, rt uint8, immRaw int32, maskRaw uint8, uopIdx uint8) bool {
+		ops := []Opcode{
+			OpNop, OpMov, OpMovReg, OpAdd, OpAddi, OpSub, OpAnd, OpOr,
+			OpXor, OpLoad, OpStore, OpBeq, OpBne, OpBlt, OpJmp, OpHalt,
+			OpApply, OpApply2, OpMeasure, OpQNopReg, OpWait, OpWaitReg,
+			OpPulse, OpMPG, OpMD,
+		}
+		in := Instruction{
+			Op: ops[int(opRaw)%len(ops)],
+			Rd: Reg(rd % 16), Rs: Reg(rs % 16), Rt: Reg(rt % 16),
+		}
+		switch in.Op {
+		case OpMov, OpAddi, OpLoad, OpStore, OpWait:
+			in.Imm = int64(immRaw % 200000)
+		case OpBeq, OpBne, OpBlt, OpJmp:
+			v := int64(immRaw) % (1 << 15)
+			if v < 0 {
+				v = -v
+			}
+			in.Imm = v
+		case OpMPG:
+			v := int64(immRaw) % 2000
+			if v < 0 {
+				v = -v
+			}
+			in.Imm = v
+			in.QAddr = QubitMask(maskRaw | 1)
+		case OpPulse, OpApply, OpApply2:
+			in.QAddr = QubitMask(maskRaw | 1)
+			in.UOp = uops[int(uopIdx)%len(uops)]
+		case OpMD, OpMeasure:
+			in.QAddr = QubitMask(maskRaw | 1)
+		}
+		w, err := Encode(in, syms)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(w, syms)
+		if err != nil {
+			return false
+		}
+		return out.String() == in.String()
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,191 @@
+package microcode
+
+import (
+	"strings"
+	"testing"
+
+	"quma/internal/isa"
+)
+
+func TestExpandApplyPrimitive(t *testing.T) {
+	cs := StandardControlStore()
+	out, err := cs.Expand(isa.Instruction{Op: isa.OpApply, QAddr: isa.MaskQ(2), UOp: "X180"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"Pulse {q2}, X180", "Wait 4"}
+	assertListing(t, out, want)
+}
+
+func TestExpandMeasure(t *testing.T) {
+	cs := StandardControlStore()
+	out, err := cs.Expand(isa.Instruction{Op: isa.OpMeasure, QAddr: isa.MaskQ(0), Rd: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertListing(t, out, []string{"MPG {q0}, 300", "MD {q0}, r7"})
+}
+
+func TestExpandCNOTAlgorithm2(t *testing.T) {
+	cs := StandardControlStore()
+	// CNOT qt=q1, qc=q0: assembler encodes first operand (target) in Imm.
+	in := isa.Instruction{Op: isa.OpApply2, QAddr: isa.MaskQ(0, 1), UOp: "CNOT", Imm: 1}
+	out, err := cs.Expand(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertListing(t, out, []string{
+		"Pulse {q1}, Ym90",
+		"Wait 4",
+		"Pulse {q0, q1}, CZ",
+		"Wait 8",
+		"Pulse {q1}, Y90",
+		"Wait 4",
+	})
+}
+
+func TestExpandCNOTOperandOrderMatters(t *testing.T) {
+	cs := StandardControlStore()
+	// Swap: target q0, control q1.
+	in := isa.Instruction{Op: isa.OpApply2, QAddr: isa.MaskQ(0, 1), UOp: "CNOT", Imm: 0}
+	out, err := cs.Expand(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].String() != "Pulse {q0}, Ym90" {
+		t.Errorf("first step = %q, want target q0", out[0])
+	}
+}
+
+func TestExpandQuMISPassThrough(t *testing.T) {
+	cs := StandardControlStore()
+	for _, in := range []isa.Instruction{
+		{Op: isa.OpWait, Imm: 4},
+		{Op: isa.OpQNopReg, Rs: 15},
+		{Op: isa.OpPulse, QAddr: isa.MaskQ(2), UOp: "I"},
+		{Op: isa.OpMPG, QAddr: isa.MaskQ(2), Imm: 300},
+		{Op: isa.OpMD, QAddr: isa.MaskQ(2), Rd: 7},
+	} {
+		out, err := cs.Expand(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if len(out) != 1 || out[0].String() != in.String() {
+			t.Errorf("%q did not pass through: %v", in, out)
+		}
+	}
+}
+
+func TestExpandRejectsClassical(t *testing.T) {
+	cs := StandardControlStore()
+	if _, err := cs.Expand(isa.Instruction{Op: isa.OpAdd}); err == nil {
+		t.Error("classical instruction must be rejected")
+	}
+}
+
+func TestExpandUnknownGate(t *testing.T) {
+	cs := StandardControlStore()
+	if _, err := cs.Expand(isa.Instruction{Op: isa.OpApply, QAddr: isa.MaskQ(0), UOp: "T"}); err == nil {
+		t.Error("unknown gate must be rejected")
+	}
+}
+
+func TestExpandArityMismatch(t *testing.T) {
+	cs := StandardControlStore()
+	if _, err := cs.Expand(isa.Instruction{Op: isa.OpApply, QAddr: isa.MaskQ(0), UOp: "CNOT"}); err == nil {
+		t.Error("one-operand CNOT must be rejected")
+	}
+}
+
+func TestUploadValidation(t *testing.T) {
+	cs := NewControlStore()
+	cases := []struct {
+		name string
+		m    Microprogram
+	}{
+		{"empty name", Microprogram{Arity: 1, Steps: []Step{{Op: isa.OpWait, Imm: 1}}}},
+		{"bad arity", Microprogram{Name: "x", Arity: 3}},
+		{"zero wait", Microprogram{Name: "x", Arity: 1, Steps: []Step{{Op: isa.OpWait}}}},
+		{"pulse without name", Microprogram{Name: "x", Arity: 1, Steps: []Step{{Op: isa.OpPulse, Operands: []int{0}}}}},
+		{"pulse without operands", Microprogram{Name: "x", Arity: 1, Steps: []Step{{Op: isa.OpPulse, UOp: "X180"}}}},
+		{"selector out of arity", Microprogram{Name: "x", Arity: 1, Steps: []Step{{Op: isa.OpPulse, UOp: "X180", Operands: []int{1}}}}},
+		{"classical step", Microprogram{Name: "x", Arity: 1, Steps: []Step{{Op: isa.OpAdd}}}},
+	}
+	for _, c := range cases {
+		if err := cs.Upload(c.m); err == nil {
+			t.Errorf("%s: expected upload error", c.name)
+		}
+	}
+}
+
+func TestUploadReplaceAndIsolation(t *testing.T) {
+	cs := StandardControlStore()
+	// Re-upload X180 with a longer wait — recalibration path.
+	err := cs.Upload(Microprogram{
+		Name:  "X180",
+		Arity: 1,
+		Steps: []Step{
+			{Op: isa.OpPulse, UOp: "X180", Operands: []int{Q0}},
+			{Op: isa.OpWait, Imm: 8},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := cs.Expand(isa.Instruction{Op: isa.OpApply, QAddr: isa.MaskQ(0), UOp: "X180"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[1].Imm != 8 {
+		t.Error("re-upload did not take effect")
+	}
+}
+
+func TestStandardStoreContents(t *testing.T) {
+	cs := StandardControlStore()
+	names := cs.Names()
+	want := []string{"CNOT", "CZ", "H", "I", "X180", "X90", "Xm90", "Y180", "Y90", "Ym90", "Z"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Errorf("names = %v, want %v", names, want)
+	}
+	cnot, _ := cs.Lookup("CNOT")
+	if cnot.Duration() != 16 {
+		t.Errorf("CNOT duration = %d cycles, want 16 (4+8+4)", cnot.Duration())
+	}
+}
+
+func TestHorizontalStepAddressesMultipleQubits(t *testing.T) {
+	cs := StandardControlStore()
+	in := isa.Instruction{Op: isa.OpApply2, QAddr: isa.MaskQ(3, 5), UOp: "CZ", Imm: 3}
+	out, err := cs.Expand(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].QAddr != isa.MaskQ(3, 5) {
+		t.Errorf("horizontal CZ mask = %s", out[0].QAddr)
+	}
+}
+
+func TestExpandZUsesSeqZOrder(t *testing.T) {
+	// Z = X·Y: time order is Y pulse then X pulse.
+	cs := StandardControlStore()
+	out, err := cs.Expand(isa.Instruction{Op: isa.OpApply, QAddr: isa.MaskQ(0), UOp: "Z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].UOp != "Y180" || out[2].UOp != "X180" {
+		t.Errorf("Z expansion order wrong: %v, %v", out[0], out[2])
+	}
+}
+
+func assertListing(t *testing.T, got []isa.Instruction, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d instructions, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i].String() != want[i] {
+			t.Errorf("step %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package openql is a Go rendition of the paper's OpenQL front end: a
+// high-level circuit-description API whose compiler emits the combined
+// auxiliary-classical + QuMIS assembly that the QuMA prototype executes
+// ("We have designed a quantum programming language OpenQL based on C++
+// with a compiler that can translate the OpenQL description into the
+// auxiliary classical instructions and QuMIS instructions", Section 7.2).
+//
+// A program holds kernels (straight-line circuit fragments). Each kernel
+// compiles to an initialization wait followed by its gate pulses; the
+// program wraps all kernels in an averaging loop driven by auxiliary
+// classical instructions, exactly like Algorithm 3.
+package openql
+
+import (
+	"fmt"
+	"strings"
+
+	"quma/internal/asm"
+	"quma/internal/isa"
+)
+
+// gateInfo describes how one high-level gate lowers to QuMIS.
+type gateInfo struct {
+	// uop is the Pulse micro-operation for primitive gates; empty for
+	// microcoded gates (emitted as Apply) and two-qubit gates.
+	uop string
+	// apply marks gates lowered via the microcode unit (Apply).
+	apply bool
+	// waitCycles is the timeline the gate occupies.
+	waitCycles int
+	arity      int
+}
+
+var gateTable = map[string]gateInfo{
+	"i":    {uop: "I", waitCycles: 4, arity: 1},
+	"x180": {uop: "X180", waitCycles: 4, arity: 1},
+	"x90":  {uop: "X90", waitCycles: 4, arity: 1},
+	"xm90": {uop: "Xm90", waitCycles: 4, arity: 1},
+	"y180": {uop: "Y180", waitCycles: 4, arity: 1},
+	"y90":  {uop: "Y90", waitCycles: 4, arity: 1},
+	"ym90": {uop: "Ym90", waitCycles: 4, arity: 1},
+	"z":    {apply: true, arity: 1},
+	"h":    {apply: true, arity: 1},
+	"cz":   {uop: "CZ", waitCycles: 8, arity: 2},
+	"cnot": {apply: true, arity: 2},
+}
+
+type opKind int
+
+const (
+	opGate opKind = iota
+	opWait
+	opMeasure
+)
+
+type op struct {
+	kind   opKind
+	gate   string
+	qubits []int
+	cycles int
+	rd     isa.Reg
+}
+
+// Kernel is a straight-line circuit fragment.
+type Kernel struct {
+	Name string
+	ops  []op
+	errs []error
+}
+
+// NewKernel returns an empty kernel.
+func NewKernel(name string) *Kernel { return &Kernel{Name: name} }
+
+// Gate appends a named gate on the given qubits. Names are
+// case-insensitive OpenQL style: i, x180, x90, xm90, y180, y90, ym90, z,
+// h, cz, cnot (control, target).
+func (k *Kernel) Gate(name string, qubits ...int) *Kernel {
+	info, ok := gateTable[strings.ToLower(name)]
+	if !ok {
+		k.errs = append(k.errs, fmt.Errorf("openql: unknown gate %q", name))
+		return k
+	}
+	if len(qubits) != info.arity {
+		k.errs = append(k.errs, fmt.Errorf("openql: gate %q wants %d qubits, got %d", name, info.arity, len(qubits)))
+		return k
+	}
+	k.ops = append(k.ops, op{kind: opGate, gate: strings.ToLower(name), qubits: qubits})
+	return k
+}
+
+// X, Y, X90, Y90 are convenience spellings for the common rotations.
+func (k *Kernel) X(q int) *Kernel   { return k.Gate("x180", q) }
+func (k *Kernel) Y(q int) *Kernel   { return k.Gate("y180", q) }
+func (k *Kernel) X90(q int) *Kernel { return k.Gate("x90", q) }
+func (k *Kernel) Y90(q int) *Kernel { return k.Gate("y90", q) }
+func (k *Kernel) H(q int) *Kernel   { return k.Gate("h", q) }
+func (k *Kernel) Z(q int) *Kernel   { return k.Gate("z", q) }
+
+// CZ appends a controlled-phase gate.
+func (k *Kernel) CZ(qa, qb int) *Kernel { return k.Gate("cz", qa, qb) }
+
+// CNOT appends a controlled-NOT with the given control and target.
+func (k *Kernel) CNOT(control, target int) *Kernel { return k.Gate("cnot", control, target) }
+
+// Wait appends an explicit idle of the given cycles.
+func (k *Kernel) Wait(cycles int) *Kernel {
+	if cycles <= 0 {
+		k.errs = append(k.errs, fmt.Errorf("openql: wait needs positive cycles, got %d", cycles))
+		return k
+	}
+	k.ops = append(k.ops, op{kind: opWait, cycles: cycles})
+	return k
+}
+
+// Measure appends a measurement of qubit q with the result written to
+// register rd.
+func (k *Kernel) Measure(q int, rd isa.Reg) *Kernel {
+	k.ops = append(k.ops, op{kind: opMeasure, qubits: []int{q}, rd: rd})
+	return k
+}
+
+// Program is a compilable collection of kernels.
+type Program struct {
+	Name      string
+	NumQubits int
+	// Rounds wraps the kernels in an averaging loop when > 1.
+	Rounds int
+	// InitCycles is the per-kernel initialization wait (0 disables).
+	InitCycles int
+	// MeasureCycles is the MPG duration.
+	MeasureCycles int
+
+	kernels []*Kernel
+}
+
+// NewProgram returns a program with the paper's defaults: 200 µs init,
+// 300-cycle measurement, single round.
+func NewProgram(name string, numQubits int) *Program {
+	return &Program{
+		Name:          name,
+		NumQubits:     numQubits,
+		Rounds:        1,
+		InitCycles:    40000,
+		MeasureCycles: 300,
+	}
+}
+
+// Add appends a kernel.
+func (p *Program) Add(k *Kernel) *Program {
+	p.kernels = append(p.kernels, k)
+	return p
+}
+
+// CompileText emits the assembly source.
+func (p *Program) CompileText() (string, error) {
+	if p.NumQubits < 1 || p.NumQubits > 8 {
+		return "", fmt.Errorf("openql: program needs 1..8 qubits, got %d", p.NumQubits)
+	}
+	if len(p.kernels) == 0 {
+		return "", fmt.Errorf("openql: program %q has no kernels", p.Name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# compiled from OpenQL program %q\n", p.Name)
+	loop := p.Rounds > 1
+	if p.InitCycles > 0 {
+		fmt.Fprintf(&b, "mov r15, %d\n", p.InitCycles)
+	}
+	if loop {
+		fmt.Fprintf(&b, "mov r1, 0\nmov r2, %d\nOuter_Loop:\n", p.Rounds)
+	}
+	for _, k := range p.kernels {
+		if len(k.errs) > 0 {
+			return "", fmt.Errorf("openql: kernel %q: %w", k.Name, k.errs[0])
+		}
+		fmt.Fprintf(&b, "# kernel %s\n", k.Name)
+		if p.InitCycles > 0 {
+			fmt.Fprintf(&b, "QNopReg r15\n")
+		}
+		for _, o := range k.ops {
+			if err := p.emit(&b, o); err != nil {
+				return "", fmt.Errorf("openql: kernel %q: %w", k.Name, err)
+			}
+		}
+	}
+	if loop {
+		fmt.Fprintf(&b, "addi r1, r1, 1\nbne r1, r2, Outer_Loop\n")
+	}
+	fmt.Fprintf(&b, "halt\n")
+	return b.String(), nil
+}
+
+// Compile emits the assembled program.
+func (p *Program) Compile() (*isa.Program, error) {
+	src, err := p.CompileText()
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(src)
+}
+
+func (p *Program) emit(b *strings.Builder, o op) error {
+	for _, q := range o.qubits {
+		if q < 0 || q >= p.NumQubits {
+			return fmt.Errorf("qubit q%d outside program size %d", q, p.NumQubits)
+		}
+	}
+	switch o.kind {
+	case opWait:
+		fmt.Fprintf(b, "Wait %d\n", o.cycles)
+	case opMeasure:
+		fmt.Fprintf(b, "MPG {q%d}, %d\n", o.qubits[0], p.MeasureCycles)
+		fmt.Fprintf(b, "MD {q%d}, r%d\n", o.qubits[0], o.rd)
+	case opGate:
+		info := gateTable[o.gate]
+		switch {
+		case info.apply && info.arity == 2:
+			// cnot(control, target) → Apply2 CNOT, q<target>, q<control>
+			// (the paper's CNOT qt, qc operand order).
+			fmt.Fprintf(b, "Apply2 CNOT, q%d, q%d\n", o.qubits[1], o.qubits[0])
+		case info.apply:
+			fmt.Fprintf(b, "Apply %s, q%d\n", strings.ToUpper(o.gate[:1])+o.gate[1:], o.qubits[0])
+		case info.arity == 2:
+			fmt.Fprintf(b, "Pulse {q%d, q%d}, %s\n", o.qubits[0], o.qubits[1], info.uop)
+			fmt.Fprintf(b, "Wait %d\n", info.waitCycles)
+		default:
+			fmt.Fprintf(b, "Pulse {q%d}, %s\n", o.qubits[0], info.uop)
+			fmt.Fprintf(b, "Wait %d\n", info.waitCycles)
+		}
+	}
+	return nil
+}

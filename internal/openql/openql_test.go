@@ -1,0 +1,151 @@
+package openql
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"quma/internal/core"
+	"quma/internal/qphys"
+)
+
+func TestCompileSimpleKernel(t *testing.T) {
+	p := NewProgram("demo", 1)
+	k := NewKernel("k0").X(0).Measure(0, 7)
+	p.Add(k)
+	src, err := p.CompileText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"mov r15, 40000",
+		"QNopReg r15",
+		"Pulse {q0}, X180",
+		"Wait 4",
+		"MPG {q0}, 300",
+		"MD {q0}, r7",
+		"halt",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("compiled source missing %q:\n%s", want, src)
+		}
+	}
+	if strings.Contains(src, "Outer_Loop") {
+		t.Error("single-round program must not emit a loop")
+	}
+}
+
+func TestCompileLoop(t *testing.T) {
+	p := NewProgram("loop", 1)
+	p.Rounds = 50
+	p.Add(NewKernel("k").X90(0).Measure(0, 7))
+	src, err := p.CompileText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mov r2, 50", "Outer_Loop:", "bne r1, r2, Outer_Loop"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	if _, err := p.Compile(); err != nil {
+		t.Fatalf("assembled program invalid: %v", err)
+	}
+}
+
+func TestCompileTwoQubitGates(t *testing.T) {
+	p := NewProgram("bell", 2)
+	p.InitCycles = 0
+	p.Add(NewKernel("k").Wait(8).H(0).CNOT(0, 1).CZ(0, 1))
+	src, err := p.CompileText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Apply H, q0",
+		"Apply2 CNOT, q1, q0", // target first, control second
+		"Pulse {q0, q1}, CZ",
+		"Wait 8",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q in:\n%s", want, src)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := NewProgram("p", 0).Add(NewKernel("k").X(0)).CompileText(); err == nil {
+		t.Error("zero qubits must fail")
+	}
+	if _, err := NewProgram("p", 1).CompileText(); err == nil {
+		t.Error("no kernels must fail")
+	}
+	if _, err := NewProgram("p", 1).Add(NewKernel("k").Gate("frob", 0)).CompileText(); err == nil {
+		t.Error("unknown gate must fail")
+	}
+	if _, err := NewProgram("p", 1).Add(NewKernel("k").Gate("cz", 0)).CompileText(); err == nil {
+		t.Error("wrong arity must fail")
+	}
+	if _, err := NewProgram("p", 1).Add(NewKernel("k").X(3)).CompileText(); err == nil {
+		t.Error("qubit out of range must fail")
+	}
+	if _, err := NewProgram("p", 1).Add(NewKernel("k").Wait(0)).CompileText(); err == nil {
+		t.Error("zero wait must fail")
+	}
+}
+
+func TestCompiledBellStateRunsOnMachine(t *testing.T) {
+	// End-to-end: OpenQL → assembly → machine → entangled state.
+	p := NewProgram("bell", 2)
+	p.InitCycles = 0
+	p.Add(NewKernel("k").Wait(8).H(0).CNOT(0, 1))
+	prog, err := p.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.NumQubits = 2
+	cfg.Qubit = []qphys.QubitParams{{}, {}}
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if pr := m.State.ProbExcited(1); math.Abs(pr-0.5) > 1e-3 {
+		t.Errorf("P(q1) = %v, want 0.5", pr)
+	}
+	if pur := m.State.Purity(); math.Abs(pur-1) > 1e-3 {
+		t.Errorf("purity = %v", pur)
+	}
+}
+
+func TestCompiledAllXYFragmentMatchesHandwritten(t *testing.T) {
+	// The OpenQL description of one AllXY combination compiles to the
+	// same instruction sequence as the paper's Algorithm 3 fragment.
+	p := NewProgram("allxy-fragment", 1)
+	p.Rounds = 25600
+	k := NewKernel("II").Gate("i", 0).Gate("i", 0).Measure(0, 7)
+	p.Add(k)
+	src, err := p.CompileText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"mov r2, 25600",
+		"Pulse {q0}, I",
+		"MPG {q0}, 300",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestFluentChaining(t *testing.T) {
+	k := NewKernel("chain").X(0).Y(0).X90(0).Y90(0).Z(0).H(0)
+	if len(k.ops) != 6 {
+		t.Errorf("chained ops = %d, want 6", len(k.ops))
+	}
+}

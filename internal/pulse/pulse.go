@@ -1,0 +1,244 @@
+// Package pulse synthesizes and analyzes the analog control waveforms of
+// the quantum-classical interface.
+//
+// Single-qubit gates on a transmon are 20 ns microwave pulses produced by
+// single-sideband (SSB) modulation: the AWG plays in-phase (I) and
+// quadrature (Q) envelope samples that embed a sideband at f_ssb (the paper
+// uses -50 MHz); an I-Q mixer combines them with a carrier so that the
+// qubit sees a resonant drive. The drive phase — and therefore the rotation
+// axis on the Bloch sphere — depends on the *absolute* start time of the
+// pulse: playing the same samples Δt later rotates the axis by
+// 2π·f_ssb·Δt. This is the paper's Section 4.2.3 example: at 50 MHz SSB a
+// 5 ns slip turns an x rotation into a y rotation.
+//
+// The package provides envelope generators, SSB synthesis, DAC
+// quantization, and the inverse operation used by the simulated chip: given
+// the played samples and their absolute start time, recover the rotation
+// (axis, angle) applied to the qubit.
+package pulse
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"quma/internal/clock"
+)
+
+// DefaultSSBHz is the single-sideband modulation frequency used throughout
+// the paper's experiments: -50 MHz.
+const DefaultSSBHz = -50e6
+
+// RabiRadPerSampleUnit converts integrated envelope area (unit amplitude ×
+// one 1 ns sample) into rotation angle in radians. It is the simulated
+// chip's drive-strength calibration constant, chosen so that a π pulse of
+// the standard 20 ns Gaussian stays within the DAC's [-1, 1] range.
+const RabiRadPerSampleUnit = 0.35
+
+// Waveform holds the I and Q sample streams for one pulse, sampled at
+// 1 GSample/s. Amplitudes are normalized to the DAC full scale [-1, 1].
+type Waveform struct {
+	I, Q []float64
+}
+
+// Len returns the number of samples (I and Q always have equal length).
+func (w Waveform) Len() int { return len(w.I) }
+
+// Duration returns the pulse length in control cycles, rounded up.
+func (w Waveform) Duration() clock.Cycle { return clock.Sample(len(w.I)).Cycles() }
+
+// MemoryBytes returns the storage cost of the waveform at the given DAC
+// resolution, matching the paper's accounting: Ns = 2·Td·Rs samples for I
+// and Q together, each of bitsPerSample bits (the paper's Section 5.1.1
+// example uses one byte per sample at ~12-bit vertical resolution, i.e.
+// 420 bytes for 7 single-qubit pulses of 20 ns).
+func (w Waveform) MemoryBytes(bitsPerSample int) int {
+	bits := 2 * len(w.I) * bitsPerSample
+	return (bits + 7) / 8
+}
+
+// Clone returns a deep copy.
+func (w Waveform) Clone() Waveform {
+	c := Waveform{I: make([]float64, len(w.I)), Q: make([]float64, len(w.Q))}
+	copy(c.I, w.I)
+	copy(c.Q, w.Q)
+	return c
+}
+
+// Append concatenates two waveforms back to back, the operation a
+// conventional AWG performs at upload time to build whole-sequence
+// waveforms (the baseline QuMA replaces).
+func (w Waveform) Append(other Waveform) Waveform {
+	out := Waveform{
+		I: append(append([]float64{}, w.I...), other.I...),
+		Q: append(append([]float64{}, w.Q...), other.Q...),
+	}
+	return out
+}
+
+// MaxAbs returns the largest |sample| across both channels.
+func (w Waveform) MaxAbs() float64 {
+	var m float64
+	for _, v := range w.I {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	for _, v := range w.Q {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// GaussianEnvelope returns n 1 ns samples of a Gaussian centred at
+// (n-1)/2 with standard deviation sigma (in samples) and peak amplitude
+// amp. The tails are truncated, not shifted, which is adequate for the
+// n ≈ 4·sigma pulses used here.
+func GaussianEnvelope(n int, sigma, amp float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	env := make([]float64, n)
+	mid := float64(n-1) / 2
+	for k := range env {
+		x := (float64(k) - mid) / sigma
+		env[k] = amp * math.Exp(-x*x/2)
+	}
+	return env
+}
+
+// SquareEnvelope returns n samples at constant amplitude amp, used for
+// measurement pulses.
+func SquareEnvelope(n int, amp float64) []float64 {
+	env := make([]float64, n)
+	for k := range env {
+		env[k] = amp
+	}
+	return env
+}
+
+// DRAGEnvelope returns the in-phase Gaussian and the derivative-shaped
+// quadrature correction (Derivative Removal by Adiabatic Gate) with
+// coefficient beta. DRAG suppresses leakage on real transmons; here it
+// exercises the two-channel synthesis path.
+func DRAGEnvelope(n int, sigma, amp, beta float64) (i, q []float64) {
+	i = GaussianEnvelope(n, sigma, amp)
+	q = make([]float64, n)
+	mid := float64(n-1) / 2
+	for k := range q {
+		x := float64(k) - mid
+		q[k] = -beta * x / (sigma * sigma) * i[k]
+	}
+	return i, q
+}
+
+// EnvelopeArea returns the integrated area of an envelope in
+// sample·amplitude units; the rotation angle is RabiRadPerSampleUnit times
+// this area.
+func EnvelopeArea(env []float64) float64 {
+	var a float64
+	for _, v := range env {
+		a += v
+	}
+	return a
+}
+
+// Synthesize converts a real envelope into SSB-modulated I/Q samples with
+// drive phase phi (phi = 0 drives an x rotation, phi = π/2 a y rotation):
+//
+//	I[k] = env[k]·cos(2π·f_ssb·k·1ns + φ)
+//	Q[k] = env[k]·sin(2π·f_ssb·k·1ns + φ)
+//
+// The modulation phase starts at zero at the first sample of the pulse, so
+// the physical drive axis depends on when the waveform is played — the
+// timing sensitivity the paper's queues exist to control.
+func Synthesize(env []float64, ssbHz, phi float64) Waveform {
+	w := Waveform{I: make([]float64, len(env)), Q: make([]float64, len(env))}
+	for k, e := range env {
+		ph := 2*math.Pi*ssbHz*float64(k)*1e-9 + phi
+		w.I[k] = e * math.Cos(ph)
+		w.Q[k] = e * math.Sin(ph)
+	}
+	return w
+}
+
+// SynthesizeIQ is Synthesize for two-channel (DRAG-style) envelopes, where
+// envQ is the quadrature envelope before modulation.
+func SynthesizeIQ(envI, envQ []float64, ssbHz, phi float64) Waveform {
+	if len(envI) != len(envQ) {
+		panic(fmt.Sprintf("pulse: envelope length mismatch %d vs %d", len(envI), len(envQ)))
+	}
+	w := Waveform{I: make([]float64, len(envI)), Q: make([]float64, len(envI))}
+	for k := range envI {
+		ph := 2*math.Pi*ssbHz*float64(k)*1e-9 + phi
+		c, s := math.Cos(ph), math.Sin(ph)
+		// Complex envelope (envI + i·envQ) rotated by the SSB phase.
+		w.I[k] = envI[k]*c - envQ[k]*s
+		w.Q[k] = envI[k]*s + envQ[k]*c
+	}
+	return w
+}
+
+// Quantize rounds every sample to the grid of a DAC with the given bit
+// resolution (the paper's AWGs use 14-bit DACs), clipping to [-1, 1].
+func Quantize(w Waveform, bits int) Waveform {
+	if bits <= 1 || bits > 30 {
+		panic(fmt.Sprintf("pulse: unsupported DAC resolution %d bits", bits))
+	}
+	levels := float64(int64(1)<<(bits-1)) - 1
+	q := func(v float64) float64 {
+		v = math.Max(-1, math.Min(1, v))
+		return math.Round(v*levels) / levels
+	}
+	out := Waveform{I: make([]float64, len(w.I)), Q: make([]float64, len(w.Q))}
+	for k := range w.I {
+		out.I[k] = q(w.I[k])
+	}
+	for k := range w.Q {
+		out.Q[k] = q(w.Q[k])
+	}
+	return out
+}
+
+// Demodulate mixes the waveform back down by the SSB frequency assuming it
+// is played starting at absolute sample time t0, and returns the complex
+// envelope integral Σ (I+iQ)[k]·e^{-i·2π·f_ssb·(t0+k)·1ns}. Its magnitude
+// is the envelope area; its argument is the physical drive phase in the
+// frame of a carrier that started at t=0 — exactly what the qubit sees.
+func Demodulate(w Waveform, ssbHz float64, t0 clock.Sample) complex128 {
+	var sum complex128
+	for k := range w.I {
+		t := float64(uint64(t0)+uint64(k)) * 1e-9
+		sum += complex(w.I[k], w.Q[k]) * cmplx.Exp(complex(0, -2*math.Pi*ssbHz*t))
+	}
+	return sum
+}
+
+// Rotation returns the (axis phase, rotation angle) the waveform applies
+// to a resonant qubit when played starting at absolute sample time t0.
+// The axis phase is measured from the x axis of the rotating frame.
+//
+// Because Demodulate removes the SSB phase referenced to t=0, a waveform
+// synthesized with phase φ and played at t0 has axis φ - 2π·f_ssb·t0·1ns
+// — delayed playback rotates the axis, reproducing the paper's x→y example.
+func Rotation(w Waveform, ssbHz float64, t0 clock.Sample) (phi, theta float64) {
+	sum := Demodulate(w, ssbHz, t0)
+	theta = RabiRadPerSampleUnit * cmplx.Abs(sum)
+	if theta == 0 {
+		return 0, 0
+	}
+	phi = cmplx.Phase(sum)
+	// The drive phase enters through e^{+iφ} in the synthesis; demodulation
+	// returns that phase directly. Negative-area envelopes appear as φ+π.
+	return phi, theta
+}
+
+// CalibratedGaussianAmp returns the Gaussian peak amplitude that produces a
+// rotation by |theta| with the standard envelope shape (n samples, given
+// sigma), under the chip's Rabi calibration.
+func CalibratedGaussianAmp(n int, sigma, theta float64) float64 {
+	unit := EnvelopeArea(GaussianEnvelope(n, sigma, 1))
+	return math.Abs(theta) / (RabiRadPerSampleUnit * unit)
+}

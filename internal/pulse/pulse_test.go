@@ -1,0 +1,259 @@
+package pulse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"quma/internal/clock"
+)
+
+const (
+	stdLen   = 20 // 20 ns standard single-qubit pulse
+	stdSigma = 4.0
+)
+
+func stdGaussian(theta float64) []float64 {
+	return GaussianEnvelope(stdLen, stdSigma, CalibratedGaussianAmp(stdLen, stdSigma, theta))
+}
+
+func TestGaussianEnvelopeShape(t *testing.T) {
+	env := GaussianEnvelope(21, 4, 0.8)
+	if len(env) != 21 {
+		t.Fatalf("len = %d, want 21", len(env))
+	}
+	if math.Abs(env[10]-0.8) > 1e-12 {
+		t.Errorf("peak = %v, want 0.8", env[10])
+	}
+	// Symmetric about the midpoint.
+	for k := 0; k < 10; k++ {
+		if math.Abs(env[k]-env[20-k]) > 1e-12 {
+			t.Errorf("asymmetric at %d: %v vs %v", k, env[k], env[20-k])
+		}
+	}
+	// Monotone rise to the peak.
+	for k := 1; k <= 10; k++ {
+		if env[k] <= env[k-1] {
+			t.Errorf("not increasing at %d", k)
+		}
+	}
+}
+
+func TestGaussianEnvelopeEmpty(t *testing.T) {
+	if env := GaussianEnvelope(0, 4, 1); env != nil {
+		t.Error("n=0 must return nil")
+	}
+}
+
+func TestSquareEnvelope(t *testing.T) {
+	env := SquareEnvelope(5, 0.3)
+	for _, v := range env {
+		if v != 0.3 {
+			t.Fatalf("square envelope sample = %v", v)
+		}
+	}
+}
+
+func TestDRAGQuadratureAntisymmetric(t *testing.T) {
+	i, q := DRAGEnvelope(20, 4, 1, 0.5)
+	if len(i) != 20 || len(q) != 20 {
+		t.Fatal("length mismatch")
+	}
+	for k := 0; k < 10; k++ {
+		if math.Abs(q[k]+q[19-k]) > 1e-12 {
+			t.Errorf("DRAG quadrature not antisymmetric at %d", k)
+		}
+	}
+}
+
+func TestCalibratedAmpWithinDACRange(t *testing.T) {
+	amp := CalibratedGaussianAmp(stdLen, stdSigma, math.Pi)
+	if amp <= 0 || amp > 1 {
+		t.Errorf("π-pulse amplitude %v outside DAC range (0,1]", amp)
+	}
+}
+
+func TestRotationRecoversAngleAndPhase(t *testing.T) {
+	for _, tc := range []struct {
+		phi, theta float64
+	}{
+		{0, math.Pi},
+		{0, math.Pi / 2},
+		{math.Pi / 2, math.Pi},
+		{math.Pi / 2, math.Pi / 2},
+		{1.1, 0.7},
+	} {
+		w := Synthesize(stdGaussian(tc.theta), DefaultSSBHz, tc.phi)
+		phi, theta := Rotation(w, DefaultSSBHz, 0)
+		if math.Abs(theta-tc.theta) > 1e-9 {
+			t.Errorf("theta = %v, want %v", theta, tc.theta)
+		}
+		if phaseDiff(phi, tc.phi) > 1e-9 {
+			t.Errorf("phi = %v, want %v", phi, tc.phi)
+		}
+	}
+}
+
+func TestFiveNanosecondSlipRotatesAxis90Degrees(t *testing.T) {
+	// The paper's Section 4.2.3: at 50 MHz SSB, playing an x pulse 5 ns
+	// late produces a y rotation.
+	w := Synthesize(stdGaussian(math.Pi), DefaultSSBHz, 0)
+	phi0, _ := Rotation(w, DefaultSSBHz, 0)
+	phi5, theta5 := Rotation(w, DefaultSSBHz, 5)
+	shift := phaseDiff(phi5, phi0)
+	if math.Abs(shift-math.Pi/2) > 1e-9 {
+		t.Errorf("5 ns slip shifted axis by %v rad, want π/2", shift)
+	}
+	if math.Abs(theta5-math.Pi) > 1e-9 {
+		t.Errorf("slip must not change the angle: %v", theta5)
+	}
+	// 20 ns (one SSB period) restores the original axis.
+	phi20, _ := Rotation(w, DefaultSSBHz, 20)
+	if phaseDiff(phi20, phi0) > 1e-9 {
+		t.Errorf("20 ns slip must restore axis, got diff %v", phaseDiff(phi20, phi0))
+	}
+}
+
+func TestSynthesizeIQMatchesSynthesizeForZeroQ(t *testing.T) {
+	env := stdGaussian(1.0)
+	zero := make([]float64, len(env))
+	a := Synthesize(env, DefaultSSBHz, 0.4)
+	b := SynthesizeIQ(env, zero, DefaultSSBHz, 0.4)
+	for k := range a.I {
+		if math.Abs(a.I[k]-b.I[k]) > 1e-12 || math.Abs(a.Q[k]-b.Q[k]) > 1e-12 {
+			t.Fatalf("mismatch at sample %d", k)
+		}
+	}
+}
+
+func TestSynthesizeIQLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SynthesizeIQ([]float64{1, 2}, []float64{1}, DefaultSSBHz, 0)
+}
+
+func TestQuantizeIdempotentAndBounded(t *testing.T) {
+	w := Synthesize(stdGaussian(math.Pi), DefaultSSBHz, 0.3)
+	q := Quantize(w, 14)
+	if q.MaxAbs() > 1 {
+		t.Error("quantized samples exceed full scale")
+	}
+	q2 := Quantize(q, 14)
+	for k := range q.I {
+		if q.I[k] != q2.I[k] || q.Q[k] != q2.Q[k] {
+			t.Fatal("quantization not idempotent")
+		}
+	}
+	// 14-bit quantization error per sample is below 2^-13.
+	for k := range w.I {
+		if math.Abs(w.I[k]-q.I[k]) > 1.0/8192 {
+			t.Errorf("quantization error too large at %d", k)
+		}
+	}
+}
+
+func TestQuantizeClips(t *testing.T) {
+	w := Waveform{I: []float64{2.0, -3.0}, Q: []float64{0, 0}}
+	q := Quantize(w, 8)
+	if q.I[0] != 1 || q.I[1] != -1 {
+		t.Errorf("clipping failed: %v", q.I)
+	}
+}
+
+func TestQuantize14BitPreservesRotation(t *testing.T) {
+	w := Synthesize(stdGaussian(math.Pi), DefaultSSBHz, 0)
+	q := Quantize(w, 14)
+	phi, theta := Rotation(q, DefaultSSBHz, 0)
+	if math.Abs(theta-math.Pi) > 1e-3 {
+		t.Errorf("DAC quantization changed angle too much: %v", theta)
+	}
+	if phaseDiff(phi, 0) > 1e-3 {
+		t.Errorf("DAC quantization changed axis too much: %v", phi)
+	}
+}
+
+func TestMemoryBytesMatchesPaperAccounting(t *testing.T) {
+	// Paper §5.1.1: 7 pulses × 2 × 20 ns × 1 GS/s samples = 280 samples;
+	// at one byte per sample that is 420... the paper counts
+	// 7 × 2 × 20 = 280 samples = 420 bytes at 12-bit (1.5-byte) samples.
+	w := Synthesize(GaussianEnvelope(20, 4, 1), DefaultSSBHz, 0)
+	if got := w.MemoryBytes(12); got != 60 {
+		t.Errorf("20-sample waveform at 12 bits = %d bytes, want 60", got)
+	}
+	if got := 7 * w.MemoryBytes(12); got != 420 {
+		t.Errorf("7 pulses = %d bytes, want paper's 420", got)
+	}
+	if got := 21 * w.Append(w).MemoryBytes(12); got != 2520 {
+		t.Errorf("21 two-pulse waveforms = %d bytes, want paper's 2520", got)
+	}
+}
+
+func TestAppendConcatenates(t *testing.T) {
+	a := Waveform{I: []float64{1}, Q: []float64{2}}
+	b := Waveform{I: []float64{3, 4}, Q: []float64{5, 6}}
+	c := a.Append(b)
+	if c.Len() != 3 || c.I[2] != 4 || c.Q[0] != 2 {
+		t.Errorf("append result wrong: %+v", c)
+	}
+	if a.Len() != 1 {
+		t.Error("append must not mutate the receiver")
+	}
+}
+
+func TestDurationRoundsUpToCycles(t *testing.T) {
+	w := Waveform{I: make([]float64, 22), Q: make([]float64, 22)}
+	if w.Duration() != 5 {
+		t.Errorf("22 samples = %v cycles, want 5", w.Duration())
+	}
+}
+
+// Property: the axis shift from delayed playback is exactly
+// -2π·f_ssb·Δt for any delay.
+func TestPropertyDelayPhaseLinear(t *testing.T) {
+	w := Synthesize(stdGaussian(math.Pi/2), DefaultSSBHz, 0.2)
+	f := func(delay uint8) bool {
+		d := clock.Sample(delay)
+		phi, _ := Rotation(w, DefaultSSBHz, d)
+		want := 0.2 - 2*math.Pi*DefaultSSBHz*float64(d)*1e-9
+		return phaseDiff(phi, want) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(8))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rotation angle scales linearly with envelope amplitude until
+// DAC clipping.
+func TestPropertyAngleLinearInAmplitude(t *testing.T) {
+	f := func(s float64) bool {
+		scale := math.Mod(math.Abs(s), 1.0)
+		if scale < 0.01 {
+			scale = 0.01
+		}
+		env := GaussianEnvelope(stdLen, stdSigma, scale*0.5)
+		w := Synthesize(env, DefaultSSBHz, 0)
+		_, theta := Rotation(w, DefaultSSBHz, 0)
+		want := RabiRadPerSampleUnit * EnvelopeArea(env)
+		return math.Abs(theta-want) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(9))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func phaseDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d < 0 {
+		d += 2 * math.Pi
+	}
+	if d > math.Pi {
+		d = 2*math.Pi - d
+	}
+	return d
+}

@@ -1,0 +1,106 @@
+package pulse
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"quma/internal/clock"
+)
+
+// ASCII waveform rendering, used to regenerate the paper's Figure 3
+// (waveforms and timings for one AllXY round) as text.
+
+// Timed is a waveform placed on the absolute sample timeline.
+type Timed struct {
+	Start clock.Sample
+	Wave  Waveform
+}
+
+// RenderTrack draws the I channel of the given playbacks over the window
+// [from, to) as an ASCII oscillogram of the given size. Columns are time
+// bins (each annotated sample takes the maximum-magnitude value in its
+// bin so narrow pulses stay visible); rows span [-1, 1].
+func RenderTrack(events []Timed, from, to clock.Sample, cols, rows int) string {
+	if cols < 8 || rows < 3 || to <= from {
+		return ""
+	}
+	binned := make([]float64, cols)
+	span := float64(to - from)
+	for _, ev := range events {
+		for k := range ev.Wave.I {
+			t := uint64(ev.Start) + uint64(k)
+			if t < uint64(from) || t >= uint64(to) {
+				continue
+			}
+			col := int(float64(t-uint64(from)) / span * float64(cols))
+			if col >= cols {
+				col = cols - 1
+			}
+			v := ev.Wave.I[k]
+			if math.Abs(v) > math.Abs(binned[col]) {
+				binned[col] = v
+			}
+		}
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	mid := (rows - 1) / 2
+	for c := 0; c < cols; c++ {
+		grid[mid][c] = '-'
+	}
+	for c, v := range binned {
+		if v == 0 {
+			continue
+		}
+		r := mid - int(math.Round(v*float64(mid)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= rows {
+			r = rows - 1
+		}
+		// Draw a vertical bar from the axis to the value.
+		lo, hi := r, mid
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		for rr := lo; rr <= hi; rr++ {
+			grid[rr][c] = '*'
+		}
+	}
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	// Time axis in microseconds.
+	fmt.Fprintf(&b, "%-*s%s\n", cols/2, fmt.Sprintf("^%.2fµs", float64(from)*1e-3),
+		fmt.Sprintf("%*s", cols-cols/2, fmt.Sprintf("%.2fµs^", float64(to)*1e-3)))
+	return b.String()
+}
+
+// RenderGate draws a digital gate line ('_' low, '#' high) for the given
+// high-intervals (in samples) over [from, to).
+func RenderGate(highs [][2]clock.Sample, from, to clock.Sample, cols int) string {
+	if cols < 8 || to <= from {
+		return ""
+	}
+	line := []byte(strings.Repeat("_", cols))
+	span := float64(to - from)
+	for _, h := range highs {
+		for t := h[0]; t < h[1]; t++ {
+			if t < from || t >= to {
+				continue
+			}
+			col := int(float64(t-from) / span * float64(cols))
+			if col >= cols {
+				col = cols - 1
+			}
+			line[col] = '#'
+		}
+	}
+	return string(line)
+}

@@ -1,0 +1,71 @@
+package pulse
+
+import (
+	"strings"
+	"testing"
+
+	"quma/internal/clock"
+)
+
+func TestRenderTrackShowsPulse(t *testing.T) {
+	w := Synthesize(GaussianEnvelope(20, 4, 0.9), DefaultSSBHz, 0)
+	out := RenderTrack([]Timed{{Start: 50, Wave: w}}, 0, 100, 50, 9)
+	if out == "" {
+		t.Fatal("empty rendering")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("pulse not visible in rendering")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 10 { // 9 rows + axis
+		t.Errorf("got %d lines, want 10", len(lines))
+	}
+	// The first half of the window is empty: column 0 must be axis-only.
+	for _, l := range lines[:9] {
+		if len(l) != 50 {
+			t.Errorf("row width %d, want 50", len(l))
+		}
+	}
+	if strings.ContainsRune(lines[0][:20], '*') {
+		t.Error("leading empty region should have no signal")
+	}
+}
+
+func TestRenderTrackDegenerate(t *testing.T) {
+	if RenderTrack(nil, 0, 100, 4, 9) != "" {
+		t.Error("too-narrow rendering must be empty")
+	}
+	if RenderTrack(nil, 100, 100, 50, 9) != "" {
+		t.Error("empty window must be empty")
+	}
+}
+
+func TestRenderTrackClipsOutOfWindow(t *testing.T) {
+	w := Synthesize(GaussianEnvelope(20, 4, 0.9), DefaultSSBHz, 0)
+	out := RenderTrack([]Timed{{Start: 500, Wave: w}}, 0, 100, 50, 9)
+	if strings.Contains(out, "*") {
+		t.Error("out-of-window pulse must not render")
+	}
+}
+
+func TestRenderGate(t *testing.T) {
+	line := RenderGate([][2]clock.Sample{{25, 75}}, 0, 100, 20)
+	if len(line) != 20 {
+		t.Fatalf("width = %d", len(line))
+	}
+	if line[0] != '_' || line[19] != '_' {
+		t.Error("edges must be low")
+	}
+	if !strings.Contains(line, "#") {
+		t.Error("gate must be visible")
+	}
+	if strings.Count(line, "#") < 8 {
+		t.Errorf("gate too short: %q", line)
+	}
+}
+
+func TestRenderGateDegenerate(t *testing.T) {
+	if RenderGate(nil, 0, 0, 20) != "" {
+		t.Error("empty window must render empty")
+	}
+}

@@ -1,0 +1,176 @@
+package qphys
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Pauli matrices and other fixed single-qubit gates. These are returned as
+// fresh copies so callers may mutate them safely.
+
+// PauliX returns the Pauli X matrix.
+func PauliX() Matrix {
+	return FromRows(
+		[]complex128{0, 1},
+		[]complex128{1, 0},
+	)
+}
+
+// PauliY returns the Pauli Y matrix.
+func PauliY() Matrix {
+	return FromRows(
+		[]complex128{0, -1i},
+		[]complex128{1i, 0},
+	)
+}
+
+// PauliZ returns the Pauli Z matrix.
+func PauliZ() Matrix {
+	return FromRows(
+		[]complex128{1, 0},
+		[]complex128{0, -1},
+	)
+}
+
+// Hadamard returns the Hadamard gate.
+func Hadamard() Matrix {
+	s := complex(1/math.Sqrt2, 0)
+	return FromRows(
+		[]complex128{s, s},
+		[]complex128{s, -s},
+	)
+}
+
+// SGate returns the phase gate S = diag(1, i).
+func SGate() Matrix {
+	return FromRows(
+		[]complex128{1, 0},
+		[]complex128{0, 1i},
+	)
+}
+
+// TGate returns the T gate = diag(1, e^{iπ/4}).
+func TGate() Matrix {
+	return FromRows(
+		[]complex128{1, 0},
+		[]complex128{0, cmplx.Exp(1i * math.Pi / 4)},
+	)
+}
+
+// RX returns the rotation exp(-i θ X / 2).
+func RX(theta float64) Matrix {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	return FromRows(
+		[]complex128{c, s},
+		[]complex128{s, c},
+	)
+}
+
+// RY returns the rotation exp(-i θ Y / 2).
+func RY(theta float64) Matrix {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(math.Sin(theta/2), 0)
+	return FromRows(
+		[]complex128{c, -s},
+		[]complex128{s, c},
+	)
+}
+
+// RZ returns the rotation exp(-i θ Z / 2).
+func RZ(theta float64) Matrix {
+	return FromRows(
+		[]complex128{cmplx.Exp(complex(0, -theta/2)), 0},
+		[]complex128{0, cmplx.Exp(complex(0, theta/2))},
+	)
+}
+
+// REquator returns a rotation by theta about the equatorial Bloch-sphere
+// axis at azimuthal angle phi (phi=0 is the x axis, phi=π/2 the y axis).
+// This is the gate a resonant drive pulse implements: phi is set by the
+// carrier phase, theta by the integrated pulse envelope — the paper's
+// Section 2.2.
+func REquator(phi, theta float64) Matrix {
+	c := complex(math.Cos(theta/2), 0)
+	s := math.Sin(theta / 2)
+	// axis n = (cos φ, sin φ, 0); R = cos(θ/2) I - i sin(θ/2)(nx X + ny Y)
+	off01 := complex(-s*math.Sin(phi), -s*math.Cos(phi))
+	off10 := complex(s*math.Sin(phi), -s*math.Cos(phi))
+	return FromRows(
+		[]complex128{c, off01},
+		[]complex128{off10, c},
+	)
+}
+
+// CZ returns the two-qubit controlled-phase gate, the native two-qubit
+// gate of the paper's transmon architecture.
+func CZ() Matrix {
+	m := Identity(4)
+	m.Set(3, 3, -1)
+	return m
+}
+
+// CNOT returns the controlled-NOT gate with qubit 0 (most significant bit
+// of the basis index) as control.
+func CNOT() Matrix {
+	return FromRows(
+		[]complex128{1, 0, 0, 0},
+		[]complex128{0, 1, 0, 0},
+		[]complex128{0, 0, 0, 1},
+		[]complex128{0, 0, 1, 0},
+	)
+}
+
+// Embed lifts a single-qubit gate u onto qubit q of an n-qubit register
+// (qubit 0 is the most significant bit of the basis index).
+func Embed(u Matrix, q, n int) Matrix {
+	if u.N != 2 {
+		panic("qphys: Embed requires a single-qubit gate")
+	}
+	out := Identity(1)
+	for i := 0; i < n; i++ {
+		if i == q {
+			out = out.Kron(u)
+		} else {
+			out = out.Kron(Identity(2))
+		}
+	}
+	return out
+}
+
+// Embed2 lifts a two-qubit gate u onto adjacent-index qubits (qa, qb) of an
+// n-qubit register. For the symmetric CZ gate the order of qa and qb is
+// irrelevant; for CNOT, qa is the control. Only the common cases needed by
+// the microcode tests are supported: qa and qb must be distinct.
+func Embed2(u Matrix, qa, qb, n int) Matrix {
+	if u.N != 4 {
+		panic("qphys: Embed2 requires a two-qubit gate")
+	}
+	if qa == qb {
+		panic("qphys: Embed2 requires distinct qubits")
+	}
+	dim := 1 << n
+	out := NewMatrix(dim)
+	for row := 0; row < dim; row++ {
+		ra := (row >> (n - 1 - qa)) & 1
+		rb := (row >> (n - 1 - qb)) & 1
+		for ca := 0; ca < 2; ca++ {
+			for cb := 0; cb < 2; cb++ {
+				v := u.At(ra*2+rb, ca*2+cb)
+				if v == 0 {
+					continue
+				}
+				col := row
+				col = setBit(col, n-1-qa, ca)
+				col = setBit(col, n-1-qb, cb)
+				out.Data[row*dim+col] += v
+			}
+		}
+	}
+	return out
+}
+
+func setBit(x, pos, v int) int {
+	x &^= 1 << pos
+	return x | (v << pos)
+}

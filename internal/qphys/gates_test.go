@@ -1,0 +1,198 @@
+package qphys
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPauliAlgebra(t *testing.T) {
+	x, y, z := PauliX(), PauliY(), PauliZ()
+	if x.Mul(x).MaxAbsDiff(Identity(2)) > tol {
+		t.Error("X² != I")
+	}
+	if y.Mul(y).MaxAbsDiff(Identity(2)) > tol {
+		t.Error("Y² != I")
+	}
+	if z.Mul(z).MaxAbsDiff(Identity(2)) > tol {
+		t.Error("Z² != I")
+	}
+	// XY = iZ
+	if x.Mul(y).MaxAbsDiff(z.Scale(1i)) > tol {
+		t.Error("XY != iZ")
+	}
+	// The paper's SeqZ decomposition: Z = X·Y up to global phase.
+	if !x.Mul(y).EqualUpToGlobalPhase(z, tol) {
+		t.Error("X·Y != Z up to global phase (paper SeqZ identity)")
+	}
+}
+
+func TestRotationsAtPi(t *testing.T) {
+	if !RX(math.Pi).EqualUpToGlobalPhase(PauliX(), tol) {
+		t.Error("RX(π) != X up to phase")
+	}
+	if !RY(math.Pi).EqualUpToGlobalPhase(PauliY(), tol) {
+		t.Error("RY(π) != Y up to phase")
+	}
+	if !RZ(math.Pi).EqualUpToGlobalPhase(PauliZ(), tol) {
+		t.Error("RZ(π) != Z up to phase")
+	}
+}
+
+func TestREquatorAxes(t *testing.T) {
+	// φ=0 is an x rotation, φ=π/2 a y rotation — the 5 ns timing-slip
+	// effect in the paper maps exactly onto this φ parameter.
+	for _, theta := range []float64{0.3, math.Pi / 2, math.Pi, 2.1} {
+		if REquator(0, theta).MaxAbsDiff(RX(theta)) > tol {
+			t.Errorf("REquator(0,%v) != RX", theta)
+		}
+		if REquator(math.Pi/2, theta).MaxAbsDiff(RY(theta)) > tol {
+			t.Errorf("REquator(π/2,%v) != RY", theta)
+		}
+	}
+}
+
+func TestHadamardProperties(t *testing.T) {
+	h := Hadamard()
+	if h.Mul(h).MaxAbsDiff(Identity(2)) > tol {
+		t.Error("H² != I")
+	}
+	// HXH = Z
+	if h.Mul(PauliX()).Mul(h).MaxAbsDiff(PauliZ()) > tol {
+		t.Error("HXH != Z")
+	}
+}
+
+func TestSTGates(t *testing.T) {
+	s := SGate()
+	if s.Mul(s).MaxAbsDiff(PauliZ()) > tol {
+		t.Error("S² != Z")
+	}
+	tt := TGate()
+	if tt.Mul(tt).MaxAbsDiff(s) > tol {
+		t.Error("T² != S")
+	}
+}
+
+func TestCNOTFromCZ(t *testing.T) {
+	// The paper's Algorithm 2: CNOT_{c,t} = (I⊗RY(π/2)) · CZ · (I⊗RY(-π/2))
+	// with qubit 0 = control, qubit 1 = target.
+	pre := Identity(2).Kron(RY(-math.Pi / 2))
+	post := Identity(2).Kron(RY(math.Pi / 2))
+	got := post.Mul(CZ()).Mul(pre)
+	if !got.EqualUpToGlobalPhase(CNOT(), tol) {
+		t.Errorf("Ry(π/2)·CZ·Ry(-π/2) != CNOT:\n%v", got)
+	}
+}
+
+func TestCZSymmetric(t *testing.T) {
+	cz := CZ()
+	// CZ is diagonal and symmetric under qubit exchange.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j && cz.At(i, j) != 0 {
+				t.Fatal("CZ must be diagonal")
+			}
+		}
+	}
+	if cz.At(3, 3) != -1 {
+		t.Error("CZ |11⟩ phase must be -1")
+	}
+}
+
+func TestEmbedSingleQubit(t *testing.T) {
+	// X on qubit 0 of 2 maps |00⟩ -> |10⟩ (basis index 0 -> 2).
+	u := Embed(PauliX(), 0, 2)
+	if u.At(2, 0) != 1 || u.At(0, 2) != 1 {
+		t.Error("Embed(X, 0, 2) incorrect")
+	}
+	u = Embed(PauliX(), 1, 2)
+	if u.At(1, 0) != 1 || u.At(0, 1) != 1 {
+		t.Error("Embed(X, 1, 2) incorrect")
+	}
+}
+
+func TestEmbed2MatchesKronForAdjacent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	u := randomUnitary(rng, 2)
+	direct := Embed2(u, 0, 1, 2)
+	if direct.MaxAbsDiff(u) > tol {
+		t.Error("Embed2 on (0,1) of 2 qubits must be the gate itself")
+	}
+	// On 3 qubits, (0,1) should equal u ⊗ I.
+	e := Embed2(u, 0, 1, 3)
+	want := u.Kron(Identity(2))
+	if e.MaxAbsDiff(want) > tol {
+		t.Error("Embed2(u,0,1,3) != u ⊗ I")
+	}
+	// (1,2) should equal I ⊗ u.
+	e = Embed2(u, 1, 2, 3)
+	want = Identity(2).Kron(u)
+	if e.MaxAbsDiff(want) > tol {
+		t.Error("Embed2(u,1,2,3) != I ⊗ u")
+	}
+}
+
+func TestEmbed2SwappedControl(t *testing.T) {
+	// CNOT with control=1, target=0 on two qubits: |01⟩ -> |11⟩.
+	u := Embed2(CNOT(), 1, 0, 2)
+	// basis: |q0 q1⟩, index = q0*2+q1. Control q1=1: |01⟩(1) <-> |11⟩(3).
+	if u.At(3, 1) != 1 || u.At(1, 3) != 1 {
+		t.Error("swapped-control CNOT embedding incorrect")
+	}
+	if u.At(0, 0) != 1 || u.At(2, 2) != 1 {
+		t.Error("swapped-control CNOT must fix |00⟩ and |10⟩")
+	}
+}
+
+func TestEmbed2PanicsOnSameQubit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for qa == qb")
+		}
+	}()
+	Embed2(CZ(), 1, 1, 2)
+}
+
+// Property: all rotation gates are unitary for any angle.
+func TestPropertyRotationsUnitary(t *testing.T) {
+	f := func(phi, theta float64) bool {
+		phi = math.Mod(phi, 2*math.Pi)
+		theta = math.Mod(theta, 4*math.Pi)
+		return RX(theta).IsUnitary(1e-9) &&
+			RY(theta).IsUnitary(1e-9) &&
+			RZ(theta).IsUnitary(1e-9) &&
+			REquator(phi, theta).IsUnitary(1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rotations about the same axis compose additively.
+func TestPropertyRotationComposition(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(a, math.Pi)
+		b = math.Mod(b, math.Pi)
+		lhs := RX(a).Mul(RX(b))
+		return lhs.MaxAbsDiff(RX(a+b)) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Embed preserves unitarity.
+func TestPropertyEmbedUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		g := REquator(rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi)
+		q := rng.Intn(3)
+		if !Embed(g, q, 3).IsUnitary(1e-9) {
+			t.Fatalf("embedded gate not unitary (q=%d)", q)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package qphys simulates the quantum processor that QuMA controls.
+//
+// The paper drives a transmon qubit on a real chip; here the chip is
+// replaced by a density-matrix simulation of one or more qubits with
+// amplitude-damping (T1) and pure-dephasing (T2) noise. Gates arrive as
+// unitaries produced by the pulse layer, idling decoheres the state, and
+// measurement projectively collapses it — so control-level mistakes
+// (wrong pulse, wrong timing) manifest exactly as they would on hardware.
+package qphys
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Matrix is a dense square complex matrix, row-major. It is the common
+// currency for unitaries and density matrices.
+type Matrix struct {
+	N    int // dimension
+	Data []complex128
+}
+
+// NewMatrix returns a zero N×N matrix.
+func NewMatrix(n int) Matrix {
+	return Matrix{N: n, Data: make([]complex128, n*n)}
+}
+
+// Identity returns the N×N identity matrix.
+func Identity(n int) Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// FromRows builds a matrix from row slices. It panics if the rows do not
+// form a square matrix; matrices in this package are always constructed
+// from literals in code, so a malformed shape is a programming error.
+func FromRows(rows ...[]complex128) Matrix {
+	n := len(rows)
+	m := NewMatrix(n)
+	for i, r := range rows {
+		if len(r) != n {
+			panic(fmt.Sprintf("qphys: row %d has %d entries, want %d", i, len(r), n))
+		}
+		copy(m.Data[i*n:(i+1)*n], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m Matrix) At(i, j int) complex128 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v complex128) { m.Data[i*m.N+j] = v }
+
+// Clone returns a deep copy of m.
+func (m Matrix) Clone() Matrix {
+	c := NewMatrix(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Mul returns the matrix product m·b.
+func (m Matrix) Mul(b Matrix) Matrix {
+	if m.N != b.N {
+		panic(fmt.Sprintf("qphys: dimension mismatch %d×%d", m.N, b.N))
+	}
+	n := m.N
+	out := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			a := m.Data[i*n+k]
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				out.Data[i*n+j] += a * b.Data[k*n+j]
+			}
+		}
+	}
+	return out
+}
+
+// Add returns m + b.
+func (m Matrix) Add(b Matrix) Matrix {
+	if m.N != b.N {
+		panic(fmt.Sprintf("qphys: dimension mismatch %d×%d", m.N, b.N))
+	}
+	out := NewMatrix(m.N)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns m - b.
+func (m Matrix) Sub(b Matrix) Matrix {
+	if m.N != b.N {
+		panic(fmt.Sprintf("qphys: dimension mismatch %d×%d", m.N, b.N))
+	}
+	out := NewMatrix(m.N)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s·m.
+func (m Matrix) Scale(s complex128) Matrix {
+	out := NewMatrix(m.N)
+	for i := range m.Data {
+		out.Data[i] = s * m.Data[i]
+	}
+	return out
+}
+
+// Dagger returns the conjugate transpose of m.
+func (m Matrix) Dagger() Matrix {
+	n := m.N
+	out := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*n+i] = cmplx.Conj(m.Data[i*n+j])
+		}
+	}
+	return out
+}
+
+// Kron returns the Kronecker (tensor) product m ⊗ b.
+func (m Matrix) Kron(b Matrix) Matrix {
+	n := m.N * b.N
+	out := NewMatrix(n)
+	for i1 := 0; i1 < m.N; i1++ {
+		for j1 := 0; j1 < m.N; j1++ {
+			a := m.Data[i1*m.N+j1]
+			if a == 0 {
+				continue
+			}
+			for i2 := 0; i2 < b.N; i2++ {
+				for j2 := 0; j2 < b.N; j2++ {
+					out.Data[(i1*b.N+i2)*n+(j1*b.N+j2)] = a * b.Data[i2*b.N+j2]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Trace returns the trace of m.
+func (m Matrix) Trace() complex128 {
+	var t complex128
+	for i := 0; i < m.N; i++ {
+		t += m.Data[i*m.N+i]
+	}
+	return t
+}
+
+// MaxAbsDiff returns the largest element-wise |m_ij - b_ij|. It is the
+// distance measure used throughout the tests.
+func (m Matrix) MaxAbsDiff(b Matrix) float64 {
+	if m.N != b.N {
+		return math.Inf(1)
+	}
+	var d float64
+	for i := range m.Data {
+		if v := cmplx.Abs(m.Data[i] - b.Data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// IsUnitary reports whether m†·m is the identity to within tol.
+func (m Matrix) IsUnitary(tol float64) bool {
+	return m.Dagger().Mul(m).MaxAbsDiff(Identity(m.N)) <= tol
+}
+
+// EqualUpToGlobalPhase reports whether m = e^{iφ}·b for some phase φ,
+// within tol. Gates that differ only by global phase are physically
+// identical.
+func (m Matrix) EqualUpToGlobalPhase(b Matrix, tol float64) bool {
+	if m.N != b.N {
+		return false
+	}
+	// Find the largest element of b to anchor the phase.
+	best, bi := 0.0, -1
+	for i := range b.Data {
+		if v := cmplx.Abs(b.Data[i]); v > best {
+			best, bi = v, i
+		}
+	}
+	if bi < 0 || best < tol {
+		return m.MaxAbsDiff(b) <= tol
+	}
+	if cmplx.Abs(m.Data[bi]) < tol {
+		return false
+	}
+	phase := m.Data[bi] / b.Data[bi]
+	phase /= complex(cmplx.Abs(phase), 0)
+	return m.MaxAbsDiff(b.Scale(phase)) <= tol
+}
+
+// String renders the matrix with 4-digit precision, one row per line.
+func (m Matrix) String() string {
+	s := ""
+	for i := 0; i < m.N; i++ {
+		s += "["
+		for j := 0; j < m.N; j++ {
+			v := m.At(i, j)
+			s += fmt.Sprintf(" %7.4f%+7.4fi", real(v), imag(v))
+		}
+		s += " ]\n"
+	}
+	return s
+}

@@ -1,0 +1,160 @@
+package qphys
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-9
+
+func TestIdentityMul(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		id := Identity(n)
+		m := randomMatrix(rand.New(rand.NewSource(int64(n))), n)
+		if got := id.Mul(m); got.MaxAbsDiff(m) > tol {
+			t.Errorf("I·M != M for n=%d", n)
+		}
+		if got := m.Mul(id); got.MaxAbsDiff(m) > tol {
+			t.Errorf("M·I != M for n=%d", n)
+		}
+	}
+}
+
+func TestMulDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Identity(2).Mul(Identity(4))
+}
+
+func TestFromRowsShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	FromRows([]complex128{1, 2}, []complex128{3})
+}
+
+func TestDaggerInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomMatrix(rng, 4)
+	if m.Dagger().Dagger().MaxAbsDiff(m) > tol {
+		t.Error("(M†)† != M")
+	}
+}
+
+func TestKronDimensionsAndIdentity(t *testing.T) {
+	a := Identity(2)
+	b := Identity(4)
+	k := a.Kron(b)
+	if k.N != 8 {
+		t.Fatalf("Kron dim = %d, want 8", k.N)
+	}
+	if k.MaxAbsDiff(Identity(8)) > tol {
+		t.Error("I2 ⊗ I4 != I8")
+	}
+}
+
+func TestKronMixedProduct(t *testing.T) {
+	// (A⊗B)(C⊗D) = (AC)⊗(BD)
+	rng := rand.New(rand.NewSource(3))
+	a, b := randomMatrix(rng, 2), randomMatrix(rng, 2)
+	c, d := randomMatrix(rng, 2), randomMatrix(rng, 2)
+	lhs := a.Kron(b).Mul(c.Kron(d))
+	rhs := a.Mul(c).Kron(b.Mul(d))
+	if lhs.MaxAbsDiff(rhs) > tol {
+		t.Error("Kron mixed-product identity violated")
+	}
+}
+
+func TestTraceLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, b := randomMatrix(rng, 3), randomMatrix(rng, 3)
+	if cmplx.Abs(a.Add(b).Trace()-(a.Trace()+b.Trace())) > tol {
+		t.Error("trace not linear")
+	}
+}
+
+func TestTraceCyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a, b := randomMatrix(rng, 4), randomMatrix(rng, 4)
+	if cmplx.Abs(a.Mul(b).Trace()-b.Mul(a).Trace()) > 1e-8 {
+		t.Error("Tr(AB) != Tr(BA)")
+	}
+}
+
+func TestEqualUpToGlobalPhase(t *testing.T) {
+	x := PauliX()
+	phased := x.Scale(cmplx.Exp(0.7i))
+	if !x.EqualUpToGlobalPhase(phased, tol) {
+		t.Error("X and e^{0.7i}X should be equal up to phase")
+	}
+	if x.EqualUpToGlobalPhase(PauliY(), tol) {
+		t.Error("X and Y must not be equal up to phase")
+	}
+}
+
+func TestScaleSub(t *testing.T) {
+	a := Identity(2).Scale(3)
+	b := a.Sub(Identity(2).Scale(1))
+	if b.MaxAbsDiff(Identity(2).Scale(2)) > tol {
+		t.Error("3I - I != 2I")
+	}
+}
+
+// Property: (AB)† = B†A† for random 2x2 matrices.
+func TestPropertyDaggerAntihomomorphism(t *testing.T) {
+	f := func(a0, a1, a2, a3, b0, b1, b2, b3 float64) bool {
+		a := FromRows(
+			[]complex128{complex(a0, a1), complex(a2, a3)},
+			[]complex128{complex(a3, a0), complex(a1, a2)},
+		)
+		b := FromRows(
+			[]complex128{complex(b0, b1), complex(b2, b3)},
+			[]complex128{complex(b3, b0), complex(b1, b2)},
+		)
+		lhs := a.Mul(b).Dagger()
+		rhs := b.Dagger().Mul(a.Dagger())
+		return lhs.MaxAbsDiff(rhs) < 1e-6*(1+absMax(a)+absMax(b))*(1+absMax(a)+absMax(b))
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func absMax(m Matrix) float64 {
+	var v float64
+	for _, x := range m.Data {
+		if a := cmplx.Abs(x); a > v {
+			v = a
+		}
+	}
+	return v
+}
+
+func randomMatrix(rng *rand.Rand, n int) Matrix {
+	m := NewMatrix(n)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return m
+}
+
+// randomUnitary builds a Haar-ish random unitary from random rotations.
+func randomUnitary(rng *rand.Rand, nq int) Matrix {
+	u := Identity(1 << nq)
+	for i := 0; i < 4; i++ {
+		for q := 0; q < nq; q++ {
+			g := REquator(rng.Float64()*2*math.Pi, rng.Float64()*2*math.Pi)
+			u = Embed(g, q, nq).Mul(u)
+		}
+	}
+	return u
+}

@@ -1,0 +1,148 @@
+package qphys
+
+import "math"
+
+// QubitParams captures the coherence and control-error parameters of a
+// simulated transmon, mirroring the device of the paper's Section 8
+// (qubit 2: fQ = 6.466 GHz; coherence times of order tens of µs).
+type QubitParams struct {
+	// T1 is the energy-relaxation time in seconds. Zero disables T1 decay.
+	T1 float64
+	// T2 is the total dephasing time in seconds (T2 ≤ 2·T1).
+	// Zero disables dephasing.
+	T2 float64
+	// FreqDetuningHz is the difference between the drive frequency and the
+	// actual qubit transition frequency. A miscalibrated frequency makes
+	// the qubit precess between pulses — one of the AllXY error
+	// signatures.
+	FreqDetuningHz float64
+	// AmplitudeError scales every drive rotation angle by (1+ε); ±ε is the
+	// classic AllXY amplitude-miscalibration signature.
+	AmplitudeError float64
+	// ThermalPopulation is the equilibrium excited-state population the
+	// qubit relaxes toward (residual thermal excitation; real transmons
+	// at 20 mK sit at ~0.1–1 %). Zero means relaxation to the pure
+	// ground state, the idealization used by most tests.
+	ThermalPopulation float64
+}
+
+// DefaultQubitParams returns parameters representative of the paper's
+// device: T1 = 30 µs, T2 = 20 µs, no control errors.
+func DefaultQubitParams() QubitParams {
+	return QubitParams{T1: 30e-6, T2: 20e-6}
+}
+
+// AmplitudeDamping returns the Kraus operators of the T1 amplitude-damping
+// channel with decay probability γ.
+func AmplitudeDamping(gamma float64) []Matrix {
+	gamma = clampProb(gamma)
+	k0 := FromRows(
+		[]complex128{1, 0},
+		[]complex128{0, complex(math.Sqrt(1-gamma), 0)},
+	)
+	k1 := FromRows(
+		[]complex128{0, complex(math.Sqrt(gamma), 0)},
+		[]complex128{0, 0},
+	)
+	return []Matrix{k0, k1}
+}
+
+// PhaseDamping returns the Kraus operators of the pure-dephasing channel
+// with dephasing probability λ.
+func PhaseDamping(lambda float64) []Matrix {
+	lambda = clampProb(lambda)
+	k0 := FromRows(
+		[]complex128{1, 0},
+		[]complex128{0, complex(math.Sqrt(1-lambda), 0)},
+	)
+	k1 := FromRows(
+		[]complex128{0, 0},
+		[]complex128{0, complex(math.Sqrt(lambda), 0)},
+	)
+	return []Matrix{k0, k1}
+}
+
+// Depolarizing returns the Kraus operators of the single-qubit
+// depolarizing channel with error probability p.
+func Depolarizing(p float64) []Matrix {
+	p = clampProb(p)
+	s0 := complex(math.Sqrt(1-p), 0)
+	sp := complex(math.Sqrt(p/3), 0)
+	return []Matrix{
+		Identity(2).Scale(s0),
+		PauliX().Scale(sp),
+		PauliY().Scale(sp),
+		PauliZ().Scale(sp),
+	}
+}
+
+// GeneralizedAmplitudeDamping returns the Kraus operators of relaxation
+// with decay probability γ toward a thermal state with excited
+// population pth (pth = 0 reduces to plain amplitude damping).
+func GeneralizedAmplitudeDamping(gamma, pth float64) []Matrix {
+	gamma = clampProb(gamma)
+	pth = clampProb(pth)
+	if pth == 0 {
+		return AmplitudeDamping(gamma)
+	}
+	pDown := complex(math.Sqrt(1-pth), 0)
+	pUp := complex(math.Sqrt(pth), 0)
+	sg := complex(math.Sqrt(gamma), 0)
+	s1g := complex(math.Sqrt(1-gamma), 0)
+	return []Matrix{
+		FromRows([]complex128{pDown, 0}, []complex128{0, pDown * s1g}),
+		FromRows([]complex128{0, pDown * sg}, []complex128{0, 0}),
+		FromRows([]complex128{pUp * s1g, 0}, []complex128{0, pUp}),
+		FromRows([]complex128{0, 0}, []complex128{pUp * sg, 0}),
+	}
+}
+
+// DecoherenceChannel returns the Kraus operators modelling free evolution
+// for duration dt (seconds) under the given T1/T2, composed as
+// (generalized) amplitude damping followed by the residual pure
+// dephasing. The pure-dephasing rate is 1/Tφ = 1/T2 − 1/(2·T1).
+func DecoherenceChannel(dt float64, p QubitParams) []Matrix {
+	if dt <= 0 || (p.T1 <= 0 && p.T2 <= 0) {
+		return []Matrix{Identity(2)}
+	}
+	gamma := 0.0
+	if p.T1 > 0 {
+		gamma = 1 - math.Exp(-dt/p.T1)
+	}
+	lambda := 0.0
+	if p.T2 > 0 {
+		invTphi := 1/p.T2 - gammaHalfRate(p)
+		if invTphi > 0 {
+			lambda = 1 - math.Exp(-2*dt*invTphi)
+		}
+	}
+	ad := GeneralizedAmplitudeDamping(gamma, p.ThermalPopulation)
+	pd := PhaseDamping(lambda)
+	// Compose the two channels: K = {P_j · A_i}.
+	out := make([]Matrix, 0, len(ad)*len(pd))
+	for _, kp := range pd {
+		for _, ka := range ad {
+			out = append(out, kp.Mul(ka))
+		}
+	}
+	return out
+}
+
+func gammaHalfRate(p QubitParams) float64 {
+	if p.T1 <= 0 {
+		return 0
+	}
+	return 1 / (2 * p.T1)
+}
+
+// Idle evolves qubit q of the register for dt seconds: decoherence plus
+// the coherent phase accumulated from any drive/qubit detuning.
+func Idle(d *Density, q int, dt float64, p QubitParams) {
+	if dt <= 0 {
+		return
+	}
+	if p.FreqDetuningHz != 0 {
+		d.Apply1(RZ(2*math.Pi*p.FreqDetuningHz*dt), q)
+	}
+	d.ApplyKraus1(DecoherenceChannel(dt, p), q)
+}

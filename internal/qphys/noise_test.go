@@ -1,0 +1,190 @@
+package qphys
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAmplitudeDampingDecaysExcited(t *testing.T) {
+	d := NewDensity(1)
+	d.Apply1(PauliX(), 0)
+	d.ApplyKraus1(AmplitudeDamping(0.25), 0)
+	if got := d.ProbExcited(0); math.Abs(got-0.75) > tol {
+		t.Errorf("P(1) after γ=0.25 damping = %v, want 0.75", got)
+	}
+}
+
+func TestAmplitudeDampingFixesGround(t *testing.T) {
+	d := NewDensity(1)
+	d.ApplyKraus1(AmplitudeDamping(0.9), 0)
+	if d.ProbExcited(0) > tol {
+		t.Error("ground state must be a fixed point of amplitude damping")
+	}
+}
+
+func TestPhaseDampingKillsCoherence(t *testing.T) {
+	d := NewDensity(1)
+	d.Apply1(RY(math.Pi/2), 0)
+	x0, _, _ := d.BlochVector(0)
+	d.ApplyKraus1(PhaseDamping(1.0), 0)
+	x1, y1, z1 := d.BlochVector(0)
+	if math.Abs(x0-1) > tol {
+		t.Fatalf("setup: Bloch x after RY(π/2) = %v, want 1", x0)
+	}
+	if math.Abs(x1) > tol || math.Abs(y1) > tol {
+		t.Errorf("full dephasing must zero equatorial components, got (%v,%v)", x1, y1)
+	}
+	if math.Abs(z1) > tol {
+		t.Errorf("dephasing must not change z, got %v", z1)
+	}
+}
+
+func TestDepolarizingFullyMixes(t *testing.T) {
+	d := NewDensity(1)
+	d.Apply1(RY(0.7), 0)
+	// p=3/4 is the fully-depolarizing point of this parameterization.
+	d.ApplyKraus1(Depolarizing(0.75), 0)
+	if math.Abs(d.Purity()-0.5) > 1e-9 {
+		t.Errorf("purity = %v, want 0.5 (maximally mixed)", d.Purity())
+	}
+}
+
+func TestDecoherenceChannelT1Exponential(t *testing.T) {
+	p := QubitParams{T1: 10e-6, T2: 20e-6} // T2 = 2·T1: no pure dephasing
+	d := NewDensity(1)
+	d.Apply1(PauliX(), 0)
+	dt := 5e-6
+	d.ApplyKraus1(DecoherenceChannel(dt, p), 0)
+	want := math.Exp(-dt / p.T1)
+	if got := d.ProbExcited(0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("P(1) after T1 decay = %v, want %v", got, want)
+	}
+}
+
+func TestDecoherenceChannelT2Envelope(t *testing.T) {
+	// Ramsey-style: superposition decays with T2.
+	p := QubitParams{T1: 100e-6, T2: 10e-6}
+	d := NewDensity(1)
+	d.Apply1(RY(math.Pi/2), 0)
+	dt := 7e-6
+	d.ApplyKraus1(DecoherenceChannel(dt, p), 0)
+	x, _, _ := d.BlochVector(0)
+	want := math.Exp(-dt / p.T2)
+	if math.Abs(x-want) > 1e-6 {
+		t.Errorf("coherence after %vs = %v, want e^{-t/T2} = %v", dt, x, want)
+	}
+}
+
+func TestDecoherenceComposition(t *testing.T) {
+	// Applying the channel for t then t must equal applying it for 2t.
+	p := DefaultQubitParams()
+	a := NewDensity(1)
+	a.Apply1(RY(1.1), 0)
+	b := NewDensity(1)
+	b.Apply1(RY(1.1), 0)
+	a.ApplyKraus1(DecoherenceChannel(3e-6, p), 0)
+	a.ApplyKraus1(DecoherenceChannel(3e-6, p), 0)
+	b.ApplyKraus1(DecoherenceChannel(6e-6, p), 0)
+	if a.Rho.MaxAbsDiff(b.Rho) > 1e-9 {
+		t.Error("decoherence channel does not compose over time")
+	}
+}
+
+func TestIdleDetuningPhase(t *testing.T) {
+	// A detuned qubit precesses: after time t the Bloch vector rotates
+	// about z by 2π·Δf·t. This is the Ramsey fringe mechanism.
+	p := QubitParams{FreqDetuningHz: 1e6}
+	d := NewDensity(1)
+	d.Apply1(RY(math.Pi/2), 0) // along +x
+	Idle(d, 0, 0.25e-6, p)     // quarter period of 1 MHz -> +x rotates to...
+	x, y, _ := d.BlochVector(0)
+	if math.Abs(x) > 1e-9 || math.Abs(math.Abs(y)-1) > 1e-9 {
+		t.Errorf("Bloch after quarter-period detuning = (%v,%v), want (0,±1)", x, y)
+	}
+}
+
+func TestIdleZeroDurationNoop(t *testing.T) {
+	d := NewDensity(1)
+	d.Apply1(RY(0.4), 0)
+	before := d.Rho.Clone()
+	Idle(d, 0, 0, DefaultQubitParams())
+	if d.Rho.MaxAbsDiff(before) > tol {
+		t.Error("zero-duration idle must be a no-op")
+	}
+}
+
+func TestDefaultQubitParamsSane(t *testing.T) {
+	p := DefaultQubitParams()
+	if p.T1 <= 0 || p.T2 <= 0 || p.T2 > 2*p.T1 {
+		t.Errorf("default params unphysical: %+v", p)
+	}
+}
+
+func TestChannelsAreCPTP(t *testing.T) {
+	// Σ K†K = I for every channel constructor.
+	check := func(name string, ops []Matrix) {
+		sum := NewMatrix(2)
+		for _, k := range ops {
+			sum = sum.Add(k.Dagger().Mul(k))
+		}
+		if sum.MaxAbsDiff(Identity(2)) > 1e-9 {
+			t.Errorf("%s: Σ K†K != I", name)
+		}
+	}
+	check("amplitude(0.3)", AmplitudeDamping(0.3))
+	check("phase(0.6)", PhaseDamping(0.6))
+	check("depol(0.2)", Depolarizing(0.2))
+	check("decoherence", DecoherenceChannel(2e-6, DefaultQubitParams()))
+}
+
+func TestGeneralizedAmplitudeDampingEquilibrium(t *testing.T) {
+	// Long evolution relaxes any state to the thermal population.
+	p := QubitParams{T1: 10e-6, T2: 20e-6, ThermalPopulation: 0.03}
+	for _, prep := range []Matrix{Identity(2), PauliX(), Hadamard()} {
+		d := NewDensity(1)
+		d.Apply1(prep, 0)
+		d.ApplyKraus1(DecoherenceChannel(200e-6, p), 0) // 20·T1
+		if got := d.ProbExcited(0); math.Abs(got-0.03) > 1e-3 {
+			t.Errorf("equilibrium P(1) = %v, want 0.03", got)
+		}
+		if math.Abs(d.Trace()-1) > 1e-9 {
+			t.Error("trace violated")
+		}
+	}
+}
+
+func TestGeneralizedAmplitudeDampingReducesToPlain(t *testing.T) {
+	a := GeneralizedAmplitudeDamping(0.3, 0)
+	b := AmplitudeDamping(0.3)
+	if len(a) != len(b) {
+		t.Fatal("pth=0 must reduce to plain amplitude damping")
+	}
+	for i := range a {
+		if a[i].MaxAbsDiff(b[i]) > 1e-12 {
+			t.Errorf("operator %d differs", i)
+		}
+	}
+}
+
+func TestGeneralizedAmplitudeDampingCPTP(t *testing.T) {
+	ops := GeneralizedAmplitudeDamping(0.4, 0.1)
+	sum := NewMatrix(2)
+	for _, k := range ops {
+		sum = sum.Add(k.Dagger().Mul(k))
+	}
+	if sum.MaxAbsDiff(Identity(2)) > 1e-9 {
+		t.Error("GAD not trace preserving")
+	}
+}
+
+func TestThermalPopulationRaisesAllXYFloor(t *testing.T) {
+	// Idling from ground with thermal excitation climbs toward pth
+	// instead of staying at zero — the physical init-fidelity limit of
+	// initialization-by-waiting.
+	p := QubitParams{T1: 30e-6, T2: 20e-6, ThermalPopulation: 0.02}
+	d := NewDensity(1)
+	Idle(d, 0, 200e-6, p)
+	if got := d.ProbExcited(0); math.Abs(got-0.02) > 2e-3 {
+		t.Errorf("post-init P(1) = %v, want ≈ 0.02", got)
+	}
+}

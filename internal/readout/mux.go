@@ -1,0 +1,191 @@
+package readout
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// Frequency-multiplexed readout — the paper's §5.1.2 scalability note:
+// "Recent experiments have also demonstrated combining the measurement
+// result of multiple qubits into one analog signal. This can reduce the
+// number of required measurement discrimination units and exhibits
+// better scalability."
+//
+// Each qubit's readout resonator imprints a state-dependent complex
+// amplitude on its own intermediate-frequency tone; the feedline carries
+// the sum. One digitizer front end plus per-qubit digital demodulation
+// then recovers every qubit's bit. Tones spaced by integer multiples of
+// 1/(window length) are orthogonal over the integration window, so the
+// channels separate exactly in the noiseless limit.
+
+// MuxChannel is one qubit's slice of the multiplexed readout signal.
+type MuxChannel struct {
+	// IFHz is the channel's intermediate frequency.
+	IFHz float64
+	// Mean0 and Mean1 are the complex baseband amplitudes for |0⟩/|1⟩.
+	Mean0, Mean1 complex128
+}
+
+// MuxParams describes a multiplexed readout chain.
+type MuxParams struct {
+	Channels []MuxChannel
+	// NoiseSigma is the per-sample noise on each quadrature of the
+	// *summed* signal.
+	NoiseSigma float64
+	// IntegrationSamples is the window length (5 ns samples).
+	IntegrationSamples int
+}
+
+// DefaultMuxParams returns an n-channel configuration with orthogonal
+// tones over the 300-sample window and the single-qubit separation of
+// DefaultParams per channel.
+func DefaultMuxParams(n int) (MuxParams, error) {
+	if n < 1 || n > 8 {
+		return MuxParams{}, fmt.Errorf("readout: mux supports 1..8 channels, got %d", n)
+	}
+	const window = 300
+	dt := 5e-9
+	base := 1 / (float64(window) * dt) // one cycle per window ≈ 0.67 MHz
+	p := MuxParams{NoiseSigma: 6.0, IntegrationSamples: window}
+	for k := 0; k < n; k++ {
+		p.Channels = append(p.Channels, MuxChannel{
+			IFHz:  base * float64(3*(k+1)), // 2, 4, 6 MHz … spacing keeps tones apart
+			Mean0: complex(1, 0),
+			Mean1: complex(-0.4, 0.9),
+		})
+	}
+	return p, nil
+}
+
+// SynthesizeMuxTrace produces the summed feedline signal for the given
+// per-channel qubit states.
+func SynthesizeMuxTrace(p MuxParams, states []int, rng *rand.Rand) ([]complex128, error) {
+	if len(states) != len(p.Channels) {
+		return nil, fmt.Errorf("readout: %d states for %d channels", len(states), len(p.Channels))
+	}
+	dt := 5e-9
+	trace := make([]complex128, p.IntegrationSamples)
+	for k := range trace {
+		t := float64(k) * dt
+		var v complex128
+		for ci, ch := range p.Channels {
+			amp := ch.Mean0
+			if states[ci] == 1 {
+				amp = ch.Mean1
+			}
+			v += amp * cmplx.Exp(complex(0, 2*math.Pi*ch.IFHz*t))
+		}
+		if p.NoiseSigma > 0 {
+			v += complex(rng.NormFloat64()*p.NoiseSigma, rng.NormFloat64()*p.NoiseSigma)
+		}
+		trace[k] = v
+	}
+	return trace, nil
+}
+
+// MuxMDU demultiplexes and discriminates every channel of a combined
+// readout signal — one discrimination unit serving several qubits.
+type MuxMDU struct {
+	params     MuxParams
+	weights    []complex128 // per-channel matched filter at baseband
+	thresholds []float64
+}
+
+// CalibrateMux builds the per-channel matched filters and thresholds.
+func CalibrateMux(p MuxParams) (*MuxMDU, error) {
+	if len(p.Channels) == 0 || p.IntegrationSamples <= 0 {
+		return nil, fmt.Errorf("readout: empty mux configuration")
+	}
+	m := &MuxMDU{params: p}
+	for _, ch := range p.Channels {
+		sep := ch.Mean1 - ch.Mean0
+		w := cmplx.Conj(sep)
+		if cmplx.Abs(sep) > 0 {
+			w /= complex(cmplx.Abs(sep), 0)
+		}
+		s0 := real(ch.Mean0 * w)
+		s1 := real(ch.Mean1 * w)
+		m.weights = append(m.weights, w)
+		m.thresholds = append(m.thresholds, (s0+s1)/2)
+	}
+	return m, nil
+}
+
+// Channels returns the channel count.
+func (m *MuxMDU) Channels() int { return len(m.params.Channels) }
+
+// Integrate demodulates channel ci from the combined trace and returns
+// its integration result.
+func (m *MuxMDU) Integrate(trace []complex128, ci int) float64 {
+	ch := m.params.Channels[ci]
+	dt := 5e-9
+	var s float64
+	for k, v := range trace {
+		t := float64(k) * dt
+		base := v * cmplx.Exp(complex(0, -2*math.Pi*ch.IFHz*t))
+		s += real(base * m.weights[ci])
+	}
+	if len(trace) > 0 {
+		s /= float64(len(trace))
+	}
+	return s
+}
+
+// Measure demultiplexes every channel: one pass over the analog signal
+// yields all qubits' binary results and integration values.
+func (m *MuxMDU) Measure(trace []complex128) (results []int, values []float64) {
+	for ci := range m.params.Channels {
+		s := m.Integrate(trace, ci)
+		values = append(values, s)
+		if s > m.thresholds[ci] {
+			results = append(results, 1)
+		} else {
+			results = append(results, 0)
+		}
+	}
+	return results, values
+}
+
+// CrosstalkMatrix returns the normalized response of each demodulation
+// channel to each tone at unit |1⟩-|0⟩ separation: entry (i, j) is the
+// magnitude channel i integrates when only qubit j's state changes.
+// With orthogonal tone spacing the matrix is (numerically) the identity.
+func CrosstalkMatrix(p MuxParams) ([][]float64, error) {
+	m, err := CalibrateMux(p)
+	if err != nil {
+		return nil, err
+	}
+	noNoise := p
+	noNoise.NoiseSigma = 0
+	n := len(p.Channels)
+	out := make([][]float64, n)
+	rng := rand.New(rand.NewSource(0)) // unused (no noise)
+	base := make([]int, n)
+	ref, err := SynthesizeMuxTrace(noNoise, base, rng)
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < n; j++ {
+		states := make([]int, n)
+		states[j] = 1
+		tr, err := SynthesizeMuxTrace(noNoise, states, rng)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if out[i] == nil {
+				out[i] = make([]float64, n)
+			}
+			di := m.Integrate(tr, i) - m.Integrate(ref, i)
+			// Normalize by the channel's own full separation.
+			ch := noNoise.Channels[i]
+			full := real((ch.Mean1 - ch.Mean0) * m.weights[i])
+			if full != 0 {
+				out[i][j] = math.Abs(di / full)
+			}
+		}
+	}
+	return out, nil
+}

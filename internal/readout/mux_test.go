@@ -1,0 +1,139 @@
+package readout
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDefaultMuxParamsValidation(t *testing.T) {
+	if _, err := DefaultMuxParams(0); err == nil {
+		t.Error("0 channels must fail")
+	}
+	if _, err := DefaultMuxParams(9); err == nil {
+		t.Error("9 channels must fail")
+	}
+	p, err := DefaultMuxParams(4)
+	if err != nil || len(p.Channels) != 4 {
+		t.Fatalf("params = %+v, err %v", p, err)
+	}
+	// Tones must be distinct.
+	seen := map[float64]bool{}
+	for _, ch := range p.Channels {
+		if seen[ch.IFHz] {
+			t.Error("duplicate IF tone")
+		}
+		seen[ch.IFHz] = true
+	}
+}
+
+func TestMuxNoiselessAllStatePatterns(t *testing.T) {
+	p, err := DefaultMuxParams(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.NoiseSigma = 0
+	m, err := CalibrateMux(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for pattern := 0; pattern < 8; pattern++ {
+		states := []int{pattern & 1, pattern >> 1 & 1, pattern >> 2 & 1}
+		trace, err := SynthesizeMuxTrace(p, states, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, _ := m.Measure(trace)
+		for ci := range states {
+			if results[ci] != states[ci] {
+				t.Errorf("pattern %03b: channel %d read %d, want %d", pattern, ci, results[ci], states[ci])
+			}
+		}
+	}
+}
+
+func TestMuxNoisyFidelity(t *testing.T) {
+	p, err := DefaultMuxParams(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := CalibrateMux(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	errs, total := 0, 0
+	for shot := 0; shot < 1000; shot++ {
+		states := []int{shot & 1, shot >> 1 & 1, shot >> 2 & 1, shot >> 3 & 1}
+		trace, err := SynthesizeMuxTrace(p, states, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, _ := m.Measure(trace)
+		for ci := range states {
+			total++
+			if results[ci] != states[ci] {
+				errs++
+			}
+		}
+	}
+	if rate := float64(errs) / float64(total); rate > 0.02 {
+		t.Errorf("multiplexed assignment error %v, want < 2%%", rate)
+	}
+}
+
+func TestMuxStateCountMismatch(t *testing.T) {
+	p, err := DefaultMuxParams(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SynthesizeMuxTrace(p, []int{1}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("state/channel mismatch must fail")
+	}
+}
+
+func TestCrosstalkMatrixNearIdentity(t *testing.T) {
+	p, err := DefaultMuxParams(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := CrosstalkMatrix(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		for j := range x[i] {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if math.Abs(x[i][j]-want) > 0.02 {
+				t.Errorf("crosstalk[%d][%d] = %v, want %v (orthogonal tones)", i, j, x[i][j], want)
+			}
+		}
+	}
+}
+
+func TestCrosstalkWithNonOrthogonalTones(t *testing.T) {
+	// Tones NOT at integer cycles per window leak into each other: the
+	// off-diagonal grows, demonstrating why the spacing matters.
+	p, err := DefaultMuxParams(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Channels[1].IFHz = p.Channels[0].IFHz * 1.13 // deliberately close & non-orthogonal
+	x, err := CrosstalkMatrix(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0][1] < 0.02 && x[1][0] < 0.02 {
+		t.Errorf("expected visible crosstalk for non-orthogonal tones, got %v / %v", x[0][1], x[1][0])
+	}
+}
+
+func TestCalibrateMuxEmpty(t *testing.T) {
+	if _, err := CalibrateMux(MuxParams{}); err == nil {
+		t.Error("empty configuration must fail")
+	}
+}

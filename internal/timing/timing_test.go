@@ -1,0 +1,307 @@
+package timing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"quma/internal/clock"
+)
+
+type firing struct {
+	queue string
+	ev    string
+	td    clock.Cycle
+}
+
+// rig builds a controller with named string-event queues and a shared
+// firing log.
+func rig(names ...string) (*Controller, map[string]*EventQueue[string], *[]firing) {
+	c := NewController()
+	log := &[]firing{}
+	qs := make(map[string]*EventQueue[string])
+	for _, n := range names {
+		n := n
+		q := NewEventQueue[string](n, func(ev string, td clock.Cycle) {
+			*log = append(*log, firing{queue: n, ev: ev, td: td})
+		})
+		c.Register(q)
+		qs[n] = q
+	}
+	return c, qs, log
+}
+
+func TestStepRequiresStart(t *testing.T) {
+	c, _, _ := rig("p")
+	if _, err := c.Step(); err == nil {
+		t.Fatal("expected error before Start")
+	}
+}
+
+func TestAllXYQueueScenario(t *testing.T) {
+	// Reproduce the paper's Tables 2–4 schedule: labels 1..6 with
+	// intervals 40000,4,4,40000,4,4; pulse events at 1,2,4,5; MPG at 3,6;
+	// MD at 3,6.
+	c, qs, log := rig("pulse", "mpg", "md")
+	intervals := []clock.Cycle{40000, 4, 4, 40000, 4, 4}
+	for i, iv := range intervals {
+		c.TQ.Push(TimePoint{Interval: iv, Label: Label(i + 1)})
+	}
+	qs["pulse"].Push("I", 1)
+	qs["pulse"].Push("I", 2)
+	qs["pulse"].Push("X180", 4)
+	qs["pulse"].Push("X180", 5)
+	qs["mpg"].Push("300", 3)
+	qs["mpg"].Push("300", 6)
+	qs["md"].Push("r7", 3)
+	qs["md"].Push("r7", 6)
+
+	c.Start()
+	n, err := c.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Fatalf("processed %d time points, want 6", n)
+	}
+	want := []firing{
+		{"pulse", "I", 40000},
+		{"pulse", "I", 40004},
+		{"mpg", "300", 40008},
+		{"md", "r7", 40008},
+		{"pulse", "X180", 80008},
+		{"pulse", "X180", 80012},
+		{"mpg", "300", 80016},
+		{"md", "r7", 80016},
+	}
+	if len(*log) != len(want) {
+		t.Fatalf("fired %d events, want %d: %+v", len(*log), len(want), *log)
+	}
+	for i, w := range want {
+		if (*log)[i] != w {
+			t.Errorf("firing %d = %+v, want %+v", i, (*log)[i], w)
+		}
+	}
+	if c.TD() != 80016 {
+		t.Errorf("final TD = %d, want 80016", c.TD())
+	}
+}
+
+func TestMultipleEventsSameLabelSameQueue(t *testing.T) {
+	// Horizontal microinstructions can schedule several events in the
+	// same queue at one time point; all consecutive matches must fire.
+	c, qs, log := rig("pulse")
+	c.TQ.Push(TimePoint{Interval: 10, Label: 1})
+	qs["pulse"].Push("a", 1)
+	qs["pulse"].Push("b", 1)
+	qs["pulse"].Push("c", 2)
+	c.Start()
+	if _, err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*log) != 2 || (*log)[0].ev != "a" || (*log)[1].ev != "b" {
+		t.Errorf("log = %+v", *log)
+	}
+	if qs["pulse"].Len() != 1 {
+		t.Error("event with future label must stay queued")
+	}
+}
+
+func TestEventWithNoMatchingLabelStays(t *testing.T) {
+	c, qs, _ := rig("pulse")
+	c.TQ.Push(TimePoint{Interval: 5, Label: 1})
+	qs["pulse"].Push("later", 7)
+	c.Start()
+	if _, err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if qs["pulse"].Len() != 1 {
+		t.Error("unmatched event must remain")
+	}
+}
+
+func TestStaleLabelIsError(t *testing.T) {
+	c, qs, _ := rig("pulse")
+	c.TQ.Push(TimePoint{Interval: 5, Label: 3})
+	qs["pulse"].Push("missed", 2) // label 2 never broadcast
+	c.Start()
+	if _, err := c.Drain(); err == nil {
+		t.Fatal("expected out-of-order error")
+	}
+}
+
+func TestIncrementalFillAndDrain(t *testing.T) {
+	// Feedback pattern: drain, observe, push more, continue. TD must
+	// accumulate across drains.
+	c, qs, log := rig("pulse")
+	c.Start()
+	c.TQ.Push(TimePoint{Interval: 100, Label: 1})
+	qs["pulse"].Push("first", 1)
+	if _, err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	c.TQ.Push(TimePoint{Interval: 50, Label: 2})
+	qs["pulse"].Push("second", 2)
+	if _, err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*log) != 2 || (*log)[1].td != 150 {
+		t.Errorf("log = %+v, want second firing at TD=150", *log)
+	}
+}
+
+func TestZeroIntervalTimePoint(t *testing.T) {
+	// Two labels at the same instant (interval 0) are legal and fire at
+	// the same TD.
+	c, qs, log := rig("pulse")
+	c.TQ.Push(TimePoint{Interval: 8, Label: 1})
+	c.TQ.Push(TimePoint{Interval: 0, Label: 2})
+	qs["pulse"].Push("a", 1)
+	qs["pulse"].Push("b", 2)
+	c.Start()
+	if _, err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if (*log)[0].td != 8 || (*log)[1].td != 8 {
+		t.Errorf("log = %+v, want both at TD=8", *log)
+	}
+}
+
+func TestTimingQueueFIFOAndSnapshot(t *testing.T) {
+	var q TimingQueue
+	for i := 1; i <= 5; i++ {
+		q.Push(TimePoint{Interval: clock.Cycle(i), Label: Label(i)})
+	}
+	snap := q.Snapshot()
+	if len(snap) != 5 || snap[0].Label != 1 || snap[4].Label != 5 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	tp, ok := q.Pop()
+	if !ok || tp.Label != 1 {
+		t.Error("FIFO violated")
+	}
+	if q.Len() != 4 {
+		t.Errorf("len = %d", q.Len())
+	}
+}
+
+func TestEventQueuePeekSnapshot(t *testing.T) {
+	q := NewEventQueue[int]("n", nil)
+	q.Push(10, 1)
+	q.Push(20, 2)
+	ev, l, ok := q.Peek()
+	if !ok || ev != 10 || l != 1 {
+		t.Errorf("peek = %v %v %v", ev, l, ok)
+	}
+	snap := q.Snapshot()
+	if len(snap) != 2 || snap[1].Event != 20 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestQueueCompaction(t *testing.T) {
+	// Push/pop enough to trigger internal compaction and verify order
+	// survives.
+	var q TimingQueue
+	next := 0
+	popped := 0
+	for i := 0; i < 1000; i++ {
+		q.Push(TimePoint{Interval: 1, Label: Label(next)})
+		next++
+		if i%2 == 1 {
+			tp, ok := q.Pop()
+			if !ok || tp.Label != Label(popped) {
+				t.Fatalf("pop %d: got %v", popped, tp.Label)
+			}
+			popped++
+		}
+	}
+	for {
+		tp, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if tp.Label != Label(popped) {
+			t.Fatalf("drain pop: got %v want %d", tp.Label, popped)
+		}
+		popped++
+	}
+	if popped != next {
+		t.Errorf("popped %d of %d", popped, next)
+	}
+}
+
+func TestPendingEvents(t *testing.T) {
+	c, qs, _ := rig("a", "b")
+	qs["a"].Push("x", 1)
+	qs["b"].Push("y", 1)
+	qs["b"].Push("z", 2)
+	if c.PendingEvents() != 3 {
+		t.Errorf("pending = %d, want 3", c.PendingEvents())
+	}
+}
+
+// Property: for a randomly generated consistent schedule, every event
+// fires exactly once, at the TD equal to the prefix sum of intervals up to
+// its label, and firings are globally ordered by TD.
+func TestPropertyScheduleConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, qs, log := rig("q0", "q1", "q2")
+		nPoints := rng.Intn(40) + 1
+		tds := make(map[Label]clock.Cycle)
+		var td clock.Cycle
+		expected := 0
+		for i := 1; i <= nPoints; i++ {
+			iv := clock.Cycle(rng.Intn(1000))
+			td += iv
+			label := Label(i)
+			c.TQ.Push(TimePoint{Interval: iv, Label: label})
+			tds[label] = td
+			// Attach 0..2 events to this label, each on a random queue.
+			for e := rng.Intn(3); e > 0; e-- {
+				name := []string{"q0", "q1", "q2"}[rng.Intn(3)]
+				qs[name].Push(name, label)
+				expected++
+			}
+		}
+		c.Start()
+		if _, err := c.Drain(); err != nil {
+			return false
+		}
+		if len(*log) != expected {
+			return false
+		}
+		prev := clock.Cycle(0)
+		for _, f := range *log {
+			if f.td < prev {
+				return false
+			}
+			prev = f.td
+		}
+		return c.TD() == td
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(99))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the controller's cost is O(events), independent of interval
+// magnitude — long waits are free (checked behaviourally: huge intervals
+// drain in the same number of steps).
+func TestPropertyLongWaitsFree(t *testing.T) {
+	c, qs, _ := rig("p")
+	for i := 1; i <= 100; i++ {
+		c.TQ.Push(TimePoint{Interval: 1 << 40, Label: Label(i)})
+		qs["p"].Push("x", Label(i))
+	}
+	c.Start()
+	n, err := c.Drain()
+	if err != nil || n != 100 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if c.TD() != 100<<40 {
+		t.Errorf("TD = %d", c.TD())
+	}
+}
