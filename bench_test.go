@@ -622,6 +622,76 @@ halt
 	b.ReportMetric(hitRate, "hit-rate")
 }
 
+// --- Gate-kernel micro-benchmarks (simulator hot path) ---
+//
+// The in-place kernels must report 0 allocs/op: every gate and idle step
+// of every shot goes through them, so a single allocation here multiplies
+// into millions per experiment.
+
+// BenchmarkApply1 measures the single-qubit unitary kernel at n=3.
+func BenchmarkApply1(b *testing.B) {
+	d := qphys.NewDensity(3)
+	u := qphys.RX(0.3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Apply1(u, 1)
+	}
+}
+
+// BenchmarkApply2 measures the two-qubit unitary kernel at n=3 (the CZ
+// flux-pulse path).
+func BenchmarkApply2(b *testing.B) {
+	d := qphys.NewDensity(3)
+	cz := qphys.CZ()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Apply2(cz, 0, 2)
+	}
+}
+
+// BenchmarkKraus1 measures the single-qubit channel kernel at n=3 with
+// the full 8-operator decoherence set of advance().
+func BenchmarkKraus1(b *testing.B) {
+	d := qphys.NewDensity(3)
+	d.Apply1(qphys.RX(math.Pi/2), 1)
+	ops := qphys.DecoherenceChannel(20e-9, qphys.DefaultQubitParams())
+	b.ReportMetric(float64(len(ops)), "kraus-ops")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.ApplyKraus1(ops, 1)
+	}
+}
+
+// BenchmarkSweepEngine measures the parallel sweep engine on the T1
+// delay sweep: 1 worker vs one worker per CPU, same results either way.
+func BenchmarkSweepEngine(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "all-cpus"
+		}
+		b.Run(name, func(b *testing.B) {
+			var tau float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				cfg.Seed = int64(i + 1)
+				p := expt.DefaultSweepParams()
+				p.Rounds = 60
+				p.Workers = workers
+				res, err := expt.RunT1(cfg, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tau = res.Fit.Tau * 1e6
+			}
+			b.ReportMetric(tau, "T1-µs")
+		})
+	}
+}
+
 // BenchmarkPhaseCode runs the dephasing-protected memory (E21).
 func BenchmarkPhaseCode(b *testing.B) {
 	var bare, protected float64

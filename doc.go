@@ -9,4 +9,31 @@
 // cycle-accurately. See DESIGN.md for the system inventory, EXPERIMENTS.md
 // for the paper-vs-measured record, and bench_test.go for the harness
 // that regenerates every table and figure.
+//
+// # Simulator performance architecture
+//
+// The simulated chip is the hot path, and three layers keep it fast:
+//
+//   - In-place sparse gate kernels (internal/qphys/kernels.go). A k-qubit
+//     gate only couples basis indices differing on its k bits, so
+//     Density.Apply1/Apply2/ApplyKraus1 update ρ block-by-block in place:
+//     O(4^n) per single-qubit gate instead of the O(8^n) dense
+//     Embed-then-multiply path, with zero heap allocation in steady state
+//     (the full-register Apply/ApplyKraus paths reuse scratch buffers held
+//     on Density). New evolution code must use these kernels, not dense
+//     embedding; kernels_test.go holds the property tests pinning them to
+//     the dense reference.
+//
+//   - Channel caches in core.Machine. advance() memoizes the decoherence
+//     Kraus set and detuning rotation per (qubit, idle duration), and the
+//     rotation cache stores the demodulated REquator matrix per
+//     (qubit, codeword, SSB phase) — the steady-state shot loop performs
+//     no channel construction, no demodulation, and no allocation.
+//
+//   - The parallel sweep engine (internal/expt/sweep.go). Experiments
+//     decompose into independent sweep points (delay values, AllXY pairs,
+//     RB (length, trial) pairs, repetition-code round chunks); each point
+//     runs on its own core.Machine seeded with DeriveSeed(baseSeed, index)
+//     across a worker pool. The seeding contract makes results
+//     bit-identical for any worker count (Params.Workers; 0 = all CPUs).
 package quma

@@ -1,0 +1,3 @@
+module quma
+
+go 1.24

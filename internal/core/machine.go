@@ -36,7 +36,9 @@ type Config struct {
 	// 8 digital outputs and three AWG boards in the paper).
 	NumQubits int
 	// Qubit holds per-qubit coherence/control parameters; missing entries
-	// default to qphys.DefaultQubitParams.
+	// default to qphys.DefaultQubitParams. After New the values are
+	// captured by the machine's decoherence-channel cache — change them
+	// via Machine.SetQubitParams, not by writing Cfg.Qubit directly.
 	Qubit []qphys.QubitParams
 	// Readout configures the measurement chain (shared calibration).
 	Readout readout.Params
@@ -94,6 +96,12 @@ type Machine struct {
 	lastTime []clock.Sample // per-qubit time up to which physics advanced
 	trace    []TraceEntry
 	rotCache map[rotKey]rotVal
+	// decoCache memoizes the decoherence Kraus set (and detuning rotation)
+	// per (qubit, idle duration): advance recomputes identical channels
+	// millions of times per experiment, and building one allocates ~10
+	// small matrices.
+	decoCache map[decoKey]decoVal
+	cz        qphys.Matrix // cached CZ unitary for the flux-pulse path
 	// PulsesPlayed counts codeword-triggered playbacks.
 	PulsesPlayed uint64
 	// Measurements counts MD events executed.
@@ -109,6 +117,18 @@ type rotKey struct {
 
 type rotVal struct {
 	phi, theta float64
+	mat        qphys.Matrix // REquator(phi, theta), built once per entry
+}
+
+type decoKey struct {
+	q     int
+	delta clock.Sample // idle duration in samples
+}
+
+type decoVal struct {
+	rz    qphys.Matrix   // detuning rotation; N == 0 when no detuning
+	ops   []qphys.Matrix // decoherence Kraus operators
+	ident bool           // channel is exactly the identity: skip it
 }
 
 // New builds and calibrates a machine: uploads the Table 1 pulse library
@@ -129,11 +149,13 @@ func New(cfg Config) (*Machine, error) {
 	}
 
 	m := &Machine{
-		Cfg:      cfg,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		State:    qphys.NewDensity(cfg.NumQubits),
-		lastTime: make([]clock.Sample, cfg.NumQubits),
-		rotCache: make(map[rotKey]rotVal),
+		Cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		State:     qphys.NewDensity(cfg.NumQubits),
+		lastTime:  make([]clock.Sample, cfg.NumQubits),
+		rotCache:  make(map[rotKey]rotVal),
+		decoCache: make(map[decoKey]decoVal),
+		cz:        qphys.CZ(),
 	}
 	for q := 0; q < cfg.NumQubits; q++ {
 		c := awg.NewCTPG()
@@ -208,6 +230,24 @@ func (m *Machine) UploadPulse(q int, cw awg.Codeword, name string, w pulse.Wavef
 	return nil
 }
 
+// SetQubitParams replaces qubit q's coherence/control parameters and
+// invalidates the cached decoherence channels built from the old values.
+// Mutating Cfg.Qubit directly is not supported: advance() memoizes the
+// Kraus sets per (qubit, duration), so direct writes after New would be
+// silently ignored for already-seen idle durations.
+func (m *Machine) SetQubitParams(q int, p qphys.QubitParams) error {
+	if q < 0 || q >= m.Cfg.NumQubits {
+		return fmt.Errorf("core: no qubit %d", q)
+	}
+	m.Cfg.Qubit[q] = p
+	for k := range m.decoCache {
+		if k.q == q {
+			delete(m.decoCache, k)
+		}
+	}
+	return nil
+}
+
 // MemoryFootprintBytes returns the total CTPG lookup-table memory at the
 // paper's 12-bit accounting.
 func (m *Machine) MemoryFootprintBytes() int {
@@ -227,14 +267,35 @@ func (m *Machine) fail(err error) {
 }
 
 // advance applies decoherence to qubit q from its last-advanced time to
-// the target sample time.
+// the target sample time. The (detuning rotation, Kraus set) pair for a
+// given idle duration is cached on the machine: experiment programs idle
+// each qubit by a handful of distinct durations, millions of times.
 func (m *Machine) advance(q int, to clock.Sample) {
 	if to <= m.lastTime[q] {
 		return
 	}
-	dt := float64(to-m.lastTime[q]) * 1e-9
-	qphys.Idle(m.State, q, dt, m.Cfg.Qubit[q])
+	delta := to - m.lastTime[q]
 	m.lastTime[q] = to
+	key := decoKey{q: q, delta: delta}
+	v, ok := m.decoCache[key]
+	if !ok {
+		dt := float64(delta) * 1e-9
+		p := m.Cfg.Qubit[q]
+		if p.FreqDetuningHz != 0 {
+			v.rz = qphys.RZ(2 * math.Pi * p.FreqDetuningHz * dt)
+		}
+		v.ops = qphys.DecoherenceChannel(dt, p)
+		// DecoherenceChannel returns {I} exactly when both coherence
+		// times are disabled; applying it would be an exact no-op.
+		v.ident = p.T1 <= 0 && p.T2 <= 0
+		m.decoCache[key] = v
+	}
+	if v.rz.N != 0 {
+		m.State.Apply1(v.rz, q)
+	}
+	if !v.ident {
+		m.State.ApplyKraus1(v.ops, q)
+	}
 }
 
 // onPulse handles a fired pulse micro-operation: expand through the
@@ -252,7 +313,7 @@ func (m *Machine) onPulse(e exec.PulseEvent, td clock.Cycle) {
 		at := (td + awg.FixedDelayCycles).Samples()
 		m.advance(qs[0], at)
 		m.advance(qs[1], at)
-		m.State.Apply2(qphys.CZ(), qs[0], qs[1])
+		m.State.Apply2(m.cz, qs[0], qs[1])
 		m.tracef(td, "pulse", "CZ %s", e.Qubits)
 		m.PulsesPlayed++
 		return
@@ -282,17 +343,19 @@ func (m *Machine) onPulse(e exec.PulseEvent, td clock.Cycle) {
 // applyPlayback converts a CTPG playback into a rotation on qubit q.
 func (m *Machine) applyPlayback(q int, pb awg.Playback) {
 	m.advance(q, pb.Start)
-	phi, theta := m.rotationOf(q, pb)
-	if theta != 0 {
-		m.State.Apply1(qphys.REquator(phi, theta), q)
+	v := m.rotationOf(q, pb)
+	if v.theta != 0 {
+		m.State.Apply1(v.mat, q)
 	}
 	m.PulsesPlayed++
 }
 
 // rotationOf demodulates the played waveform at its absolute start time.
 // Since the waveform content is fixed per codeword, the result depends
-// only on the start time modulo the SSB period, which makes it cacheable.
-func (m *Machine) rotationOf(q int, pb awg.Playback) (float64, float64) {
+// only on the start time modulo the SSB period, which makes it cacheable —
+// including the rotation matrix itself, so the steady-state pulse path
+// performs no demodulation and no allocation.
+func (m *Machine) rotationOf(q int, pb awg.Playback) rotVal {
 	period := clock.Sample(0)
 	if m.Cfg.SSBHz != 0 {
 		p := math.Abs(1e9 / m.Cfg.SSBHz)
@@ -302,15 +365,16 @@ func (m *Machine) rotationOf(q int, pb awg.Playback) (float64, float64) {
 	}
 	if period == 0 {
 		phi, theta := pulse.Rotation(pb.Wave, m.Cfg.SSBHz, pb.Start)
-		return phi, theta
+		return rotVal{phi: phi, theta: theta, mat: qphys.REquator(phi, theta)}
 	}
 	key := rotKey{q: q, cw: pb.Codeword, phase: pb.Start % period}
 	if v, ok := m.rotCache[key]; ok {
-		return v.phi, v.theta
+		return v
 	}
 	phi, theta := pulse.Rotation(pb.Wave, m.Cfg.SSBHz, pb.Start)
-	m.rotCache[key] = rotVal{phi: phi, theta: theta}
-	return phi, theta
+	v := rotVal{phi: phi, theta: theta, mat: qphys.REquator(phi, theta)}
+	m.rotCache[key] = v
+	return v
 }
 
 // onMPG handles measurement-pulse generation: the digital output unit

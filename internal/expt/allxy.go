@@ -63,6 +63,9 @@ type AllXYParams struct {
 	Doubled bool
 	// MeasureCycles is the MPG duration (paper: 300).
 	MeasureCycles int
+	// Workers bounds the sweep parallelism across the 21 pairs (0 = one
+	// worker per CPU). Results are identical for any value; see sweep.go.
+	Workers int
 }
 
 // DefaultAllXYParams returns the paper's settings with a reduced round
@@ -79,34 +82,62 @@ func (p AllXYParams) points() int {
 	return 21
 }
 
+// emitAllXYPair writes one round's worth of a single gate pair (twice
+// when Doubled): the shot body shared by the monolithic AllXYProgram and
+// the per-pair sweep programs, so the two paths cannot drift apart.
+func emitAllXYPair(b *strings.Builder, p AllXYParams, pair AllXYPair) {
+	reps := 1
+	if p.Doubled {
+		reps = 2
+	}
+	for r := 0; r < reps; r++ {
+		fmt.Fprintf(b, "# %s\n", pair.Label)
+		fmt.Fprintf(b, "QNopReg r15\n")
+		fmt.Fprintf(b, "Pulse {q%d}, %s\n", p.Qubit, pair.First)
+		fmt.Fprintf(b, "Wait 4\n")
+		fmt.Fprintf(b, "Pulse {q%d}, %s\n", p.Qubit, pair.Second)
+		fmt.Fprintf(b, "Wait 4\n")
+		fmt.Fprintf(b, "MPG {q%d}, %d\n", p.Qubit, p.MeasureCycles)
+		fmt.Fprintf(b, "MD {q%d}, r7\n", p.Qubit)
+	}
+}
+
+// allXYHeader/allXYFooter wrap pair bodies in the Algorithm 3 averaging
+// loop.
+func allXYHeader(b *strings.Builder, p AllXYParams) {
+	fmt.Fprintf(b, "mov r15, %d  # init wait\n", p.InitCycles)
+	fmt.Fprintf(b, "mov r1, 0     # loop counter\n")
+	fmt.Fprintf(b, "mov r2, %d  # number of averages\n", p.Rounds)
+	fmt.Fprintf(b, "\nOuter_Loop:\n")
+}
+
+func allXYFooter(b *strings.Builder) {
+	fmt.Fprintf(b, "addi r1, r1, 1\n")
+	fmt.Fprintf(b, "bne r1, r2, Outer_Loop\n")
+	fmt.Fprintf(b, "halt\n")
+}
+
 // AllXYProgram emits the combined classical + QuMIS assembly of the
 // paper's Algorithm 3: the inner 21-combination loop unrolled, the outer
 // averaging loop implemented with auxiliary classical instructions.
 func AllXYProgram(p AllXYParams) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "mov r15, %d  # init wait\n", p.InitCycles)
-	fmt.Fprintf(&b, "mov r1, 0     # loop counter\n")
-	fmt.Fprintf(&b, "mov r2, %d  # number of averages\n", p.Rounds)
-	fmt.Fprintf(&b, "\nOuter_Loop:\n")
-	reps := 1
-	if p.Doubled {
-		reps = 2
-	}
+	allXYHeader(&b, p)
 	for _, pair := range AllXYPairs() {
-		for r := 0; r < reps; r++ {
-			fmt.Fprintf(&b, "# %s\n", pair.Label)
-			fmt.Fprintf(&b, "QNopReg r15\n")
-			fmt.Fprintf(&b, "Pulse {q%d}, %s\n", p.Qubit, pair.First)
-			fmt.Fprintf(&b, "Wait 4\n")
-			fmt.Fprintf(&b, "Pulse {q%d}, %s\n", p.Qubit, pair.Second)
-			fmt.Fprintf(&b, "Wait 4\n")
-			fmt.Fprintf(&b, "MPG {q%d}, %d\n", p.Qubit, p.MeasureCycles)
-			fmt.Fprintf(&b, "MD {q%d}, r7\n", p.Qubit)
-		}
+		emitAllXYPair(&b, p, pair)
 	}
-	fmt.Fprintf(&b, "addi r1, r1, 1\n")
-	fmt.Fprintf(&b, "bne r1, r2, Outer_Loop\n")
-	fmt.Fprintf(&b, "halt\n")
+	allXYFooter(&b)
+	return b.String()
+}
+
+// allXYPairProgram emits the program for one sweep point of the parallel
+// engine: Rounds averaging rounds of a single gate pair (twice per round
+// when Doubled, matching AllXYProgram's point order).
+func allXYPairProgram(p AllXYParams, pair AllXYPair) string {
+	var b strings.Builder
+	allXYHeader(&b, p)
+	emitAllXYPair(&b, p, pair)
+	allXYFooter(&b)
 	return b.String()
 }
 
@@ -127,31 +158,57 @@ type AllXYResult struct {
 	MemoryBytes  int
 }
 
-// RunAllXY executes the AllXY experiment on a machine built from cfg.
-// cfg.CollectK and cfg.NumQubits are set as needed.
+// RunAllXY executes the AllXY experiment on the parallel sweep engine:
+// each of the 21 gate pairs runs on its own machine seeded with
+// DeriveSeed(cfg.Seed, pair). cfg.CollectK and cfg.NumQubits are set as
+// needed.
 func RunAllXY(cfg core.Config, p AllXYParams) (*AllXYResult, error) {
 	if p.Rounds <= 0 {
 		return nil, fmt.Errorf("expt: Rounds must be positive")
 	}
-	cfg.CollectK = p.points()
+	pairs := AllXYPairs()
+	reps := 1
+	if p.Doubled {
+		reps = 2
+	}
+	cfg.CollectK = reps
 	if cfg.NumQubits <= p.Qubit {
 		cfg.NumQubits = p.Qubit + 1
 	}
-	m, err := core.New(cfg)
+	raw := make([]float64, len(pairs)*reps)
+	pulses := make([]uint64, len(pairs))
+	memBytes := make([]int, len(pairs))
+	err := runPool(len(pairs), p.Workers, func(i int) error {
+		c := sweepConfig(cfg, DeriveSeed(cfg.Seed, i))
+		m, err := core.New(c)
+		if err != nil {
+			return err
+		}
+		if err := m.RunAssembly(allXYPairProgram(p, pairs[i])); err != nil {
+			return err
+		}
+		if got := m.Collector.Rounds(); got != p.Rounds {
+			return fmt.Errorf("expt: pair %s collected %d rounds, want %d", pairs[i].Label, got, p.Rounds)
+		}
+		copy(raw[i*reps:(i+1)*reps], m.Collector.Averages())
+		pulses[i] = m.PulsesPlayed
+		memBytes[i] = m.MemoryFootprintBytes()
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := m.RunAssembly(AllXYProgram(p)); err != nil {
-		return nil, err
+	var totalPulses uint64
+	for _, n := range pulses {
+		totalPulses += n
 	}
-	if got := m.Collector.Rounds(); got != p.Rounds {
-		return nil, fmt.Errorf("expt: collected %d rounds, want %d", got, p.Rounds)
-	}
-	return analyzeAllXY(p, m)
+	return analyzeAllXY(p, raw, totalPulses, memBytes[0])
 }
 
-func analyzeAllXY(p AllXYParams, m *core.Machine) (*AllXYResult, error) {
-	raw := m.Collector.Averages()
+// analyzeAllXY turns the per-point averaged integration results into the
+// calibrated staircase. memBytes is the LUT footprint of one machine (all
+// sweep machines are identically calibrated).
+func analyzeAllXY(p AllXYParams, raw []float64, totalPulses uint64, memBytes int) (*AllXYResult, error) {
 	reps := 1
 	if p.Doubled {
 		reps = 2
@@ -186,8 +243,8 @@ func analyzeAllXY(p AllXYParams, m *core.Machine) (*AllXYResult, error) {
 		Fidelities:   fid,
 		Ideal:        ideal,
 		Deviation:    fit.RMSDeviation(fid, ideal),
-		PulsesPlayed: m.PulsesPlayed,
-		MemoryBytes:  m.MemoryFootprintBytes(),
+		PulsesPlayed: totalPulses,
+		MemoryBytes:  memBytes,
 	}, nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"quma/internal/qphys"
 )
@@ -25,8 +26,12 @@ type Clifford struct {
 	U qphys.Matrix
 }
 
-// cliffordGroup is the lazily built group table.
-var cliffordGroup []Clifford
+// cliffordGroup is the lazily built group table; cliffordOnce guards the
+// build so parallel sweep workers can share it.
+var (
+	cliffordGroup []Clifford
+	cliffordOnce  sync.Once
+)
 
 // primitiveGate returns the unitary for a Table 1 pulse name.
 func primitiveGate(name string) qphys.Matrix {
@@ -53,9 +58,11 @@ func primitiveGate(name string) qphys.Matrix {
 // shortest decomposition into the Table 1 pulse set. The table is built
 // once by breadth-first closure over the generators.
 func CliffordGroup() []Clifford {
-	if cliffordGroup != nil {
-		return cliffordGroup
-	}
+	cliffordOnce.Do(buildCliffordGroup)
+	return cliffordGroup
+}
+
+func buildCliffordGroup() {
 	gens := []string{"X90", "Y90", "Xm90", "Ym90", "X180", "Y180"}
 	type node struct {
 		pulses []string
@@ -97,7 +104,6 @@ func CliffordGroup() []Clifford {
 		}
 		cliffordGroup[i] = Clifford{Index: i, Pulses: pulses, U: g.u}
 	}
-	return cliffordGroup
 }
 
 // InverseClifford returns the group element whose unitary inverts the

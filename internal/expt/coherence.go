@@ -22,6 +22,9 @@ type SweepParams struct {
 	DelaysCycles []int
 	// MeasureCycles is the MPG duration.
 	MeasureCycles int
+	// Workers bounds the sweep parallelism (0 = one worker per CPU).
+	// Results are identical for any value; see sweep.go.
+	Workers int
 }
 
 // DefaultSweepParams returns a 16-point sweep to 60 µs, 200 rounds.
@@ -43,56 +46,65 @@ type SweepResult struct {
 	Excited []float64
 }
 
-// sweepProgram emits one program measuring every delay point in a round-
-// robin so the data collector averages each index over Rounds.
+// pointProgram emits the program for one delay point: Rounds shots of
+// init-wait, body, measure, with the data collector averaging index 0.
 //
-// shape: per delay point, body(delay) must emit the pulses; the caller's
-// body receives the delay in cycles.
-func sweepProgram(p SweepParams, body func(b *strings.Builder, delayCycles int)) string {
+// shape: body(delay) must emit the pulses; it receives the delay in
+// cycles.
+func pointProgram(p SweepParams, delayCycles int, body func(b *strings.Builder, delayCycles int)) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "mov r15, %d\n", p.InitCycles)
 	fmt.Fprintf(&b, "mov r1, 0\n")
 	fmt.Fprintf(&b, "mov r2, %d\n", p.Rounds)
-	fmt.Fprintf(&b, "Outer_Loop:\n")
-	for _, d := range p.DelaysCycles {
-		fmt.Fprintf(&b, "QNopReg r15\n")
-		body(&b, d)
-		fmt.Fprintf(&b, "MPG {q%d}, %d\n", p.Qubit, p.MeasureCycles)
-		fmt.Fprintf(&b, "MD {q%d}, r7\n", p.Qubit)
-	}
+	fmt.Fprintf(&b, "Round_Loop:\n")
+	fmt.Fprintf(&b, "QNopReg r15\n")
+	body(&b, delayCycles)
+	fmt.Fprintf(&b, "MPG {q%d}, %d\n", p.Qubit, p.MeasureCycles)
+	fmt.Fprintf(&b, "MD {q%d}, r7\n", p.Qubit)
 	fmt.Fprintf(&b, "addi r1, r1, 1\n")
-	fmt.Fprintf(&b, "bne r1, r2, Outer_Loop\n")
+	fmt.Fprintf(&b, "bne r1, r2, Round_Loop\n")
 	fmt.Fprintf(&b, "halt\n")
 	return b.String()
 }
 
-// runSweep executes a sweep and converts averaged integration results to
-// populations via the MDU's two calibration levels.
+// runSweep executes a delay sweep on the parallel sweep engine — one
+// machine per delay point, seeded with DeriveSeed(cfg.Seed, point) — and
+// converts averaged integration results to populations via the MDU's two
+// calibration levels.
 func runSweep(cfg core.Config, p SweepParams, body func(b *strings.Builder, delayCycles int)) (*SweepResult, error) {
 	if len(p.DelaysCycles) == 0 || p.Rounds <= 0 {
 		return nil, fmt.Errorf("expt: empty sweep")
 	}
-	cfg.CollectK = len(p.DelaysCycles)
+	cfg.CollectK = 1
 	if cfg.NumQubits <= p.Qubit {
 		cfg.NumQubits = p.Qubit + 1
 	}
-	m, err := core.New(cfg)
+	res := &SweepResult{
+		Params:    p,
+		DelaysSec: make([]float64, len(p.DelaysCycles)),
+		Excited:   make([]float64, len(p.DelaysCycles)),
+	}
+	err := runPool(len(p.DelaysCycles), p.Workers, func(i int) error {
+		c := sweepConfig(cfg, DeriveSeed(cfg.Seed, i))
+		m, err := core.New(c)
+		if err != nil {
+			return err
+		}
+		d := p.DelaysCycles[i]
+		if err := m.RunAssembly(pointProgram(p, d, body)); err != nil {
+			return err
+		}
+		// Convert the integration average to a population using the
+		// calibrated means (analytic calibration; the AllXY experiment
+		// demonstrates the in-experiment calibration path).
+		s0 := real(c.Readout.Mean0 * m.MDU.Weight)
+		s1 := real(c.Readout.Mean1 * m.MDU.Weight)
+		res.DelaysSec[i] = float64(d) * 5e-9
+		res.Excited[i] = (m.Collector.Averages()[0] - s0) / (s1 - s0)
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	if err := m.RunAssembly(sweepProgram(p, body)); err != nil {
-		return nil, err
-	}
-	raw := m.Collector.Averages()
-	// Convert integration averages to populations using the calibrated
-	// means (analytic calibration; the AllXY experiment demonstrates the
-	// in-experiment calibration path).
-	s0 := real(cfg.Readout.Mean0 * m.MDU.Weight)
-	s1 := real(cfg.Readout.Mean1 * m.MDU.Weight)
-	res := &SweepResult{Params: p}
-	for i, s := range raw {
-		res.DelaysSec = append(res.DelaysSec, float64(p.DelaysCycles[i])*5e-9)
-		res.Excited = append(res.Excited, (s-s0)/(s1-s0))
 	}
 	return res, nil
 }

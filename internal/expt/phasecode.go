@@ -176,17 +176,13 @@ func RunPhaseCode(cfg core.Config, p RepCodeParams) (*PhaseCodeResult, error) {
 	for len(cfg.Qubit) < 5 {
 		cfg.Qubit = append(cfg.Qubit, cfg.Qubit[0])
 	}
-	run := func(src string, seedOffset int64) (float64, error) {
-		c := cfg
-		c.Seed += seedOffset
-		m, err := core.New(c)
-		if err != nil {
-			return 0, err
-		}
-		if err := m.RunAssembly(src); err != nil {
-			return 0, err
-		}
-		return float64(m.Controller.Regs[13]) / float64(p.Rounds), nil
+	variants := []func(rounds int) string{
+		func(r int) string { q := p; q.Rounds = r; return barePhaseProgram(q) },
+		func(r int) string { q := p; q.Rounds = r; return phaseCodeProgram(q, true) },
+	}
+	errors, err := runChunkedVariants(cfg, p.Rounds, p.Workers, variants)
+	if err != nil {
+		return nil, err
 	}
 	res := &PhaseCodeResult{Params: p}
 	tau := float64(p.WaitCycles) * 5e-9
@@ -196,13 +192,7 @@ func RunPhaseCode(cfg core.Config, p RepCodeParams) (*PhaseCodeResult, error) {
 		invTphi := 1/t2 - 1/(2*cfg.Qubit[0].T1)
 		res.PhysicalP = (1 - math.Exp(-tau*invTphi)) / 2
 	}
-	var err error
-	if res.Bare, err = run(barePhaseProgram(p), 1); err != nil {
-		return nil, err
-	}
-	if res.Protected, err = run(phaseCodeProgram(p, true), 2); err != nil {
-		return nil, err
-	}
+	res.Bare, res.Protected = errors[0], errors[1]
 	return res, nil
 }
 

@@ -25,6 +25,10 @@ type RBParams struct {
 	// Seed drives sequence sampling (independent of the machine's own
 	// measurement PRNG).
 	Seed int64
+	// Workers bounds the sweep parallelism across (length, trial) pairs
+	// (0 = one worker per CPU). Results are identical for any value; see
+	// sweep.go.
+	Workers int
 }
 
 // DefaultRBParams returns a short benchmark suitable for tests.
@@ -76,8 +80,11 @@ func rbProgram(p RBParams, pulses []string) string {
 	return b.String()
 }
 
-// RunRB executes randomized benchmarking on a machine built from cfg and
-// fits the exponential decay of the ground-state survival probability.
+// RunRB executes randomized benchmarking on the parallel sweep engine —
+// every (length, trial) pair runs its own random sequence on its own
+// machine, with the sequence drawn from DeriveSeed(p.Seed, pair) and the
+// machine seeded with DeriveSeed(cfg.Seed, pair) — and fits the
+// exponential decay of the ground-state survival probability.
 func RunRB(cfg core.Config, p RBParams) (*RBResult, error) {
 	if len(p.Lengths) < 3 || p.Trials < 1 || p.Rounds < 1 {
 		return nil, fmt.Errorf("expt: RB needs ≥3 lengths and ≥1 trial/round")
@@ -85,25 +92,36 @@ func RunRB(cfg core.Config, p RBParams) (*RBResult, error) {
 	if cfg.NumQubits <= p.Qubit {
 		cfg.NumQubits = p.Qubit + 1
 	}
-	m, err := core.New(cfg)
+	// Build the shared Clifford table before the fan-out so workers only
+	// read it.
+	res := &RBResult{Params: p, AvgPulsesPerClifford: AvgPulsesPerClifford()}
+	njobs := len(p.Lengths) * p.Trials
+	surv := make([]float64, njobs)
+	err := runPool(njobs, p.Workers, func(i int) error {
+		length := p.Lengths[i/p.Trials]
+		c := sweepConfig(cfg, DeriveSeed(cfg.Seed, i))
+		m, err := core.New(c)
+		if err != nil {
+			return err
+		}
+		seqRng := rand.New(rand.NewSource(DeriveSeed(p.Seed, i)))
+		pulses, _ := RandomCliffordSequence(length, seqRng)
+		if err := m.RunAssembly(rbProgram(p, pulses)); err != nil {
+			return fmt.Errorf("expt: RB m=%d trial %d: %w", length, i%p.Trials, err)
+		}
+		ones := m.Controller.Regs[9]
+		surv[i] = 1 - float64(ones)/float64(p.Rounds)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	seqRng := rand.New(rand.NewSource(p.Seed))
-	res := &RBResult{Params: p, AvgPulsesPerClifford: AvgPulsesPerClifford()}
 	var ms, fs []float64
-	for _, length := range p.Lengths {
-		var trials []float64
+	for li, length := range p.Lengths {
+		trials := surv[li*p.Trials : (li+1)*p.Trials]
 		sum := 0.0
-		for t := 0; t < p.Trials; t++ {
-			pulses, _ := RandomCliffordSequence(length, seqRng)
-			if err := m.RunAssembly(rbProgram(p, pulses)); err != nil {
-				return nil, fmt.Errorf("expt: RB m=%d trial %d: %w", length, t, err)
-			}
-			ones := m.Controller.Regs[9]
-			survival := 1 - float64(ones)/float64(p.Rounds)
-			trials = append(trials, survival)
-			sum += survival
+		for _, s := range trials {
+			sum += s
 		}
 		res.PerTrial = append(res.PerTrial, trials)
 		mean := sum / float64(p.Trials)

@@ -29,7 +29,15 @@ type RepCodeParams struct {
 	InitCycles int
 	// MeasureCycles is the MPG duration.
 	MeasureCycles int
+	// Workers bounds the sweep parallelism across round chunks (0 = one
+	// worker per CPU). Results are identical for any value; see sweep.go.
+	Workers int
 }
+
+// repCodeChunkRounds is the number of shots each parallel sweep job runs.
+// The partition of Rounds into chunks is fixed (chunkRounds), independent
+// of the worker count, so the measured error rates are deterministic.
+const repCodeChunkRounds = 50
 
 // DefaultRepCodeParams waits 1600 cycles (8 µs): with T1 = 30 µs the
 // per-qubit decay probability is p = 1 − e^{−8/30} ≈ 0.23 — large enough
@@ -190,7 +198,10 @@ type RepCodeResult struct {
 }
 
 // RunRepCode runs the three memory variants on identically configured
-// machines and reports their logical error rates.
+// machines and reports their logical error rates. Rounds are partitioned
+// into fixed chunks and every (variant, chunk) pair runs on its own
+// machine — seeded with DeriveSeed2(cfg.Seed, variant, chunk) — on the
+// parallel sweep engine.
 func RunRepCode(cfg core.Config, p RepCodeParams) (*RepCodeResult, error) {
 	if p.Rounds <= 0 {
 		return nil, fmt.Errorf("expt: Rounds must be positive")
@@ -199,34 +210,61 @@ func RunRepCode(cfg core.Config, p RepCodeParams) (*RepCodeResult, error) {
 	for len(cfg.Qubit) < 5 {
 		cfg.Qubit = append(cfg.Qubit, qphys.DefaultQubitParams())
 	}
-	run := func(src string, seedOffset int64) (float64, error) {
-		c := cfg
-		c.Seed += seedOffset
-		m, err := core.New(c)
-		if err != nil {
-			return 0, err
-		}
-		if err := m.RunAssembly(src); err != nil {
-			return 0, err
-		}
-		return float64(m.Controller.Regs[13]) / float64(p.Rounds), nil
+	variants := []func(rounds int) string{
+		func(r int) string { q := p; q.Rounds = r; return unprotectedProgram(q) },
+		func(r int) string { q := p; q.Rounds = r; return repCodeProgram(q, "", false) },
+		func(r int) string { q := p; q.Rounds = r; return repCodeProgram(q, "", true) },
+	}
+	errors, err := runChunkedVariants(cfg, p.Rounds, p.Workers, variants)
+	if err != nil {
+		return nil, err
 	}
 	res := &RepCodeResult{Params: p}
 	tau := float64(p.WaitCycles) * 5e-9
 	if t1 := cfg.Qubit[0].T1; t1 > 0 {
 		res.PhysicalP = 1 - math.Exp(-tau/t1)
 	}
-	var err error
-	if res.Unprotected, err = run(unprotectedProgram(p), 1); err != nil {
-		return nil, err
-	}
-	if res.Uncorrected, err = run(repCodeProgram(p, "", false), 2); err != nil {
-		return nil, err
-	}
-	if res.Protected, err = run(repCodeProgram(p, "", true), 3); err != nil {
-		return nil, err
-	}
+	res.Unprotected, res.Uncorrected, res.Protected = errors[0], errors[1], errors[2]
 	return res, nil
+}
+
+// runChunkedVariants runs each program variant for a total of `rounds`
+// shots, split into fixed chunks across the worker pool, and returns each
+// variant's logical-error fraction (register r13 summed over chunks).
+func runChunkedVariants(cfg core.Config, rounds, workers int, variants []func(rounds int) string) ([]float64, error) {
+	chunks := chunkRounds(rounds, repCodeChunkRounds)
+	type job struct{ variant, chunk, rounds int }
+	var jobs []job
+	for v := range variants {
+		for k, r := range chunks {
+			jobs = append(jobs, job{variant: v, chunk: k, rounds: r})
+		}
+	}
+	counts := make([]int64, len(jobs))
+	err := runPool(len(jobs), workers, func(i int) error {
+		j := jobs[i]
+		c := sweepConfig(cfg, DeriveSeed2(cfg.Seed, j.variant+1, j.chunk))
+		m, err := core.New(c)
+		if err != nil {
+			return err
+		}
+		if err := m.RunAssembly(variants[j.variant](j.rounds)); err != nil {
+			return err
+		}
+		counts[i] = m.Controller.Regs[13]
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(variants))
+	for i, j := range jobs {
+		out[j.variant] += float64(counts[i])
+	}
+	for v := range out {
+		out[v] /= float64(rounds)
+	}
+	return out, nil
 }
 
 // Table renders the comparison.

@@ -1,0 +1,124 @@
+package expt
+
+// sweep.go is the shared parallel experiment sweep engine. Every
+// experiment in this package decomposes into independent sweep points
+// (delay values, AllXY pairs, RB (length, trial) pairs, repetition-code
+// round chunks), and each point runs on its own core.Machine with a
+// deterministically derived seed. The contract:
+//
+//   - Point i of a sweep with base seed S always runs on a machine seeded
+//     with DeriveSeed(S, i) (experiments with several sub-streams derive
+//     nested seeds via DeriveSeed2). Seeds depend only on (S, i), never
+//     on scheduling.
+//   - runPool writes each point's result into its own slot and runs every
+//     job even if another fails, returning the lowest-index error — so
+//     results and errors are bit-identical regardless of worker count.
+//   - Config values handed to workers are deep-copied (the Qubit slice is
+//     the only reference field) so concurrent machines share nothing.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"quma/internal/core"
+	"quma/internal/qphys"
+)
+
+// DeriveSeed deterministically derives an independent PRNG seed for sweep
+// point `index` of a sweep with the given base seed, using the splitmix64
+// finalizer for mixing. The result is non-negative and depends only on
+// (base, index).
+func DeriveSeed(base int64, index int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*(uint64(index)+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z >> 1)
+}
+
+// DeriveSeed2 derives a seed from a base and two indices (e.g. a variant
+// and a chunk within it).
+func DeriveSeed2(base int64, a, b int) int64 {
+	return DeriveSeed(DeriveSeed(base, a), b)
+}
+
+// sweepConfig returns a copy of cfg seeded for sweep point i, with the
+// Qubit slice deep-copied so concurrently built machines never append
+// into shared backing storage.
+func sweepConfig(cfg core.Config, seed int64) core.Config {
+	c := cfg
+	c.Seed = seed
+	c.Qubit = append([]qphys.QubitParams(nil), cfg.Qubit...)
+	return c
+}
+
+// runPool executes jobs 0..n-1 on up to `workers` goroutines (workers <= 0
+// means one per available CPU). Jobs must be independent and write results
+// into per-index slots. Every job runs exactly once even when others fail;
+// the returned error is the lowest-index failure. Both properties make the
+// sweep outcome independent of the worker count.
+func runPool(n, workers int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var firstErr error
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chunkRounds partitions `total` rounds into fixed-size chunks. The
+// partition depends only on (total, size), keeping chunked sweeps
+// deterministic across worker counts.
+func chunkRounds(total, size int) []int {
+	if size <= 0 {
+		size = total
+	}
+	var out []int
+	for total > 0 {
+		c := size
+		if total < size {
+			c = total
+		}
+		out = append(out, c)
+		total -= c
+	}
+	return out
+}

@@ -11,6 +11,12 @@ import (
 type Density struct {
 	NumQubits int
 	Rho       Matrix
+	// scratchA/scratchB are reusable full-register buffers for the dense
+	// Apply/ApplyKraus paths, allocated lazily and kept across calls so
+	// steady-state evolution does not touch the heap. The single- and
+	// two-qubit kernels in kernels.go update ρ block-locally and need no
+	// scratch at all.
+	scratchA, scratchB Matrix
 }
 
 // NewDensity returns an n-qubit register initialized to |0…0⟩⟨0…0|.
@@ -34,42 +40,44 @@ func (d *Density) Reset() {
 // Dim returns the Hilbert-space dimension 2^n.
 func (d *Density) Dim() int { return d.Rho.N }
 
+// scratch returns the two full-register scratch matrices, (re)allocating
+// them on first use.
+func (d *Density) scratch() (a, b Matrix) {
+	if d.scratchA.N != d.Rho.N {
+		d.scratchA = NewMatrix(d.Rho.N)
+		d.scratchB = NewMatrix(d.Rho.N)
+	}
+	return d.scratchA, d.scratchB
+}
+
 // Apply conjugates the state by a full-register unitary: ρ ← UρU†.
+// Single- and two-qubit gates should use the Apply1/Apply2 kernels, which
+// are O(4^n) instead of O(8^n).
 func (d *Density) Apply(u Matrix) {
 	if u.N != d.Rho.N {
 		panic(fmt.Sprintf("qphys: unitary dim %d does not match register dim %d", u.N, d.Rho.N))
 	}
-	d.Rho = u.Mul(d.Rho).Mul(u.Dagger())
-}
-
-// Apply1 applies a single-qubit unitary to qubit q.
-func (d *Density) Apply1(u Matrix, q int) {
-	d.Apply(Embed(u, q, d.NumQubits))
-}
-
-// Apply2 applies a two-qubit unitary to qubits (qa, qb).
-func (d *Density) Apply2(u Matrix, qa, qb int) {
-	d.Apply(Embed2(u, qa, qb, d.NumQubits))
+	tmp, _ := d.scratch()
+	mulInto(tmp, u, d.Rho)              // tmp = u·ρ
+	mulDaggerInto(d.Rho, tmp, u, false) // ρ = tmp·u†
 }
 
 // ApplyKraus applies a quantum channel given by Kraus operators on the
-// full register: ρ ← Σ_k K_k ρ K_k†.
+// full register: ρ ← Σ_k K_k ρ K_k†. Single-qubit channels should use the
+// ApplyKraus1 kernel instead.
 func (d *Density) ApplyKraus(ops []Matrix) {
-	out := NewMatrix(d.Rho.N)
+	tmp, acc := d.scratch()
+	for i := range acc.Data {
+		acc.Data[i] = 0
+	}
 	for _, k := range ops {
-		term := k.Mul(d.Rho).Mul(k.Dagger())
-		out = out.Add(term)
+		if k.N != d.Rho.N {
+			panic(fmt.Sprintf("qphys: Kraus dim %d does not match register dim %d", k.N, d.Rho.N))
+		}
+		mulInto(tmp, k, d.Rho)           // tmp = K·ρ
+		mulDaggerInto(acc, tmp, k, true) // acc += tmp·K†
 	}
-	d.Rho = out
-}
-
-// ApplyKraus1 applies a single-qubit channel to qubit q.
-func (d *Density) ApplyKraus1(ops []Matrix, q int) {
-	lifted := make([]Matrix, len(ops))
-	for i, k := range ops {
-		lifted[i] = Embed(k, q, d.NumQubits)
-	}
-	d.ApplyKraus(lifted)
+	copy(d.Rho.Data, acc.Data)
 }
 
 // Trace returns Tr(ρ), which must stay 1 for any physical evolution.
@@ -133,7 +141,10 @@ func (d *Density) Project(q, outcome int) {
 		}
 		return
 	}
-	d.Rho = d.Rho.Scale(complex(1/tr, 0))
+	inv := complex(1/tr, 0)
+	for i := range d.Rho.Data {
+		d.Rho.Data[i] *= inv
+	}
 }
 
 // BlochVector returns the (x, y, z) Bloch coordinates of qubit q,

@@ -1,0 +1,209 @@
+package qphys
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// The in-place kernels must match the dense Embed/Embed2 + Mul reference
+// path to ≤1e-12 over random unitaries, random qubit indices, and
+// register sizes n=1..5 — and must not allocate in steady state.
+
+// randomUnitary returns a random n×n unitary via Gram-Schmidt on a
+// Gaussian random complex matrix.
+func randomUnitaryGS(n int, rng *rand.Rand) Matrix {
+	m := NewMatrix(n)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	for j := 0; j < n; j++ {
+		for k := 0; k < j; k++ {
+			var dot complex128
+			for i := 0; i < n; i++ {
+				dot += cmplx.Conj(m.Data[i*n+k]) * m.Data[i*n+j]
+			}
+			for i := 0; i < n; i++ {
+				m.Data[i*n+j] -= dot * m.Data[i*n+k]
+			}
+		}
+		var norm float64
+		for i := 0; i < n; i++ {
+			v := m.Data[i*n+j]
+			norm += real(v)*real(v) + imag(v)*imag(v)
+		}
+		inv := 1 / cmplx.Sqrt(complex(norm, 0))
+		for i := 0; i < n; i++ {
+			m.Data[i*n+j] *= inv
+		}
+	}
+	return m
+}
+
+// randomDensityState fills d with a random physical state ρ = AA†/Tr(AA†).
+func randomDensityState(d *Density, rng *rand.Rand) {
+	a := NewMatrix(d.Rho.N)
+	for i := range a.Data {
+		a.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	rho := a.Mul(a.Dagger())
+	tr := rho.Trace()
+	copy(d.Rho.Data, rho.Scale(1/tr).Data)
+}
+
+func TestRandomUnitaryGSIsUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 4} {
+		for trial := 0; trial < 5; trial++ {
+			if u := randomUnitaryGS(n, rng); !u.IsUnitary(1e-10) {
+				t.Fatalf("randomUnitaryGS(%d) produced a non-unitary matrix", n)
+			}
+		}
+	}
+}
+
+func TestApply1MatchesDenseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 1; n <= 5; n++ {
+		for trial := 0; trial < 8; trial++ {
+			d := NewDensity(n)
+			randomDensityState(d, rng)
+			u := randomUnitaryGS(2, rng)
+			q := rng.Intn(n)
+			e := Embed(u, q, n)
+			ref := e.Mul(d.Rho).Mul(e.Dagger())
+			d.Apply1(u, q)
+			if diff := d.Rho.MaxAbsDiff(ref); diff > 1e-12 {
+				t.Fatalf("n=%d q=%d trial %d: Apply1 deviates from dense reference by %v", n, q, trial, diff)
+			}
+		}
+	}
+}
+
+func TestApply2MatchesDenseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for n := 2; n <= 5; n++ {
+		for trial := 0; trial < 8; trial++ {
+			d := NewDensity(n)
+			randomDensityState(d, rng)
+			u := randomUnitaryGS(4, rng)
+			qa := rng.Intn(n)
+			qb := rng.Intn(n - 1)
+			if qb >= qa {
+				qb++
+			}
+			e := Embed2(u, qa, qb, n)
+			ref := e.Mul(d.Rho).Mul(e.Dagger())
+			d.Apply2(u, qa, qb)
+			if diff := d.Rho.MaxAbsDiff(ref); diff > 1e-12 {
+				t.Fatalf("n=%d (%d,%d) trial %d: Apply2 deviates from dense reference by %v", n, qa, qb, trial, diff)
+			}
+		}
+	}
+}
+
+func TestApply2MatchesCNOTTruthTable(t *testing.T) {
+	// Sanity-check the (qa, qb) basis convention against Embed2's: CNOT
+	// with control qa flips qb iff qa is set.
+	d := NewDensity(3)
+	d.Apply1(PauliX(), 2) // |001⟩
+	d.Apply2(CNOT(), 2, 0)
+	if p := d.ProbExcited(0); p < 0.999 {
+		t.Errorf("control q2 did not flip target q0: P(q0=1) = %v", p)
+	}
+}
+
+func TestApplyKraus1MatchesDenseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for n := 1; n <= 5; n++ {
+		for trial := 0; trial < 8; trial++ {
+			d := NewDensity(n)
+			randomDensityState(d, rng)
+			q := rng.Intn(n)
+			// Arbitrary operator sets exercise the kernel's linearity; a
+			// physical CPTP set is a special case.
+			ops := make([]Matrix, 1+rng.Intn(8))
+			for i := range ops {
+				ops[i] = NewMatrix(2)
+				for e := range ops[i].Data {
+					ops[i].Data[e] = complex(rng.NormFloat64(), rng.NormFloat64())
+				}
+			}
+			ref := NewMatrix(d.Rho.N)
+			for _, k := range ops {
+				lifted := Embed(k, q, n)
+				ref = ref.Add(lifted.Mul(d.Rho).Mul(lifted.Dagger()))
+			}
+			d.ApplyKraus1(ops, q)
+			if diff := d.Rho.MaxAbsDiff(ref); diff > 1e-12 {
+				t.Fatalf("n=%d q=%d trial %d (%d ops): ApplyKraus1 deviates by %v", n, q, trial, len(ops), diff)
+			}
+		}
+	}
+}
+
+func TestApplyKraus1PhysicalChannelPreservesTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewDensity(4)
+	randomDensityState(d, rng)
+	for q := 0; q < 4; q++ {
+		d.ApplyKraus1(DecoherenceChannel(50e-9, DefaultQubitParams()), q)
+	}
+	if tr := d.Trace(); tr < 1-1e-10 || tr > 1+1e-10 {
+		t.Errorf("trace after decoherence = %v, want 1", tr)
+	}
+}
+
+func TestApplyScratchPathMatchesDenseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for n := 1; n <= 4; n++ {
+		d := NewDensity(n)
+		randomDensityState(d, rng)
+		u := randomUnitaryGS(d.Rho.N, rng)
+		ref := u.Mul(d.Rho).Mul(u.Dagger())
+		d.Apply(u)
+		if diff := d.Rho.MaxAbsDiff(ref); diff > 1e-12 {
+			t.Fatalf("n=%d: Apply deviates from dense reference by %v", n, diff)
+		}
+		// Repeated application must reuse the scratch buffers.
+		d.Apply(u.Dagger())
+	}
+}
+
+func TestApplyKrausScratchPathMatchesDenseReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := NewDensity(3)
+	randomDensityState(d, rng)
+	dim := d.Rho.N
+	ops := []Matrix{randomUnitaryGS(dim, rng).Scale(complex(0.8, 0)), randomUnitaryGS(dim, rng).Scale(complex(0.6, 0))}
+	ref := NewMatrix(dim)
+	for _, k := range ops {
+		ref = ref.Add(k.Mul(d.Rho).Mul(k.Dagger()))
+	}
+	d.ApplyKraus(ops)
+	if diff := d.Rho.MaxAbsDiff(ref); diff > 1e-12 {
+		t.Fatalf("ApplyKraus deviates from dense reference by %v", diff)
+	}
+}
+
+func TestKernelsDoNotAllocate(t *testing.T) {
+	d := NewDensity(3)
+	u := RX(0.3)
+	cz := CZ()
+	ops := DecoherenceChannel(20e-9, DefaultQubitParams())
+	if allocs := testing.AllocsPerRun(50, func() { d.Apply1(u, 1) }); allocs != 0 {
+		t.Errorf("Apply1 allocates %v per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() { d.Apply2(cz, 0, 2) }); allocs != 0 {
+		t.Errorf("Apply2 allocates %v per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() { d.ApplyKraus1(ops, 1) }); allocs != 0 {
+		t.Errorf("ApplyKraus1 allocates %v per run, want 0", allocs)
+	}
+	// The dense full-register paths may allocate scratch once, then reuse.
+	full := Identity(d.Rho.N)
+	d.Apply(full) // warm the scratch buffers
+	if allocs := testing.AllocsPerRun(50, func() { d.Apply(full) }); allocs != 0 {
+		t.Errorf("Apply allocates %v per run after warm-up, want 0", allocs)
+	}
+}

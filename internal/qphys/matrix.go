@@ -84,6 +84,52 @@ func (m Matrix) Mul(b Matrix) Matrix {
 	return out
 }
 
+// mulInto sets dst = a·b without allocating. dst must be pre-sized to the
+// operand dimension and must not alias a or b.
+func mulInto(dst, a, b Matrix) {
+	n := a.N
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		di := i * n
+		for k := 0; k < n; k++ {
+			av := a.Data[di+k]
+			if av == 0 {
+				continue
+			}
+			bk := k * n
+			for j := 0; j < n; j++ {
+				dst.Data[di+j] += av * b.Data[bk+j]
+			}
+		}
+	}
+}
+
+// mulDaggerInto sets dst = a·u† (or adds it when accumulate is true)
+// without forming u† or allocating. dst must not alias a or u.
+func mulDaggerInto(dst, a, u Matrix, accumulate bool) {
+	n := a.N
+	if !accumulate {
+		for i := range dst.Data {
+			dst.Data[i] = 0
+		}
+	}
+	for i := 0; i < n; i++ {
+		di := i * n
+		for k := 0; k < n; k++ {
+			av := a.Data[di+k]
+			if av == 0 {
+				continue
+			}
+			// (u†)[k][j] = conj(u[j][k])
+			for j := 0; j < n; j++ {
+				dst.Data[di+j] += av * cmplx.Conj(u.Data[j*n+k])
+			}
+		}
+	}
+}
+
 // Add returns m + b.
 func (m Matrix) Add(b Matrix) Matrix {
 	if m.N != b.N {
