@@ -665,6 +665,117 @@ func BenchmarkKraus1(b *testing.B) {
 	}
 }
 
+// --- Trajectory-backend kernels (must also report 0 allocs/op) ---
+
+// BenchmarkTrajectoryApply1 measures the statevector single-qubit kernel
+// at n=12 — a register size the density backend cannot even allocate.
+func BenchmarkTrajectoryApply1(b *testing.B) {
+	tr := qphys.NewTrajectory(12, rand.New(rand.NewSource(1)))
+	u := qphys.RX(0.3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Apply1(u, 5)
+	}
+}
+
+// BenchmarkTrajectoryApply2 measures the statevector two-qubit kernel at
+// n=12.
+func BenchmarkTrajectoryApply2(b *testing.B) {
+	tr := qphys.NewTrajectory(12, rand.New(rand.NewSource(1)))
+	cz := qphys.CZ()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Apply2(cz, 3, 9)
+	}
+}
+
+// BenchmarkTrajectoryKraus1 measures Monte-Carlo channel unwinding at
+// n=12 with the full 8-operator decoherence set of advance().
+func BenchmarkTrajectoryKraus1(b *testing.B) {
+	tr := qphys.NewTrajectory(12, rand.New(rand.NewSource(1)))
+	tr.Apply1(qphys.RX(math.Pi/2), 5)
+	ops := qphys.DecoherenceChannel(20e-9, qphys.DefaultQubitParams())
+	b.ReportMetric(float64(len(ops)), "kraus-ops")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ApplyKraus1(ops, 5)
+	}
+}
+
+// BenchmarkBackendRepCode runs the 5-qubit repetition-code memory
+// experiment at equal shot count on both backends: the trajectory
+// backend's O(2^n) state should make it the faster substrate for this
+// multi-shot workload.
+func BenchmarkBackendRepCode(b *testing.B) {
+	for _, backend := range []core.Backend{core.BackendDensity, core.BackendTrajectory} {
+		b.Run(string(backend), func(b *testing.B) {
+			var bare, corrected float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				cfg.Backend = backend
+				cfg.Seed = int64(i + 1)
+				p := expt.DefaultRepCodeParams()
+				p.Rounds = 100
+				res, err := expt.RunRepCode(cfg, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bare, corrected = res.Unprotected, res.Protected
+			}
+			b.ReportMetric(bare, "bare-err")
+			b.ReportMetric(corrected, "corrected-err")
+		})
+	}
+}
+
+// BenchmarkBackendRB runs randomized benchmarking at equal shot count on
+// both backends.
+func BenchmarkBackendRB(b *testing.B) {
+	for _, backend := range []core.Backend{core.BackendDensity, core.BackendTrajectory} {
+		b.Run(string(backend), func(b *testing.B) {
+			var epc float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				cfg.Backend = backend
+				cfg.Seed = int64(i + 1)
+				p := expt.DefaultRBParams()
+				p.Trials = 3
+				p.Rounds = 40
+				res, err := expt.RunRB(cfg, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				epc = res.Fit.ErrorPerClifford()
+			}
+			b.ReportMetric(epc, "err/Clifford")
+		})
+	}
+}
+
+// BenchmarkBackendRepCode9Q runs the distance-5 (9-qubit) code — the
+// scenario only the trajectory backend can reach.
+func BenchmarkBackendRepCode9Q(b *testing.B) {
+	var protected float64
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Backend = core.BackendTrajectory
+		cfg.Seed = int64(i + 1)
+		p := expt.DefaultRepCodeParams()
+		p.DataQubits = 5
+		p.Rounds = 60
+		p.WaitCycles = 800
+		res, err := expt.RunRepCode(cfg, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		protected = res.Protected
+	}
+	b.ReportMetric(protected, "protected-err")
+}
+
 // BenchmarkSweepEngine measures the parallel sweep engine on the T1
 // delay sweep: 1 worker vs one worker per CPU, same results either way.
 func BenchmarkSweepEngine(b *testing.B) {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	quma-run [-qubits N] [-seed S] [-trace] [-collect K] prog.qasm
+//	quma-run [-qubits N] [-backend density|trajectory] [-seed S] [-trace] [-collect K] prog.qasm
 //	quma-run -bin prog.bin          # hex words from quma-asm
 package main
 
@@ -21,7 +21,8 @@ import (
 
 func main() {
 	var (
-		qubits  = flag.Int("qubits", 1, "number of simulated qubits (1-8)")
+		qubits  = flag.Int("qubits", 1, "number of simulated qubits (1-8 density, 1-16 trajectory)")
+		backend = flag.String("backend", "density", "quantum-state backend: density (exact, O(4^n)) or trajectory (Monte-Carlo statevector, O(2^n))")
 		seed    = flag.Int64("seed", 1, "PRNG seed")
 		trace   = flag.Bool("trace", false, "print the deterministic-domain event timeline")
 		collect = flag.Int("collect", 0, "enable the data collection unit with K results per round")
@@ -40,6 +41,7 @@ func main() {
 
 	cfg := core.DefaultConfig()
 	cfg.NumQubits = *qubits
+	cfg.Backend = core.Backend(*backend)
 	cfg.Seed = *seed
 	cfg.CollectK = *collect
 	cfg.AmplitudeError = *amperr

@@ -6,34 +6,68 @@
 // simulated substrates with the same interfaces and timing behaviour; the
 // microarchitecture itself (codeword-based event control, queue-based
 // event timing control, multilevel instruction decoding) is implemented
-// cycle-accurately. See DESIGN.md for the system inventory, EXPERIMENTS.md
-// for the paper-vs-measured record, and bench_test.go for the harness
-// that regenerates every table and figure.
+// cycle-accurately. ROADMAP.md records the architecture invariants and
+// open items, and bench_test.go is the harness that regenerates every
+// table and figure of the paper's evaluation.
+//
+// # Pluggable quantum-state backends
+//
+// The control pipeline never touches a concrete state type: core.Machine
+// evolves the simulated chip through the qphys.State interface
+// (Apply1/Apply2/ApplyKraus1/Measure/Reset/ProbExcited/ExpectationZ/
+// NumQubits plus the Purity/ReducedQubit diagnostics), selected by
+// core.Config.Backend and by the -backend flag of cmd/quma-run. Two
+// implementations exist:
+//
+//   - qphys.Density — the exact backend. O(4^n) memory, every channel
+//     applied as a full Kraus sum, so a single run yields ensemble
+//     averages and mixed states. Register size 1–8. Pick it for
+//     few-qubit physics validation, purity/entanglement diagnostics, and
+//     anything that must be exact per run.
+//
+//   - qphys.Trajectory — the pure-state Monte-Carlo backend. O(2^n)
+//     memory; every channel application samples one Kraus operator by
+//     the Born rule from the machine's deterministic PRNG, so each shot
+//     is one stochastic trajectory and means converge to the density
+//     result (cross-backend agreement is pinned by tests in
+//     internal/expt/backend_test.go, and the unitary kernels are pinned
+//     to Density at 1e-12 in internal/qphys/trajectory_test.go).
+//     Register size 1–16 — past the density wall — and substantially
+//     faster per shot (BenchmarkBackendRepCode). Pick it for multi-shot
+//     experiments, wide registers (the 9+-qubit repetition code), and
+//     throughput-bound sweeps.
+//
+// Backend selection rides through the sweep engine untouched: workers
+// deep-copy the Config, so cfg.Backend applies to every sweep point, and
+// per-point seeds fix each trajectory, keeping results bit-identical for
+// any worker count.
 //
 // # Simulator performance architecture
 //
 // The simulated chip is the hot path, and three layers keep it fast:
 //
-//   - In-place sparse gate kernels (internal/qphys/kernels.go). A k-qubit
-//     gate only couples basis indices differing on its k bits, so
-//     Density.Apply1/Apply2/ApplyKraus1 update ρ block-by-block in place:
-//     O(4^n) per single-qubit gate instead of the O(8^n) dense
-//     Embed-then-multiply path, with zero heap allocation in steady state
-//     (the full-register Apply/ApplyKraus paths reuse scratch buffers held
-//     on Density). New evolution code must use these kernels, not dense
-//     embedding; kernels_test.go holds the property tests pinning them to
-//     the dense reference.
+//   - In-place sparse gate kernels (internal/qphys/kernels.go and
+//     trajectory.go). A k-qubit gate only couples basis indices differing
+//     on its k bits, so both backends update their state block-by-block
+//     in place — O(4^n) per single-qubit gate on Density, O(2^n) on
+//     Trajectory — with zero heap allocation in steady state (the
+//     full-register Apply/ApplyKraus paths reuse scratch buffers held on
+//     Density). New evolution code must use these kernels, not dense
+//     embedding; kernels_test.go holds the property tests pinning them
+//     to the dense reference.
 //
 //   - Channel caches in core.Machine. advance() memoizes the decoherence
-//     Kraus set and detuning rotation per (qubit, idle duration), and the
+//     Kraus set and detuning rotation per (qubit, idle duration), the
 //     rotation cache stores the demodulated REquator matrix per
-//     (qubit, codeword, SSB phase) — the steady-state shot loop performs
-//     no channel construction, no demodulation, and no allocation.
+//     (qubit, codeword, SSB phase), and the SSB period itself is computed
+//     once in New — the steady-state shot loop performs no channel
+//     construction, no demodulation, and no allocation.
 //
 //   - The parallel sweep engine (internal/expt/sweep.go). Experiments
-//     decompose into independent sweep points (delay values, AllXY pairs,
-//     RB (length, trial) pairs, repetition-code round chunks); each point
-//     runs on its own core.Machine seeded with DeriveSeed(baseSeed, index)
-//     across a worker pool. The seeding contract makes results
-//     bit-identical for any worker count (Params.Workers; 0 = all CPUs).
+//     decompose into independent sweep points (delay values, Rabi
+//     amplitude scales, AllXY pairs, RB (length, trial) pairs,
+//     repetition-code round chunks); each point runs on its own
+//     core.Machine seeded with DeriveSeed(baseSeed, index) across a
+//     worker pool. The seeding contract makes results bit-identical for
+//     any worker count (Params.Workers; 0 = all CPUs) on both backends.
 package quma

@@ -22,8 +22,9 @@ import (
 
 func main() {
 	var (
-		rounds = flag.Int("rounds", 300, "shots per variant per memory time")
-		seed   = flag.Int64("seed", 3, "PRNG seed")
+		rounds  = flag.Int("rounds", 300, "shots per variant per memory time")
+		seed    = flag.Int64("seed", 3, "PRNG seed")
+		backend = flag.String("backend", "density", "state backend for the memory sweep (density or trajectory)")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 	for _, waitCycles := range []int{400, 800, 1600, 3200} {
 		cfg := core.DefaultConfig()
 		cfg.Seed = *seed
+		cfg.Backend = core.Backend(*backend)
 		p := expt.DefaultRepCodeParams()
 		p.Rounds = *rounds
 		p.WaitCycles = waitCycles
@@ -59,4 +61,20 @@ func main() {
 			float64(waitCycles)*5e-3, res.PhysicalP, res.Unprotected, res.Uncorrected, res.Protected)
 	}
 	fmt.Println("\nexpected shape: corrected < bare for small p (≈3p² vs p)")
+
+	// Finally: the distance-5 code (9 qubits — only the trajectory
+	// backend can hold the register).
+	fmt.Println("\ndistance-5 code (9 qubits, trajectory backend):")
+	cfg := core.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Backend = core.BackendTrajectory
+	p := expt.DefaultRepCodeParams()
+	p.DataQubits = 5
+	p.Rounds = *rounds
+	p.WaitCycles = 800
+	res, err := expt.RunRepCode(cfg, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Table())
 }

@@ -404,7 +404,7 @@ func parseQubit(s string, m *isa.QubitMask) error {
 		return fmt.Errorf("invalid qubit %q", s)
 	}
 	n, err := strconv.Atoi(s[1:])
-	if err != nil || n < 0 || n > 7 {
+	if err != nil || n < 0 || n >= isa.MaxQubits {
 		return fmt.Errorf("invalid qubit %q", s)
 	}
 	*m = isa.MaskQ(n)

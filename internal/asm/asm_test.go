@@ -114,7 +114,7 @@ func TestAssembleErrors(t *testing.T) {
 	}{
 		{"unknown mnemonic", "frobnicate r1", "unknown mnemonic"},
 		{"bad register", "mov r99, 1", "invalid register"},
-		{"bad qubit", "Pulse {q9}, X180", "invalid qubit"},
+		{"bad qubit", "Pulse {q16}, X180", "invalid qubit"},
 		{"empty mask", "Pulse {}, X180", "empty qubit set"},
 		{"missing brace", "Pulse q0, X180", "invalid qubit set"},
 		{"undefined label", "bne r1, r2, Nowhere", "undefined label"},

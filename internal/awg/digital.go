@@ -7,13 +7,19 @@ import (
 	"quma/internal/clock"
 )
 
+// NumDigitalOutputs is the output count of the simulated master
+// controller. The paper's box has 8; the simulation matches the widened
+// 16-qubit instruction-set address so trajectory-backend registers stay
+// measurable.
+const NumDigitalOutputs = 16
+
 // DigitalOutputUnit models the master controller's digital output stage
 // (paper §7.1): it converts a measurement-operation tuple (QAddr, D)
-// into a logic '1' of duration D cycles on each of the eight digital
-// outputs selected by QAddr. On the real box these outputs gate the
+// into a logic '1' of duration D cycles on each of the digital outputs
+// selected by QAddr. On the real box these outputs gate the
 // pulse-modulated microwave sources that produce measurement pulses.
 type DigitalOutputUnit struct {
-	intervals [8][]HighInterval
+	intervals [NumDigitalOutputs][]HighInterval
 }
 
 // HighInterval is one '1' period on a digital output.
@@ -27,14 +33,14 @@ func NewDigitalOutputUnit() *DigitalOutputUnit { return &DigitalOutputUnit{} }
 
 // Trigger raises the outputs in mask for duration cycles starting at
 // cycle at. mask bit q drives output q.
-func (d *DigitalOutputUnit) Trigger(mask uint8, duration, at clock.Cycle) error {
+func (d *DigitalOutputUnit) Trigger(mask uint16, duration, at clock.Cycle) error {
 	if duration == 0 {
 		return fmt.Errorf("awg: digital trigger needs positive duration")
 	}
 	if mask == 0 {
 		return fmt.Errorf("awg: digital trigger needs a non-empty mask")
 	}
-	for ch := 0; ch < 8; ch++ {
+	for ch := 0; ch < NumDigitalOutputs; ch++ {
 		if mask&(1<<ch) != 0 {
 			d.intervals[ch] = append(d.intervals[ch], HighInterval{Start: at, End: at + duration})
 		}
@@ -44,7 +50,7 @@ func (d *DigitalOutputUnit) Trigger(mask uint8, duration, at clock.Cycle) error 
 
 // High reports whether output ch is '1' at cycle t.
 func (d *DigitalOutputUnit) High(ch int, t clock.Cycle) bool {
-	if ch < 0 || ch > 7 {
+	if ch < 0 || ch >= NumDigitalOutputs {
 		return false
 	}
 	for _, iv := range d.intervals[ch] {
@@ -58,7 +64,7 @@ func (d *DigitalOutputUnit) High(ch int, t clock.Cycle) bool {
 // Intervals returns output ch's '1' periods merged and sorted; abutting
 // or overlapping triggers coalesce, as the physical OR of levels would.
 func (d *DigitalOutputUnit) Intervals(ch int) []HighInterval {
-	if ch < 0 || ch > 7 || len(d.intervals[ch]) == 0 {
+	if ch < 0 || ch >= NumDigitalOutputs || len(d.intervals[ch]) == 0 {
 		return nil
 	}
 	ivs := append([]HighInterval{}, d.intervals[ch]...)

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"quma/internal/qphys"
+)
+
+func TestBackendSelection(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.State.(*qphys.Density); !ok {
+		t.Errorf("default backend state is %T, want *qphys.Density", m.State)
+	}
+
+	cfg.Backend = BackendTrajectory
+	m, err = New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.State.(*qphys.Trajectory); !ok {
+		t.Errorf("trajectory backend state is %T, want *qphys.Trajectory", m.State)
+	}
+
+	cfg.Backend = "tensor-network"
+	if _, err := New(cfg); err == nil {
+		t.Error("unknown backend must fail")
+	}
+}
+
+func TestBackendQubitCaps(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumQubits = 9
+	if _, err := New(cfg); err == nil {
+		t.Error("density backend must reject 9 qubits")
+	}
+	cfg.Backend = BackendTrajectory
+	cfg.NumQubits = 16
+	if _, err := New(cfg); err != nil {
+		t.Errorf("trajectory backend must allow 16 qubits: %v", err)
+	}
+	cfg.NumQubits = 17
+	if _, err := New(cfg); err == nil {
+		t.Error("trajectory backend must reject 17 qubits")
+	}
+}
+
+func TestTrajectoryMachineRunsPipeline(t *testing.T) {
+	// The full pipeline (microcode, CTPG, MDU, feedback) on the
+	// trajectory backend: a noiseless CNOT truth table must be exact.
+	cfg := DefaultConfig()
+	cfg.Backend = BackendTrajectory
+	cfg.NumQubits = 2
+	cfg.Qubit = []qphys.QubitParams{{}, {}}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.RunAssembly("Wait 8\nPulse {q0}, X180\nWait 4\nApply2 CNOT, q1, q0\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.State.ProbExcited(1); math.Abs(p-1) > 1e-3 {
+		t.Errorf("CNOT on trajectory backend: P(q1=1) = %v, want 1", p)
+	}
+	if pur := m.State.Purity(); math.Abs(pur-1) > 1e-9 {
+		t.Errorf("purity = %v, want 1", pur)
+	}
+}
+
+func TestTrajectoryMachineDeterministicPerSeed(t *testing.T) {
+	// Same seed → identical trajectory, including measurement feedback;
+	// different seed → (here) a different measured register is likely but
+	// not guaranteed, so only the equality half is asserted.
+	run := func(seed int64) (int64, float64) {
+		cfg := DefaultConfig()
+		cfg.Backend = BackendTrajectory
+		cfg.Seed = seed
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = m.RunAssembly(`
+Wait 40000
+Pulse {q0}, X90
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+Wait 340
+halt
+`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Controller.Regs[7], m.State.ProbExcited(0)
+	}
+	r1, p1 := run(42)
+	r2, p2 := run(42)
+	if r1 != r2 || p1 != p2 {
+		t.Errorf("same seed diverged: (%d, %v) vs (%d, %v)", r1, p1, r2, p2)
+	}
+	// The post-measurement state must be collapsed onto the outcome.
+	if p1 != float64(r1) {
+		t.Errorf("collapsed P(|1⟩) = %v, outcome = %d", p1, r1)
+	}
+}
+
+func TestSixteenQubitGHZOnTrajectory(t *testing.T) {
+	// A 16-qubit GHZ chain through the microcoded CNOT path — double the
+	// paper's 8-output box, and 4^16 beyond the density backend.
+	cfg := DefaultConfig()
+	cfg.Backend = BackendTrajectory
+	cfg.NumQubits = 16
+	cfg.Qubit = make([]qphys.QubitParams, 16) // noiseless
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prog strings.Builder
+	prog.WriteString("Wait 8\nApply H, q0\n")
+	for q := 1; q < 16; q++ {
+		fmt.Fprintf(&prog, "Apply2 CNOT, q%d, q%d\n", q, q-1)
+	}
+	prog.WriteString("halt")
+	if err := m.RunAssembly(prog.String()); err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 16; q++ {
+		if p := m.State.ProbExcited(q); math.Abs(p-0.5) > 2e-3 {
+			t.Fatalf("GHZ q%d: P(|1⟩) = %v, want 0.5", q, p)
+		}
+	}
+	// Marginals of a GHZ state are maximally mixed.
+	r := m.State.ReducedQubit(8)
+	if pur := real(r.Mul(r).Trace()); math.Abs(pur-0.5) > 2e-3 {
+		t.Errorf("GHZ marginal purity = %v, want 0.5", pur)
+	}
+}

@@ -30,11 +30,44 @@ import (
 	"quma/internal/uop"
 )
 
+// Backend selects the quantum-state substrate the machine evolves. The
+// instruction pipeline is substrate-agnostic: it only touches the state
+// through the qphys.State interface.
+type Backend string
+
+const (
+	// BackendDensity is the exact density-matrix backend: O(4^n) memory,
+	// every channel applied as a full Kraus sum, register size 1–8.
+	// It is the default (an empty Backend value selects it).
+	BackendDensity Backend = "density"
+	// BackendTrajectory is the pure-state Monte-Carlo backend: O(2^n)
+	// memory, one Kraus operator sampled per channel application from the
+	// machine's deterministic PRNG, register size 1–16. Exact in
+	// expectation over shots; use it for multi-shot experiments that need
+	// more qubits or more speed than the density backend affords.
+	BackendTrajectory Backend = "trajectory"
+)
+
+// maxQubits returns the backend's register-size ceiling.
+func (b Backend) maxQubits() (int, error) {
+	switch b {
+	case "", BackendDensity:
+		return 8, nil
+	case BackendTrajectory:
+		return isa.MaxQubits, nil
+	}
+	return 0, fmt.Errorf("core: unknown backend %q (want %q or %q)", b, BackendDensity, BackendTrajectory)
+}
+
 // Config describes a QuMA machine instance.
 type Config struct {
-	// NumQubits is the simulated register size (1–8; the control box has
-	// 8 digital outputs and three AWG boards in the paper).
+	// NumQubits is the simulated register size. The density backend
+	// allows 1–8 (the control box has 8 digital outputs and three AWG
+	// boards in the paper); the trajectory backend extends the simulated
+	// chip to 1–16.
 	NumQubits int
+	// Backend selects the quantum-state substrate (empty = density).
+	Backend Backend
 	// Qubit holds per-qubit coherence/control parameters; missing entries
 	// default to qphys.DefaultQubitParams. After New the values are
 	// captured by the machine's decoherence-channel cache — change them
@@ -90,12 +123,18 @@ type Machine struct {
 	Digital    *awg.DigitalOutputUnit
 	MDU        *readout.MDU
 	Collector  *readout.DataCollector
-	State      *qphys.Density
+	// State is the quantum register, behind the pluggable backend
+	// interface — the concrete type is chosen by Cfg.Backend.
+	State qphys.State
 
 	rng      *rand.Rand
 	lastTime []clock.Sample // per-qubit time up to which physics advanced
 	trace    []TraceEntry
-	rotCache map[rotKey]rotVal
+	// ssbPeriod is the single-sideband period in samples when it is an
+	// integer number of samples (the cacheable case), else 0. Computed
+	// once in New; rotationOf reads it on every pulse.
+	ssbPeriod clock.Sample
+	rotCache  map[rotKey]rotVal
 	// decoCache memoizes the decoherence Kraus set (and detuning rotation)
 	// per (qubit, idle duration): advance recomputes identical channels
 	// millions of times per experiment, and building one allocates ~10
@@ -135,8 +174,12 @@ type decoVal struct {
 // to every CTPG, fills the micro-operation units with pass-through
 // entries, calibrates the MDU, and loads the standard Q control store.
 func New(cfg Config) (*Machine, error) {
-	if cfg.NumQubits < 1 || cfg.NumQubits > 8 {
-		return nil, fmt.Errorf("core: NumQubits %d out of range 1..8", cfg.NumQubits)
+	maxQ, err := cfg.Backend.maxQubits()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NumQubits < 1 || cfg.NumQubits > maxQ {
+		return nil, fmt.Errorf("core: NumQubits %d out of range 1..%d for backend %q", cfg.NumQubits, maxQ, cfg.Backend)
 	}
 	if cfg.SSBHz == 0 {
 		cfg.SSBHz = pulse.DefaultSSBHz
@@ -151,11 +194,23 @@ func New(cfg Config) (*Machine, error) {
 	m := &Machine{
 		Cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		State:     qphys.NewDensity(cfg.NumQubits),
 		lastTime:  make([]clock.Sample, cfg.NumQubits),
 		rotCache:  make(map[rotKey]rotVal),
 		decoCache: make(map[decoKey]decoVal),
 		cz:        qphys.CZ(),
+	}
+	// The trajectory backend samples Kraus operators from the machine's
+	// own PRNG — the same stream measurement draws from — so a fixed
+	// Config.Seed fixes the whole trajectory.
+	if cfg.Backend == BackendTrajectory {
+		m.State = qphys.NewTrajectory(cfg.NumQubits, m.rng)
+	} else {
+		m.State = qphys.NewDensity(cfg.NumQubits)
+	}
+	// cfg.SSBHz was defaulted above, so only a non-integral period (in
+	// samples) leaves ssbPeriod at 0 — the uncacheable demodulation case.
+	if p := math.Abs(1e9 / cfg.SSBHz); p == math.Trunc(p) {
+		m.ssbPeriod = clock.Sample(p)
 	}
 	for q := 0; q < cfg.NumQubits; q++ {
 		c := awg.NewCTPG()
@@ -352,17 +407,12 @@ func (m *Machine) applyPlayback(q int, pb awg.Playback) {
 
 // rotationOf demodulates the played waveform at its absolute start time.
 // Since the waveform content is fixed per codeword, the result depends
-// only on the start time modulo the SSB period, which makes it cacheable —
-// including the rotation matrix itself, so the steady-state pulse path
-// performs no demodulation and no allocation.
+// only on the start time modulo the SSB period (hoisted into m.ssbPeriod
+// by New), which makes it cacheable — including the rotation matrix
+// itself, so the steady-state pulse path performs no demodulation and no
+// allocation.
 func (m *Machine) rotationOf(q int, pb awg.Playback) rotVal {
-	period := clock.Sample(0)
-	if m.Cfg.SSBHz != 0 {
-		p := math.Abs(1e9 / m.Cfg.SSBHz)
-		if p == math.Trunc(p) {
-			period = clock.Sample(p)
-		}
-	}
+	period := m.ssbPeriod
 	if period == 0 {
 		phi, theta := pulse.Rotation(pb.Wave, m.Cfg.SSBHz, pb.Start)
 		return rotVal{phi: phi, theta: theta, mat: qphys.REquator(phi, theta)}
@@ -384,7 +434,7 @@ func (m *Machine) rotationOf(q int, pb awg.Playback) rotVal {
 // accounted for in onMD, which fires at the same time point in the
 // paper's programs.
 func (m *Machine) onMPG(e exec.MPGEvent, td clock.Cycle) {
-	if err := m.Digital.Trigger(uint8(e.Qubits), e.Duration, td); err != nil {
+	if err := m.Digital.Trigger(uint16(e.Qubits), e.Duration, td); err != nil {
 		m.fail(err)
 		return
 	}

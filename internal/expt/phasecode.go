@@ -167,6 +167,9 @@ func RunPhaseCode(cfg core.Config, p RepCodeParams) (*PhaseCodeResult, error) {
 	if p.Rounds <= 0 {
 		return nil, fmt.Errorf("expt: Rounds must be positive")
 	}
+	if d := p.dataQubits(); d != 3 {
+		return nil, fmt.Errorf("expt: the phase code is fixed at 3 data qubits, got %d", d)
+	}
 	cfg.NumQubits = 5
 	if len(cfg.Qubit) == 0 {
 		for i := 0; i < 5; i++ {

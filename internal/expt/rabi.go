@@ -35,6 +35,9 @@ type RabiParams struct {
 	// InitCycles and MeasureCycles as in the other experiments.
 	InitCycles    int
 	MeasureCycles int
+	// Workers bounds the sweep parallelism across scale points (0 = one
+	// worker per CPU). Results are identical for any value; see sweep.go.
+	Workers int
 }
 
 // DefaultRabiParams sweeps 0..1.1× the nominal π amplitude in 23 steps
@@ -61,10 +64,14 @@ type RabiResult struct {
 	PiScale float64
 }
 
-// RunRabi sweeps the drive amplitude on a machine built from cfg. The
-// machine's AmplitudeError (if any) shifts the apparent π point, which
-// is exactly what the calibration detects: the fitted PiScale times the
-// nominal amplitude is the corrected calibration.
+// RunRabi sweeps the drive amplitude on the parallel sweep engine: each
+// scale point runs on its own machine seeded with DeriveSeed(cfg.Seed,
+// point), with the scaled pulse uploaded into the machine's spare LUT
+// entry before the shots. The machine's AmplitudeError (if any) shifts
+// the apparent π point, which is exactly what the calibration detects:
+// the fitted PiScale times the nominal amplitude is the corrected
+// calibration. The fixed-phase fit (fit.FitRabi) keeps the extraction
+// robust to the per-point shot noise that independent seeding introduces.
 func RunRabi(cfg core.Config, p RabiParams) (*RabiResult, error) {
 	if len(p.Scales) < 8 || p.Rounds <= 0 {
 		return nil, fmt.Errorf("expt: Rabi sweep needs ≥8 scales and ≥1 round")
@@ -72,36 +79,41 @@ func RunRabi(cfg core.Config, p RabiParams) (*RabiResult, error) {
 	if cfg.NumQubits <= p.Qubit {
 		cfg.NumQubits = p.Qubit + 1
 	}
-	m, err := core.New(cfg)
-	if err != nil {
-		return nil, err
-	}
 	// The machine applies its own AmplitudeError to the standard
 	// library; the sweep reproduces that by scaling the nominal π pulse
 	// and re-synthesizing with the same error knob.
 	nominal := awg.StandardPulse{Codeword: RabiCodeword, Name: "RABI", Phi: 0, Theta: 3.141592653589793}
-	m.UOp.DefinePrimitive("RABI", RabiCodeword)
 
-	res := &RabiResult{Params: p}
 	var program strings.Builder
 	fmt.Fprintf(&program, "mov r15, %d\nmov r1, 0\nmov r2, %d\nmov r9, 0\n", p.InitCycles, p.Rounds)
 	fmt.Fprintf(&program, "Loop:\nQNopReg r15\nPulse {q%d}, RABI\nWait 4\nMPG {q%d}, %d\nMD {q%d}, r7\nadd r9, r9, r7\naddi r1, r1, 1\nbne r1, r2, Loop\nhalt\n",
 		p.Qubit, p.Qubit, p.MeasureCycles, p.Qubit)
 	src := program.String()
 
-	for _, s := range p.Scales {
+	res := &RabiResult{Params: p, Excited: make([]float64, len(p.Scales))}
+	err := runPool(len(p.Scales), p.Workers, func(i int) error {
+		c := sweepConfig(cfg, DeriveSeed(cfg.Seed, i))
+		m, err := core.New(c)
+		if err != nil {
+			return err
+		}
+		m.UOp.DefinePrimitive("RABI", RabiCodeword)
 		scaled := nominal
-		scaled.Theta = nominal.Theta * s
+		scaled.Theta = nominal.Theta * p.Scales[i]
 		w := awg.SynthesizeStandard(scaled, m.Cfg.SSBHz, cfg.AmplitudeError)
 		if err := m.UploadPulse(p.Qubit, RabiCodeword, "RABI", w); err != nil {
-			return nil, fmt.Errorf("expt: uploading scale %.3f: %w", s, err)
+			return fmt.Errorf("expt: uploading scale %.3f: %w", p.Scales[i], err)
 		}
 		if err := m.RunAssembly(src); err != nil {
-			return nil, err
+			return err
 		}
-		res.Excited = append(res.Excited, float64(m.Controller.Regs[9])/float64(p.Rounds))
+		res.Excited[i] = float64(m.Controller.Regs[9]) / float64(p.Rounds)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	f, err := fit.FitDampedCosine(p.Scales, res.Excited)
+	f, err := fit.FitRabi(p.Scales, res.Excited)
 	if err != nil {
 		return nil, fmt.Errorf("expt: Rabi fit: %w", err)
 	}

@@ -9,18 +9,25 @@ import (
 	"quma/internal/qphys"
 )
 
-// Repetition-code experiment: the three-qubit bit-flip code whose
+// Repetition-code experiment: the distance-d bit-flip code whose
 // hardware demonstrations ([22, 23] in the paper) motivate a control
 // microarchitecture with fast measurement discrimination and feedback.
-// One round encodes |1⟩_L = |111⟩ across data qubits q0..q2, waits a
-// memory time τ (T1 decay supplies physical bit flips), extracts the two
-// parity syndromes into ancillas q3/q4 through microcoded CNOTs,
+// One round encodes |1⟩_L = |1…1⟩ across data qubits q0..q(d−1), waits a
+// memory time τ (T1 decay supplies physical bit flips), extracts the d−1
+// adjacent-pair parity syndromes into ancillas through microcoded CNOTs,
 // branches on the measured syndromes to apply the correction pulse, and
 // finally reads out the data qubits with a classical majority vote —
-// every step running through the full QuMA pipeline.
+// every step running through the full QuMA pipeline. d = 3 is the
+// paper-era demonstration; d ≥ 5 (9+ total qubits) is only reachable on
+// the trajectory backend, past the density-matrix memory wall.
 
 // RepCodeParams configures the memory experiment.
 type RepCodeParams struct {
+	// DataQubits is the code distance d: the number of data qubits. It
+	// must be odd (majority vote) with 3 ≤ d ≤ 7; zero selects 3. The
+	// experiment uses 2d−1 qubits in total (d data + d−1 ancillas), so
+	// d ≥ 5 requires the trajectory backend.
+	DataQubits int
 	// Rounds is the number of protected/unprotected shots.
 	Rounds int
 	// WaitCycles is the memory time τ in cycles.
@@ -33,6 +40,19 @@ type RepCodeParams struct {
 	// worker per CPU). Results are identical for any value; see sweep.go.
 	Workers int
 }
+
+// dataQubits resolves the code distance, defaulting to 3.
+func (p RepCodeParams) dataQubits() int {
+	if p.DataQubits == 0 {
+		return 3
+	}
+	return p.DataQubits
+}
+
+// repSyndromeRegs is the register pool holding ancilla readouts during
+// decoding (r7/r8 are the historical 3-qubit slots; the rest are free in
+// the generated programs). Its length caps DataQubits at 7.
+var repSyndromeRegs = []int{7, 8, 3, 4, 10, 14}
 
 // repCodeChunkRounds is the number of shots each parallel sweep job runs.
 // The partition of Rounds into chunks is fixed (chunkRounds), independent
@@ -47,28 +67,31 @@ func DefaultRepCodeParams() RepCodeParams {
 	return RepCodeParams{Rounds: 300, WaitCycles: 1600, InitCycles: 40000, MeasureCycles: 300}
 }
 
-// repCodeProgram builds the protected-memory program. inject names an
-// explicit error location ("", "q0", "q1", "q2") applied after encoding
-// — used by the deterministic syndrome tests; the memory experiment
-// leaves it empty and lets T1 supply errors. correct=false skips the
-// feedback pulses (syndromes are still measured), isolating the value of
-// correction.
+// repCodeProgram builds the protected-memory program for d data qubits.
+// inject names an explicit error location ("", "q0", …) applied after
+// encoding — used by the deterministic syndrome tests; the memory
+// experiment leaves it empty and lets T1 supply errors. correct=false
+// skips the feedback pulses (syndromes are still measured), isolating
+// the value of correction.
 func repCodeProgram(p RepCodeParams, inject string, correct bool) string {
+	d := p.dataQubits()
+	syn := repSyndromeRegs[:d-1]
 	var b strings.Builder
 	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
 	w("mov r15, %d", p.InitCycles)
 	w("mov r1, 0")
 	w("mov r2, %d", p.Rounds)
 	w("mov r6, 0       # constant 0")
-	w("mov r5, 2       # majority threshold")
+	w("mov r5, %d      # majority threshold", (d+1)/2)
 	w("mov r13, 0      # logical error counter")
 	w("Round_Loop:")
 	w("QNopReg r15")
 	// Encode |1⟩_L.
 	w("Pulse {q0}, X180")
 	w("Wait 4")
-	w("Apply2 CNOT, q1, q0")
-	w("Apply2 CNOT, q2, q0")
+	for i := 1; i < d; i++ {
+		w("Apply2 CNOT, q%d, q0", i)
+	}
 	if inject != "" {
 		w("Pulse {%s}, X180   # injected error", inject)
 		w("Wait 4")
@@ -77,39 +100,66 @@ func repCodeProgram(p RepCodeParams, inject string, correct bool) string {
 	if p.WaitCycles > 0 {
 		w("Wait %d", p.WaitCycles)
 	}
-	// Syndrome extraction: a0 (q3) = d0⊕d1, a1 (q4) = d1⊕d2.
-	w("Apply2 CNOT, q3, q0")
-	w("Apply2 CNOT, q3, q1")
-	w("Apply2 CNOT, q4, q1")
-	w("Apply2 CNOT, q4, q2")
-	w("Measure q3, r7")
-	w("Measure q4, r8")
+	// Syndrome extraction: ancilla a_j (qubit d+j) = d_j ⊕ d_{j+1}.
+	for j := 0; j < d-1; j++ {
+		w("Apply2 CNOT, q%d, q%d", d+j, j)
+		w("Apply2 CNOT, q%d, q%d", d+j, j+1)
+	}
+	for j := 0; j < d-1; j++ {
+		w("Measure q%d, r%d", d+j, syn[j])
+	}
 	w("Wait 340          # integration + discrimination latency")
 	if correct {
-		// Decode: (s0,s1) = (1,0)→q0, (1,1)→q1, (0,1)→q2.
-		w("beq r7, r6, S0_Zero")
-		w("beq r8, r6, Flip_D0")
-		w("Pulse {q1}, X180")
-		w("Wait 4")
-		w("jmp Readout")
-		w("Flip_D0:")
-		w("Pulse {q0}, X180")
-		w("Wait 4")
-		w("jmp Readout")
-		w("S0_Zero:")
-		w("beq r8, r6, Readout")
-		w("Pulse {q2}, X180")
-		w("Wait 4")
+		// Decode by matching each single-error syndrome pattern: an X on
+		// data qubit i fires exactly the adjacent syndromes {i−1, i}. For
+		// d = 3 this is the textbook table (1,0)→q0, (1,1)→q1, (0,1)→q2;
+		// unmatched (multi-error) patterns fall through uncorrected.
+		for i := 0; i < d; i++ {
+			next := fmt.Sprintf("Try_%d", i+1)
+			if i == d-1 {
+				next = "Readout"
+			}
+			if i > 0 {
+				w("Try_%d:", i)
+			}
+			for j := 0; j < d-1; j++ {
+				if j == i-1 || j == i {
+					w("beq r%d, r6, %s", syn[j], next)
+				} else {
+					w("bne r%d, r6, %s", syn[j], next)
+				}
+			}
+			w("Pulse {q%d}, X180", i)
+			w("Wait 4")
+			if i < d-1 {
+				w("jmp Readout")
+			}
+		}
 		w("Readout:")
 	}
-	w("Measure q0, r9")
-	w("Measure q1, r10")
-	w("Measure q2, r11")
-	w("Wait 340")
-	// Majority vote: logical 1 iff at least two data qubits read 1.
-	w("add r12, r9, r10")
-	w("add r12, r12, r11")
-	w("blt r12, r5, Logical_Flip   # fewer than 2 ones: logical error")
+	// Data readout + majority vote: logical 1 iff a majority reads 1.
+	if d == 3 {
+		// Keep the historical dedicated registers so the injection test
+		// can inspect each data qubit.
+		w("Measure q0, r9")
+		w("Measure q1, r10")
+		w("Measure q2, r11")
+		w("Wait 340")
+		w("add r12, r9, r10")
+		w("add r12, r12, r11")
+	} else {
+		// Wider codes read the data qubits sequentially through one
+		// register: each readout must retire (Wait covers integration +
+		// discrimination latency) before its register is accumulated and
+		// the next measurement opens a fresh time point.
+		w("mov r12, 0")
+		for i := 0; i < d; i++ {
+			w("Measure q%d, r9", i)
+			w("Wait 340")
+			w("add r12, r12, r9")
+		}
+	}
+	w("blt r12, r5, Logical_Flip   # below majority: logical error")
 	w("jmp Next_Round")
 	w("Logical_Flip:")
 	w("addi r13, r13, 1")
@@ -201,13 +251,18 @@ type RepCodeResult struct {
 // machines and reports their logical error rates. Rounds are partitioned
 // into fixed chunks and every (variant, chunk) pair runs on its own
 // machine — seeded with DeriveSeed2(cfg.Seed, variant, chunk) — on the
-// parallel sweep engine.
+// parallel sweep engine. cfg.Backend selects the state substrate;
+// p.DataQubits ≥ 5 (9+ total qubits) requires core.BackendTrajectory.
 func RunRepCode(cfg core.Config, p RepCodeParams) (*RepCodeResult, error) {
 	if p.Rounds <= 0 {
 		return nil, fmt.Errorf("expt: Rounds must be positive")
 	}
-	cfg.NumQubits = 5
-	for len(cfg.Qubit) < 5 {
+	d := p.dataQubits()
+	if d%2 == 0 || d < 3 || d > len(repSyndromeRegs)+1 {
+		return nil, fmt.Errorf("expt: DataQubits must be odd in 3..%d, got %d", len(repSyndromeRegs)+1, d)
+	}
+	cfg.NumQubits = 2*d - 1
+	for len(cfg.Qubit) < cfg.NumQubits {
 		cfg.Qubit = append(cfg.Qubit, qphys.DefaultQubitParams())
 	}
 	variants := []func(rounds int) string{

@@ -15,6 +15,10 @@ package expt
 //     results and errors are bit-identical regardless of worker count.
 //   - Config values handed to workers are deep-copied (the Qubit slice is
 //     the only reference field) so concurrent machines share nothing.
+//   - cfg.Backend rides through the copy: every experiment runs on either
+//     state backend unchanged. The trajectory backend samples its Kraus
+//     unwinding from the per-point machine PRNG, so the bit-identical
+//     contract holds there too.
 
 import (
 	"runtime"

@@ -245,6 +245,80 @@ func FitDampedCosine(x, y []float64) (DampedCosine, error) {
 	return d, nil
 }
 
+// FitRabi fits the fixed-phase Rabi model y = C − A·cos(2πf·x) with
+// A ≥ 0: an amplitude sweep starting at zero drive must start at the
+// bottom of its fringe, so the phase is pinned rather than fitted. That
+// makes the fit variance-robust — for any candidate frequency the model
+// is *linear* in (A, C) and solved in closed form, and only f is
+// searched, so shot noise on individual points cannot steer the
+// optimizer into the phase/amplitude degeneracies the free five-
+// parameter damped-cosine fit is prone to. The result is returned as an
+// undamped DampedCosine (Tau = +Inf, Phase = π).
+func FitRabi(x, y []float64) (DampedCosine, error) {
+	if len(x) != len(y) || len(x) < 8 {
+		return DampedCosine{}, errors.New("fit: need at least eight matched points")
+	}
+	span := x[len(x)-1] - x[0]
+	if span <= 0 {
+		return DampedCosine{}, errors.New("fit: x span must be positive")
+	}
+	maxF := float64(len(x)-1) / (2 * span) // Nyquist for roughly uniform sampling
+	// For fixed f solve min Σ (C − A·cos(2πf·x_i) − y_i)² by the 2×2
+	// normal equations over basis {1, −cos}.
+	solveAt := func(f float64) (amp, off, resid float64) {
+		var sb, sbb, sy, sby float64
+		n := float64(len(x))
+		for i := range x {
+			b := -math.Cos(2 * math.Pi * f * x[i])
+			sb += b
+			sbb += b * b
+			sy += y[i]
+			sby += b * y[i]
+		}
+		det := n*sbb - sb*sb
+		if math.Abs(det) < 1e-12 {
+			return 0, sy / n, math.Inf(1)
+		}
+		amp = (n*sby - sb*sy) / det
+		if amp < 0 {
+			// An inverted fringe violates the pinned phase (zero drive
+			// sits at the bottom); the best admissible fit at this f is
+			// the flat model, which the scan will discard.
+			amp = 0
+		}
+		off = (sy - amp*sb) / n
+		for i := range x {
+			d := off - amp*math.Cos(2*math.Pi*f*x[i]) - y[i]
+			resid += d * d
+		}
+		return amp, off, resid
+	}
+	const coarse = 800
+	bestF, bestR := 0.0, math.Inf(1)
+	for k := 1; k <= coarse; k++ {
+		f := maxF * float64(k) / coarse
+		if _, _, r := solveAt(f); r < bestR {
+			bestR, bestF = r, f
+		}
+	}
+	// Fine scan one coarse step around the winner.
+	step := maxF / coarse
+	for k := -50; k <= 50; k++ {
+		f := bestF + step*float64(k)/50
+		if f <= 0 {
+			continue
+		}
+		if _, _, r := solveAt(f); r < bestR {
+			bestR, bestF = r, f
+		}
+	}
+	amp, off, _ := solveAt(bestF)
+	if amp == 0 {
+		return DampedCosine{}, errors.New("fit: no oscillation consistent with a pinned-phase Rabi fringe")
+	}
+	return DampedCosine{A: amp, Tau: math.Inf(1), Freq: bestF, Phase: math.Pi, C: off}, nil
+}
+
 // RBDecay holds the randomized-benchmarking model F(m) = A·p^m + B.
 type RBDecay struct {
 	A, P, B float64

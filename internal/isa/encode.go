@@ -98,6 +98,17 @@ func (t *SymbolTable) SortedNames() []string {
 	return out
 }
 
+// encQAddr narrows a qubit mask into the binary format's 8-bit QAddr
+// field. In-memory programs address MaxQubits qubits, but the 32-bit word
+// layout keeps the paper's field widths, so wide masks are only reachable
+// through the assembly path.
+func encQAddr(in Instruction) (uint32, error) {
+	if in.QAddr > 0xff {
+		return 0, fmt.Errorf("isa: qubit mask %s exceeds the 8-qubit binary QAddr field in %q", in.QAddr, in)
+	}
+	return uint32(in.QAddr), nil
+}
+
 // Encode packs the instruction into a 32-bit word. Names are interned
 // into the symbol table on the fly.
 func Encode(in Instruction, syms *SymbolTable) (uint32, error) {
@@ -134,9 +145,17 @@ func Encode(in Instruction, syms *SymbolTable) (uint32, error) {
 	case OpQNopReg, OpWaitReg:
 		return w | uint32(in.Rs)<<19, nil
 	case OpPulse, OpApply, OpApply2:
+		qaddr, err := encQAddr(in)
+		if err != nil {
+			return 0, err
+		}
 		id := syms.Intern(in.UOp)
-		return w | uint32(in.QAddr)<<19 | uint32(id)<<11, nil
+		return w | qaddr<<19 | uint32(id)<<11, nil
 	case OpMPG:
+		qaddr, err := encQAddr(in)
+		if err != nil {
+			return 0, err
+		}
 		imm, err := encImm(in.Imm)
 		if err != nil {
 			return 0, err
@@ -144,9 +163,13 @@ func Encode(in Instruction, syms *SymbolTable) (uint32, error) {
 		if imm&^uint32((1<<11)-1) != 0 {
 			return 0, fmt.Errorf("isa: MPG duration %d exceeds 11-bit field", in.Imm)
 		}
-		return w | uint32(in.QAddr)<<19 | imm, nil
+		return w | qaddr<<19 | imm, nil
 	case OpMD, OpMeasure:
-		return w | uint32(in.QAddr)<<19 | uint32(in.Rd)<<15, nil
+		qaddr, err := encQAddr(in)
+		if err != nil {
+			return 0, err
+		}
+		return w | qaddr<<19 | uint32(in.Rd)<<15, nil
 	}
 	return 0, fmt.Errorf("isa: no encoding for opcode %s", in.Op)
 }

@@ -29,16 +29,23 @@ func (r Reg) String() string { return fmt.Sprintf("r%d", r) }
 // Valid reports whether the register index is in range.
 func (r Reg) Valid() bool { return r < NumRegs }
 
+// MaxQubits is the widest qubit address the instruction set carries. The
+// paper's control box has 8 digital outputs; the simulated box doubles
+// the address width so trajectory-backend registers (which scale past the
+// density-matrix wall) stay addressable.
+const MaxQubits = 16
+
 // QubitMask selects the qubits addressed by a horizontal quantum
 // instruction — the paper's QAddr field. Bit q set means qubit q is
-// targeted. Up to 8 qubits, matching the control box's 8 digital outputs.
-type QubitMask uint8
+// targeted. Up to MaxQubits qubits; the 32-bit binary encoding keeps the
+// paper's 8-bit QAddr field and rejects wider masks (see encode.go).
+type QubitMask uint16
 
 // MaskQ returns a mask selecting the given qubits.
 func MaskQ(qubits ...int) QubitMask {
 	var m QubitMask
 	for _, q := range qubits {
-		if q < 0 || q > 7 {
+		if q < 0 || q >= MaxQubits {
 			panic(fmt.Sprintf("isa: qubit index %d out of range", q))
 		}
 		m |= 1 << q
@@ -49,7 +56,7 @@ func MaskQ(qubits ...int) QubitMask {
 // Qubits returns the selected qubit indices in ascending order.
 func (m QubitMask) Qubits() []int {
 	var out []int
-	for q := 0; q < 8; q++ {
+	for q := 0; q < MaxQubits; q++ {
 		if m&(1<<q) != 0 {
 			out = append(out, q)
 		}
@@ -58,7 +65,7 @@ func (m QubitMask) Qubits() []int {
 }
 
 // Contains reports whether qubit q is selected.
-func (m QubitMask) Contains(q int) bool { return q >= 0 && q < 8 && m&(1<<q) != 0 }
+func (m QubitMask) Contains(q int) bool { return q >= 0 && q < MaxQubits && m&(1<<q) != 0 }
 
 func (m QubitMask) String() string {
 	qs := m.Qubits()

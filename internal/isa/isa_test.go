@@ -24,10 +24,28 @@ func TestMaskQ(t *testing.T) {
 func TestMaskQPanicsOutOfRange(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("expected panic for qubit 8")
+			t.Fatal("expected panic for qubit 16")
 		}
 	}()
-	MaskQ(8)
+	MaskQ(MaxQubits)
+}
+
+func TestMaskQAddressesSixteenQubits(t *testing.T) {
+	m := MaskQ(8, 15)
+	if !m.Contains(8) || !m.Contains(15) || m.Contains(7) {
+		t.Errorf("mask = %016b", m)
+	}
+	if qs := m.Qubits(); len(qs) != 2 || qs[0] != 8 || qs[1] != 15 {
+		t.Errorf("qubits = %v", m.Qubits())
+	}
+}
+
+func TestEncodeRejectsWideMask(t *testing.T) {
+	syms := StandardSymbols()
+	in := Instruction{Op: OpPulse, QAddr: MaskQ(9), UOp: "X180"}
+	if _, err := Encode(in, syms); err == nil {
+		t.Error("binary encoding must reject masks beyond the 8-bit QAddr field")
+	}
 }
 
 func TestInstructionStringsMatchPaperSyntax(t *testing.T) {

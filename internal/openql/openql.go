@@ -153,8 +153,8 @@ func (p *Program) Add(k *Kernel) *Program {
 
 // CompileText emits the assembly source.
 func (p *Program) CompileText() (string, error) {
-	if p.NumQubits < 1 || p.NumQubits > 8 {
-		return "", fmt.Errorf("openql: program needs 1..8 qubits, got %d", p.NumQubits)
+	if p.NumQubits < 1 || p.NumQubits > isa.MaxQubits {
+		return "", fmt.Errorf("openql: program needs 1..%d qubits, got %d", isa.MaxQubits, p.NumQubits)
 	}
 	if len(p.kernels) == 0 {
 		return "", fmt.Errorf("openql: program %q has no kernels", p.Name)

@@ -8,9 +8,11 @@ import (
 
 // Density is the density matrix of an n-qubit register. Qubit 0 is the
 // most significant bit of the basis index. The register starts in |0…0⟩.
+// It is the exact backend: channels are applied as full Kraus sums, so a
+// single run reproduces ensemble averages, at O(4^n) memory.
 type Density struct {
-	NumQubits int
-	Rho       Matrix
+	nq  int
+	Rho Matrix
 	// scratchA/scratchB are reusable full-register buffers for the dense
 	// Apply/ApplyKraus paths, allocated lazily and kept across calls so
 	// steady-state evolution does not touch the heap. The single- and
@@ -26,8 +28,11 @@ func NewDensity(n int) *Density {
 	}
 	rho := NewMatrix(1 << n)
 	rho.Data[0] = 1
-	return &Density{NumQubits: n, Rho: rho}
+	return &Density{nq: n, Rho: rho}
 }
+
+// NumQubits returns the register size.
+func (d *Density) NumQubits() int { return d.nq }
 
 // Reset returns the register to |0…0⟩.
 func (d *Density) Reset() {
@@ -89,7 +94,7 @@ func (d *Density) Purity() float64 { return real(d.Rho.Mul(d.Rho).Trace()) }
 // ProbExcited returns the probability of reading qubit q as |1⟩.
 func (d *Density) ProbExcited(q int) float64 {
 	n := d.Rho.N
-	bit := d.NumQubits - 1 - q
+	bit := d.nq - 1 - q
 	var p float64
 	for i := 0; i < n; i++ {
 		if (i>>bit)&1 == 1 {
@@ -123,7 +128,7 @@ func (d *Density) Measure(q int, rng *rand.Rand) int {
 // in the projected-and-renormalized-by-epsilon state closest to it.
 func (d *Density) Project(q, outcome int) {
 	n := d.Rho.N
-	bit := d.NumQubits - 1 - q
+	bit := d.nq - 1 - q
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if (i>>bit)&1 != outcome || (j>>bit)&1 != outcome {
@@ -161,7 +166,7 @@ func (d *Density) BlochVector(q int) (x, y, z float64) {
 func (d *Density) ReducedQubit(q int) Matrix {
 	out := NewMatrix(2)
 	n := d.Rho.N
-	bit := d.NumQubits - 1 - q
+	bit := d.nq - 1 - q
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			// Keep only elements where all other qubits agree.

@@ -25,11 +25,11 @@ func (d *Density) Apply1(u Matrix, q int) {
 	if u.N != 2 {
 		panic("qphys: Apply1 requires a single-qubit gate")
 	}
-	if q < 0 || q >= d.NumQubits {
-		panic(fmt.Sprintf("qphys: Apply1 qubit %d out of range 0..%d", q, d.NumQubits-1))
+	if q < 0 || q >= d.nq {
+		panic(fmt.Sprintf("qphys: Apply1 qubit %d out of range 0..%d", q, d.nq-1))
 	}
 	dim := d.Rho.N
-	mask := 1 << (d.NumQubits - 1 - q)
+	mask := 1 << (d.nq - 1 - q)
 	u00, u01, u10, u11 := u.Data[0], u.Data[1], u.Data[2], u.Data[3]
 	c00, c01 := cmplx.Conj(u00), cmplx.Conj(u01)
 	c10, c11 := cmplx.Conj(u10), cmplx.Conj(u11)
@@ -71,7 +71,7 @@ func (d *Density) Apply2(u Matrix, qa, qb int) {
 	if qa == qb {
 		panic("qphys: Apply2 requires distinct qubits")
 	}
-	n := d.NumQubits
+	n := d.nq
 	if qa < 0 || qa >= n || qb < 0 || qb >= n {
 		panic(fmt.Sprintf("qphys: Apply2 qubits (%d,%d) out of range 0..%d", qa, qb, n-1))
 	}
@@ -130,8 +130,8 @@ func (d *Density) Apply2(u Matrix, qa, qb int) {
 // over operators is accumulated per block, so no scratch matrix is
 // needed. O(4^n·len(ops)), no allocation for len(ops) ≤ 16.
 func (d *Density) ApplyKraus1(ops []Matrix, q int) {
-	if q < 0 || q >= d.NumQubits {
-		panic(fmt.Sprintf("qphys: ApplyKraus1 qubit %d out of range 0..%d", q, d.NumQubits-1))
+	if q < 0 || q >= d.nq {
+		panic(fmt.Sprintf("qphys: ApplyKraus1 qubit %d out of range 0..%d", q, d.nq-1))
 	}
 	for _, k := range ops {
 		if k.N != 2 {
@@ -141,7 +141,7 @@ func (d *Density) ApplyKraus1(ops []Matrix, q int) {
 	if len(ops) > maxKraus1 {
 		lifted := make([]Matrix, len(ops))
 		for i, k := range ops {
-			lifted[i] = Embed(k, q, d.NumQubits)
+			lifted[i] = Embed(k, q, d.nq)
 		}
 		d.ApplyKraus(lifted)
 		return
@@ -154,7 +154,7 @@ func (d *Density) ApplyKraus1(ops []Matrix, q int) {
 		}
 	}
 	dim := d.Rho.N
-	mask := 1 << (d.NumQubits - 1 - q)
+	mask := 1 << (d.nq - 1 - q)
 	rho := d.Rho.Data
 	for i0 := 0; i0 < dim; i0++ {
 		if i0&mask != 0 {

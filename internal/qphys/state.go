@@ -1,0 +1,56 @@
+package qphys
+
+import "math/rand"
+
+// State is the contract between the control machine (package core) and a
+// quantum-state backend. The instruction pipeline only ever evolves the
+// register through these operations, so backends with different
+// cost/accuracy trade-offs are interchangeable:
+//
+//   - Density (O(4^n) memory) applies channels exactly: one run yields
+//     ensemble averages, and the register may be mixed.
+//   - Trajectory (O(2^n) memory) keeps a pure statevector and unwinds
+//     each channel by sampling one Kraus operator, so per-shot results
+//     are a Monte-Carlo sample that is exact in expectation.
+//
+// Contract notes shared by all implementations:
+//
+//   - Qubit 0 is the most significant bit of the basis index, and the
+//     register starts in |0…0⟩.
+//   - Apply1/Apply2/ApplyKraus1 must not allocate in steady state; they
+//     are the per-gate hot path of every shot of every experiment.
+//   - ApplyKraus1 takes a physical channel (Σ K†K = I). Backends that
+//     sample (Trajectory) draw from the PRNG bound at construction, so a
+//     fixed seed fixes the whole trajectory.
+//   - Measure consumes exactly one variate from the supplied PRNG and
+//     collapses the state, mirroring dispersive-readout back-action.
+type State interface {
+	// NumQubits returns the register size.
+	NumQubits() int
+	// Reset returns the register to |0…0⟩.
+	Reset()
+	// Apply1 applies a single-qubit unitary to qubit q in place.
+	Apply1(u Matrix, q int)
+	// Apply2 applies a two-qubit unitary to (qa, qb) in place; the basis
+	// order matches Embed2 (qa is the high bit).
+	Apply2(u Matrix, qa, qb int)
+	// ApplyKraus1 applies a single-qubit channel to qubit q.
+	ApplyKraus1(ops []Matrix, q int)
+	// Measure projectively measures qubit q using rng and collapses the
+	// state, returning the binary outcome.
+	Measure(q int, rng *rand.Rand) int
+	// ProbExcited returns P(|1⟩) for qubit q.
+	ProbExcited(q int) float64
+	// ExpectationZ returns ⟨Z⟩ for qubit q.
+	ExpectationZ(q int) float64
+	// Purity returns Tr(ρ²) of the represented state.
+	Purity() float64
+	// ReducedQubit returns the 2×2 reduced density matrix of qubit q
+	// (diagnostic path; may allocate).
+	ReducedQubit(q int) Matrix
+}
+
+var (
+	_ State = (*Density)(nil)
+	_ State = (*Trajectory)(nil)
+)

@@ -1,0 +1,298 @@
+package qphys
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// Trajectory is a pure-state Monte-Carlo backend: it stores the 2^n
+// statevector of an n-qubit register (qubit 0 is the most significant bit
+// of the basis index) and unwinds every quantum channel by sampling a
+// single Kraus operator per application, weighted by the Born rule. Each
+// run is therefore one stochastic trajectory whose ensemble average over
+// seeds reproduces the Density backend exactly, at O(2^n) instead of
+// O(4^n) memory — repetition-code and RB-style scenarios scale past the
+// density-matrix wall toward ~16 qubits.
+//
+// The unitary kernels are in-place block updates with the same zero-
+// allocation discipline as the Density kernels (see kernels.go); the
+// property tests in trajectory_test.go pin them to Density at 1e-12.
+type Trajectory struct {
+	nq  int
+	Psi []complex128
+	// rng drives Kraus-operator sampling. It is bound at construction —
+	// the machine hands over its deterministic PRNG — so a fixed seed
+	// fixes the whole trajectory, which keeps sweep results
+	// bit-reproducible for any worker count.
+	rng *rand.Rand
+}
+
+// maxTrajectoryQubits bounds the register size: 2^20 amplitudes (16 MiB)
+// is still cheap, and the ISA's qubit masks stop at 16 anyway.
+const maxTrajectoryQubits = 20
+
+// NewTrajectory returns an n-qubit register initialized to |0…0⟩ whose
+// channel sampling draws from rng.
+func NewTrajectory(n int, rng *rand.Rand) *Trajectory {
+	if n < 1 || n > maxTrajectoryQubits {
+		panic(fmt.Sprintf("qphys: unsupported trajectory register size %d", n))
+	}
+	psi := make([]complex128, 1<<n)
+	psi[0] = 1
+	return &Trajectory{nq: n, Psi: psi, rng: rng}
+}
+
+// NumQubits returns the register size.
+func (t *Trajectory) NumQubits() int { return t.nq }
+
+// Dim returns the Hilbert-space dimension 2^n.
+func (t *Trajectory) Dim() int { return len(t.Psi) }
+
+// Reset returns the register to |0…0⟩.
+func (t *Trajectory) Reset() {
+	for i := range t.Psi {
+		t.Psi[i] = 0
+	}
+	t.Psi[0] = 1
+}
+
+// Apply1 applies a single-qubit unitary to qubit q in place: for every
+// amplitude pair differing only in q's bit, |ψ⟩ is updated by the 2×2
+// block. O(2^n), no allocation.
+func (t *Trajectory) Apply1(u Matrix, q int) {
+	if u.N != 2 {
+		panic("qphys: Apply1 requires a single-qubit gate")
+	}
+	if q < 0 || q >= t.nq {
+		panic(fmt.Sprintf("qphys: Apply1 qubit %d out of range 0..%d", q, t.nq-1))
+	}
+	mask := 1 << (t.nq - 1 - q)
+	u00, u01, u10, u11 := u.Data[0], u.Data[1], u.Data[2], u.Data[3]
+	psi := t.Psi
+	for i0 := range psi {
+		if i0&mask != 0 {
+			continue
+		}
+		i1 := i0 | mask
+		a0, a1 := psi[i0], psi[i1]
+		psi[i0] = u00*a0 + u01*a1
+		psi[i1] = u10*a0 + u11*a1
+	}
+}
+
+// Apply2 applies a two-qubit unitary to qubits (qa, qb) in place. The
+// basis order of u matches Embed2: index = bit(qa)·2 + bit(qb), so qa is
+// the control of CNOT. O(2^n·4), no allocation.
+func (t *Trajectory) Apply2(u Matrix, qa, qb int) {
+	if u.N != 4 {
+		panic("qphys: Apply2 requires a two-qubit gate")
+	}
+	if qa == qb {
+		panic("qphys: Apply2 requires distinct qubits")
+	}
+	if qa < 0 || qa >= t.nq || qb < 0 || qb >= t.nq {
+		panic(fmt.Sprintf("qphys: Apply2 qubits (%d,%d) out of range 0..%d", qa, qb, t.nq-1))
+	}
+	ma := 1 << (t.nq - 1 - qa)
+	mb := 1 << (t.nq - 1 - qb)
+	both := ma | mb
+	off := [4]int{0, mb, ma, ma | mb}
+	psi := t.Psi
+	for base := range psi {
+		if base&both != 0 {
+			continue
+		}
+		var a, out [4]complex128
+		for s := 0; s < 4; s++ {
+			a[s] = psi[base|off[s]]
+		}
+		for s := 0; s < 4; s++ {
+			us := u.Data[s*4:]
+			out[s] = us[0]*a[0] + us[1]*a[1] + us[2]*a[2] + us[3]*a[3]
+		}
+		for s := 0; s < 4; s++ {
+			psi[base|off[s]] = out[s]
+		}
+	}
+}
+
+// ApplyKraus1 applies a single-qubit channel to qubit q by Monte-Carlo
+// unraveling: operator K_k is selected with the Born probability
+// p_k = ‖K_k|ψ⟩‖² (the operators must satisfy Σ K†K = I, so Σ p_k = 1)
+// and the state becomes K_k|ψ⟩/√p_k. Exact in expectation over the bound
+// PRNG. O(2^n·k) worst case, no allocation.
+func (t *Trajectory) ApplyKraus1(ops []Matrix, q int) {
+	if q < 0 || q >= t.nq {
+		panic(fmt.Sprintf("qphys: ApplyKraus1 qubit %d out of range 0..%d", q, t.nq-1))
+	}
+	for _, k := range ops {
+		if k.N != 2 {
+			panic("qphys: ApplyKraus1 requires single-qubit operators")
+		}
+	}
+	if len(ops) == 1 {
+		// A single operator of a physical channel must be (a phase times)
+		// a unitary; apply it directly without drawing a variate.
+		t.Apply1(ops[0], q)
+		return
+	}
+	mask := 1 << (t.nq - 1 - q)
+	psi := t.Psi
+	r := t.rng.Float64()
+	cum := 0.0
+	chosen := -1
+	lastPositive := -1
+	var lastP float64
+	for ki, k := range ops {
+		k00, k01, k10, k11 := k.Data[0], k.Data[1], k.Data[2], k.Data[3]
+		var p float64
+		for i0 := range psi {
+			if i0&mask != 0 {
+				continue
+			}
+			i1 := i0 | mask
+			a0, a1 := psi[i0], psi[i1]
+			b0 := k00*a0 + k01*a1
+			b1 := k10*a0 + k11*a1
+			p += real(b0)*real(b0) + imag(b0)*imag(b0) +
+				real(b1)*real(b1) + imag(b1)*imag(b1)
+		}
+		if p > 0 {
+			lastPositive, lastP = ki, p
+		}
+		cum += p
+		if r < cum {
+			chosen, lastP = ki, p
+			break
+		}
+	}
+	if chosen < 0 {
+		// Numerical leftover pushed the cumulative sum just below r; fall
+		// back to the last operator with nonzero weight.
+		if lastPositive < 0 {
+			return
+		}
+		chosen = lastPositive
+	}
+	k := ops[chosen]
+	k00, k01, k10, k11 := k.Data[0], k.Data[1], k.Data[2], k.Data[3]
+	inv := complex(1/math.Sqrt(lastP), 0)
+	for i0 := range psi {
+		if i0&mask != 0 {
+			continue
+		}
+		i1 := i0 | mask
+		a0, a1 := psi[i0], psi[i1]
+		psi[i0] = (k00*a0 + k01*a1) * inv
+		psi[i1] = (k10*a0 + k11*a1) * inv
+	}
+}
+
+// ProbExcited returns the probability of reading qubit q as |1⟩.
+func (t *Trajectory) ProbExcited(q int) float64 {
+	bit := t.nq - 1 - q
+	var p float64
+	for i, a := range t.Psi {
+		if (i>>bit)&1 == 1 {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	return clampProb(p)
+}
+
+// ExpectationZ returns ⟨Z⟩ for qubit q.
+func (t *Trajectory) ExpectationZ(q int) float64 {
+	return 1 - 2*t.ProbExcited(q)
+}
+
+// Measure performs a projective measurement of qubit q using the supplied
+// PRNG, collapses the state, and returns the binary outcome.
+func (t *Trajectory) Measure(q int, rng *rand.Rand) int {
+	p1 := t.ProbExcited(q)
+	outcome := 0
+	if rng.Float64() < p1 {
+		outcome = 1
+	}
+	t.Project(q, outcome)
+	return outcome
+}
+
+// Project collapses qubit q onto the given outcome and renormalizes. A
+// (numerically) zero-probability outcome resets the register to the basis
+// state consistent with it, mirroring Density.Project.
+func (t *Trajectory) Project(q, outcome int) {
+	bit := t.nq - 1 - q
+	var p float64
+	for i, a := range t.Psi {
+		if (i>>bit)&1 == outcome {
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	if p < 1e-15 {
+		t.Reset()
+		if outcome == 1 {
+			t.Apply1(PauliX(), q)
+		}
+		return
+	}
+	inv := complex(1/math.Sqrt(p), 0)
+	for i := range t.Psi {
+		if (i>>bit)&1 != outcome {
+			t.Psi[i] = 0
+		} else {
+			t.Psi[i] *= inv
+		}
+	}
+}
+
+// Norm returns ‖ψ‖, which must stay 1 for any physical evolution.
+func (t *Trajectory) Norm() float64 {
+	var s float64
+	for _, a := range t.Psi {
+		s += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(s)
+}
+
+// Purity returns Tr(ρ²) of the represented state: 1 for any normalized
+// pure state, so this reports (‖ψ‖²)² and flags norm drift.
+func (t *Trajectory) Purity() float64 {
+	n := t.Norm()
+	return n * n * n * n
+}
+
+// ReducedQubit returns the 2×2 reduced density matrix of qubit q.
+func (t *Trajectory) ReducedQubit(q int) Matrix {
+	out := NewMatrix(2)
+	bit := t.nq - 1 - q
+	for i, a := range t.Psi {
+		if a == 0 {
+			continue
+		}
+		j := i ^ (1 << bit)
+		ib := (i >> bit) & 1
+		out.Data[ib*2+ib] += a * cmplx.Conj(a)
+		if b := t.Psi[j]; b != 0 {
+			out.Data[ib*2+(1-ib)] += a * cmplx.Conj(b)
+		}
+	}
+	return out
+}
+
+// DensityMatrix returns |ψ⟩⟨ψ| as a dense matrix — the bridge used by the
+// property tests to compare against the Density backend.
+func (t *Trajectory) DensityMatrix() Matrix {
+	n := len(t.Psi)
+	out := NewMatrix(n)
+	for i, a := range t.Psi {
+		if a == 0 {
+			continue
+		}
+		for j, b := range t.Psi {
+			out.Data[i*n+j] = a * cmplx.Conj(b)
+		}
+	}
+	return out
+}
