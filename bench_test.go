@@ -25,6 +25,7 @@ import (
 	"quma/internal/pulse"
 	"quma/internal/qphys"
 	"quma/internal/readout"
+	"quma/internal/replay"
 	"quma/internal/timing"
 	"quma/internal/uop"
 )
@@ -774,6 +775,101 @@ func BenchmarkBackendRepCode9Q(b *testing.B) {
 		protected = res.Protected
 	}
 	b.ReportMetric(protected, "protected-err")
+}
+
+// --- Shot-replay engine benchmarks (full simulation vs replay) ---
+//
+// Each pair runs the same experiment at equal shot count with the engine
+// forced off (every shot through fetch/decode/QMB/timing queues) and in
+// auto mode (leading shots recorded, the rest replayed against the state
+// backend). Results are bit-identical by the engine contract; only ns/op
+// moves.
+
+// BenchmarkReplayRB runs randomized benchmarking — the pulse-heaviest
+// replay-safe workload (up to ~350 pulses per shot at m=128) — on both
+// backends.
+func BenchmarkReplayRB(b *testing.B) {
+	for _, backend := range []core.Backend{core.BackendDensity, core.BackendTrajectory} {
+		for _, mode := range []replay.Mode{replay.ModeOff, replay.ModeAuto} {
+			name := "full"
+			if mode == replay.ModeAuto {
+				name = "replay"
+			}
+			b.Run(string(backend)+"/"+name, func(b *testing.B) {
+				var epc float64
+				for i := 0; i < b.N; i++ {
+					cfg := core.DefaultConfig()
+					cfg.Backend = backend
+					cfg.Seed = int64(i + 1)
+					p := expt.DefaultRBParams()
+					p.Trials = 3
+					p.Rounds = 120
+					p.Replay = mode
+					res, err := expt.RunRB(cfg, p)
+					if err != nil {
+						b.Fatal(err)
+					}
+					epc = res.Fit.ErrorPerClifford()
+				}
+				b.ReportMetric(epc, "err/Clifford")
+			})
+		}
+	}
+}
+
+// BenchmarkReplayRepCode drives the syndromes-only repetition-code memory
+// round (encode, CNOT syndrome extraction, 5 measurements per shot)
+// directly through the engine at equal shot count — the workload the
+// ≥5× replay acceptance target is measured on (trajectory backend).
+func BenchmarkReplayRepCode(b *testing.B) {
+	p := expt.DefaultRepCodeParams()
+	src := expt.RepCodeShotProgram(p, false)
+	prog := asm.MustAssemble(src)
+	const shots = 400
+	for _, backend := range []core.Backend{core.BackendDensity, core.BackendTrajectory} {
+		cfg := core.DefaultConfig()
+		cfg.Backend = backend
+		cfg.NumQubits = 5
+		m, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []replay.Mode{replay.ModeOff, replay.ModeAuto} {
+			name := "full"
+			if mode == replay.ModeAuto {
+				name = "replay"
+			}
+			b.Run(string(backend)+"/"+name, func(b *testing.B) {
+				var logicalErr float64
+				for i := 0; i < b.N; i++ {
+					m.ResetState(int64(i + 1))
+					errs := 0
+					st, err := replay.Run(m, prog, replay.Options{
+						Shots: shots,
+						Mode:  mode,
+						OnShot: func(_ int, md []replay.MD) {
+							ones := 0
+							for _, r := range md[len(md)-3:] {
+								ones += r.Result
+							}
+							if ones < 2 {
+								errs++
+							}
+						},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if mode == replay.ModeAuto && !st.Safe {
+						b.Fatalf("syndromes-only round must be replay-safe: %+v", st)
+					}
+					logicalErr = float64(errs) / shots
+				}
+				b.ReportMetric(logicalErr, "logical-err")
+				b.ReportMetric(shots, "shots")
+			})
+		}
+	}
 }
 
 // BenchmarkSweepEngine measures the parallel sweep engine on the T1

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkReplayRepCode/trajectory/replay-8   \t 12\t  9123456 ns/op\t  1024 B/op\t 12 allocs/op\t 0.031 corrected-err")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkReplayRepCode/trajectory/replay" {
+		t.Errorf("name = %q", r.Name)
+	}
+	if r.Iterations != 12 || r.NsPerOp != 9123456 || r.BytesPerOp != 1024 || r.AllocsPerOp != 12 {
+		t.Errorf("metrics = %+v", r)
+	}
+	if r.Metrics["corrected-err"] != 0.031 {
+		t.Errorf("custom metric missing: %+v", r.Metrics)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"ok  \tquma\t1.2s",
+		"PASS",
+		"goos: linux",
+		"BenchmarkBroken notanumber",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("line %q parsed as benchmark", line)
+		}
+	}
+}
+
+func TestParseLineKeepsSubBenchDashes(t *testing.T) {
+	// A trailing -N is GOMAXPROCS; an interior dash in the name is not.
+	r, ok := parseLine("BenchmarkTimingControllerEventDriven/interval-40000-8 100 5 ns/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if r.Name != "BenchmarkTimingControllerEventDriven/interval-40000" {
+		t.Errorf("name = %q", r.Name)
+	}
+}

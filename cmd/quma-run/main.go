@@ -3,9 +3,21 @@
 // registers, measurement counts, averaged integration results, and
 // (optionally) the deterministic-domain event timeline.
 //
+// With -shots N > 1 the program runs N times on one machine through the
+// shot-replay engine (internal/replay): the classical pipeline is
+// simulated for the leading shots and, when the program is detected
+// replay-safe, the recorded quantum schedule is replayed for the rest —
+// bit-identical results, order-of-magnitude faster on shot-heavy
+// programs. -replay=off forces full per-shot simulation. Note that
+// replayed shots perform no classical execution, so final register
+// contents reflect the last fully simulated shot; programs whose
+// registers matter are detected unsafe and fall back automatically.
+//
 // Usage:
 //
 //	quma-run [-qubits N] [-backend density|trajectory] [-seed S] [-trace] [-collect K] prog.qasm
+//	quma-run -shots 10000 -replay auto prog.qasm
+//	quma-run -cpuprofile cpu.pprof -shots 10000 prog.qasm
 //	quma-run -bin prog.bin          # hex words from quma-asm
 package main
 
@@ -13,21 +25,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
+	"quma/internal/asm"
 	"quma/internal/core"
 	"quma/internal/isa"
+	"quma/internal/replay"
 )
 
 func main() {
 	var (
-		qubits  = flag.Int("qubits", 1, "number of simulated qubits (1-8 density, 1-16 trajectory)")
-		backend = flag.String("backend", "density", "quantum-state backend: density (exact, O(4^n)) or trajectory (Monte-Carlo statevector, O(2^n))")
-		seed    = flag.Int64("seed", 1, "PRNG seed")
-		trace   = flag.Bool("trace", false, "print the deterministic-domain event timeline")
-		collect = flag.Int("collect", 0, "enable the data collection unit with K results per round")
-		amperr  = flag.Float64("amp-error", 0, "fractional pulse amplitude miscalibration ε")
-		binary  = flag.Bool("bin", false, "input is a binary (hex words) produced by quma-asm")
+		qubits     = flag.Int("qubits", 1, "number of simulated qubits (1-8 density, 1-16 trajectory)")
+		backend    = flag.String("backend", "density", "quantum-state backend: density (exact, O(4^n)) or trajectory (Monte-Carlo statevector, O(2^n))")
+		seed       = flag.Int64("seed", 1, "PRNG seed")
+		trace      = flag.Bool("trace", false, "print the deterministic-domain event timeline")
+		collect    = flag.Int("collect", 0, "enable the data collection unit with K results per round")
+		amperr     = flag.Float64("amp-error", 0, "fractional pulse amplitude miscalibration ε")
+		binary     = flag.Bool("bin", false, "input is a binary (hex words) produced by quma-asm")
+		shots      = flag.Int("shots", 1, "number of times to run the program on one machine (the shot loop of an experiment)")
+		replayMode = flag.String("replay", "auto", "shot-replay engine mode: auto (replay when safe) or off (full simulation per shot)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -37,6 +57,22 @@ func main() {
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fail(err)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+		// fail() exits the process, which would skip the deferred flush
+		// and truncate the profile — precisely when profiling a failing
+		// hot path. Flush before any error exit.
+		cpuProfiling = true
 	}
 
 	cfg := core.DefaultConfig()
@@ -51,6 +87,8 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+
+	var prog *isa.Program
 	if *binary {
 		var words []uint32
 		for lineNo, line := range strings.Split(string(src), "\n") {
@@ -64,15 +102,28 @@ func main() {
 			}
 			words = append(words, word)
 		}
-		prog, err := isa.DecodeProgram(words, isa.StandardSymbols())
-		if err != nil {
-			fail(err)
-		}
+		prog, err = isa.DecodeProgram(words, isa.StandardSymbols())
+	} else {
+		prog, err = asm.Assemble(string(src))
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	if *shots <= 1 {
 		if err := m.RunProgram(prog); err != nil {
 			fail(err)
 		}
-	} else if err := m.RunAssembly(string(src)); err != nil {
-		fail(err)
+	} else {
+		stats, err := replay.Run(m, prog, replay.Options{Shots: *shots, Mode: replay.Mode(*replayMode)})
+		if err != nil {
+			fail(err)
+		}
+		if stats.Safe {
+			fmt.Printf("shot-replay engine: %d/%d shots replayed from the recorded schedule\n", stats.Replayed, stats.Shots)
+		} else {
+			fmt.Printf("shot-replay engine: full simulation (%s)\n", stats.Reason)
+		}
 	}
 
 	fmt.Printf("program completed: %d instructions executed\n", m.Controller.Steps)
@@ -99,9 +150,28 @@ func main() {
 			fmt.Println("  " + e.String())
 		}
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
+	}
 }
 
+// cpuProfiling records that a CPU profile is active, so fail can flush
+// it before os.Exit skips the deferred stop.
+var cpuProfiling bool
+
 func fail(err error) {
+	if cpuProfiling {
+		pprof.StopCPUProfile()
+	}
 	fmt.Fprintln(os.Stderr, "quma-run:", err)
 	os.Exit(1)
 }

@@ -44,7 +44,7 @@
 //
 // # Simulator performance architecture
 //
-// The simulated chip is the hot path, and three layers keep it fast:
+// The simulated chip is the hot path, and several layers keep it fast:
 //
 //   - In-place sparse gate kernels (internal/qphys/kernels.go and
 //     trajectory.go). A k-qubit gate only couples basis indices differing
@@ -52,9 +52,14 @@
 //     in place — O(4^n) per single-qubit gate on Density, O(2^n) on
 //     Trajectory — with zero heap allocation in steady state (the
 //     full-register Apply/ApplyKraus paths reuse scratch buffers held on
-//     Density). New evolution code must use these kernels, not dense
-//     embedding; kernels_test.go holds the property tests pinning them
-//     to the dense reference.
+//     Density). The trajectory kernels additionally exploit operator
+//     structure: channels whose operators are all diagonal or
+//     anti-diagonal (every DecoherenceChannel) price all candidates from
+//     one population pass, and diagonal two-qubit unitaries (the CZ flux
+//     pulse) touch only the amplitudes their non-unit entries scale. New
+//     evolution code must use these kernels, not dense embedding;
+//     kernels_test.go holds the property tests pinning them to the dense
+//     reference.
 //
 //   - Channel caches in core.Machine. advance() memoizes the decoherence
 //     Kraus set and detuning rotation per (qubit, idle duration), the
@@ -63,11 +68,63 @@
 //     once in New — the steady-state shot loop performs no channel
 //     construction, no demodulation, and no allocation.
 //
+//   - The analytic readout path. The measurement chain samples the
+//     matched-filter integration result S directly from its exact
+//     sampling distribution (readout.MDU.SampleMeasure: S is Gaussian
+//     with mean Re[mean·W] and sd σ·|W|/√n), consuming one PRNG variate
+//     where per-sample trace synthesis consumed 2n — identical
+//     statistics (assignment fidelity, collector averages), pinned to
+//     the trace path by distribution tests. SynthesizeTrace remains the
+//     sample-level reference and the multiplexed-readout route.
+//
 //   - The parallel sweep engine (internal/expt/sweep.go). Experiments
 //     decompose into independent sweep points (delay values, Rabi
 //     amplitude scales, AllXY pairs, RB (length, trial) pairs,
-//     repetition-code round chunks); each point runs on its own
+//     repetition-code round chunks); each point runs on a pooled
 //     core.Machine seeded with DeriveSeed(baseSeed, index) across a
-//     worker pool. The seeding contract makes results bit-identical for
-//     any worker count (Params.Workers; 0 = all CPUs) on both backends.
+//     worker pool. Machines are reused across points via
+//     Machine.ResetState (bit-identical to a fresh construction), each
+//     distinct program text assembles once per sweep, and the seeding
+//     contract makes results bit-identical for any worker count
+//     (Params.Workers; 0 = all CPUs) on both backends.
+//
+// # Shot-replay execution engine
+//
+// internal/replay exploits the paper's own architectural split — a
+// deterministic classical microarchitecture driving a stochastic quantum
+// substrate — to avoid re-simulating the deterministic half per shot.
+// The shot loop of every experiment lives in the engine (replay.Run with
+// Shots as a parameter), not in the assembly Round_Loop. In ModeAuto the
+// engine runs three leading shots through the full pipeline (shot 0
+// carries the cold-start transient; shots 1 and 2 are recorded via
+// core.Probe), then replays the recorded quantum schedule — idle
+// channels, pulse rotations, flux unitaries, measurement chains — against
+// the state backend for all remaining shots.
+//
+// Invariants:
+//
+//   - Safety detection is conservative and two-fold. The execution
+//     controller tracks measurement-tainted and cross-shot register
+//     state (exec.Controller.ReplayUnsafeReason): any classical
+//     consumption of a measurement result (feedback) or of state
+//     surviving from a previous shot marks the program unsafe. And the
+//     two recorded steady-state schedules must be identical, which also
+//     catches timing-induced drift (e.g. a shot period that is not a
+//     multiple of the SSB period, which would change demodulated
+//     rotations from shot to shot).
+//   - PRNG consumption order is preserved exactly: replay applies the
+//     same operations in the same TD order — trajectory channel
+//     sampling, projection, integration-noise draw — so replayed results
+//     are bit-identical to full simulation (enforced per experiment, per
+//     backend, per worker count by internal/expt/replay_test.go).
+//   - Unsafe programs transparently fall back to full per-shot
+//     simulation with identical results (examples/feedback, the
+//     corrected repetition code, and the phase code's active reset all
+//     exercise this). Correctness never depends on the detector saying
+//     yes.
+//   - Replayed shots perform no classical execution: controller
+//     registers, data memory, the digital-output log, and the trace
+//     timeline reflect only fully simulated shots. Results flow through
+//     the data collection unit and the engine's per-shot measurement
+//     stream, which replay maintains exactly.
 package quma

@@ -102,6 +102,28 @@ func DefaultConfig() Config {
 	}
 }
 
+// Probe observes the machine's quantum-operation stream in
+// deterministic-domain (TD) order: exactly the operations applied to the
+// State backend, in the order they consume the machine PRNG. The replay
+// engine (internal/replay) installs one to record per-shot schedules. A
+// nil probe costs one predictable branch per operation.
+type Probe interface {
+	// Idle reports an idle-advance channel application on qubit q: rz is
+	// the detuning rotation (N == 0 when absent) and kraus the decoherence
+	// Kraus set (nil when the channel is exactly the identity). Pure
+	// no-op advances are not reported.
+	Idle(q int, rz qphys.Matrix, kraus []qphys.Matrix)
+	// Pulse1 reports a played drive pulse on qubit q. u.N == 0 means the
+	// pulse was timing-only (zero rotation angle): no unitary was applied
+	// but the playback still counted toward PulsesPlayed.
+	Pulse1(u qphys.Matrix, q int)
+	// Gate2 reports a two-qubit flux-pulse unitary applied to (qa, qb).
+	Gate2(u qphys.Matrix, qa, qb int)
+	// Measured reports one completed per-qubit measurement chain and its
+	// binary discrimination result.
+	Measured(q, result int)
+}
+
 // TraceEntry is one event of the deterministic-domain timeline.
 type TraceEntry struct {
 	TD   clock.Cycle
@@ -141,6 +163,11 @@ type Machine struct {
 	// small matrices.
 	decoCache map[decoKey]decoVal
 	cz        qphys.Matrix // cached CZ unitary for the flux-pulse path
+	// cs is the Q control store loaded at construction, kept so
+	// ResetState can rebuild the execution layer without re-deriving it.
+	cs *microcode.ControlStore
+	// probe, when non-nil, observes the quantum-operation stream.
+	probe Probe
 	// PulsesPlayed counts codeword-triggered playbacks.
 	PulsesPlayed uint64
 	// Measurements counts MD events executed.
@@ -228,12 +255,60 @@ func New(cfg Config) (*Machine, error) {
 		m.Collector = readout.NewDataCollector(cfg.CollectK)
 	}
 
+	m.cs = microcode.StandardControlStore()
 	m.QMB = exec.NewQMB(m.onPulse, m.onMPG, nil)
-	m.Controller = exec.NewController(microcode.StandardControlStore(), m.QMB)
+	m.Controller = exec.NewController(m.cs, m.QMB)
 	// MD needs the controller for write-back, so it is wired afterwards.
 	m.QMB.MDQ.OnFire = m.onMD
 	return m, nil
 }
+
+// ResetState returns the machine to its just-constructed condition under a
+// new PRNG seed, without reconstructing what construction paid for:
+// calibrated CTPG lookup tables, micro-operation definitions, the MDU
+// calibration, and the rotation/decoherence caches all survive. The
+// quantum register, per-qubit clocks, deterministic-domain queues,
+// controller registers/memory, collector, playback logs, trace, and event
+// counters are cleared. A reset machine behaves bit-identically to a
+// fresh core.New with the same Config and seed, which is what lets the
+// sweep engine pool machines across points.
+//
+// Surviving LUT/µop state cuts both ways: custom UploadPulse /
+// DefinePrimitive calls made after construction also survive, so a
+// caller reusing a machine across sweep points must re-apply its
+// per-point customization unconditionally on every point (as RunRabi
+// does) — a conditional upload would leave a pooled machine playing the
+// previous point's waveform where a fresh machine would play the
+// library's.
+func (m *Machine) ResetState(seed int64) {
+	m.Cfg.Seed = seed
+	m.rng.Seed(seed)
+	// The State keeps its backend binding (the trajectory backend samples
+	// from m.rng, which stays the same object).
+	m.State.Reset()
+	for i := range m.lastTime {
+		m.lastTime[i] = 0
+	}
+	m.trace = nil
+	m.PulsesPlayed = 0
+	m.Measurements = 0
+	m.runErr = nil
+	m.probe = nil
+	for _, c := range m.CTPG {
+		c.ResetPlaybacks()
+	}
+	m.Digital = awg.NewDigitalOutputUnit()
+	if m.Collector != nil {
+		m.Collector.Reset()
+	}
+	m.QMB = exec.NewQMB(m.onPulse, m.onMPG, nil)
+	m.Controller = exec.NewController(m.cs, m.QMB)
+	m.QMB.MDQ.OnFire = m.onMD
+}
+
+// SetProbe installs (or removes, with nil) the quantum-operation stream
+// observer.
+func (m *Machine) SetProbe(p Probe) { m.probe = p }
 
 // RunAssembly assembles and runs a program, returning the first error
 // from either domain.
@@ -351,6 +426,13 @@ func (m *Machine) advance(q int, to clock.Sample) {
 	if !v.ident {
 		m.State.ApplyKraus1(v.ops, q)
 	}
+	if m.probe != nil && (v.rz.N != 0 || !v.ident) {
+		ops := v.ops
+		if v.ident {
+			ops = nil
+		}
+		m.probe.Idle(q, v.rz, ops)
+	}
 }
 
 // onPulse handles a fired pulse micro-operation: expand through the
@@ -369,6 +451,9 @@ func (m *Machine) onPulse(e exec.PulseEvent, td clock.Cycle) {
 		m.advance(qs[0], at)
 		m.advance(qs[1], at)
 		m.State.Apply2(m.cz, qs[0], qs[1])
+		if m.probe != nil {
+			m.probe.Gate2(m.cz, qs[0], qs[1])
+		}
 		m.tracef(td, "pulse", "CZ %s", e.Qubits)
 		m.PulsesPlayed++
 		return
@@ -401,6 +486,13 @@ func (m *Machine) applyPlayback(q int, pb awg.Playback) {
 	v := m.rotationOf(q, pb)
 	if v.theta != 0 {
 		m.State.Apply1(v.mat, q)
+	}
+	if m.probe != nil {
+		u := v.mat
+		if v.theta == 0 {
+			u = qphys.Matrix{}
+		}
+		m.probe.Pulse1(u, q)
 	}
 	m.PulsesPlayed++
 }
@@ -453,16 +545,13 @@ func (m *Machine) onMD(e exec.MDEvent, td clock.Cycle) {
 			return
 		}
 		m.advance(q, td.Samples())
-		outcome := m.State.Measure(q, m.rng)
-		trace := readout.SynthesizeTrace(m.Cfg.Readout, outcome, m.rng)
-		result, s := m.MDU.Measure(trace)
-		if m.Collector != nil {
-			m.Collector.Record(s)
+		result := m.MeasureQubit(q)
+		if m.probe != nil {
+			m.probe.Measured(q, result)
 		}
 		if result == 1 {
 			packed |= 1 << q
 		}
-		m.Measurements++
 		// The discrimination result is available Latency cycles after
 		// integration; physics time advances accordingly.
 		m.advance(q, (td + m.MDU.TotalLatency()).Samples())
@@ -474,6 +563,23 @@ func (m *Machine) onMD(e exec.MDEvent, td clock.Cycle) {
 	}
 	m.Controller.WriteReg(e.Rd, packed)
 	m.tracef(td, "md", "%s -> %s", e.Qubits, e.Rd)
+}
+
+// MeasureQubit runs the per-qubit measurement chain at the current state:
+// project the register, sample the matched-filter integration result from
+// its exact distribution (readout.MDU.SampleMeasure), record it in the
+// data collection unit, and return the binary discrimination result. It
+// consumes exactly two PRNG variates (projection + integration noise) —
+// the contract the replay engine relies on to keep replayed shots
+// bit-identical to full simulation. Shared by onMD and replay.
+func (m *Machine) MeasureQubit(q int) int {
+	outcome := m.State.Measure(q, m.rng)
+	result, s := m.MDU.SampleMeasure(outcome, m.rng)
+	if m.Collector != nil {
+		m.Collector.Record(s)
+	}
+	m.Measurements++
+	return result
 }
 
 func (m *Machine) tracef(td clock.Cycle, kind, format string, args ...any) {

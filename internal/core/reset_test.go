@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"quma/internal/qphys"
+)
+
+// resetProbeSrc exercises pulses, decoherence, measurement, and the data
+// collector in a short multi-round loop.
+const resetProbeSrc = `
+mov r15, 4000
+mov r1, 0
+mov r2, 20
+mov r9, 0
+Loop:
+QNopReg r15
+Pulse {q0}, X90
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+add r9, r9, r7
+addi r1, r1, 1
+bne r1, r2, Loop
+halt
+`
+
+// TestResetStateMatchesFreshMachine is the Machine.ResetState contract: a
+// reset machine behaves bit-identically to a freshly constructed one with
+// the same config and seed, on both backends, even after the machine has
+// run an unrelated program under a different seed.
+func TestResetStateMatchesFreshMachine(t *testing.T) {
+	for _, backend := range []Backend{BackendDensity, BackendTrajectory} {
+		t.Run(string(backend), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Backend = backend
+			cfg.CollectK = 1
+			cfg.Seed = 42
+
+			fresh, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.RunAssembly(resetProbeSrc); err != nil {
+				t.Fatal(err)
+			}
+
+			dirty := cfg
+			dirty.Seed = 99
+			reused, err := New(dirty)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := reused.RunAssembly(resetProbeSrc); err != nil {
+				t.Fatal(err)
+			}
+			reused.ResetState(42)
+			if err := reused.RunAssembly(resetProbeSrc); err != nil {
+				t.Fatal(err)
+			}
+
+			if fresh.Controller.Regs[9] != reused.Controller.Regs[9] {
+				t.Errorf("ones: fresh=%d reused=%d", fresh.Controller.Regs[9], reused.Controller.Regs[9])
+			}
+			fa, ra := fresh.Collector.Averages(), reused.Collector.Averages()
+			if fa[0] != ra[0] {
+				t.Errorf("collector average: fresh=%v reused=%v", fa[0], ra[0])
+			}
+			if fresh.PulsesPlayed != reused.PulsesPlayed || fresh.Measurements != reused.Measurements {
+				t.Errorf("counters: fresh=(%d,%d) reused=(%d,%d)",
+					fresh.PulsesPlayed, fresh.Measurements, reused.PulsesPlayed, reused.Measurements)
+			}
+			if p, q := fresh.State.ProbExcited(0), reused.State.ProbExcited(0); p != q {
+				t.Errorf("final state: fresh=%v reused=%v", p, q)
+			}
+		})
+	}
+}
+
+// TestResetStateKeepsCalibration: LUT content and qubit-parameter caches
+// survive a reset (that is the point of reusing the machine), while the
+// playback log and trace are cleared.
+func TestResetStateKeepsCalibration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TraceEvents = true
+	cfg.Qubit = []qphys.QubitParams{qphys.DefaultQubitParams()}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunAssembly("Wait 8\nPulse {q0}, X180\nWait 4\nhalt"); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.CTPG[0].Playbacks()) == 0 || len(m.Trace()) == 0 {
+		t.Fatal("probe program left no playbacks/trace")
+	}
+	before := m.MemoryFootprintBytes()
+	m.ResetState(7)
+	if len(m.CTPG[0].Playbacks()) != 0 {
+		t.Error("playback log not cleared")
+	}
+	if len(m.Trace()) != 0 {
+		t.Error("trace not cleared")
+	}
+	if got := m.MemoryFootprintBytes(); got != before {
+		t.Errorf("LUT footprint changed across reset: %d -> %d", before, got)
+	}
+	if p := m.State.ProbExcited(0); p != 0 {
+		t.Errorf("state not reset: P(|1>) = %v", p)
+	}
+}
+
+// TestResetStateKeepsCustomUploads pins the documented caveat: LUT
+// entries uploaded after construction survive a reset (reuse across
+// points therefore requires unconditional per-point re-upload, as
+// RunRabi does).
+func TestResetStateKeepsCustomUploads(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cw = 8
+	w, _, ok := m.CTPG[0].Lookup(0)
+	if !ok {
+		t.Fatal("library codeword 0 missing")
+	}
+	if err := m.UploadPulse(0, cw, "CUSTOM", w); err != nil {
+		t.Fatal(err)
+	}
+	m.ResetState(5)
+	if _, name, ok := m.CTPG[0].Lookup(cw); !ok || name != "CUSTOM" {
+		t.Errorf("custom upload did not survive reset: ok=%v name=%q", ok, name)
+	}
+}

@@ -50,6 +50,28 @@ type Controller struct {
 	// pendingMD counts queued MD events per destination register; reads
 	// of such registers force a drain.
 	pendingMD [isa.NumRegs]int
+
+	// Replay-safety tracking (consumed by internal/replay). The engine
+	// replays only the quantum event schedule of a recorded shot, so a
+	// program is replayable only if its classical execution can never
+	// change the schedule or depend on per-shot state. Two taints are
+	// tracked per register:
+	//
+	//   - tainted: the value derives from a measurement write-back
+	//     (WriteReg). Any read of a tainted register is feedback — the
+	//     defining unsafe pattern.
+	//   - everWritten vs writtenThisRun: a register written in a previous
+	//     program run (Load resets writtenThisRun, not everWritten) may
+	//     hold cross-shot state; reading it before rewriting it makes
+	//     behaviour shot-dependent. Never-written registers are constant
+	//     zero and safe.
+	//
+	// Data-memory and host-memory loads are conservatively unsafe: their
+	// cells can carry cross-shot state and are not tracked per address.
+	tainted        [isa.NumRegs]bool
+	everWritten    [isa.NumRegs]bool
+	writtenThisRun [isa.NumRegs]bool
+	unsafeReason   string
 }
 
 // NewController returns a controller wired to the given control store and
@@ -67,12 +89,17 @@ func NewController(cs *microcode.ControlStore, qmb *QMB) *Controller {
 // memory are preserved, as on the real box where the PC uploads programs
 // without clearing data).
 func (c *Controller) Load(p *isa.Program) error {
-	if err := p.Validate(); err != nil {
-		return err
+	// Re-loading the same immutable program (the engine's shot loop) skips
+	// re-validation.
+	if p != c.prog {
+		if err := p.Validate(); err != nil {
+			return err
+		}
 	}
 	c.prog = p
 	c.PC = 0
 	c.halted = false
+	c.writtenThisRun = [isa.NumRegs]bool{}
 	return nil
 }
 
@@ -80,12 +107,50 @@ func (c *Controller) Load(p *isa.Program) error {
 func (c *Controller) Halted() bool { return c.halted }
 
 // WriteReg writes a register (used by the MD fire handler for measurement
-// write-back) and retires one pending-MD marker for it.
+// write-back) and retires one pending-MD marker for it. The register is
+// marked measurement-tainted for replay-safety detection.
 func (c *Controller) WriteReg(r isa.Reg, v int64) {
 	c.Regs[r] = v
+	c.tainted[r] = true
+	c.everWritten[r] = true
+	c.writtenThisRun[r] = true
 	if c.pendingMD[r] > 0 {
 		c.pendingMD[r]--
 	}
+}
+
+// setReg is the classical write-back path: the destination value is a
+// deterministic function of values already vetted by readReg, so it clears
+// the measurement taint.
+func (c *Controller) setReg(r isa.Reg, v int64) {
+	c.Regs[r] = v
+	c.tainted[r] = false
+	c.everWritten[r] = true
+	c.writtenThisRun[r] = true
+}
+
+// markUnsafe records the first reason the running program cannot be
+// schedule-replayed.
+func (c *Controller) markUnsafe(reason string) {
+	if c.unsafeReason == "" {
+		c.unsafeReason = reason
+	}
+}
+
+// ReplayUnsafeReason returns why the program(s) executed since the last
+// ResetReplayTracking cannot be replayed from a recorded schedule, or ""
+// if no unsafe pattern was observed. The detection is conservative: it
+// can flag safe programs (and the engine then falls back to full
+// simulation), never the reverse.
+func (c *Controller) ReplayUnsafeReason() string { return c.unsafeReason }
+
+// ResetReplayTracking clears all replay-safety state; the replay engine
+// calls it once before its first shot.
+func (c *Controller) ResetReplayTracking() {
+	c.tainted = [isa.NumRegs]bool{}
+	c.everWritten = [isa.NumRegs]bool{}
+	c.writtenThisRun = [isa.NumRegs]bool{}
+	c.unsafeReason = ""
 }
 
 // drain runs the deterministic domain to exhaustion.
@@ -98,10 +163,20 @@ func (c *Controller) drain() error {
 }
 
 // syncIfRead drains the timing domain if register r has a pending
-// measurement write — the feedback synchronization point.
+// measurement write — the feedback synchronization point. It also feeds
+// the replay-safety detector: consuming a measurement-derived value, or a
+// value carried over from a previous program run, makes the program
+// unsafe to schedule-replay.
 func (c *Controller) syncIfRead(r isa.Reg) error {
 	if c.pendingMD[r] > 0 {
-		return c.drain()
+		if err := c.drain(); err != nil {
+			return err
+		}
+	}
+	if c.tainted[r] {
+		c.markUnsafe(fmt.Sprintf("instruction at PC %d consumed measurement result in %s", c.PC, r))
+	} else if c.everWritten[r] && !c.writtenThisRun[r] {
+		c.markUnsafe(fmt.Sprintf("instruction at PC %d consumed cross-shot state in %s", c.PC, r))
 	}
 	return nil
 }
@@ -134,12 +209,12 @@ func (c *Controller) Step() error {
 			return err
 		}
 	case isa.OpMov:
-		c.Regs[in.Rd] = in.Imm
+		c.setReg(in.Rd, in.Imm)
 	case isa.OpMovReg:
 		if err := c.syncIfRead(in.Rs); err != nil {
 			return err
 		}
-		c.Regs[in.Rd] = c.Regs[in.Rs]
+		c.setReg(in.Rd, c.Regs[in.Rs])
 	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor:
 		if err := c.syncIfRead(in.Rs); err != nil {
 			return err
@@ -150,21 +225,21 @@ func (c *Controller) Step() error {
 		a, b := c.Regs[in.Rs], c.Regs[in.Rt]
 		switch in.Op {
 		case isa.OpAdd:
-			c.Regs[in.Rd] = a + b
+			c.setReg(in.Rd, a+b)
 		case isa.OpSub:
-			c.Regs[in.Rd] = a - b
+			c.setReg(in.Rd, a-b)
 		case isa.OpAnd:
-			c.Regs[in.Rd] = a & b
+			c.setReg(in.Rd, a&b)
 		case isa.OpOr:
-			c.Regs[in.Rd] = a | b
+			c.setReg(in.Rd, a|b)
 		case isa.OpXor:
-			c.Regs[in.Rd] = a ^ b
+			c.setReg(in.Rd, a^b)
 		}
 	case isa.OpAddi:
 		if err := c.syncIfRead(in.Rs); err != nil {
 			return err
 		}
-		c.Regs[in.Rd] = c.Regs[in.Rs] + in.Imm
+		c.setReg(in.Rd, c.Regs[in.Rs]+in.Imm)
 	case isa.OpLoad:
 		if err := c.syncIfRead(in.Rs); err != nil {
 			return err
@@ -173,7 +248,10 @@ func (c *Controller) Step() error {
 		if addr < 0 || addr >= int64(len(c.Mem)) {
 			return fmt.Errorf("exec: load address %d out of range at PC %d", addr, c.PC)
 		}
-		c.Regs[in.Rd] = c.Mem[addr]
+		// Memory cells are not tracked per address, so any load may be
+		// consuming cross-shot state.
+		c.markUnsafe(fmt.Sprintf("data-memory load at PC %d", c.PC))
+		c.setReg(in.Rd, c.Mem[addr])
 	case isa.OpStore:
 		if err := c.syncIfRead(in.Rs); err != nil {
 			return err
@@ -213,7 +291,8 @@ func (c *Controller) Step() error {
 		if in.Imm < 0 || in.Imm >= int64(len(c.HostMem)) {
 			return fmt.Errorf("exec: host load address %d out of range at PC %d", in.Imm, c.PC)
 		}
-		c.Regs[in.Rd] = c.HostMem[in.Imm]
+		c.markUnsafe(fmt.Sprintf("host-memory load at PC %d", c.PC))
+		c.setReg(in.Rd, c.HostMem[in.Imm])
 	case isa.OpHostStore:
 		if err := c.syncIfRead(in.Rs); err != nil {
 			return err

@@ -1,0 +1,165 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"quma/internal/asm"
+	"quma/internal/clock"
+	"quma/internal/microcode"
+)
+
+// runTaint executes src on a controller whose MD events write back a
+// fixed value (standing in for the machine's measurement chain) and
+// returns the controller for replay-safety inspection. Programs run
+// `loads` times through the same controller to exercise cross-run state.
+func runTaint(t *testing.T, src string, mdValue int64, runs int) *Controller {
+	t.Helper()
+	qmb := NewQMB(nil, nil, nil)
+	c := NewController(microcode.StandardControlStore(), qmb)
+	qmb.MDQ.OnFire = func(e MDEvent, _ clock.Cycle) { c.WriteReg(e.Rd, mdValue) }
+	prog := asm.MustAssemble(src)
+	c.ResetReplayTracking()
+	for i := 0; i < runs; i++ {
+		if err := c.Load(prog); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestBranchOnMeasurementResultIsUnsafe(t *testing.T) {
+	c := runTaint(t, `
+mov r6, 0
+MPG {q0}, 300
+MD {q0}, r7
+Wait 340
+beq r7, r6, Done
+Done:
+halt
+`, 1, 1)
+	if r := c.ReplayUnsafeReason(); !strings.Contains(r, "measurement result") {
+		t.Errorf("reason = %q, want measurement consumption", r)
+	}
+}
+
+func TestArithmeticOnMeasurementResultIsUnsafe(t *testing.T) {
+	// Even a non-branch consumption (accumulating the result) is unsafe:
+	// replayed shots perform no classical execution, so the accumulated
+	// register would silently go stale.
+	c := runTaint(t, `
+mov r9, 0
+MPG {q0}, 300
+MD {q0}, r7
+add r9, r9, r7
+halt
+`, 1, 1)
+	if r := c.ReplayUnsafeReason(); !strings.Contains(r, "measurement result") {
+		t.Errorf("reason = %q, want measurement consumption", r)
+	}
+}
+
+func TestUnconsumedMeasurementIsSafe(t *testing.T) {
+	c := runTaint(t, `
+mov r15, 400
+QNopReg r15
+Pulse {q0}, X90
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+halt
+`, 1, 3)
+	if r := c.ReplayUnsafeReason(); r != "" {
+		t.Errorf("feedback-free program flagged unsafe: %q", r)
+	}
+}
+
+func TestOverwritingMeasurementClearsTaint(t *testing.T) {
+	// The MD result retires at the halt drain of the run; the next run
+	// overwrites the register before branching on it, so the branch
+	// consumes a classical constant, not a measurement result (and not
+	// cross-shot state: the mov re-establishes it this run). Note that
+	// overwriting *before* the result retires does not help — the lazy
+	// drain writes the measurement over the mov at the consuming read,
+	// and the detector correctly flags that as feedback.
+	c := runTaint(t, `
+mov r6, 0
+MPG {q0}, 300
+MD {q0}, r7
+Wait 340
+mov r7, 0
+beq r7, r6, Done
+Done:
+halt
+`, 1, 1)
+	if r := c.ReplayUnsafeReason(); !strings.Contains(r, "measurement result") {
+		t.Errorf("lazy write-back consumption not flagged: %q", r)
+	}
+
+	qmb := NewQMB(nil, nil, nil)
+	ctrl := NewController(microcode.StandardControlStore(), qmb)
+	qmb.MDQ.OnFire = func(e MDEvent, _ clock.Cycle) { ctrl.WriteReg(e.Rd, 1) }
+	ctrl.ResetReplayTracking()
+	for _, src := range []string{
+		"MPG {q0}, 300\nMD {q0}, r7\nhalt\n",
+		"mov r6, 0\nmov r7, 0\nbeq r7, r6, Done\nDone:\nhalt\n",
+	} {
+		if err := ctrl.Load(asm.MustAssemble(src)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctrl.Run(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r := ctrl.ReplayUnsafeReason(); r != "" {
+		t.Errorf("overwritten register still tainted: %q", r)
+	}
+}
+
+func TestCrossRunRegisterReadIsUnsafe(t *testing.T) {
+	// r3 is written in run k and read (before being rewritten) in run
+	// k+1: per-shot behaviour may differ, so it must be flagged — but
+	// only from the second run on.
+	src := `
+mov r4, 2
+blt r3, r4, Small
+Small:
+addi r3, r3, 1
+halt
+`
+	if c := runTaint(t, src, 1, 1); c.ReplayUnsafeReason() != "" {
+		t.Errorf("single run flagged: %q", c.ReplayUnsafeReason())
+	}
+	c := runTaint(t, src, 1, 2)
+	if r := c.ReplayUnsafeReason(); !strings.Contains(r, "cross-shot") {
+		t.Errorf("reason = %q, want cross-shot detection", r)
+	}
+}
+
+func TestNeverWrittenRegisterReadIsSafe(t *testing.T) {
+	// A register nothing ever wrote is constant zero in every run.
+	c := runTaint(t, `
+mov r4, 2
+blt r3, r4, Done
+Done:
+halt
+`, 1, 3)
+	if r := c.ReplayUnsafeReason(); r != "" {
+		t.Errorf("constant-zero read flagged: %q", r)
+	}
+}
+
+func TestDataMemoryLoadIsUnsafe(t *testing.T) {
+	c := runTaint(t, `
+mov r2, 5
+store r2, r0[3]
+load r1, r0[3]
+halt
+`, 1, 1)
+	if r := c.ReplayUnsafeReason(); !strings.Contains(r, "memory") {
+		t.Errorf("reason = %q, want memory-load detection", r)
+	}
+}

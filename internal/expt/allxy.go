@@ -7,6 +7,7 @@ import (
 	"quma/internal/core"
 	"quma/internal/fit"
 	"quma/internal/readout"
+	"quma/internal/replay"
 )
 
 // AllXYPair is one of the 21 gate pairs of the AllXY sequence.
@@ -66,6 +67,9 @@ type AllXYParams struct {
 	// Workers bounds the sweep parallelism across the 21 pairs (0 = one
 	// worker per CPU). Results are identical for any value; see sweep.go.
 	Workers int
+	// Replay selects the shot-replay engine mode (default auto; results
+	// are bit-identical for any value — see internal/replay).
+	Replay replay.Mode
 }
 
 // DefaultAllXYParams returns the paper's settings with a reduced round
@@ -141,6 +145,17 @@ func allXYPairProgram(p AllXYParams, pair AllXYPair) string {
 	return b.String()
 }
 
+// allXYPairShotProgram emits the per-shot program for one gate pair: one
+// averaging round (the pair twice when Doubled); the round loop lives in
+// the replay engine.
+func allXYPairShotProgram(p AllXYParams, pair AllXYPair) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mov r15, %d  # init wait\n", p.InitCycles)
+	emitAllXYPair(&b, p, pair)
+	fmt.Fprintf(&b, "halt\n")
+	return b.String()
+}
+
 // AllXYResult holds the analyzed outcome of an AllXY run.
 type AllXYResult struct {
 	Params AllXYParams
@@ -159,8 +174,9 @@ type AllXYResult struct {
 }
 
 // RunAllXY executes the AllXY experiment on the parallel sweep engine:
-// each of the 21 gate pairs runs on its own machine seeded with
-// DeriveSeed(cfg.Seed, pair). cfg.CollectK and cfg.NumQubits are set as
+// each of the 21 gate pairs runs on its own pooled machine seeded with
+// DeriveSeed(cfg.Seed, pair), with the Rounds averaging loop hoisted into
+// the shot-replay engine. cfg.CollectK and cfg.NumQubits are set as
 // needed.
 func RunAllXY(cfg core.Config, p AllXYParams) (*AllXYResult, error) {
 	if p.Rounds <= 0 {
@@ -178,22 +194,23 @@ func RunAllXY(cfg core.Config, p AllXYParams) (*AllXYResult, error) {
 	raw := make([]float64, len(pairs)*reps)
 	pulses := make([]uint64, len(pairs))
 	memBytes := make([]int, len(pairs))
+	progs := newProgramCache()
+	pool := newMachinePool(cfg)
 	err := runPool(len(pairs), p.Workers, func(i int) error {
-		c := sweepConfig(cfg, DeriveSeed(cfg.Seed, i))
-		m, err := core.New(c)
+		prog, err := progs.get(allXYPairShotProgram(p, pairs[i]))
 		if err != nil {
 			return err
 		}
-		if err := m.RunAssembly(allXYPairProgram(p, pairs[i])); err != nil {
-			return err
-		}
-		if got := m.Collector.Rounds(); got != p.Rounds {
-			return fmt.Errorf("expt: pair %s collected %d rounds, want %d", pairs[i].Label, got, p.Rounds)
-		}
-		copy(raw[i*reps:(i+1)*reps], m.Collector.Averages())
-		pulses[i] = m.PulsesPlayed
-		memBytes[i] = m.MemoryFootprintBytes()
-		return nil
+		return runShotJob(pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, p.Replay, nil, nil,
+			func(m *core.Machine, _ replay.Stats) error {
+				if got := m.Collector.Rounds(); got != p.Rounds {
+					return fmt.Errorf("expt: pair %s collected %d rounds, want %d", pairs[i].Label, got, p.Rounds)
+				}
+				copy(raw[i*reps:(i+1)*reps], m.Collector.Averages())
+				pulses[i] = m.PulsesPlayed
+				memBytes[i] = m.MemoryFootprintBytes()
+				return nil
+			})
 	})
 	if err != nil {
 		return nil, err

@@ -17,7 +17,7 @@ import (
 
 func TestT1BackendsAgree(t *testing.T) {
 	p := DefaultSweepParams()
-	p.Rounds = 150
+	p.Rounds = 600 // cheap now that shots replay; tightens both fits
 	run := func(b core.Backend) *T1Result {
 		t.Helper()
 		cfg := core.DefaultConfig()

@@ -6,6 +6,8 @@ import (
 
 	"quma/internal/core"
 	"quma/internal/fit"
+	"quma/internal/readout"
+	"quma/internal/replay"
 )
 
 // SweepParams configures a delay-sweep coherence experiment (T1, Ramsey,
@@ -25,6 +27,9 @@ type SweepParams struct {
 	// Workers bounds the sweep parallelism (0 = one worker per CPU).
 	// Results are identical for any value; see sweep.go.
 	Workers int
+	// Replay selects the shot-replay engine mode (default auto; results
+	// are bit-identical for any value — see internal/replay).
+	Replay replay.Mode
 }
 
 // DefaultSweepParams returns a 16-point sweep to 60 µs, 200 rounds.
@@ -46,31 +51,29 @@ type SweepResult struct {
 	Excited []float64
 }
 
-// pointProgram emits the program for one delay point: Rounds shots of
-// init-wait, body, measure, with the data collector averaging index 0.
+// shotProgram emits the per-shot program for one delay point: one
+// init-wait, body, measure. The averaging loop lives in the replay
+// engine (Shots = Rounds), not in the assembly.
 //
 // shape: body(delay) must emit the pulses; it receives the delay in
 // cycles.
-func pointProgram(p SweepParams, delayCycles int, body func(b *strings.Builder, delayCycles int)) string {
+func shotProgram(p SweepParams, delayCycles int, body func(b *strings.Builder, delayCycles int)) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "mov r15, %d\n", p.InitCycles)
-	fmt.Fprintf(&b, "mov r1, 0\n")
-	fmt.Fprintf(&b, "mov r2, %d\n", p.Rounds)
-	fmt.Fprintf(&b, "Round_Loop:\n")
 	fmt.Fprintf(&b, "QNopReg r15\n")
 	body(&b, delayCycles)
 	fmt.Fprintf(&b, "MPG {q%d}, %d\n", p.Qubit, p.MeasureCycles)
 	fmt.Fprintf(&b, "MD {q%d}, r7\n", p.Qubit)
-	fmt.Fprintf(&b, "addi r1, r1, 1\n")
-	fmt.Fprintf(&b, "bne r1, r2, Round_Loop\n")
 	fmt.Fprintf(&b, "halt\n")
 	return b.String()
 }
 
 // runSweep executes a delay sweep on the parallel sweep engine — one
-// machine per delay point, seeded with DeriveSeed(cfg.Seed, point) — and
-// converts averaged integration results to populations via the MDU's two
-// calibration levels.
+// pooled machine per delay point, seeded with DeriveSeed(cfg.Seed, point),
+// running Rounds shots through the replay engine — and converts averaged
+// integration results to populations via the MDU's two calibration
+// levels. The calibration means depend only on the shared config, so they
+// are computed once, outside the worker closures.
 func runSweep(cfg core.Config, p SweepParams, body func(b *strings.Builder, delayCycles int)) (*SweepResult, error) {
 	if len(p.DelaysCycles) == 0 || p.Rounds <= 0 {
 		return nil, fmt.Errorf("expt: empty sweep")
@@ -79,29 +82,38 @@ func runSweep(cfg core.Config, p SweepParams, body func(b *strings.Builder, dela
 	if cfg.NumQubits <= p.Qubit {
 		cfg.NumQubits = p.Qubit + 1
 	}
+	if cfg.Readout.IntegrationSamples == 0 {
+		cfg.Readout = readout.DefaultParams()
+	}
+	// Analytic calibration (the AllXY experiment demonstrates the
+	// in-experiment calibration path): per-point machines share the
+	// readout config, so the two calibration levels are per-sweep
+	// constants.
+	w := readout.Calibrate(cfg.Readout).Weight
+	s0 := real(cfg.Readout.Mean0 * w)
+	s1 := real(cfg.Readout.Mean1 * w)
+	if s1 == s0 {
+		return nil, fmt.Errorf("expt: degenerate readout calibration (S0 = S1 = %v)", s0)
+	}
 	res := &SweepResult{
 		Params:    p,
 		DelaysSec: make([]float64, len(p.DelaysCycles)),
 		Excited:   make([]float64, len(p.DelaysCycles)),
 	}
+	progs := newProgramCache()
+	pool := newMachinePool(cfg)
 	err := runPool(len(p.DelaysCycles), p.Workers, func(i int) error {
-		c := sweepConfig(cfg, DeriveSeed(cfg.Seed, i))
-		m, err := core.New(c)
+		d := p.DelaysCycles[i]
+		prog, err := progs.get(shotProgram(p, d, body))
 		if err != nil {
 			return err
 		}
-		d := p.DelaysCycles[i]
-		if err := m.RunAssembly(pointProgram(p, d, body)); err != nil {
-			return err
-		}
-		// Convert the integration average to a population using the
-		// calibrated means (analytic calibration; the AllXY experiment
-		// demonstrates the in-experiment calibration path).
-		s0 := real(c.Readout.Mean0 * m.MDU.Weight)
-		s1 := real(c.Readout.Mean1 * m.MDU.Weight)
-		res.DelaysSec[i] = float64(d) * 5e-9
-		res.Excited[i] = (m.Collector.Averages()[0] - s0) / (s1 - s0)
-		return nil
+		return runShotJob(pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, p.Replay, nil, nil,
+			func(m *core.Machine, _ replay.Stats) error {
+				res.DelaysSec[i] = float64(d) * 5e-9
+				res.Excited[i] = (m.Collector.Averages()[0] - s0) / (s1 - s0)
+				return nil
+			})
 	})
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 
 	"quma/internal/core"
 	"quma/internal/qphys"
+	"quma/internal/replay"
 )
 
 // Phase-flip repetition code: the dual of the bit-flip code, protecting
@@ -17,22 +18,19 @@ import (
 // already exercised by RunRepCode. Every Hadamard is the microcoded
 // three-pulse emulation from the Q control store.
 
-// phaseCodeProgram builds the protected phase-memory program.
-func phaseCodeProgram(p RepCodeParams, correct bool) string {
+// phaseCodeShotProgram builds the per-shot protected phase-memory
+// program. The round loop and the majority count live in the engine; the
+// active-reset prologue reads the previous shot's readout registers
+// (fresh machines start with all-zero registers, so shot 0 resets
+// nothing, exactly like the zeroed prologue of the old in-assembly loop).
+// That cross-shot feedback is the whole point of the program — and is
+// also precisely what the replay-safety detector flags, so phase-code
+// shots always run on the full pipeline.
+func phaseCodeShotProgram(p RepCodeParams, correct bool) string {
 	var b strings.Builder
 	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
 	w("mov r15, %d", p.InitCycles)
-	w("mov r1, 0")
-	w("mov r2, %d", p.Rounds)
 	w("mov r6, 0")
-	w("mov r5, 2")
-	w("mov r13, 0")
-	w("mov r7, 0")
-	w("mov r8, 0")
-	w("mov r9, 0")
-	w("mov r10, 0")
-	w("mov r11, 0")
-	w("Round_Loop:")
 	w("QNopReg r15")
 	// Dephasing-dominated qubits do not relax back to |0⟩ by waiting
 	// (T1 ≫ init time), so initialization is feedback-based active
@@ -89,36 +87,23 @@ func phaseCodeProgram(p RepCodeParams, correct bool) string {
 	w("Measure q1, r10")
 	w("Measure q2, r11")
 	w("Wait 340")
-	w("add r12, r9, r10")
-	w("add r12, r12, r11")
-	w("blt r12, r5, Logical_Flip")
-	w("jmp Next_Round")
-	w("Logical_Flip:")
-	w("addi r13, r13, 1")
-	w("Next_Round:")
-	w("addi r1, r1, 1")
-	w("bne r1, r2, Round_Loop")
 	w("halt")
 	return b.String()
 }
 
-// barePhaseProgram stores a superposition on one qubit for τ and counts
-// dephasing-induced flips: X90, wait, Xm90 — ideally returning to |0⟩,
-// reading 1 with probability (1−e^{−τ/T2})/2.
-func barePhaseProgram(p RepCodeParams) string {
+// barePhaseShotProgram stores a superposition on one qubit for τ per
+// shot: X90, wait, Xm90 — ideally returning to |0⟩, reading 1 with
+// probability (1−e^{−τ/T2})/2 (the flip count happens in Go). Like the
+// code variant it opens with an active reset off the previous shot's
+// readout register, so it too always falls back to full simulation.
+func barePhaseShotProgram(p RepCodeParams) string {
 	var b strings.Builder
 	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
 	w("mov r15, %d", p.InitCycles)
-	w("mov r1, 0")
-	w("mov r2, %d", p.Rounds)
-	w("mov r13, 0")
-	w("mov r5, 1")
 	w("mov r6, 0")
-	w("mov r9, 0")
-	w("Round_Loop:")
 	w("QNopReg r15")
-	// Active reset from the previous round's readout (see
-	// phaseCodeProgram): waiting does not reinitialize a dephasing-
+	// Active reset from the previous shot's readout (see
+	// phaseCodeShotProgram): waiting does not reinitialize a dephasing-
 	// dominated qubit.
 	w("beq r9, r6, Reset_Done")
 	w("Pulse {q0}, X180")
@@ -133,11 +118,6 @@ func barePhaseProgram(p RepCodeParams) string {
 	w("Wait 4")
 	w("Measure q0, r9")
 	w("Wait 340")
-	w("blt r9, r5, Next_Round   # read 0: phase survived")
-	w("addi r13, r13, 1")
-	w("Next_Round:")
-	w("addi r1, r1, 1")
-	w("bne r1, r2, Round_Loop")
 	w("halt")
 	return b.String()
 }
@@ -179,11 +159,22 @@ func RunPhaseCode(cfg core.Config, p RepCodeParams) (*PhaseCodeResult, error) {
 	for len(cfg.Qubit) < 5 {
 		cfg.Qubit = append(cfg.Qubit, cfg.Qubit[0])
 	}
-	variants := []func(rounds int) string{
-		func(r int) string { q := p; q.Rounds = r; return barePhaseProgram(q) },
-		func(r int) string { q := p; q.Rounds = r; return phaseCodeProgram(q, true) },
+	variants := []chunkVariant{
+		{src: barePhaseShotProgram(p), isError: func(md []replay.MD) bool {
+			return len(md) < 1 || md[0].Result == 1 // read 1: phase flipped
+		}},
+		{src: phaseCodeShotProgram(p, true), isError: func(md []replay.MD) bool {
+			if len(md) < 3 {
+				return true
+			}
+			ones := 0
+			for _, r := range md[len(md)-3:] {
+				ones += r.Result
+			}
+			return ones < 2
+		}},
 	}
-	errors, err := runChunkedVariants(cfg, p.Rounds, p.Workers, variants)
+	errors, err := runChunkedVariants(cfg, p.Rounds, p.Workers, p.Replay, variants)
 	if err != nil {
 		return nil, err
 	}

@@ -59,11 +59,16 @@ func TestPhaseCodeRejectsBadParams(t *testing.T) {
 }
 
 func TestPhaseCodeProgramShape(t *testing.T) {
-	src := phaseCodeProgram(DefaultRepCodeParams(), true)
+	src := phaseCodeShotProgram(DefaultRepCodeParams(), true)
 	if got := strings.Count(src, "Apply H"); got != 6 {
 		t.Errorf("program has %d Hadamards, want 6 (rotate in + out)", got)
 	}
 	if !strings.Contains(src, "Apply2 CNOT, q3, q0") {
 		t.Error("syndrome extraction missing")
+	}
+	// The per-shot program carries no averaging loop: the shot loop lives
+	// in the replay engine.
+	if strings.Contains(src, "Round_Loop") {
+		t.Error("per-shot program must not contain the round loop")
 	}
 }

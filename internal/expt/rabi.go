@@ -8,6 +8,7 @@ import (
 	"quma/internal/core"
 	"quma/internal/fit"
 	"quma/internal/pulse"
+	"quma/internal/replay"
 )
 
 // Rabi-oscillation calibration: the experiment that produces the
@@ -38,6 +39,9 @@ type RabiParams struct {
 	// Workers bounds the sweep parallelism across scale points (0 = one
 	// worker per CPU). Results are identical for any value; see sweep.go.
 	Workers int
+	// Replay selects the shot-replay engine mode (default auto; results
+	// are bit-identical for any value — see internal/replay).
+	Replay replay.Mode
 }
 
 // DefaultRabiParams sweeps 0..1.1× the nominal π amplitude in 23 steps
@@ -84,30 +88,43 @@ func RunRabi(cfg core.Config, p RabiParams) (*RabiResult, error) {
 	// and re-synthesizing with the same error knob.
 	nominal := awg.StandardPulse{Codeword: RabiCodeword, Name: "RABI", Phi: 0, Theta: 3.141592653589793}
 
+	// Every scale point shares one per-shot program (the swept quantity
+	// lives in the LUT, not the program text), so the cache assembles it
+	// exactly once for the whole sweep.
 	var program strings.Builder
-	fmt.Fprintf(&program, "mov r15, %d\nmov r1, 0\nmov r2, %d\nmov r9, 0\n", p.InitCycles, p.Rounds)
-	fmt.Fprintf(&program, "Loop:\nQNopReg r15\nPulse {q%d}, RABI\nWait 4\nMPG {q%d}, %d\nMD {q%d}, r7\nadd r9, r9, r7\naddi r1, r1, 1\nbne r1, r2, Loop\nhalt\n",
-		p.Qubit, p.Qubit, p.MeasureCycles, p.Qubit)
+	fmt.Fprintf(&program, "mov r15, %d\nQNopReg r15\nPulse {q%d}, RABI\nWait 4\nMPG {q%d}, %d\nMD {q%d}, r7\nhalt\n",
+		p.InitCycles, p.Qubit, p.Qubit, p.MeasureCycles, p.Qubit)
 	src := program.String()
 
 	res := &RabiResult{Params: p, Excited: make([]float64, len(p.Scales))}
+	progs := newProgramCache()
+	pool := newMachinePool(cfg)
 	err := runPool(len(p.Scales), p.Workers, func(i int) error {
-		c := sweepConfig(cfg, DeriveSeed(cfg.Seed, i))
-		m, err := core.New(c)
+		prog, err := progs.get(src)
 		if err != nil {
 			return err
 		}
-		m.UOp.DefinePrimitive("RABI", RabiCodeword)
-		scaled := nominal
-		scaled.Theta = nominal.Theta * p.Scales[i]
-		w := awg.SynthesizeStandard(scaled, m.Cfg.SSBHz, cfg.AmplitudeError)
-		if err := m.UploadPulse(p.Qubit, RabiCodeword, "RABI", w); err != nil {
-			return fmt.Errorf("expt: uploading scale %.3f: %w", p.Scales[i], err)
-		}
-		if err := m.RunAssembly(src); err != nil {
+		var ones int
+		err = runShotJob(pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, p.Replay,
+			func(m *core.Machine) error {
+				m.UOp.DefinePrimitive("RABI", RabiCodeword)
+				scaled := nominal
+				scaled.Theta = nominal.Theta * p.Scales[i]
+				w := awg.SynthesizeStandard(scaled, m.Cfg.SSBHz, cfg.AmplitudeError)
+				if err := m.UploadPulse(p.Qubit, RabiCodeword, "RABI", w); err != nil {
+					return fmt.Errorf("expt: uploading scale %.3f: %w", p.Scales[i], err)
+				}
+				return nil
+			},
+			func(_ int, md []replay.MD) {
+				if len(md) > 0 && md[0].Result == 1 {
+					ones++
+				}
+			}, nil)
+		if err != nil {
 			return err
 		}
-		res.Excited[i] = float64(m.Controller.Regs[9]) / float64(p.Rounds)
+		res.Excited[i] = float64(ones) / float64(p.Rounds)
 		return nil
 	})
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"quma/internal/core"
 	"quma/internal/fit"
+	"quma/internal/replay"
 )
 
 // RBParams configures single-qubit randomized benchmarking.
@@ -29,6 +30,9 @@ type RBParams struct {
 	// (0 = one worker per CPU). Results are identical for any value; see
 	// sweep.go.
 	Workers int
+	// Replay selects the shot-replay engine mode (default auto; results
+	// are bit-identical for any value — see internal/replay).
+	Replay replay.Mode
 }
 
 // DefaultRBParams returns a short benchmark suitable for tests.
@@ -58,33 +62,30 @@ type RBResult struct {
 	AvgPulsesPerClifford float64
 }
 
-// rbProgram emits a program that runs one Clifford sequence (with
-// recovery) for Rounds shots and accumulates the measured ones in r9.
-func rbProgram(p RBParams, pulses []string) string {
+// rbShotProgram emits the per-shot program for one Clifford sequence
+// (with recovery): init, sequence, measure. The shot loop and the
+// ones-count both live in the engine now — the program never consumes the
+// measurement result, which is what makes RB replay-safe.
+func rbShotProgram(p RBParams, pulses []string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "mov r15, %d\n", p.InitCycles)
-	fmt.Fprintf(&b, "mov r1, 0\n")
-	fmt.Fprintf(&b, "mov r2, %d\n", p.Rounds)
-	fmt.Fprintf(&b, "mov r9, 0\n")
-	fmt.Fprintf(&b, "Loop:\n")
 	fmt.Fprintf(&b, "QNopReg r15\n")
 	for _, g := range pulses {
 		fmt.Fprintf(&b, "Pulse {q%d}, %s\nWait 4\n", p.Qubit, g)
 	}
 	fmt.Fprintf(&b, "MPG {q%d}, %d\n", p.Qubit, p.MeasureCycles)
 	fmt.Fprintf(&b, "MD {q%d}, r7\n", p.Qubit)
-	fmt.Fprintf(&b, "add r9, r9, r7\n")
-	fmt.Fprintf(&b, "addi r1, r1, 1\n")
-	fmt.Fprintf(&b, "bne r1, r2, Loop\n")
 	fmt.Fprintf(&b, "halt\n")
 	return b.String()
 }
 
 // RunRB executes randomized benchmarking on the parallel sweep engine —
 // every (length, trial) pair runs its own random sequence on its own
-// machine, with the sequence drawn from DeriveSeed(p.Seed, pair) and the
-// machine seeded with DeriveSeed(cfg.Seed, pair) — and fits the
-// exponential decay of the ground-state survival probability.
+// pooled machine, with the sequence drawn from DeriveSeed(p.Seed, pair),
+// the machine seeded with DeriveSeed(cfg.Seed, pair), and the Rounds
+// shot loop in the replay engine (RB sequences are feedback-free, so
+// shots past the detection prefix replay the recorded schedule) — and
+// fits the exponential decay of the ground-state survival probability.
 func RunRB(cfg core.Config, p RBParams) (*RBResult, error) {
 	if len(p.Lengths) < 3 || p.Trials < 1 || p.Rounds < 1 {
 		return nil, fmt.Errorf("expt: RB needs ≥3 lengths and ≥1 trial/round")
@@ -97,19 +98,26 @@ func RunRB(cfg core.Config, p RBParams) (*RBResult, error) {
 	res := &RBResult{Params: p, AvgPulsesPerClifford: AvgPulsesPerClifford()}
 	njobs := len(p.Lengths) * p.Trials
 	surv := make([]float64, njobs)
+	progs := newProgramCache()
+	pool := newMachinePool(cfg)
 	err := runPool(njobs, p.Workers, func(i int) error {
 		length := p.Lengths[i/p.Trials]
-		c := sweepConfig(cfg, DeriveSeed(cfg.Seed, i))
-		m, err := core.New(c)
+		seqRng := rand.New(rand.NewSource(DeriveSeed(p.Seed, i)))
+		pulses, _ := RandomCliffordSequence(length, seqRng)
+		prog, err := progs.get(rbShotProgram(p, pulses))
 		if err != nil {
 			return err
 		}
-		seqRng := rand.New(rand.NewSource(DeriveSeed(p.Seed, i)))
-		pulses, _ := RandomCliffordSequence(length, seqRng)
-		if err := m.RunAssembly(rbProgram(p, pulses)); err != nil {
+		var ones int
+		err = runShotJob(pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, p.Replay, nil,
+			func(_ int, md []replay.MD) {
+				if len(md) > 0 && md[0].Result == 1 {
+					ones++
+				}
+			}, nil)
+		if err != nil {
 			return fmt.Errorf("expt: RB m=%d trial %d: %w", length, i%p.Trials, err)
 		}
-		ones := m.Controller.Regs[9]
 		surv[i] = 1 - float64(ones)/float64(p.Rounds)
 		return nil
 	})

@@ -7,6 +7,7 @@ import (
 
 	"quma/internal/core"
 	"quma/internal/qphys"
+	"quma/internal/replay"
 )
 
 // Repetition-code experiment: the distance-d bit-flip code whose
@@ -39,6 +40,11 @@ type RepCodeParams struct {
 	// Workers bounds the sweep parallelism across round chunks (0 = one
 	// worker per CPU). Results are identical for any value; see sweep.go.
 	Workers int
+	// Replay selects the shot-replay engine mode (default auto; results
+	// are bit-identical for any value — see internal/replay). The
+	// feedback-corrected variant always falls back to full simulation:
+	// its pulse schedule depends on the measured syndromes.
+	Replay replay.Mode
 }
 
 // dataQubits resolves the code distance, defaulting to 3.
@@ -67,24 +73,17 @@ func DefaultRepCodeParams() RepCodeParams {
 	return RepCodeParams{Rounds: 300, WaitCycles: 1600, InitCycles: 40000, MeasureCycles: 300}
 }
 
-// repCodeProgram builds the protected-memory program for d data qubits.
-// inject names an explicit error location ("", "q0", …) applied after
-// encoding — used by the deterministic syndrome tests; the memory
-// experiment leaves it empty and lets T1 supply errors. correct=false
-// skips the feedback pulses (syndromes are still measured), isolating
-// the value of correction.
-func repCodeProgram(p RepCodeParams, inject string, correct bool) string {
+// emitRepCodeRound writes one round of the protected-memory sequence —
+// encode, optional injected error, memory time, syndrome extraction,
+// optional feedback correction, data readout. Shared by the legacy
+// self-counting program (injection tests) and the per-shot engine
+// programs so the two cannot drift apart. tally controls whether the
+// wide-code sequential readout accumulates into r12 (the legacy majority
+// vote); the engine programs pass false so the shot body never consumes a
+// measurement register.
+func emitRepCodeRound(w func(format string, args ...any), p RepCodeParams, inject string, correct, tally bool) {
 	d := p.dataQubits()
 	syn := repSyndromeRegs[:d-1]
-	var b strings.Builder
-	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
-	w("mov r15, %d", p.InitCycles)
-	w("mov r1, 0")
-	w("mov r2, %d", p.Rounds)
-	w("mov r6, 0       # constant 0")
-	w("mov r5, %d      # majority threshold", (d+1)/2)
-	w("mov r13, 0      # logical error counter")
-	w("Round_Loop:")
 	w("QNopReg r15")
 	// Encode |1⟩_L.
 	w("Pulse {q0}, X180")
@@ -137,7 +136,8 @@ func repCodeProgram(p RepCodeParams, inject string, correct bool) string {
 		}
 		w("Readout:")
 	}
-	// Data readout + majority vote: logical 1 iff a majority reads 1.
+	// Data readout; the majority vote over these results happens in the
+	// caller (assembly for the legacy program, Go for the engine path).
 	if d == 3 {
 		// Keep the historical dedicated registers so the injection test
 		// can inspect each data qubit.
@@ -145,19 +145,47 @@ func repCodeProgram(p RepCodeParams, inject string, correct bool) string {
 		w("Measure q1, r10")
 		w("Measure q2, r11")
 		w("Wait 340")
-		w("add r12, r9, r10")
-		w("add r12, r12, r11")
 	} else {
 		// Wider codes read the data qubits sequentially through one
-		// register: each readout must retire (Wait covers integration +
-		// discrimination latency) before its register is accumulated and
-		// the next measurement opens a fresh time point.
-		w("mov r12, 0")
+		// register; the Wait covers integration + discrimination latency
+		// so each readout retires before the next opens a time point.
+		if tally {
+			w("mov r12, 0")
+		}
 		for i := 0; i < d; i++ {
 			w("Measure q%d, r9", i)
 			w("Wait 340")
-			w("add r12, r12, r9")
+			if tally {
+				w("add r12, r12, r9")
+			}
 		}
+	}
+}
+
+// repCodeProgram builds the self-contained protected-memory program for d
+// data qubits, with the round loop and majority vote in assembly — the
+// form used by the deterministic injection tests, which inspect the
+// syndrome/data registers and the r13 error counter. inject names an
+// explicit error location ("", "q0", …) applied after encoding.
+// correct=false skips the feedback pulses (syndromes are still measured),
+// isolating the value of correction.
+func repCodeProgram(p RepCodeParams, inject string, correct bool) string {
+	d := p.dataQubits()
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	w("mov r15, %d", p.InitCycles)
+	w("mov r1, 0")
+	w("mov r2, %d", p.Rounds)
+	w("mov r6, 0       # constant 0")
+	w("mov r5, %d      # majority threshold", (d+1)/2)
+	w("mov r13, 0      # logical error counter")
+	w("Round_Loop:")
+	emitRepCodeRound(w, p, inject, correct, true)
+	// Majority vote: logical 1 iff a majority reads 1 (the wide form
+	// already accumulated r12 during readout).
+	if d == 3 {
+		w("add r12, r9, r10")
+		w("add r12, r12, r11")
 	}
 	w("blt r12, r5, Logical_Flip   # below majority: logical error")
 	w("jmp Next_Round")
@@ -170,17 +198,31 @@ func repCodeProgram(p RepCodeParams, inject string, correct bool) string {
 	return b.String()
 }
 
-// unprotectedProgram stores one qubit in |1⟩ for the same τ and counts
-// decays — the baseline the code is compared against.
-func unprotectedProgram(p RepCodeParams) string {
+// RepCodeShotProgram returns the per-shot protected-memory program for
+// the engine path: exactly one round, no classical bookkeeping — the
+// majority vote over the shot's data readouts happens in Go from the
+// engine's measurement stream. With correct=false the program never
+// consumes a measurement result, making it replay-safe; with correct=true
+// the feedback branches keep it on the full pipeline.
+func RepCodeShotProgram(p RepCodeParams, correct bool) string {
 	var b strings.Builder
 	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
 	w("mov r15, %d", p.InitCycles)
-	w("mov r1, 0")
-	w("mov r2, %d", p.Rounds)
-	w("mov r13, 0")
-	w("mov r5, 1")
-	w("Round_Loop:")
+	if correct {
+		w("mov r6, 0       # constant 0")
+	}
+	emitRepCodeRound(w, p, "", correct, false)
+	w("halt")
+	return b.String()
+}
+
+// UnprotectedShotProgram stores one qubit in |1⟩ for the same τ and
+// measures it — the per-shot baseline the code is compared against (the
+// decay count happens in Go).
+func UnprotectedShotProgram(p RepCodeParams) string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	w("mov r15, %d", p.InitCycles)
 	w("QNopReg r15")
 	w("Pulse {q0}, X180")
 	w("Wait 4")
@@ -189,13 +231,6 @@ func unprotectedProgram(p RepCodeParams) string {
 	}
 	w("Measure q0, r9")
 	w("Wait 340")
-	w("blt r9, r5, Flip    # read 0: the stored 1 was lost")
-	w("jmp Next_Round")
-	w("Flip:")
-	w("addi r13, r13, 1")
-	w("Next_Round:")
-	w("addi r1, r1, 1")
-	w("bne r1, r2, Round_Loop")
 	w("halt")
 	return b.String()
 }
@@ -265,12 +300,27 @@ func RunRepCode(cfg core.Config, p RepCodeParams) (*RepCodeResult, error) {
 	for len(cfg.Qubit) < cfg.NumQubits {
 		cfg.Qubit = append(cfg.Qubit, qphys.DefaultQubitParams())
 	}
-	variants := []func(rounds int) string{
-		func(r int) string { q := p; q.Rounds = r; return unprotectedProgram(q) },
-		func(r int) string { q := p; q.Rounds = r; return repCodeProgram(q, "", false) },
-		func(r int) string { q := p; q.Rounds = r; return repCodeProgram(q, "", true) },
+	// The per-shot measurement stream of a code round is the d−1 syndrome
+	// readouts followed by the d data readouts; the logical state is the
+	// majority of the data bits.
+	majorityError := func(md []replay.MD) bool {
+		if len(md) < d {
+			return true
+		}
+		ones := 0
+		for _, r := range md[len(md)-d:] {
+			ones += r.Result
+		}
+		return ones < (d+1)/2
 	}
-	errors, err := runChunkedVariants(cfg, p.Rounds, p.Workers, variants)
+	variants := []chunkVariant{
+		{src: UnprotectedShotProgram(p), isError: func(md []replay.MD) bool {
+			return len(md) < 1 || md[0].Result == 0 // read 0: the stored 1 was lost
+		}},
+		{src: RepCodeShotProgram(p, false), isError: majorityError},
+		{src: RepCodeShotProgram(p, true), isError: majorityError},
+	}
+	errors, err := runChunkedVariants(cfg, p.Rounds, p.Workers, p.Replay, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -283,10 +333,22 @@ func RunRepCode(cfg core.Config, p RepCodeParams) (*RepCodeResult, error) {
 	return res, nil
 }
 
-// runChunkedVariants runs each program variant for a total of `rounds`
-// shots, split into fixed chunks across the worker pool, and returns each
-// variant's logical-error fraction (register r13 summed over chunks).
-func runChunkedVariants(cfg core.Config, rounds, workers int, variants []func(rounds int) string) ([]float64, error) {
+// chunkVariant is one program variant of a chunked memory experiment: a
+// per-shot program (shared by every chunk, so it assembles once) and the
+// predicate classifying a shot's measurement stream as a logical error.
+type chunkVariant struct {
+	src     string
+	isError func(md []replay.MD) bool
+}
+
+// runChunkedVariants runs each per-shot program variant for a total of
+// `rounds` shots, split into fixed chunks across the worker pool, with
+// each chunk's shots driven by the replay engine, and returns each
+// variant's logical-error fraction. Error counting consumes only the
+// engine's measurement stream, which is bit-identical between full
+// simulation and replay, so the fractions are deterministic for any
+// worker count and any replay mode.
+func runChunkedVariants(cfg core.Config, rounds, workers int, mode replay.Mode, variants []chunkVariant) ([]float64, error) {
 	chunks := chunkRounds(rounds, repCodeChunkRounds)
 	type job struct{ variant, chunk, rounds int }
 	var jobs []job
@@ -296,18 +358,23 @@ func runChunkedVariants(cfg core.Config, rounds, workers int, variants []func(ro
 		}
 	}
 	counts := make([]int64, len(jobs))
+	progs := newProgramCache()
+	pool := newMachinePool(cfg)
 	err := runPool(len(jobs), workers, func(i int) error {
 		j := jobs[i]
-		c := sweepConfig(cfg, DeriveSeed2(cfg.Seed, j.variant+1, j.chunk))
-		m, err := core.New(c)
+		prog, err := progs.get(variants[j.variant].src)
 		if err != nil {
 			return err
 		}
-		if err := m.RunAssembly(variants[j.variant](j.rounds)); err != nil {
-			return err
-		}
-		counts[i] = m.Controller.Regs[13]
-		return nil
+		var errs int64
+		err = runShotJob(pool, DeriveSeed2(cfg.Seed, j.variant+1, j.chunk), prog, j.rounds, mode, nil,
+			func(_ int, md []replay.MD) {
+				if variants[j.variant].isError(md) {
+					errs++
+				}
+			}, nil)
+		counts[i] = errs
+		return err
 	})
 	if err != nil {
 		return nil, err

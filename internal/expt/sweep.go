@@ -3,30 +3,41 @@ package expt
 // sweep.go is the shared parallel experiment sweep engine. Every
 // experiment in this package decomposes into independent sweep points
 // (delay values, AllXY pairs, RB (length, trial) pairs, repetition-code
-// round chunks), and each point runs on its own core.Machine with a
+// round chunks); each point runs its per-shot program through the
+// shot-replay engine (internal/replay) on a pooled core.Machine with a
 // deterministically derived seed. The contract:
 //
-//   - Point i of a sweep with base seed S always runs on a machine seeded
-//     with DeriveSeed(S, i) (experiments with several sub-streams derive
-//     nested seeds via DeriveSeed2). Seeds depend only on (S, i), never
-//     on scheduling.
+//   - Point i of a sweep with base seed S always runs on a machine in
+//     the ResetState(DeriveSeed(S, i)) condition (experiments with
+//     several sub-streams derive nested seeds via DeriveSeed2). Seeds
+//     depend only on (S, i), never on scheduling — and ResetState makes
+//     a pooled machine bit-identical to a fresh one, so neither does
+//     machine reuse.
+//   - The shot loop lives in the engine (Shots = Rounds), not in the
+//     program text: per-shot programs carry no round counters and no
+//     classical result accumulation. Per-shot results arrive as the
+//     engine's measurement stream, and experiments count in Go — which
+//     is exactly what keeps feedback-free programs replay-safe.
 //   - runPool writes each point's result into its own slot and runs every
 //     job even if another fails, returning the lowest-index error — so
 //     results and errors are bit-identical regardless of worker count.
 //   - Config values handed to workers are deep-copied (the Qubit slice is
-//     the only reference field) so concurrent machines share nothing.
-//   - cfg.Backend rides through the copy: every experiment runs on either
-//     state backend unchanged. The trajectory backend samples its Kraus
-//     unwinding from the per-point machine PRNG, so the bit-identical
-//     contract holds there too.
+//     the only reference field) so concurrent machines share nothing;
+//     each distinct program text assembles once per sweep (programCache).
+//   - cfg.Backend and Params.Replay ride through unchanged: every
+//     experiment runs on either state backend, with replay on or off,
+//     with bit-identical results (replay_test.go enforces this).
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"quma/internal/asm"
 	"quma/internal/core"
+	"quma/internal/isa"
 	"quma/internal/qphys"
+	"quma/internal/replay"
 )
 
 // DeriveSeed deterministically derives an independent PRNG seed for sweep
@@ -104,6 +115,94 @@ func runPool(n, workers int, job func(i int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// programCache assembles each distinct program text once per sweep.
+// Sweep points that share a program (every repetition-code chunk of a
+// variant, every Rabi amplitude point, every shot-hoisted program reused
+// across worker jobs) hit the cache; assembled programs are immutable, so
+// concurrent machines share them safely.
+type programCache struct {
+	mu    sync.Mutex
+	progs map[string]*isa.Program
+}
+
+func newProgramCache() *programCache {
+	return &programCache{progs: make(map[string]*isa.Program)}
+}
+
+func (c *programCache) get(src string) (*isa.Program, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p, ok := c.progs[src]; ok {
+		return p, nil
+	}
+	p, err := asm.Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	c.progs[src] = p
+	return p, nil
+}
+
+// machinePool reuses core.Machine instances across the points of one
+// sweep via Machine.ResetState: construction (waveform synthesis, LUT
+// upload, MDU calibration) is paid once per worker instead of once per
+// point, while ResetState(seed) guarantees a pooled machine behaves
+// bit-identically to a fresh core.New with that seed — so the sweep
+// determinism contract (results independent of worker count and of which
+// machine served which point) is preserved. One caveat rides along:
+// custom LUT uploads and µop definitions survive the reset, so a
+// runShotJob setup that customizes the machine must do so
+// unconditionally on every point (see Machine.ResetState).
+type machinePool struct {
+	cfg  core.Config
+	pool sync.Pool
+}
+
+func newMachinePool(cfg core.Config) *machinePool {
+	cfg.Qubit = append([]qphys.QubitParams(nil), cfg.Qubit...)
+	return &machinePool{cfg: cfg}
+}
+
+func (mp *machinePool) get(seed int64) (*core.Machine, error) {
+	if v := mp.pool.Get(); v != nil {
+		m := v.(*core.Machine)
+		m.ResetState(seed)
+		return m, nil
+	}
+	return core.New(sweepConfig(mp.cfg, seed))
+}
+
+func (mp *machinePool) put(m *core.Machine) { mp.pool.Put(m) }
+
+// runShotJob executes one sweep point: acquire a pooled machine under the
+// point seed, run optional per-point setup (e.g. a pulse upload), execute
+// the per-shot program `shots` times through the replay engine, and hand
+// the machine to finish for result extraction before returning it to the
+// pool.
+func runShotJob(mp *machinePool, seed int64, prog *isa.Program, shots int, mode replay.Mode,
+	setup func(*core.Machine) error,
+	onShot func(int, []replay.MD),
+	finish func(*core.Machine, replay.Stats) error) error {
+	m, err := mp.get(seed)
+	if err != nil {
+		return err
+	}
+	defer mp.put(m)
+	if setup != nil {
+		if err := setup(m); err != nil {
+			return err
+		}
+	}
+	stats, err := replay.Run(m, prog, replay.Options{Shots: shots, Mode: mode, OnShot: onShot})
+	if err != nil {
+		return err
+	}
+	if finish != nil {
+		return finish(m, stats)
 	}
 	return nil
 }

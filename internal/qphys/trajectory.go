@@ -27,6 +27,11 @@ type Trajectory struct {
 	// fixes the whole trajectory, which keeps sweep results
 	// bit-reproducible for any worker count.
 	rng *rand.Rand
+	// diagMemo caches the diagonality classification of the last Apply2
+	// matrix by identity: the machine plays the same cached CZ on every
+	// flux pulse, so the 16-entry scan runs once, not once per gate.
+	diagMemo       *complex128
+	diagMemoIsDiag bool
 }
 
 // maxTrajectoryQubits bounds the register size: 2^20 amplitudes (16 MiB)
@@ -60,7 +65,9 @@ func (t *Trajectory) Reset() {
 
 // Apply1 applies a single-qubit unitary to qubit q in place: for every
 // amplitude pair differing only in q's bit, |ψ⟩ is updated by the 2×2
-// block. O(2^n), no allocation.
+// block. Pairs are visited block-wise (all bit-0 indices are contiguous
+// runs of length mask), so the loop carries no skip branch. O(2^n), no
+// allocation.
 func (t *Trajectory) Apply1(u Matrix, q int) {
 	if u.N != 2 {
 		panic("qphys: Apply1 requires a single-qubit gate")
@@ -71,20 +78,22 @@ func (t *Trajectory) Apply1(u Matrix, q int) {
 	mask := 1 << (t.nq - 1 - q)
 	u00, u01, u10, u11 := u.Data[0], u.Data[1], u.Data[2], u.Data[3]
 	psi := t.Psi
-	for i0 := range psi {
-		if i0&mask != 0 {
-			continue
+	for base := 0; base < len(psi); base += mask << 1 {
+		lo := psi[base : base+mask : base+mask]
+		hi := psi[base+mask : base+mask+mask]
+		for j := range lo {
+			a0, a1 := lo[j], hi[j]
+			lo[j] = u00*a0 + u01*a1
+			hi[j] = u10*a0 + u11*a1
 		}
-		i1 := i0 | mask
-		a0, a1 := psi[i0], psi[i1]
-		psi[i0] = u00*a0 + u01*a1
-		psi[i1] = u10*a0 + u11*a1
 	}
 }
 
 // Apply2 applies a two-qubit unitary to qubits (qa, qb) in place. The
 // basis order of u matches Embed2: index = bit(qa)·2 + bit(qb), so qa is
-// the control of CNOT. O(2^n·4), no allocation.
+// the control of CNOT. O(2^n·4), no allocation. Diagonal unitaries (the
+// CZ flux pulse — the only two-qubit gate the machine's physical layer
+// emits) take a one-multiply-per-amplitude fast path.
 func (t *Trajectory) Apply2(u Matrix, qa, qb int) {
 	if u.N != 4 {
 		panic("qphys: Apply2 requires a two-qubit gate")
@@ -97,9 +106,38 @@ func (t *Trajectory) Apply2(u Matrix, qa, qb int) {
 	}
 	ma := 1 << (t.nq - 1 - qa)
 	mb := 1 << (t.nq - 1 - qb)
+	psi := t.Psi
+	isDiag := false
+	if &u.Data[0] == t.diagMemo {
+		isDiag = t.diagMemoIsDiag
+	} else {
+		isDiag = diag2(u)
+		t.diagMemo, t.diagMemoIsDiag = &u.Data[0], isDiag
+	}
+	if isDiag {
+		// Touch only the bit-pattern groups whose diagonal entry is not 1
+		// (CZ touches a single group: the 2^(n-2) amplitudes with both
+		// bits set), enumerating each group by walking the submasks of
+		// the remaining bits.
+		rest := (len(psi) - 1) &^ (ma | mb)
+		for s, fixed := range [4]int{0, mb, ma, ma | mb} {
+			d := u.Data[s*4+s]
+			if d == 1 {
+				continue
+			}
+			r := 0
+			for {
+				psi[r|fixed] *= d
+				if r == rest {
+					break
+				}
+				r = (r - rest) & rest
+			}
+		}
+		return
+	}
 	both := ma | mb
 	off := [4]int{0, mb, ma, ma | mb}
-	psi := t.Psi
 	for base := range psi {
 		if base&both != 0 {
 			continue
@@ -118,19 +156,42 @@ func (t *Trajectory) Apply2(u Matrix, qa, qb int) {
 	}
 }
 
+// diag2 reports whether a 4×4 unitary is diagonal.
+func diag2(u Matrix) bool {
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j && u.Data[i*4+j] != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // ApplyKraus1 applies a single-qubit channel to qubit q by Monte-Carlo
 // unraveling: operator K_k is selected with the Born probability
 // p_k = ‖K_k|ψ⟩‖² (the operators must satisfy Σ K†K = I, so Σ p_k = 1)
-// and the state becomes K_k|ψ⟩/√p_k. Exact in expectation over the bound
-// PRNG. O(2^n·k) worst case, no allocation.
+// and the state becomes K_k|ψ⟩/√p_k. Exactly one PRNG variate is
+// consumed per multi-operator channel. Exact in expectation over the
+// bound PRNG. No allocation.
+//
+// Channels whose operators are all diagonal or anti-diagonal — every
+// channel DecoherenceChannel builds (products of amplitude-damping and
+// dephasing operators) and the depolarizing channel — take a fast path:
+// the Born weight of such an operator depends only on the two per-bit
+// populations, so one population pass prices every candidate (instead of
+// one full state pass per candidate) and the sampled operator applies
+// with one multiply per amplitude. A dense operator encountered during
+// pricing falls back to the general per-operator-pass path, reusing the
+// same variate.
 func (t *Trajectory) ApplyKraus1(ops []Matrix, q int) {
 	if q < 0 || q >= t.nq {
 		panic(fmt.Sprintf("qphys: ApplyKraus1 qubit %d out of range 0..%d", q, t.nq-1))
 	}
-	for _, k := range ops {
-		if k.N != 2 {
-			panic("qphys: ApplyKraus1 requires single-qubit operators")
-		}
+	if len(ops) == 0 || ops[0].N != 2 {
+		// Channels are homogeneous; checking the first operator keeps the
+		// guard off the per-operator hot loop.
+		panic("qphys: ApplyKraus1 requires single-qubit operators")
 	}
 	if len(ops) == 1 {
 		// A single operator of a physical channel must be (a phase times)
@@ -141,23 +202,35 @@ func (t *Trajectory) ApplyKraus1(ops []Matrix, q int) {
 	mask := 1 << (t.nq - 1 - q)
 	psi := t.Psi
 	r := t.rng.Float64()
+
+	var p0, p1 float64
+	for base := 0; base < len(psi); base += mask << 1 {
+		lo := psi[base : base+mask : base+mask]
+		hi := psi[base+mask : base+mask+mask]
+		for j := range lo {
+			a0, a1 := lo[j], hi[j]
+			p0 += real(a0)*real(a0) + imag(a0)*imag(a0)
+			p1 += real(a1)*real(a1) + imag(a1)*imag(a1)
+		}
+	}
 	cum := 0.0
 	chosen := -1
 	lastPositive := -1
 	var lastP float64
-	for ki, k := range ops {
-		k00, k01, k10, k11 := k.Data[0], k.Data[1], k.Data[2], k.Data[3]
+	for ki := range ops {
+		k := &ops[ki]
+		diag := k.Data[1] == 0 && k.Data[2] == 0
+		if !diag && (k.Data[0] != 0 || k.Data[3] != 0) {
+			// Dense operator: re-sample with the general path and the
+			// same variate (pricing so far mutated nothing).
+			t.applyKrausDense(ops, mask, r)
+			return
+		}
 		var p float64
-		for i0 := range psi {
-			if i0&mask != 0 {
-				continue
-			}
-			i1 := i0 | mask
-			a0, a1 := psi[i0], psi[i1]
-			b0 := k00*a0 + k01*a1
-			b1 := k10*a0 + k11*a1
-			p += real(b0)*real(b0) + imag(b0)*imag(b0) +
-				real(b1)*real(b1) + imag(b1)*imag(b1)
+		if diag {
+			p = norm2(k.Data[0])*p0 + norm2(k.Data[3])*p1
+		} else {
+			p = norm2(k.Data[1])*p1 + norm2(k.Data[2])*p0
 		}
 		if p > 0 {
 			lastPositive, lastP = ki, p
@@ -177,25 +250,88 @@ func (t *Trajectory) ApplyKraus1(ops []Matrix, q int) {
 		chosen = lastPositive
 	}
 	k := ops[chosen]
+	inv := complex(1/math.Sqrt(lastP), 0)
+	if k.Data[1] == 0 && k.Data[2] == 0 {
+		c0, c1 := k.Data[0]*inv, k.Data[3]*inv
+		for base := 0; base < len(psi); base += mask << 1 {
+			lo := psi[base : base+mask : base+mask]
+			hi := psi[base+mask : base+mask+mask]
+			for j := range lo {
+				lo[j] *= c0
+				hi[j] *= c1
+			}
+		}
+	} else {
+		c01, c10 := k.Data[1]*inv, k.Data[2]*inv
+		for base := 0; base < len(psi); base += mask << 1 {
+			lo := psi[base : base+mask : base+mask]
+			hi := psi[base+mask : base+mask+mask]
+			for j := range lo {
+				lo[j], hi[j] = c01*hi[j], c10*lo[j]
+			}
+		}
+	}
+}
+
+func norm2(c complex128) float64 { return real(c)*real(c) + imag(c)*imag(c) }
+
+// applyKrausDense is the general Born-rule sampling path: one full state
+// pass per candidate operator until the cumulative weight passes r.
+func (t *Trajectory) applyKrausDense(ops []Matrix, mask int, r float64) {
+	psi := t.Psi
+	cum := 0.0
+	chosen := -1
+	lastPositive := -1
+	var lastP float64
+	for ki, k := range ops {
+		k00, k01, k10, k11 := k.Data[0], k.Data[1], k.Data[2], k.Data[3]
+		var p float64
+		for base := 0; base < len(psi); base += mask << 1 {
+			for i0 := base; i0 < base+mask; i0++ {
+				i1 := i0 | mask
+				a0, a1 := psi[i0], psi[i1]
+				b0 := k00*a0 + k01*a1
+				b1 := k10*a0 + k11*a1
+				p += real(b0)*real(b0) + imag(b0)*imag(b0) +
+					real(b1)*real(b1) + imag(b1)*imag(b1)
+			}
+		}
+		if p > 0 {
+			lastPositive, lastP = ki, p
+		}
+		cum += p
+		if r < cum {
+			chosen, lastP = ki, p
+			break
+		}
+	}
+	if chosen < 0 {
+		if lastPositive < 0 {
+			return
+		}
+		chosen = lastPositive
+	}
+	k := ops[chosen]
 	k00, k01, k10, k11 := k.Data[0], k.Data[1], k.Data[2], k.Data[3]
 	inv := complex(1/math.Sqrt(lastP), 0)
-	for i0 := range psi {
-		if i0&mask != 0 {
-			continue
+	for base := 0; base < len(psi); base += mask << 1 {
+		for i0 := base; i0 < base+mask; i0++ {
+			i1 := i0 | mask
+			a0, a1 := psi[i0], psi[i1]
+			psi[i0] = (k00*a0 + k01*a1) * inv
+			psi[i1] = (k10*a0 + k11*a1) * inv
 		}
-		i1 := i0 | mask
-		a0, a1 := psi[i0], psi[i1]
-		psi[i0] = (k00*a0 + k01*a1) * inv
-		psi[i1] = (k10*a0 + k11*a1) * inv
 	}
 }
 
 // ProbExcited returns the probability of reading qubit q as |1⟩.
 func (t *Trajectory) ProbExcited(q int) float64 {
-	bit := t.nq - 1 - q
+	mask := 1 << (t.nq - 1 - q)
+	psi := t.Psi
 	var p float64
-	for i, a := range t.Psi {
-		if (i>>bit)&1 == 1 {
+	for base := mask; base < len(psi); base += mask << 1 {
+		hi := psi[base : base+mask : base+mask]
+		for _, a := range hi {
 			p += real(a)*real(a) + imag(a)*imag(a)
 		}
 	}
@@ -208,14 +344,18 @@ func (t *Trajectory) ExpectationZ(q int) float64 {
 }
 
 // Measure performs a projective measurement of qubit q using the supplied
-// PRNG, collapses the state, and returns the binary outcome.
+// PRNG, collapses the state, and returns the binary outcome. The outcome
+// probability from the sampling pass is reused for the renormalization,
+// so the whole measurement is two state passes (probability + collapse).
 func (t *Trajectory) Measure(q int, rng *rand.Rand) int {
 	p1 := t.ProbExcited(q)
 	outcome := 0
+	p := 1 - p1
 	if rng.Float64() < p1 {
 		outcome = 1
+		p = p1
 	}
-	t.Project(q, outcome)
+	t.projectWithProb(q, outcome, p)
 	return outcome
 }
 
@@ -230,6 +370,12 @@ func (t *Trajectory) Project(q, outcome int) {
 			p += real(a)*real(a) + imag(a)*imag(a)
 		}
 	}
+	t.projectWithProb(q, outcome, p)
+}
+
+// projectWithProb is Project with the outcome probability already known
+// (Measure reuses the probability from its sampling pass).
+func (t *Trajectory) projectWithProb(q, outcome int, p float64) {
 	if p < 1e-15 {
 		t.Reset()
 		if outcome == 1 {
@@ -237,12 +383,22 @@ func (t *Trajectory) Project(q, outcome int) {
 		}
 		return
 	}
+	mask := 1 << (t.nq - 1 - q)
+	psi := t.Psi
 	inv := complex(1/math.Sqrt(p), 0)
-	for i := range t.Psi {
-		if (i>>bit)&1 != outcome {
-			t.Psi[i] = 0
+	for base := 0; base < len(psi); base += mask << 1 {
+		lo := psi[base : base+mask : base+mask]
+		hi := psi[base+mask : base+mask+mask]
+		if outcome == 0 {
+			for j := range lo {
+				lo[j] *= inv
+				hi[j] = 0
+			}
 		} else {
-			t.Psi[i] *= inv
+			for j := range lo {
+				lo[j] = 0
+				hi[j] *= inv
+			}
 		}
 	}
 }

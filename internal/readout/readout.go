@@ -75,6 +75,11 @@ type MDU struct {
 	Threshold float64
 	Latency   clock.Cycle
 	n         int
+	// s0/s1 are the noiseless integration results for |0⟩/|1⟩ and sigmaS
+	// the exact standard deviation of the integrated noise — the matched
+	// filter's sufficient statistic (see SampleMeasure).
+	s0, s1 float64
+	sigmaS float64
 }
 
 // Calibrate returns an MDU whose weight function and threshold are matched
@@ -88,11 +93,18 @@ func Calibrate(p Params) *MDU {
 	}
 	s0 := real(p.Mean0 * w)
 	s1 := real(p.Mean1 * w)
+	sigmaS := 0.0
+	if p.IntegrationSamples > 0 {
+		sigmaS = p.NoiseSigma * cmplx.Abs(w) / math.Sqrt(float64(p.IntegrationSamples))
+	}
 	return &MDU{
 		Weight:    w,
 		Threshold: (s0 + s1) / 2,
 		Latency:   p.DiscriminationLatency,
 		n:         p.IntegrationSamples,
+		s0:        s0,
+		s1:        s1,
+		sigmaS:    sigmaS,
 	}
 }
 
@@ -123,6 +135,29 @@ func (m *MDU) Discriminate(s float64) int {
 // it, and return both the binary result and the raw integration value.
 func (m *MDU) Measure(trace []complex128) (result int, s float64) {
 	s = m.Integrate(trace)
+	return m.Discriminate(s), s
+}
+
+// SampleMeasure draws the integration result S directly from its exact
+// sampling distribution instead of synthesizing and integrating a trace.
+// With per-sample noise v_k = mean + σ(x_k + i·y_k) and x, y standard
+// normal, S = (1/n)·Σ Re[v_k·W] is exactly Gaussian with mean Re[mean·W]
+// and standard deviation σ·|W|/√n — so sampling S consumes one variate
+// where the trace path consumed 2n, with bit-for-bit the same *statistics*
+// (assignment fidelity, collector averages, thresholding behaviour).
+//
+// This is the multi-shot hot path used by core.Machine; SynthesizeTrace +
+// Measure remain as the sample-level reference (tests pin the two paths to
+// the same distribution) and as the multiplexed-readout route, which needs
+// per-sample demultiplexing.
+func (m *MDU) SampleMeasure(state int, rng *rand.Rand) (result int, s float64) {
+	s = m.s0
+	if state == 1 {
+		s = m.s1
+	}
+	if m.sigmaS > 0 {
+		s += rng.NormFloat64() * m.sigmaS
+	}
 	return m.Discriminate(s), s
 }
 

@@ -1,0 +1,91 @@
+package readout
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// SampleMeasure must be the exact sampling distribution of the trace
+// path: S = (1/n)·Σ Re[v_k·W] with v_k = mean + σ(x+iy) is Gaussian with
+// mean Re[mean·W] and sd σ·|W|/√n. Compare empirical moments and error
+// rates of the two paths.
+func TestSampleMeasureMatchesTracePathDistribution(t *testing.T) {
+	p := DefaultParams()
+	p.NoiseSigma = 12 // widen noise so both paths show errors at n=300
+	m := Calibrate(p)
+	const shots = 20000
+
+	stats := func(draw func(rng *rand.Rand) (int, float64)) (mean, sd, oneRate float64) {
+		rng := rand.New(rand.NewSource(9))
+		var sum, sumsq float64
+		ones := 0
+		for i := 0; i < shots; i++ {
+			r, s := draw(rng)
+			sum += s
+			sumsq += s * s
+			ones += r
+		}
+		mean = sum / shots
+		sd = math.Sqrt(sumsq/shots - mean*mean)
+		oneRate = float64(ones) / shots
+		return
+	}
+
+	for state := 0; state <= 1; state++ {
+		state := state
+		tm, tsd, tones := stats(func(rng *rand.Rand) (int, float64) {
+			return m.Measure(SynthesizeTrace(p, state, rng))
+		})
+		sm, ssd, sones := stats(func(rng *rand.Rand) (int, float64) {
+			return m.SampleMeasure(state, rng)
+		})
+		terr, serr := tones, sones
+		if state == 1 {
+			terr, serr = 1-tones, 1-sones
+		}
+		// ~5σ bounds at 20k shots.
+		if math.Abs(tm-sm) > 5*tsd/math.Sqrt(shots)+1e-9 {
+			t.Errorf("state %d: means differ: trace %v vs sample %v", state, tm, sm)
+		}
+		if math.Abs(tsd-ssd)/tsd > 0.05 {
+			t.Errorf("state %d: sd differ: trace %v vs sample %v", state, tsd, ssd)
+		}
+		if math.Abs(terr-serr) > 0.01 {
+			t.Errorf("state %d: error rates differ: trace %v vs sample %v", state, terr, serr)
+		}
+		// Both must match the analytic assignment error.
+		want := AssignmentErrorProbability(p)
+		if math.Abs(serr-want) > 0.01 {
+			t.Errorf("state %d: sampled error %v vs analytic %v", state, serr, want)
+		}
+	}
+}
+
+// The machine's PRNG-consumption contract (core.Machine.MeasureQubit and
+// the replay engine both depend on it): exactly one variate per sampled
+// measurement.
+func TestSampleMeasureConsumesOneVariate(t *testing.T) {
+	p := DefaultParams()
+	m := Calibrate(p)
+	rng := rand.New(rand.NewSource(4))
+	ref := rand.New(rand.NewSource(4))
+	m.SampleMeasure(0, rng)
+	ref.NormFloat64()
+	if got, want := rng.Int63(), ref.Int63(); got != want {
+		t.Error("SampleMeasure consumed a variate count other than one NormFloat64")
+	}
+}
+
+func TestSampleMeasureNoiselessIsDeterministic(t *testing.T) {
+	p := DefaultParams()
+	p.NoiseSigma = 0
+	m := Calibrate(p)
+	rng := rand.New(rand.NewSource(1))
+	for state := 0; state <= 1; state++ {
+		r, _ := m.SampleMeasure(state, rng)
+		if r != state {
+			t.Errorf("noiseless readout misassigned state %d as %d", state, r)
+		}
+	}
+}

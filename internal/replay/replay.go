@@ -1,0 +1,318 @@
+// Package replay implements the shot-replay execution engine: the
+// record/replay split that exploits the paper's own architectural divide
+// between a deterministic classical microarchitecture and a stochastic
+// quantum substrate.
+//
+// For feedback-free programs, every shot's trip through fetch/decode, the
+// physical microcode unit, the QMB, and the timing-control queues is
+// bit-identical; only the quantum substrate (PRNG-driven channel
+// unwinding, projection, readout noise) differs. The engine therefore:
+//
+//   - Records: runs leading shots through the full pipeline, capturing the
+//     timestamped quantum event schedule via core.Probe — idle-advance
+//     channel applications, pulse rotations, two-qubit flux unitaries, and
+//     measurement chains, in deterministic-domain order.
+//   - Detects: conservatively decides whether the schedule is
+//     shot-invariant. Two conditions must hold: (1) the execution
+//     controller observed no classical consumption of a measurement
+//     result or of cross-shot register/memory state
+//     (exec.Controller.ReplayUnsafeReason), and (2) the schedules of two
+//     consecutive steady-state shots are identical — which also catches
+//     timing-induced variation such as SSB-phase drift when the shot
+//     period is not a multiple of the modulation period.
+//   - Replays: drives the qphys.State backend directly from the recorded
+//     schedule for all remaining shots — no assembler, no pipeline, no
+//     timing queues — preserving the exact PRNG consumption order
+//     (channel sampling → projection → integration noise, in TD order),
+//     so results are bit-identical to full simulation.
+//
+// Feedback programs (e.g. examples/feedback, the corrected repetition
+// code) are detected as unsafe and transparently fall back to full
+// per-shot simulation; correctness never depends on the detection saying
+// yes, only performance does.
+//
+// Invariants replayed shots do NOT maintain: controller registers and
+// data memory (no classical execution happens), the digital output unit's
+// gating log, and the TraceEvents timeline. Anything consuming those must
+// run with ModeOff. Experiment results flow through the data collection
+// unit and the per-shot measurement callback, which replay maintains
+// exactly.
+package replay
+
+import (
+	"fmt"
+
+	"quma/internal/core"
+	"quma/internal/isa"
+	"quma/internal/qphys"
+)
+
+// Mode selects the engine behaviour.
+type Mode string
+
+const (
+	// ModeAuto records leading shots, then replays the schedule when the
+	// program is detected replay-safe (the default; "" means auto).
+	ModeAuto Mode = "auto"
+	// ModeOff runs every shot through the full pipeline.
+	ModeOff Mode = "off"
+)
+
+// detectShots is the number of leading shots executed through the full
+// pipeline in ModeAuto: shot 0 carries the cold-start transient (TD = 0,
+// all qubits idle since construction, so its idle durations differ from
+// every later shot); shots 1 and 2 are recorded and compared — two
+// consecutive steady-state shots with identical schedules prove
+// shot-invariance for all that follow.
+const detectShots = 3
+
+// MD is one per-qubit measurement of a shot: the addressed qubit and the
+// binary discrimination result the controller would see.
+type MD struct {
+	Qubit  int
+	Result int
+}
+
+// Options configures one engine run.
+type Options struct {
+	// Shots is the number of times the program is executed (the averaging
+	// count that used to live in the assembly Round_Loop).
+	Shots int
+	// Mode selects full simulation vs record/replay ("" = ModeAuto).
+	Mode Mode
+	// OnShot, when non-nil, is invoked after every shot with the shot's
+	// measurement results in deterministic-domain order. The slice is
+	// reused across shots; copy it to retain.
+	OnShot func(shot int, md []MD)
+}
+
+// Stats reports what the engine did.
+type Stats struct {
+	// Shots is the total number executed (full + replayed).
+	Shots int
+	// Replayed counts shots executed by schedule replay.
+	Replayed int
+	// Safe reports whether the program was detected replay-safe.
+	Safe bool
+	// Reason explains why replay was not used (empty when Safe).
+	Reason string
+}
+
+// op kinds of a recorded schedule.
+const (
+	opIdle = iota
+	opPulse
+	opGate2
+	opMeasure
+)
+
+// op is one recorded quantum operation. Matrices and Kraus slices alias
+// the machine's rotation/decoherence cache entries, which are immutable
+// for the duration of a run — the schedule stores no copies.
+type op struct {
+	kind  uint8
+	q, qb int
+	u     qphys.Matrix
+	kraus []qphys.Matrix
+}
+
+// recorder implements core.Probe: it always collects per-shot measurement
+// results (for OnShot delivery) and, when recording, appends the
+// operation stream to the schedule.
+type recorder struct {
+	recording bool
+	sched     []op
+	md        []MD
+}
+
+func (r *recorder) Idle(q int, rz qphys.Matrix, kraus []qphys.Matrix) {
+	if r.recording {
+		r.sched = append(r.sched, op{kind: opIdle, q: q, u: rz, kraus: kraus})
+	}
+}
+
+func (r *recorder) Pulse1(u qphys.Matrix, q int) {
+	if r.recording {
+		r.sched = append(r.sched, op{kind: opPulse, q: q, u: u})
+	}
+}
+
+func (r *recorder) Gate2(u qphys.Matrix, qa, qb int) {
+	if r.recording {
+		r.sched = append(r.sched, op{kind: opGate2, q: qa, qb: qb, u: u})
+	}
+}
+
+func (r *recorder) Measured(q, result int) {
+	if r.recording {
+		r.sched = append(r.sched, op{kind: opMeasure, q: q})
+	}
+	r.md = append(r.md, MD{Qubit: q, Result: result})
+}
+
+// sameMatrix reports whether two matrices are the same cached entry (or
+// both empty). Matrices in a schedule come from the machine's caches, so
+// identical operations share backing storage; value-equal matrices from
+// different cache entries compare unequal, which errs toward fallback.
+func sameMatrix(a, b qphys.Matrix) bool {
+	if a.N != b.N || len(a.Data) != len(b.Data) {
+		return false
+	}
+	return len(a.Data) == 0 || &a.Data[0] == &b.Data[0]
+}
+
+// sameKraus reports whether two Kraus sets are the same cached slice.
+func sameKraus(a, b []qphys.Matrix) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || &a[0] == &b[0]
+}
+
+// schedulesEqual compares two recorded shot schedules operation by
+// operation.
+func schedulesEqual(a, b []op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := &a[i], &b[i]
+		if x.kind != y.kind || x.q != y.q || x.qb != y.qb {
+			return false
+		}
+		if !sameMatrix(x.u, y.u) || !sameKraus(x.kraus, y.kraus) {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the program Shots times on the machine, per Options.Mode.
+// The machine should be freshly constructed or ResetState so the engine
+// owns its full deterministic timeline. Results (data collection unit,
+// OnShot measurement streams, PulsesPlayed/Measurements counters) are
+// bit-identical between ModeOff and ModeAuto for every program — replay
+// only changes how fast they are produced.
+func Run(m *core.Machine, p *isa.Program, opts Options) (Stats, error) {
+	st := Stats{Shots: opts.Shots}
+	if opts.Shots <= 0 {
+		return st, fmt.Errorf("replay: Shots must be positive, got %d", opts.Shots)
+	}
+	mode := opts.Mode
+	if mode == "" {
+		mode = ModeAuto
+	}
+	if mode != ModeAuto && mode != ModeOff {
+		return st, fmt.Errorf("replay: unknown mode %q (want %q or %q)", opts.Mode, ModeAuto, ModeOff)
+	}
+
+	rec := &recorder{}
+	m.SetProbe(rec)
+	defer m.SetProbe(nil)
+	m.Controller.ResetReplayTracking()
+
+	fullShot := func(shot int) error {
+		rec.md = rec.md[:0]
+		if err := m.RunProgram(p); err != nil {
+			return fmt.Errorf("replay: shot %d: %w", shot, err)
+		}
+		if opts.OnShot != nil {
+			opts.OnShot(shot, rec.md)
+		}
+		return nil
+	}
+
+	if mode == ModeOff {
+		for shot := 0; shot < opts.Shots; shot++ {
+			if err := fullShot(shot); err != nil {
+				return st, err
+			}
+		}
+		st.Reason = "replay disabled"
+		return st, nil
+	}
+
+	lead := opts.Shots
+	if lead > detectShots {
+		lead = detectShots
+	}
+	var s1, s2 []op
+	for shot := 0; shot < lead; shot++ {
+		if shot == 1 || shot == 2 {
+			rec.recording, rec.sched = true, nil
+		} else {
+			rec.recording = false
+		}
+		if err := fullShot(shot); err != nil {
+			return st, err
+		}
+		switch shot {
+		case 1:
+			s1 = rec.sched
+		case 2:
+			s2 = rec.sched
+		}
+	}
+	rec.recording = false
+
+	if opts.Shots <= detectShots {
+		st.Reason = "too few shots to amortize recording"
+		return st, nil
+	}
+	if reason := m.Controller.ReplayUnsafeReason(); reason != "" {
+		st.Reason = reason
+	} else if !schedulesEqual(s1, s2) {
+		st.Reason = "schedule is not shot-invariant"
+	}
+	if st.Reason != "" {
+		for shot := lead; shot < opts.Shots; shot++ {
+			if err := fullShot(shot); err != nil {
+				return st, err
+			}
+		}
+		return st, nil
+	}
+
+	// Replay: drive the state backend directly from the steady-state
+	// schedule, consuming the machine PRNG in exactly the recorded order.
+	st.Safe = true
+	m.SetProbe(nil)
+	state := m.State
+	nMD := 0
+	for i := range s2 {
+		if s2[i].kind == opMeasure {
+			nMD++
+		}
+	}
+	md := make([]MD, 0, nMD)
+	for shot := lead; shot < opts.Shots; shot++ {
+		md = md[:0]
+		for i := range s2 {
+			o := &s2[i]
+			switch o.kind {
+			case opIdle:
+				if o.u.N != 0 {
+					state.Apply1(o.u, o.q)
+				}
+				if o.kraus != nil {
+					state.ApplyKraus1(o.kraus, o.q)
+				}
+			case opPulse:
+				if o.u.N != 0 {
+					state.Apply1(o.u, o.q)
+				}
+				m.PulsesPlayed++
+			case opGate2:
+				state.Apply2(o.u, o.q, o.qb)
+				m.PulsesPlayed++
+			case opMeasure:
+				md = append(md, MD{Qubit: o.q, Result: m.MeasureQubit(o.q)})
+			}
+		}
+		st.Replayed++
+		if opts.OnShot != nil {
+			opts.OnShot(shot, md)
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,255 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"quma/internal/asm"
+	"quma/internal/core"
+)
+
+// runEngine executes src for `shots` on a fresh machine and returns the
+// stats plus the full per-shot measurement history and end-of-run
+// counters.
+func runEngine(t *testing.T, cfg core.Config, src string, shots int, mode Mode) (Stats, [][]MD, *core.Machine) {
+	t.Helper()
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist [][]MD
+	st, err := Run(m, prog, Options{Shots: shots, Mode: mode, OnShot: func(_ int, md []MD) {
+		hist = append(hist, append([]MD(nil), md...))
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, hist, m
+}
+
+const simpleShot = `
+mov r15, 40000
+QNopReg r15
+Pulse {q0}, X90
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+halt
+`
+
+// feedbackShot is the examples/feedback active-reset cycle: the X180 is
+// conditioned on the measured result, the canonical unsafe program.
+const feedbackShot = `
+mov r15, 40000
+mov r6, 0
+QNopReg r15
+Pulse {q0}, X90
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+Wait 340
+beq r7, r6, Verify
+Pulse {q0}, X180
+Wait 4
+Verify:
+MPG {q0}, 300
+MD {q0}, r8
+halt
+`
+
+func backends(t *testing.T, f func(t *testing.T, cfg core.Config)) {
+	for _, b := range []core.Backend{core.BackendDensity, core.BackendTrajectory} {
+		t.Run(string(b), func(t *testing.T) {
+			cfg := core.DefaultConfig()
+			cfg.Backend = b
+			cfg.Seed = 11
+			cfg.CollectK = 1
+			f(t, cfg)
+		})
+	}
+}
+
+func requireIdentical(t *testing.T, off, auto [][]MD, moff, mauto *core.Machine) {
+	t.Helper()
+	if len(off) != len(auto) {
+		t.Fatalf("shot counts differ: %d vs %d", len(off), len(auto))
+	}
+	for s := range off {
+		if len(off[s]) != len(auto[s]) {
+			t.Fatalf("shot %d: MD counts differ: %d vs %d", s, len(off[s]), len(auto[s]))
+		}
+		for k := range off[s] {
+			if off[s][k] != auto[s][k] {
+				t.Fatalf("shot %d md %d: %+v vs %+v", s, k, off[s][k], auto[s][k])
+			}
+		}
+	}
+	if moff.PulsesPlayed != mauto.PulsesPlayed {
+		t.Errorf("PulsesPlayed %d vs %d", moff.PulsesPlayed, mauto.PulsesPlayed)
+	}
+	if moff.Measurements != mauto.Measurements {
+		t.Errorf("Measurements %d vs %d", moff.Measurements, mauto.Measurements)
+	}
+	aoff, aauto := moff.Collector.Averages(), mauto.Collector.Averages()
+	for i := range aoff {
+		if aoff[i] != aauto[i] {
+			t.Errorf("collector average %d: %v vs %v", i, aoff[i], aauto[i])
+		}
+	}
+}
+
+func TestReplayBitIdenticalToFullSimulation(t *testing.T) {
+	backends(t, func(t *testing.T, cfg core.Config) {
+		const shots = 60
+		stOff, off, moff := runEngine(t, cfg, simpleShot, shots, ModeOff)
+		stAuto, auto, mauto := runEngine(t, cfg, simpleShot, shots, ModeAuto)
+		if stOff.Replayed != 0 {
+			t.Errorf("ModeOff replayed %d shots", stOff.Replayed)
+		}
+		if !stAuto.Safe || stAuto.Replayed != shots-detectShots {
+			t.Errorf("ModeAuto stats = %+v, want safe with %d replayed", stAuto, shots-detectShots)
+		}
+		requireIdentical(t, off, auto, moff, mauto)
+	})
+}
+
+func TestFeedbackProgramFallsBack(t *testing.T) {
+	backends(t, func(t *testing.T, cfg core.Config) {
+		cfg.CollectK = 2
+		const shots = 40
+		_, off, moff := runEngine(t, cfg, feedbackShot, shots, ModeOff)
+		stAuto, auto, mauto := runEngine(t, cfg, feedbackShot, shots, ModeAuto)
+		if stAuto.Safe || stAuto.Replayed != 0 {
+			t.Fatalf("feedback program must not replay: %+v", stAuto)
+		}
+		if !strings.Contains(stAuto.Reason, "measurement result") {
+			t.Errorf("reason = %q, want measurement-consumption detection", stAuto.Reason)
+		}
+		requireIdentical(t, off, auto, moff, mauto)
+		// And the program must actually have performed active reset: the
+		// verify measurement reads |1⟩ far less often than the first.
+		var first, verify int
+		for _, md := range auto {
+			first += md[0].Result
+			verify += md[1].Result
+		}
+		if verify*3 >= first {
+			t.Errorf("active reset ineffective under fallback: first=%d verify=%d", first, verify)
+		}
+	})
+}
+
+func TestCrossShotRegisterStateFallsBack(t *testing.T) {
+	// r3 persists across shots; after two shots the branch flips and the
+	// pulse schedule changes. Schedule comparison alone (shots 1 vs 2)
+	// would not catch a flip at shot 5 — the cross-shot taint does.
+	src := `
+mov r15, 40000
+mov r4, 2
+addi r3, r3, 1
+QNopReg r15
+blt r4, r3, Skip
+Pulse {q0}, X180
+Wait 4
+Skip:
+MPG {q0}, 300
+MD {q0}, r7
+halt
+`
+	backends(t, func(t *testing.T, cfg core.Config) {
+		const shots = 30
+		_, off, moff := runEngine(t, cfg, src, shots, ModeOff)
+		stAuto, auto, mauto := runEngine(t, cfg, src, shots, ModeAuto)
+		if stAuto.Safe || stAuto.Replayed != 0 {
+			t.Fatalf("cross-shot counter program must not replay: %+v", stAuto)
+		}
+		if !strings.Contains(stAuto.Reason, "cross-shot") {
+			t.Errorf("reason = %q, want cross-shot detection", stAuto.Reason)
+		}
+		requireIdentical(t, off, auto, moff, mauto)
+	})
+}
+
+func TestShotPeriodMisalignmentFallsBack(t *testing.T) {
+	// Wait 5 instead of Wait 4 makes the shot period a non-multiple of
+	// the 4-cycle SSB period, so the demodulated rotation drifts from
+	// shot to shot: the recorded schedules of shots 1 and 2 differ and
+	// the engine must fall back (still bit-identical).
+	src := `
+mov r15, 40000
+QNopReg r15
+Pulse {q0}, X90
+Wait 5
+MPG {q0}, 300
+MD {q0}, r7
+halt
+`
+	backends(t, func(t *testing.T, cfg core.Config) {
+		const shots = 24
+		_, off, moff := runEngine(t, cfg, src, shots, ModeOff)
+		stAuto, auto, mauto := runEngine(t, cfg, src, shots, ModeAuto)
+		if stAuto.Safe || stAuto.Replayed != 0 {
+			t.Fatalf("misaligned program must not replay: %+v", stAuto)
+		}
+		if !strings.Contains(stAuto.Reason, "shot-invariant") {
+			t.Errorf("reason = %q, want schedule-invariance detection", stAuto.Reason)
+		}
+		requireIdentical(t, off, auto, moff, mauto)
+	})
+}
+
+func TestTooFewShotsRunFull(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.CollectK = 1
+	st, hist, _ := runEngine(t, cfg, simpleShot, detectShots, ModeAuto)
+	if st.Safe || st.Replayed != 0 || len(hist) != detectShots {
+		t.Fatalf("stats = %+v with %d shots", st, len(hist))
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	m, err := core.New(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := asm.MustAssemble("halt\n")
+	if _, err := Run(m, prog, Options{Shots: 0}); err == nil {
+		t.Error("Shots=0 must fail")
+	}
+	if _, err := Run(m, prog, Options{Shots: 1, Mode: "sometimes"}); err == nil {
+		t.Error("unknown mode must fail")
+	}
+}
+
+func TestReplayMultiQubitCZSchedule(t *testing.T) {
+	// Two-qubit flux pulses and multi-qubit measurement land in the
+	// schedule and replay bit-identically.
+	src := `
+mov r15, 40000
+QNopReg r15
+Pulse {q0}, X180
+Wait 4
+Pulse {q0, q1}, CZ
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+MPG {q1}, 300
+MD {q1}, r8
+halt
+`
+	backends(t, func(t *testing.T, cfg core.Config) {
+		cfg.NumQubits = 2
+		cfg.CollectK = 2
+		const shots = 30
+		stAuto, auto, mauto := runEngine(t, cfg, src, shots, ModeAuto)
+		if !stAuto.Safe {
+			t.Fatalf("CZ program should replay: %+v", stAuto)
+		}
+		_, off, moff := runEngine(t, cfg, src, shots, ModeOff)
+		requireIdentical(t, off, auto, moff, mauto)
+	})
+}
