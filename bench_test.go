@@ -779,23 +779,31 @@ func BenchmarkBackendRepCode9Q(b *testing.B) {
 
 // --- Shot-replay engine benchmarks (full simulation vs replay) ---
 //
-// Each pair runs the same experiment at equal shot count with the engine
-// forced off (every shot through fetch/decode/QMB/timing queues) and in
-// auto mode (leading shots recorded, the rest replayed against the state
-// backend). Results are bit-identical by the engine contract; only ns/op
-// moves.
+// Each group runs the same experiment at equal shot count with the
+// engine forced off (every shot through fetch/decode/QMB/timing queues),
+// in interpreted replay (the PR 3 engine: op-by-op through the
+// qphys.State interface), and in compiled replay (per-schedule fused
+// kernels, PR 4). Results are bit-identical by the engine contract; only
+// ns/op moves.
+
+// replayBenchModes maps engine modes to their sub-benchmark names.
+var replayBenchModes = []struct {
+	mode replay.Mode
+	name string
+}{
+	{replay.ModeOff, "full"},
+	{replay.ModeInterp, "interp"},
+	{replay.ModeCompiled, "compiled"},
+}
 
 // BenchmarkReplayRB runs randomized benchmarking — the pulse-heaviest
 // replay-safe workload (up to ~350 pulses per shot at m=128) — on both
 // backends.
 func BenchmarkReplayRB(b *testing.B) {
 	for _, backend := range []core.Backend{core.BackendDensity, core.BackendTrajectory} {
-		for _, mode := range []replay.Mode{replay.ModeOff, replay.ModeAuto} {
-			name := "full"
-			if mode == replay.ModeAuto {
-				name = "replay"
-			}
-			b.Run(string(backend)+"/"+name, func(b *testing.B) {
+		for _, bm := range replayBenchModes {
+			mode := bm.mode
+			b.Run(string(backend)+"/"+bm.name, func(b *testing.B) {
 				var epc float64
 				for i := 0; i < b.N; i++ {
 					cfg := core.DefaultConfig()
@@ -819,8 +827,9 @@ func BenchmarkReplayRB(b *testing.B) {
 
 // BenchmarkReplayRepCode drives the syndromes-only repetition-code memory
 // round (encode, CNOT syndrome extraction, 5 measurements per shot)
-// directly through the engine at equal shot count — the workload the
-// ≥5× replay acceptance target is measured on (trajectory backend).
+// directly through the engine at equal shot count — the physics-bound
+// workload the compiled-schedule engine (PR 4) is measured on
+// (trajectory backend, compiled vs the PR 3 interp number).
 func BenchmarkReplayRepCode(b *testing.B) {
 	p := expt.DefaultRepCodeParams()
 	src := expt.RepCodeShotProgram(p, false)
@@ -834,12 +843,9 @@ func BenchmarkReplayRepCode(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, mode := range []replay.Mode{replay.ModeOff, replay.ModeAuto} {
-			name := "full"
-			if mode == replay.ModeAuto {
-				name = "replay"
-			}
-			b.Run(string(backend)+"/"+name, func(b *testing.B) {
+		for _, bm := range replayBenchModes {
+			mode := bm.mode
+			b.Run(string(backend)+"/"+bm.name, func(b *testing.B) {
 				var logicalErr float64
 				for i := 0; i < b.N; i++ {
 					m.ResetState(int64(i + 1))
@@ -860,8 +866,11 @@ func BenchmarkReplayRepCode(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					if mode == replay.ModeAuto && !st.Safe {
+					if mode != replay.ModeOff && !st.Safe {
 						b.Fatalf("syndromes-only round must be replay-safe: %+v", st)
+					}
+					if mode == replay.ModeCompiled && !st.Compiled {
+						b.Fatalf("compiled mode must use the compiled engine: %+v", st)
 					}
 					logicalErr = float64(errs) / shots
 				}

@@ -45,7 +45,7 @@ func main() {
 		amperr     = flag.Float64("amp-error", 0, "fractional pulse amplitude miscalibration ε")
 		binary     = flag.Bool("bin", false, "input is a binary (hex words) produced by quma-asm")
 		shots      = flag.Int("shots", 1, "number of times to run the program on one machine (the shot loop of an experiment)")
-		replayMode = flag.String("replay", "auto", "shot-replay engine mode: auto (replay when safe) or off (full simulation per shot)")
+		replayMode = flag.String("replay", "auto", "shot-replay engine mode: compiled (replay the compiled schedule when safe), interp (op-by-op replay, the A/B baseline), auto (best available = compiled), or off (full simulation per shot)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -53,6 +53,13 @@ func main() {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: quma-run [flags] <prog.qasm>")
 		os.Exit(2)
+	}
+	// Validate flag values up front with a clear non-zero exit: an
+	// unknown backend or replay mode, or a non-positive shot count, must
+	// never silently fall back to a default.
+	mode, err := validateFlags(*backend, *replayMode, *shots)
+	if err != nil {
+		fail(err)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -110,18 +117,21 @@ func main() {
 		fail(err)
 	}
 
-	if *shots <= 1 {
+	if *shots == 1 {
 		if err := m.RunProgram(prog); err != nil {
 			fail(err)
 		}
 	} else {
-		stats, err := replay.Run(m, prog, replay.Options{Shots: *shots, Mode: replay.Mode(*replayMode)})
+		stats, err := replay.Run(m, prog, replay.Options{Shots: *shots, Mode: mode})
 		if err != nil {
 			fail(err)
 		}
-		if stats.Safe {
+		switch {
+		case stats.Safe && stats.Compiled:
+			fmt.Printf("shot-replay engine: %d/%d shots replayed from the compiled schedule\n", stats.Replayed, stats.Shots)
+		case stats.Safe:
 			fmt.Printf("shot-replay engine: %d/%d shots replayed from the recorded schedule\n", stats.Replayed, stats.Shots)
-		} else {
+		default:
 			fmt.Printf("shot-replay engine: full simulation (%s)\n", stats.Reason)
 		}
 	}
@@ -162,6 +172,25 @@ func main() {
 			fail(err)
 		}
 	}
+}
+
+// validateFlags rejects unknown -backend/-replay values and non-positive
+// -shots before any machine is built, so a typo fails loudly instead of
+// silently running under a default.
+func validateFlags(backend, replayMode string, shots int) (replay.Mode, error) {
+	if shots < 1 {
+		return "", fmt.Errorf("-shots must be positive, got %d", shots)
+	}
+	switch core.Backend(backend) {
+	case core.BackendDensity, core.BackendTrajectory:
+	default:
+		return "", fmt.Errorf("unknown -backend %q (want %q or %q)", backend, core.BackendDensity, core.BackendTrajectory)
+	}
+	mode, err := replay.ParseMode(replayMode)
+	if err != nil {
+		return "", fmt.Errorf("invalid -replay value: %w", err)
+	}
+	return mode, nil
 }
 
 // cpuProfiling records that a CPU profile is active, so fail can flush

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"quma/internal/replay"
+)
+
+func TestValidateFlags(t *testing.T) {
+	good := []struct {
+		backend, mode string
+		shots         int
+		want          replay.Mode
+	}{
+		{"density", "auto", 1, replay.ModeAuto},
+		{"trajectory", "compiled", 10000, replay.ModeCompiled},
+		{"trajectory", "interp", 2, replay.ModeInterp},
+		{"density", "off", 5, replay.ModeOff},
+		{"density", "", 1, replay.ModeAuto},
+	}
+	for _, c := range good {
+		mode, err := validateFlags(c.backend, c.mode, c.shots)
+		if err != nil || mode != c.want {
+			t.Errorf("validateFlags(%q, %q, %d) = (%q, %v), want (%q, nil)", c.backend, c.mode, c.shots, mode, err, c.want)
+		}
+	}
+	bad := []struct {
+		backend, mode string
+		shots         int
+	}{
+		{"densty", "auto", 1},     // typo'd backend must not default
+		{"", "auto", 1},           // empty backend is not a selection
+		{"density", "repaly", 10}, // typo'd mode must not default
+		{"density", "auto", 0},    // zero shots runs nothing
+		{"density", "auto", -3},
+	}
+	for _, c := range bad {
+		if _, err := validateFlags(c.backend, c.mode, c.shots); err == nil {
+			t.Errorf("validateFlags(%q, %q, %d) accepted invalid flags", c.backend, c.mode, c.shots)
+		}
+	}
+}

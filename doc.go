@@ -127,4 +127,46 @@
 //     timeline reflect only fully simulated shots. Results flow through
 //     the data collection unit and the engine's per-shot measurement
 //     stream, which replay maintains exactly.
+//
+// # Compiled replay schedules
+//
+// Replay's default engine compiles the recorded schedule once into
+// specialized closure-free steps (internal/replay/compile.go lowering
+// into qphys.SchedOp) instead of interpreting it op-by-op; ModeInterp
+// keeps the interpreter as the A/B baseline. The compiled-schedule
+// invariants:
+//
+//   - PRNG-order preservation. Compilation never adds, removes, or
+//     reorders a PRNG draw: one variate per multi-operator channel in
+//     recorded TD order, then the projection and integration draws of
+//     each measurement. Every pricing decision feeds on the same float64
+//     inputs as the interpreted path, so the selected Kraus operators,
+//     outcomes, and results are bit-identical across off/interp/compiled
+//     for every decoherent configuration. Two qualified slacks remain:
+//     the sign of zeros from real-coefficient scaling (observable by
+//     nothing), and — only when decoherence is disabled outright —
+//     unitary fusion, which makes amplitudes float-equivalent rather
+//     than bit-exact (measured results still agree; regression-tested).
+//   - Per-schedule tables. Each decoherence channel's axis-aligned
+//     pricing coefficients and operator tables are hoisted out of the
+//     shot loop into one qphys.ChannelTable, deduplicated by the
+//     machine cache's Kraus-slice identity; adjacent deterministic
+//     single-qubit unitaries on one qubit fuse into one matrix
+//     (qphys.FuseUnitaries, pinned to the dense reference at 1e-12).
+//   - Population carries. A kernel that already sweeps the state
+//     (channel application, same-qubit unitary, projection) accumulates
+//     the next consumer's populations in exactly the addition order a
+//     standalone pass would use, eliminating most per-channel population
+//     passes; carries thread through phase-safe gates (CZ) and across
+//     consecutive shots (the steady-state schedule is circular).
+//   - Devirtualized dispatch. A type switch binds the whole shot loop to
+//     the concrete backend: *qphys.Trajectory runs one RunSchedule pass
+//     per shot with the hot channel path inlined, *qphys.Density gets
+//     direct concrete-type calls and hoisted operator/conjugate tables,
+//     and a qphys.State interface fallback covers future backends.
+//   - Zero allocations per shot. All scratch (step slice, tables,
+//     measurement buffer) is allocated at compile time, and the compiled
+//     form is memoized on the machine (core.Machine.ReplayCache),
+//     validated entry-for-entry against each fresh recording — pooled
+//     sweep machines compile each program once per lifetime.
 package quma

@@ -1,0 +1,90 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble fuzzes the assembler with arbitrary source text. The
+// contract under fuzzing:
+//
+//   - Assemble never panics, whatever the input — malformed sources must
+//     come back as errors.
+//   - Errors are diagnostic: non-empty, and for line-scoped problems
+//     they name the line ("line N:"), so a failing program points at its
+//     own defect.
+//   - Accepted programs are self-consistent: they validate, disassemble,
+//     and the disassembly re-assembles to the same instruction sequence
+//     (labels at the very end of a program are the one documented
+//     exception — they address no instruction and are dropped by the
+//     renderer).
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"halt\n",
+		"# comment only\n",
+		"mov r15, 40000\nQNopReg r15\nPulse {q0}, X90\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n",
+		"Loop:\naddi r1, r1, 1\nbne r1, r2, Loop\nhalt\n",
+		"Apply2 CNOT, q1, q0\nMeasure q0, r7\n",
+		"Pulse {q0, q15}, X180\nWait 4\n",
+		"load r9, r3[0]\nstore r9, r3[1]\nhld r1, 2\nhst r1, 3\n",
+		"beq r7, r6, Done\nPulse {q0}, X180\nDone:\nhalt\n",
+		"mov r1, 999999999999999999\n",
+		"a:b:c: nop\n",
+		"Pulse {q0}, \n",
+		"bne r1, r2, Nowhere\n",
+		"Pulse {q99}, X180\n",
+		"jmp 0\n",
+		"\tMD {q2}\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			if err.Error() == "" {
+				t.Fatal("Assemble returned an empty error message")
+			}
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted program fails validation: %v\n%s", err, src)
+		}
+		// Disassembly must re-assemble to the same instructions.
+		text := Disassemble(p)
+		p2, err := Assemble(text)
+		if err != nil {
+			t.Fatalf("disassembly does not re-assemble: %v\noriginal:\n%s\ndisassembly:\n%s", err, src, text)
+		}
+		if len(p2.Instrs) != len(p.Instrs) {
+			t.Fatalf("round trip changed instruction count: %d vs %d\n%s", len(p.Instrs), len(p2.Instrs), text)
+		}
+		for i := range p.Instrs {
+			if p.Instrs[i] != p2.Instrs[i] {
+				t.Fatalf("round trip changed instr %d: %q vs %q", i, p.Instrs[i], p2.Instrs[i])
+			}
+		}
+	})
+}
+
+// TestAssembleErrorsAreDiagnostic spot-checks that common mistakes carry
+// the offending line number.
+func TestAssembleErrorsAreDiagnostic(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"nop\nbogus r1\n", "line 2"},
+		{"Pulse {q0}\n", "line 1"},
+		{"mov r99, 1\n", "line 1"},
+		{"jmp Missing\n", "line 1"},
+		{"x:\nx:\nnop\n", "line 2"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("%q assembled without error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not name %q", c.src, err, c.want)
+		}
+	}
+}

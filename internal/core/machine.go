@@ -168,6 +168,14 @@ type Machine struct {
 	cs *microcode.ControlStore
 	// probe, when non-nil, observes the quantum-operation stream.
 	probe Probe
+	// ReplayCache is an opaque slot for the shot-replay engine to memoize
+	// per-program compiled schedules across runs on this machine. It
+	// survives ResetState on purpose — cached entries are keyed by the
+	// identity of rotation/decoherence cache entries, which also survive,
+	// and the engine validates every entry against the freshly recorded
+	// schedule before reuse, so a stale entry can only miss, never
+	// corrupt.
+	ReplayCache any
 	// PulsesPlayed counts codeword-triggered playbacks.
 	PulsesPlayed uint64
 	// Measurements counts MD events executed.
@@ -573,7 +581,18 @@ func (m *Machine) onMD(e exec.MDEvent, td clock.Cycle) {
 // the contract the replay engine relies on to keep replayed shots
 // bit-identical to full simulation. Shared by onMD and replay.
 func (m *Machine) MeasureQubit(q int) int {
-	outcome := m.State.Measure(q, m.rng)
+	return m.FinishMeasure(m.State.Measure(q, m.rng))
+}
+
+// FinishMeasure completes the measurement chain for an already-projected
+// outcome: sample the matched-filter integration result from its exact
+// distribution, record it in the data collection unit, and return the
+// binary discrimination result. Compiled replay schedules project inside
+// qphys.RunSchedule (consuming the projection variate from the machine
+// PRNG the trajectory backend is bound to) and call back here, so the
+// chain consumes the same two variates in the same order as
+// MeasureQubit.
+func (m *Machine) FinishMeasure(outcome int) int {
 	result, s := m.MDU.SampleMeasure(outcome, m.rng)
 	if m.Collector != nil {
 		m.Collector.Record(s)

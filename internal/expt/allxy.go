@@ -67,8 +67,10 @@ type AllXYParams struct {
 	// Workers bounds the sweep parallelism across the 21 pairs (0 = one
 	// worker per CPU). Results are identical for any value; see sweep.go.
 	Workers int
-	// Replay selects the shot-replay engine mode (default auto; results
-	// are bit-identical for any value — see internal/replay).
+	// Replay selects the shot-replay engine mode: replay.ModeOff,
+	// ModeInterp, or ModeCompiled (default auto = compiled). Results are
+	// bit-identical for any value — see internal/replay; interp vs
+	// compiled is the A/B knob for the per-schedule compiler.
 	Replay replay.Mode
 }
 

@@ -40,8 +40,10 @@ type RepCodeParams struct {
 	// Workers bounds the sweep parallelism across round chunks (0 = one
 	// worker per CPU). Results are identical for any value; see sweep.go.
 	Workers int
-	// Replay selects the shot-replay engine mode (default auto; results
-	// are bit-identical for any value — see internal/replay). The
+	// Replay selects the shot-replay engine mode: replay.ModeOff,
+	// ModeInterp, or ModeCompiled (default auto = compiled). Results are
+	// bit-identical for any value — see internal/replay; interp vs
+	// compiled is the A/B knob for the per-schedule compiler. The
 	// feedback-corrected variant always falls back to full simulation:
 	// its pulse schedule depends on the measured syndromes.
 	Replay replay.Mode

@@ -10,12 +10,15 @@ import (
 )
 
 // Property: for every experiment, on both backends and for any worker
-// count, results produced with the shot-replay engine (auto) are
-// bit-identical to full per-shot simulation (off). This is the engine's
-// contract — replay may only change speed, never a single bit of output —
-// and it holds whether the experiment replays (T1/Ramsey/AllXY/RB/
-// uncorrected repcode) or is detected unsafe and falls back (corrected
-// repcode, phase code).
+// count, results produced with the shot-replay engine — interpreted
+// (interp) or compiled (compiled/auto) — are bit-identical to full
+// per-shot simulation (off). This is the engine's contract — replay may
+// only change speed, never a single bit of output — and it holds whether
+// the experiment replays (T1/Ramsey/AllXY/RB/uncorrected repcode) or is
+// detected unsafe and falls back (corrected repcode, phase code).
+
+// replayModes are the engine modes every experiment must agree across.
+var replayModes = []replay.Mode{replay.ModeOff, replay.ModeInterp, replay.ModeCompiled}
 
 func forBackendsAndWorkers(t *testing.T, f func(t *testing.T, backend core.Backend, workers int)) {
 	for _, b := range []core.Backend{core.BackendDensity, core.BackendTrajectory} {
@@ -34,7 +37,7 @@ func TestT1ReplayMatchesFullSimulation(t *testing.T) {
 		p.Rounds = 60
 		p.Workers = workers
 		var prev []float64
-		for _, mode := range []replay.Mode{replay.ModeOff, replay.ModeAuto} {
+		for _, mode := range replayModes {
 			cfg := core.DefaultConfig()
 			cfg.Backend = backend
 			q := p
@@ -68,7 +71,7 @@ func TestRamseyReplayMatchesFullSimulation(t *testing.T) {
 			p.DelaysCycles = append(p.DelaysCycles, k*200)
 		}
 		var prev []float64
-		for _, mode := range []replay.Mode{replay.ModeOff, replay.ModeAuto} {
+		for _, mode := range replayModes {
 			cfg := core.DefaultConfig()
 			cfg.Backend = backend
 			cfg.Qubit = []qphys.QubitParams{qp}
@@ -97,7 +100,7 @@ func TestAllXYReplayMatchesFullSimulation(t *testing.T) {
 		p.Rounds = 40
 		p.Workers = workers
 		var prev *AllXYResult
-		for _, mode := range []replay.Mode{replay.ModeOff, replay.ModeAuto} {
+		for _, mode := range replayModes {
 			cfg := core.DefaultConfig()
 			cfg.Backend = backend
 			q := p
@@ -130,7 +133,7 @@ func TestRBReplayMatchesFullSimulation(t *testing.T) {
 		p.Rounds = 40
 		p.Workers = workers
 		var prev *RBResult
-		for _, mode := range []replay.Mode{replay.ModeOff, replay.ModeAuto} {
+		for _, mode := range replayModes {
 			cfg := core.DefaultConfig()
 			cfg.Backend = backend
 			q := p
@@ -158,7 +161,7 @@ func TestRepCodeReplayMatchesFullSimulation(t *testing.T) {
 		p.Rounds = 120
 		p.Workers = workers
 		var prev *RepCodeResult
-		for _, mode := range []replay.Mode{replay.ModeOff, replay.ModeAuto} {
+		for _, mode := range replayModes {
 			cfg := core.DefaultConfig()
 			cfg.Backend = backend
 			q := p
@@ -185,7 +188,7 @@ func TestPhaseCodeReplayMatchesFullSimulation(t *testing.T) {
 	p.Rounds = 80
 	p.WaitCycles = 800
 	var prev *PhaseCodeResult
-	for _, mode := range []replay.Mode{replay.ModeOff, replay.ModeAuto} {
+	for _, mode := range replayModes {
 		cfg := core.DefaultConfig()
 		for i := 0; i < 5; i++ {
 			cfg.Qubit = append(cfg.Qubit, DephasingQubit(20e-6))

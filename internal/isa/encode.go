@@ -12,7 +12,7 @@ import (
 //	I-type  (mov …):   rd[26:23] rs[22:19] imm[18:0]  (signed 19-bit)
 //	Branch:            rs[22:19] rt[18:15] target[14:0] (absolute index)
 //	Pulse/Apply:       qaddr[26:19] uopid[18:11]
-//	Apply2:            qaddr[26:19] uopid[18:11]
+//	Apply2:            qaddr[26:19] uopid[18:11] ctrl[10:7]
 //	MPG:               qaddr[26:19] dur[18:0]
 //	MD/Measure:        qaddr[26:19] rd[18:15]
 //	QNopReg/WaitReg:   rs[22:19]
@@ -144,13 +144,26 @@ func Encode(in Instruction, syms *SymbolTable) (uint32, error) {
 		return w | uint32(in.Rs)<<19 | uint32(in.Rt)<<15 | uint32(in.Imm), nil
 	case OpQNopReg, OpWaitReg:
 		return w | uint32(in.Rs)<<19, nil
-	case OpPulse, OpApply, OpApply2:
+	case OpPulse, OpApply:
 		qaddr, err := encQAddr(in)
 		if err != nil {
 			return 0, err
 		}
 		id := syms.Intern(in.UOp)
 		return w | qaddr<<19 | uint32(id)<<11, nil
+	case OpApply2:
+		qaddr, err := encQAddr(in)
+		if err != nil {
+			return 0, err
+		}
+		// Imm carries the first-listed operand (the control qubit); the
+		// binary word preserves it in the 4-bit ctrl field — dropping it
+		// would silently swap control and target on decode.
+		if in.Imm < 0 || in.Imm > 0xf {
+			return 0, fmt.Errorf("isa: Apply2 control qubit %d out of 4-bit ctrl field in %q", in.Imm, in)
+		}
+		id := syms.Intern(in.UOp)
+		return w | qaddr<<19 | uint32(id)<<11 | uint32(in.Imm)<<7, nil
 	case OpMPG:
 		qaddr, err := encQAddr(in)
 		if err != nil {
@@ -214,6 +227,9 @@ func Decode(w uint32, syms *SymbolTable) (Instruction, error) {
 			return Instruction{}, fmt.Errorf("isa: unknown operation id %d in word %#x", w>>11&0xff, w)
 		}
 		in.UOp = name
+		if op == OpApply2 {
+			in.Imm = int64(w >> 7 & 0xf)
+		}
 	case OpMPG:
 		in.QAddr = QubitMask(w >> 19 & 0xff)
 		in.Imm = int64(w & ((1 << 11) - 1))

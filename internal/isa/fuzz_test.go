@@ -1,0 +1,76 @@
+package isa
+
+import "testing"
+
+// FuzzEncodeDecode fuzzes the 32-bit binary encoding both ways:
+//
+//   - word → instruction → word → instruction must round-trip: any word
+//     that decodes must re-encode without error into a canonical word
+//     that decodes to the same instruction (garbage in reserved bits is
+//     allowed to normalize away, but never to change a decoded field).
+//   - wide-mask rejection: forcing a quantum instruction's QubitMask
+//     beyond the binary format's 8-bit QAddr field must fail to encode
+//     exactly when the mask exceeds 0xff — the paper's field widths are
+//     a hard format constraint, not a silent truncation.
+func FuzzEncodeDecode(f *testing.F) {
+	syms := StandardSymbols()
+	seed := []Instruction{
+		{Op: OpNop},
+		{Op: OpHalt},
+		{Op: OpMov, Rd: 15, Imm: 40000},
+		{Op: OpAddi, Rd: 1, Rs: 1, Imm: -1},
+		{Op: OpBne, Rs: 1, Rt: 2, Imm: 3},
+		{Op: OpLoad, Rd: 9, Rs: 3, Imm: 1},
+		{Op: OpPulse, QAddr: MaskQ(0), UOp: "X180"},
+		{Op: OpPulse, QAddr: MaskQ(0, 1, 7), UOp: "CZ"},
+		{Op: OpApply2, QAddr: MaskQ(0, 1), UOp: "CNOT"},
+		{Op: OpMPG, QAddr: MaskQ(2), Imm: 300},
+		{Op: OpMD, QAddr: MaskQ(2), Rd: 7},
+		{Op: OpQNopReg, Rs: 15},
+	}
+	for _, in := range seed {
+		w, err := Encode(in, syms)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(w, uint16(1))
+	}
+	f.Add(uint32(0xffffffff), uint16(0xffff))
+	f.Add(uint32(31)<<opcodeShift, uint16(0x100))
+
+	f.Fuzz(func(t *testing.T, w uint32, wide uint16) {
+		in, err := Decode(w, syms)
+		if err != nil {
+			return // invalid opcode / unknown operation id: rejection is fine
+		}
+		w2, err := Encode(in, syms)
+		if err != nil {
+			t.Fatalf("decoded %q (from %#x) does not re-encode: %v", in, w, err)
+		}
+		in2, err := Decode(w2, syms)
+		if err != nil {
+			t.Fatalf("canonical word %#x of %q does not decode: %v", w2, in, err)
+		}
+		if in2 != in {
+			t.Fatalf("round trip changed the instruction: %#x -> %q -> %#x -> %q", w, in, w2, in2)
+		}
+		// Canonical words are a fixed point.
+		w3, err := Encode(in2, syms)
+		if err != nil || w3 != w2 {
+			t.Fatalf("canonical word is not a fixed point: %#x -> %#x (%v)", w2, w3, err)
+		}
+
+		// Wide-mask rejection on the quantum field.
+		switch in.Op {
+		case OpPulse, OpApply, OpApply2, OpMPG, OpMD, OpMeasure:
+			in.QAddr = QubitMask(wide)
+			_, err := Encode(in, syms)
+			if wide > 0xff && err == nil {
+				t.Fatalf("mask %#x exceeds the 8-bit QAddr field but encoded", wide)
+			}
+			if wide <= 0xff && err != nil {
+				t.Fatalf("mask %#x fits the QAddr field but failed to encode: %v", wide, err)
+			}
+		}
+	})
+}

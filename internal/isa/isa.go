@@ -238,7 +238,13 @@ func (in Instruction) String() string {
 	case OpApply2:
 		qs := in.QAddr.Qubits()
 		if len(qs) == 2 {
-			return fmt.Sprintf("Apply2 %s, q%d, q%d", in.UOp, qs[0], qs[1])
+			// Imm names the first-listed operand (the control), so the
+			// rendering preserves operand order instead of mask order.
+			a, b := qs[0], qs[1]
+			if int64(b) == in.Imm {
+				a, b = b, a
+			}
+			return fmt.Sprintf("Apply2 %s, q%d, q%d", in.UOp, a, b)
 		}
 		return fmt.Sprintf("Apply2 %s, %s", in.UOp, in.QAddr)
 	case OpMeasure:

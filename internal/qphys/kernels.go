@@ -153,6 +153,15 @@ func (d *Density) ApplyKraus1(ops []Matrix, q int) {
 			kc[i][e] = cmplx.Conj(k.Data[e])
 		}
 	}
+	d.applyKraus1Tables(kd[:len(ops)], kc[:len(ops)], q)
+}
+
+// applyKraus1Tables is the 2×2 block kernel shared by ApplyKraus1 (which
+// derives the entry/conjugate tables per call) and ApplyChannel (which
+// reads them from a per-schedule ChannelTable): ρ ← Σ_k K_k ρ K_k† with
+// the sum accumulated per block. Keeping one implementation is what
+// keeps the two paths bit-identical by construction.
+func (d *Density) applyKraus1Tables(kd, kc [][4]complex128, q int) {
 	dim := d.Rho.N
 	mask := 1 << (d.nq - 1 - q)
 	rho := d.Rho.Data
@@ -170,7 +179,7 @@ func (d *Density) ApplyKraus1(ops []Matrix, q int) {
 			b00, b01 := rho[r0+j0], rho[r0+j1]
 			b10, b11 := rho[r1+j0], rho[r1+j1]
 			var n00, n01, n10, n11 complex128
-			for i := range ops {
+			for i := range kd {
 				k00, k01, k10, k11 := kd[i][0], kd[i][1], kd[i][2], kd[i][3]
 				c00, c01, c10, c11 := kc[i][0], kc[i][1], kc[i][2], kc[i][3]
 				a00 := k00*b00 + k01*b10

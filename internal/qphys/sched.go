@@ -1,0 +1,245 @@
+package qphys
+
+import "math"
+
+// sched.go — single-pass execution of a compiled shot schedule on the
+// trajectory backend. A schedule compiler (internal/replay) lowers a
+// recorded shot into []SchedOp once; RunSchedule then executes the whole
+// shot with the hot channel path inlined, the state slice and PRNG
+// hoisted out of the step loop, and population carries threaded between
+// steps — every arithmetic decision bit-identical to executing the same
+// operations through Apply1/ApplyKraus1/Measure one call at a time
+// (modulo the sign of zeros, which nothing can observe; see
+// compiled.go).
+
+// SchedOp kinds. The compiler picks the most specialized kind that
+// applies; RunSchedule trusts the classification.
+const (
+	// SchedApply1 applies a dense single-qubit unitary (U) to Q.
+	SchedApply1 uint8 = iota
+	// SchedApply1RD applies a single-qubit unitary with real diagonal
+	// entries (RealDiag2) — every pulse rotation.
+	SchedApply1RD
+	// SchedChannel applies a multi-operator axis-aligned channel (Ch).
+	SchedChannel
+	// SchedCZ applies diag(1,1,1,−1) to (Q, Qb) via NegateBoth.
+	SchedCZ
+	// SchedApply2 applies a dense two-qubit unitary (U) to (Q, Qb).
+	SchedApply2
+	// SchedMeasure runs the projective measurement of Q; the measure
+	// callback completes the machine's measurement chain.
+	SchedMeasure
+)
+
+// SchedOp is one specialized, closure-free step of a compiled schedule.
+type SchedOp struct {
+	Kind uint8
+	// PhaseSafe marks an Apply2 step that preserves every |a|² bit for
+	// bit (diagonal, entries in {1,−1,i,−i}); a population carry passes
+	// through it. SchedCZ steps are phase-safe by construction.
+	PhaseSafe bool
+	// CarryFor names the qubit whose populations this step should carry
+	// to the next population consumer (-1: none). The compiler only sets
+	// it in configurations the kernels support: channels carry for any
+	// qubit, unitary and measure steps for their own qubit only.
+	CarryFor int16
+	Q, Qb    int16
+	U        Matrix
+	Ch       *ChannelTable
+}
+
+// RunSchedule executes one shot of a compiled schedule. measure is
+// invoked for every SchedMeasure step with the projected outcome; it
+// must complete the rest of the machine's measurement chain
+// (discrimination sampling, recording, result delivery) and may consume
+// the same PRNG. The hot channel path — axis pricing resolving to the
+// first operator, diagonal with real coefficients — is inlined here;
+// everything rarer re-enters the shared applyChannelSampled tail with
+// the same populations and variate, so the selection is reproduced bit
+// for bit.
+//
+// in/inQ seed the population carry and the returned values hand the
+// trailing carry back: steady-state shots run back to back on one
+// machine, so a carry accumulated by the last step of shot k prices the
+// first consumer of shot k+1 (same state, same accumulation order — the
+// schedule is circular). Pass an invalid carry for the first shot.
+func (t *Trajectory) RunSchedule(ops []SchedOp, in PopCarry, inQ int, measure func(q, outcome int)) (PopCarry, int) {
+	psi := t.Psi
+	rng := t.rng
+	carry := in
+	carryQ := inQ
+	for ii := range ops {
+		o := &ops[ii]
+		q := int(o.Q)
+		switch o.Kind {
+		case SchedChannel:
+			ct := o.Ch
+			nextQ := int(o.CarryFor)
+			mask := 1 << (t.nq - 1 - q)
+			r := rng.Float64()
+			var p0, p1 float64
+			if carry.Valid && carryQ == q {
+				p0, p1 = carry.P0, carry.P1
+			} else {
+				for base := 0; base < len(psi); base += mask << 1 {
+					for i := base; i < base+mask; i++ {
+						a0, a1 := psi[i], psi[i+mask]
+						p0 += real(a0)*real(a0) + imag(a0)*imag(a0)
+						p1 += real(a1)*real(a1) + imag(a1)*imag(a1)
+					}
+				}
+			}
+			carryQ = nextQ
+			// Inlined hot path: the first operator absorbs the draw and is
+			// diagonal with real coefficients. The selection comparison is
+			// exactly the general pricing loop's first iteration
+			// (cum = 0.0 + p), so the branch decision is bit-identical.
+			fp := ct.fw0*p0 + ct.fw1*p1
+			if !(ct.fkind == chanDiag && ct.freal) || r >= fp {
+				carry = t.applyChannelSampled(ct, q, mask, p0, p1, r, nextQ)
+				continue
+			}
+			rinv := 1 / math.Sqrt(fp)
+			r0, r1 := ct.fr0*rinv, ct.fr1*rinv
+			switch {
+			case nextQ == q:
+				// Fused apply + same-qubit population pass (ascending per
+				// accumulator, as a standalone pass would add them).
+				var np0, np1 float64
+				for base := 0; base < len(psi); base += mask << 1 {
+					for i := base; i < base+mask; i++ {
+						a := psi[i]
+						re, im := real(a)*r0, imag(a)*r0
+						psi[i] = complex(re, im)
+						np0 += re*re + im*im
+						b := psi[i+mask]
+						re, im = real(b)*r1, imag(b)*r1
+						psi[i+mask] = complex(re, im)
+						np1 += re*re + im*im
+					}
+				}
+				carry = PopCarry{P0: np0, P1: np1, Valid: true}
+			case nextQ >= 0:
+				// Fused apply + other-qubit population pass, nested by
+				// whichever mask is larger so coefficient and accumulator
+				// each change only at their own block boundaries (see
+				// ApplyChannelCarry for the ordering argument).
+				nmask := 1 << (t.nq - 1 - nextQ)
+				var np0, np1 float64
+				if nmask > mask {
+					for nb := 0; nb < len(psi); nb += nmask {
+						s := np0
+						if nb&nmask != 0 {
+							s = np1
+						}
+						for mb := nb; mb < nb+nmask; mb += mask << 1 {
+							for i := mb; i < mb+mask; i++ {
+								a := psi[i]
+								re, im := real(a)*r0, imag(a)*r0
+								psi[i] = complex(re, im)
+								s += re*re + im*im
+							}
+							for i := mb + mask; i < mb+mask+mask; i++ {
+								a := psi[i]
+								re, im := real(a)*r1, imag(a)*r1
+								psi[i] = complex(re, im)
+								s += re*re + im*im
+							}
+						}
+						if nb&nmask != 0 {
+							np1 = s
+						} else {
+							np0 = s
+						}
+					}
+				} else if nmask == 1 {
+					for mb := 0; mb < len(psi); mb += mask {
+						rr := r0
+						if mb&mask != 0 {
+							rr = r1
+						}
+						for i := mb; i+1 < mb+mask; i += 2 {
+							a := psi[i]
+							re, im := real(a)*rr, imag(a)*rr
+							psi[i] = complex(re, im)
+							np0 += re*re + im*im
+							b := psi[i+1]
+							re, im = real(b)*rr, imag(b)*rr
+							psi[i+1] = complex(re, im)
+							np1 += re*re + im*im
+						}
+					}
+				} else {
+					for mb := 0; mb < len(psi); mb += mask {
+						rr := r0
+						if mb&mask != 0 {
+							rr = r1
+						}
+						for nb := mb; nb < mb+mask; nb += nmask << 1 {
+							for i := nb; i < nb+nmask; i++ {
+								a := psi[i]
+								re, im := real(a)*rr, imag(a)*rr
+								psi[i] = complex(re, im)
+								np0 += re*re + im*im
+							}
+							for i := nb + nmask; i < nb+nmask+nmask; i++ {
+								a := psi[i]
+								re, im := real(a)*rr, imag(a)*rr
+								psi[i] = complex(re, im)
+								np1 += re*re + im*im
+							}
+						}
+					}
+				}
+				carry = PopCarry{P0: np0, P1: np1, Valid: true}
+			default:
+				for base := 0; base < len(psi); base += mask << 1 {
+					for i := base; i < base+mask; i++ {
+						a := psi[i]
+						psi[i] = complex(real(a)*r0, imag(a)*r0)
+						b := psi[i+mask]
+						psi[i+mask] = complex(real(b)*r1, imag(b)*r1)
+					}
+				}
+				carry = PopCarry{}
+			}
+		case SchedApply1RD:
+			if int(o.CarryFor) == q {
+				carry = t.Apply1RDCarry(o.U, q)
+				carryQ = q
+			} else {
+				t.Apply1RD(o.U, q)
+				carry.Valid = false
+			}
+		case SchedApply1:
+			if int(o.CarryFor) == q {
+				carry = t.Apply1Carry(o.U, q)
+				carryQ = q
+			} else {
+				t.Apply1(o.U, q)
+				carry.Valid = false
+			}
+		case SchedCZ:
+			t.NegateBoth(q, int(o.Qb))
+		case SchedApply2:
+			t.Apply2(o.U, q, int(o.Qb))
+			if !o.PhaseSafe {
+				carry.Valid = false
+			}
+		case SchedMeasure:
+			in := carry
+			if carryQ != q {
+				in.Valid = false
+			}
+			p1 := in.P1
+			if !in.Valid {
+				p1 = t.ProbExcited(q)
+			}
+			var outcome int
+			outcome, carry = t.MeasureCarry(q, p1, rng, int(o.CarryFor) == q)
+			carryQ = q
+			measure(q, outcome)
+		}
+	}
+	return carry, carryQ
+}

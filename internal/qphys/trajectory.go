@@ -79,12 +79,10 @@ func (t *Trajectory) Apply1(u Matrix, q int) {
 	u00, u01, u10, u11 := u.Data[0], u.Data[1], u.Data[2], u.Data[3]
 	psi := t.Psi
 	for base := 0; base < len(psi); base += mask << 1 {
-		lo := psi[base : base+mask : base+mask]
-		hi := psi[base+mask : base+mask+mask]
-		for j := range lo {
-			a0, a1 := lo[j], hi[j]
-			lo[j] = u00*a0 + u01*a1
-			hi[j] = u10*a0 + u11*a1
+		for i := base; i < base+mask; i++ {
+			a0, a1 := psi[i], psi[i+mask]
+			psi[i] = u00*a0 + u01*a1
+			psi[i+mask] = u10*a0 + u11*a1
 		}
 	}
 }
@@ -205,10 +203,8 @@ func (t *Trajectory) ApplyKraus1(ops []Matrix, q int) {
 
 	var p0, p1 float64
 	for base := 0; base < len(psi); base += mask << 1 {
-		lo := psi[base : base+mask : base+mask]
-		hi := psi[base+mask : base+mask+mask]
-		for j := range lo {
-			a0, a1 := lo[j], hi[j]
+		for i := base; i < base+mask; i++ {
+			a0, a1 := psi[i], psi[i+mask]
 			p0 += real(a0)*real(a0) + imag(a0)*imag(a0)
 			p1 += real(a1)*real(a1) + imag(a1)*imag(a1)
 		}
@@ -250,24 +246,37 @@ func (t *Trajectory) ApplyKraus1(ops []Matrix, q int) {
 		chosen = lastPositive
 	}
 	k := ops[chosen]
-	inv := complex(1/math.Sqrt(lastP), 0)
+	rinv := 1 / math.Sqrt(lastP)
+	inv := complex(rinv, 0)
 	if k.Data[1] == 0 && k.Data[2] == 0 {
+		if imag(k.Data[0]) == 0 && imag(k.Data[3]) == 0 {
+			// Real coefficients (every channel DecoherenceChannel builds):
+			// two real multiplies per amplitude instead of a complex one.
+			// Identical except for the sign of zeros, which no |a|² term,
+			// comparison, or downstream decision can observe.
+			r0, r1 := real(k.Data[0])*rinv, real(k.Data[3])*rinv
+			for base := 0; base < len(psi); base += mask << 1 {
+				for i := base; i < base+mask; i++ {
+					a := psi[i]
+					psi[i] = complex(real(a)*r0, imag(a)*r0)
+					b := psi[i+mask]
+					psi[i+mask] = complex(real(b)*r1, imag(b)*r1)
+				}
+			}
+			return
+		}
 		c0, c1 := k.Data[0]*inv, k.Data[3]*inv
 		for base := 0; base < len(psi); base += mask << 1 {
-			lo := psi[base : base+mask : base+mask]
-			hi := psi[base+mask : base+mask+mask]
-			for j := range lo {
-				lo[j] *= c0
-				hi[j] *= c1
+			for i := base; i < base+mask; i++ {
+				psi[i] *= c0
+				psi[i+mask] *= c1
 			}
 		}
 	} else {
 		c01, c10 := k.Data[1]*inv, k.Data[2]*inv
 		for base := 0; base < len(psi); base += mask << 1 {
-			lo := psi[base : base+mask : base+mask]
-			hi := psi[base+mask : base+mask+mask]
-			for j := range lo {
-				lo[j], hi[j] = c01*hi[j], c10*lo[j]
+			for i := base; i < base+mask; i++ {
+				psi[i], psi[i+mask] = c01*psi[i+mask], c10*psi[i]
 			}
 		}
 	}
@@ -330,8 +339,8 @@ func (t *Trajectory) ProbExcited(q int) float64 {
 	psi := t.Psi
 	var p float64
 	for base := mask; base < len(psi); base += mask << 1 {
-		hi := psi[base : base+mask : base+mask]
-		for _, a := range hi {
+		for i := base; i < base+mask; i++ {
+			a := psi[i]
 			p += real(a)*real(a) + imag(a)*imag(a)
 		}
 	}
@@ -346,17 +355,11 @@ func (t *Trajectory) ExpectationZ(q int) float64 {
 // Measure performs a projective measurement of qubit q using the supplied
 // PRNG, collapses the state, and returns the binary outcome. The outcome
 // probability from the sampling pass is reused for the renormalization,
-// so the whole measurement is two state passes (probability + collapse).
+// so the whole measurement is two state passes (probability + collapse);
+// compiled schedules skip the first via MeasureWithProb when a fused
+// kernel already carried the population.
 func (t *Trajectory) Measure(q int, rng *rand.Rand) int {
-	p1 := t.ProbExcited(q)
-	outcome := 0
-	p := 1 - p1
-	if rng.Float64() < p1 {
-		outcome = 1
-		p = p1
-	}
-	t.projectWithProb(q, outcome, p)
-	return outcome
+	return t.MeasureWithProb(q, t.ProbExcited(q), rng)
 }
 
 // Project collapses qubit q onto the given outcome and renormalizes. A
@@ -385,19 +388,22 @@ func (t *Trajectory) projectWithProb(q, outcome int, p float64) {
 	}
 	mask := 1 << (t.nq - 1 - q)
 	psi := t.Psi
-	inv := complex(1/math.Sqrt(p), 0)
+	// The renormalization factor is real, so scale the parts directly
+	// (differs from the complex multiply only in the sign of zeros, which
+	// nothing downstream can observe).
+	rinv := 1 / math.Sqrt(p)
 	for base := 0; base < len(psi); base += mask << 1 {
-		lo := psi[base : base+mask : base+mask]
-		hi := psi[base+mask : base+mask+mask]
 		if outcome == 0 {
-			for j := range lo {
-				lo[j] *= inv
-				hi[j] = 0
+			for i := base; i < base+mask; i++ {
+				a := psi[i]
+				psi[i] = complex(real(a)*rinv, imag(a)*rinv)
+				psi[i+mask] = 0
 			}
 		} else {
-			for j := range lo {
-				lo[j] = 0
-				hi[j] *= inv
+			for i := base; i < base+mask; i++ {
+				psi[i] = 0
+				a := psi[i+mask]
+				psi[i+mask] = complex(real(a)*rinv, imag(a)*rinv)
 			}
 		}
 	}

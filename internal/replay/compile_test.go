@@ -1,0 +1,210 @@
+package replay
+
+import (
+	"testing"
+
+	"quma/internal/asm"
+	"quma/internal/core"
+	"quma/internal/qphys"
+)
+
+// Unit tests of the schedule compiler: lowering, fusion, channel-table
+// deduplication, carry linking, and the machine-resident compile cache.
+
+func TestCompileScheduleLowering(t *testing.T) {
+	kraus := qphys.DecoherenceChannel(8e-6, qphys.DefaultQubitParams())
+	single := []qphys.Matrix{qphys.RX(0.3)}
+	x90 := qphys.REquator(0, 1.5)
+	y180 := qphys.REquator(1.2, 3.1)
+	cz := qphys.CZ()
+	sched := []op{
+		{kind: opPulse, q: 0, u: x90},
+		{kind: opPulse, q: 0, u: y180},           // adjacent same-qubit: fuses
+		{kind: opIdle, q: 0, kraus: single},      // single-operator channel: fuses too
+		{kind: opIdle, q: 1, kraus: kraus},       // multi-operator channel
+		{kind: opIdle, q: 2, kraus: kraus},       // same cached slice: shared table
+		{kind: opGate2, q: 0, qb: 1, u: cz},      // CZ: phase-safe, NegateBoth
+		{kind: opIdle, q: 0, kraus: kraus},       // carry passes through the CZ
+		{kind: opPulse, q: 3, u: qphys.Matrix{}}, // timing-only pulse: counter only
+		{kind: opMeasure, q: 0},
+	}
+	c := compileSchedule(sched)
+	if c.fused != 2 {
+		t.Errorf("fused = %d, want 2 (adjacent pulse + single-op channel)", c.fused)
+	}
+	if c.pulses != 4 {
+		t.Errorf("pulses = %d, want 4 (3 pulses + 1 flux)", c.pulses)
+	}
+	if c.nMD != 1 {
+		t.Errorf("nMD = %d, want 1", c.nMD)
+	}
+	kinds := []uint8{qphys.SchedApply1, qphys.SchedChannel, qphys.SchedChannel, qphys.SchedCZ, qphys.SchedChannel, qphys.SchedMeasure}
+	if len(c.ops) != len(kinds) {
+		t.Fatalf("compiled to %d steps, want %d: %+v", len(c.ops), len(kinds), c.ops)
+	}
+	for i, k := range kinds {
+		if c.ops[i].Kind != k {
+			t.Errorf("step %d kind = %d, want %d", i, c.ops[i].Kind, k)
+		}
+	}
+	if c.ops[1].Ch != c.ops[2].Ch || c.ops[1].Ch != c.ops[4].Ch {
+		t.Error("identical cached Kraus slices must share one ChannelTable")
+	}
+	// Carry links: channel(q1)→channel(q2); channel(q2)→channel(q0)
+	// through the phase-safe CZ; channel(q0)→measure(q0); the wrap-around
+	// link points the last producer at the first consumer (channel q1).
+	if got := c.ops[1].CarryFor; got != 2 {
+		t.Errorf("step 1 carries for %d, want 2", got)
+	}
+	if got := c.ops[2].CarryFor; got != 0 {
+		t.Errorf("step 2 carries for %d, want 0 (through the CZ)", got)
+	}
+	if got := c.ops[4].CarryFor; got != 0 {
+		t.Errorf("step 4 carries for %d, want 0 (the measurement)", got)
+	}
+	if got := c.ops[5].CarryFor; got != -1 {
+		t.Errorf("measure of q0 carries for %d, want -1 (wrap consumer is q1)", got)
+	}
+}
+
+func TestPhaseSafeGate2(t *testing.T) {
+	if !phaseSafeGate2(qphys.CZ()) {
+		t.Error("CZ must be phase-safe")
+	}
+	if !phaseSafeGate2(qphys.Identity(4)) {
+		t.Error("the identity must be phase-safe")
+	}
+	s := qphys.Identity(4)
+	s.Set(3, 3, 1i)
+	if !phaseSafeGate2(s) {
+		t.Error("diag(1,1,1,i) must be phase-safe")
+	}
+	g := qphys.Identity(4)
+	g.Set(3, 3, complex(0.6, 0.8))
+	if phaseSafeGate2(g) {
+		t.Error("a generic phase must not be phase-safe")
+	}
+	if phaseSafeGate2(qphys.Identity(2).Kron(qphys.Hadamard())) {
+		t.Error("a non-diagonal gate must not be phase-safe")
+	}
+}
+
+// TestCompileCacheReuse verifies the machine-resident memo: a second run
+// of the same program on the same machine reuses the compiled schedule,
+// a different program recompiles, and results stay bit-identical to a
+// fresh machine either way.
+func TestCompileCacheReuse(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Backend = core.BackendTrajectory
+	cfg.Seed = 3
+	cfg.CollectK = 1
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := asm.MustAssemble(simpleShot)
+	if _, err := Run(m, prog, Options{Shots: 20, Mode: ModeCompiled}); err != nil {
+		t.Fatal(err)
+	}
+	e1, ok := m.ReplayCache.(*compileCache)
+	if !ok {
+		t.Fatal("first compiled run must populate the machine cache")
+	}
+	m.ResetState(4)
+	if _, err := Run(m, prog, Options{Shots: 20, Mode: ModeCompiled}); err != nil {
+		t.Fatal(err)
+	}
+	e2 := m.ReplayCache.(*compileCache)
+	if e1.c != e2.c {
+		t.Error("re-running the same program must reuse the compiled schedule")
+	}
+	// A different program must miss and recompile.
+	other := asm.MustAssemble(`
+mov r15, 40000
+QNopReg r15
+Pulse {q0}, X180
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+halt
+`)
+	m.ResetState(5)
+	if _, err := Run(m, other, Options{Shots: 20, Mode: ModeCompiled}); err != nil {
+		t.Fatal(err)
+	}
+	if m.ReplayCache.(*compileCache).c == e1.c {
+		t.Error("a different program must not hit the stale cache entry")
+	}
+	// And a cached run must equal a fresh machine bit for bit.
+	m.ResetState(9)
+	var pooled [][]MD
+	if _, err := Run(m, prog, Options{Shots: 25, Mode: ModeCompiled, OnShot: func(_ int, md []MD) {
+		pooled = append(pooled, append([]MD(nil), md...))
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	c2 := cfg
+	c2.Seed = 9
+	_, fresh, mf := runEngine(t, c2, simpleShot, 25, ModeCompiled)
+	requireIdentical(t, fresh, pooled, mf, m)
+}
+
+// BenchmarkCompiledShot measures one compiled replayed shot of the d=3
+// repetition-code round in isolation — the per-shot unit the issue's
+// 0 allocs/shot acceptance is stated over.
+func BenchmarkCompiledShot(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Backend = core.BackendTrajectory
+	cfg.NumQubits = 5
+	cfg.Seed = 1
+	m, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := asm.MustAssemble(repCodeShotSrc)
+	// Record and compile through the engine once.
+	if _, err := Run(m, prog, Options{Shots: detectShots + 1, Mode: ModeCompiled}); err != nil {
+		b.Fatal(err)
+	}
+	cache, ok := m.ReplayCache.(*compileCache)
+	if !ok {
+		b.Fatal("no compiled schedule cached")
+	}
+	tr := m.State.(*qphys.Trajectory)
+	md := make([]MD, 0, cache.c.nMD)
+	measure := func(q, outcome int) {
+		md = append(md, MD{Qubit: q, Result: m.FinishMeasure(outcome)})
+	}
+	carry, carryQ := qphys.PopCarry{}, -1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		md = md[:0]
+		carry, carryQ = tr.RunSchedule(cache.c.ops, carry, carryQ, measure)
+	}
+}
+
+// repCodeShotSrc is the d=3 syndromes-only repetition-code shot (the
+// expt generator's output for the default parameters), inlined to avoid
+// an import cycle with internal/expt.
+const repCodeShotSrc = `
+mov r15, 40000
+QNopReg r15
+Pulse {q0}, X180
+Wait 4
+Apply2 CNOT, q1, q0
+Apply2 CNOT, q2, q0
+Wait 1600
+Apply2 CNOT, q3, q0
+Apply2 CNOT, q3, q1
+Apply2 CNOT, q4, q1
+Apply2 CNOT, q4, q2
+Measure q3, r7
+Measure q4, r8
+Wait 340
+Measure q0, r9
+Measure q1, r10
+Measure q2, r11
+Wait 340
+halt
+`

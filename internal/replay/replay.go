@@ -25,6 +25,16 @@
 //     timing queues — preserving the exact PRNG consumption order
 //     (channel sampling → projection → integration noise, in TD order),
 //     so results are bit-identical to full simulation.
+//   - Compiles (the default): before replaying, the schedule is lowered
+//     once into specialized closure-free steps bound to the concrete
+//     backend type (see compile.go): fused adjacent unitaries, hoisted
+//     per-schedule channel pricing tables, population carries threaded
+//     between steps and across shots, and devirtualized executors. The
+//     compiled form is memoized on the machine (core.Machine.ReplayCache)
+//     and validated against each fresh recording, so pooled machines
+//     compile each program once per lifetime. ModeInterp keeps the
+//     op-by-op interpreter as the A/B baseline; both are bit-identical
+//     to full simulation.
 //
 // Feedback programs (e.g. examples/feedback, the corrected repetition
 // code) are detected as unsafe and transparently fall back to full
@@ -52,11 +62,44 @@ type Mode string
 
 const (
 	// ModeAuto records leading shots, then replays the schedule when the
-	// program is detected replay-safe (the default; "" means auto).
+	// program is detected replay-safe, using the best available engine —
+	// currently the compiled one (the default; "" means auto).
 	ModeAuto Mode = "auto"
 	// ModeOff runs every shot through the full pipeline.
 	ModeOff Mode = "off"
+	// ModeCompiled records leading shots and, when safe, compiles the
+	// schedule once into specialized closure-free steps bound to the
+	// concrete backend type (see compile.go), then replays the compiled
+	// form. Bit-identical to ModeInterp and ModeOff whenever the
+	// schedule separates same-qubit unitaries with at least one
+	// channel application — every decoherent configuration. With
+	// decoherence disabled, adjacent unitaries fuse into one
+	// precomputed matrix (qphys.FuseUnitaries): amplitudes then agree
+	// to floating-point rounding rather than bit-for-bit, which leaves
+	// measured results identical in practice (regression-tested) but
+	// not provably bit-exact.
+	ModeCompiled Mode = "compiled"
+	// ModeInterp records leading shots and, when safe, replays the
+	// schedule by interpreting the recorded operation stream op-by-op
+	// through the qphys.State interface — the pre-compilation engine,
+	// kept as the A/B baseline for ModeCompiled.
+	ModeInterp Mode = "interp"
 )
+
+// ParseMode validates a mode string and resolves the default: the empty
+// string selects ModeAuto. Callers that accept a mode from the outside
+// (flags, config) should reject anything ParseMode rejects instead of
+// silently defaulting.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case "":
+		return ModeAuto, nil
+	case ModeAuto, ModeOff, ModeCompiled, ModeInterp:
+		return Mode(s), nil
+	}
+	return "", fmt.Errorf("replay: unknown mode %q (want %q, %q, %q or %q)",
+		s, ModeAuto, ModeCompiled, ModeInterp, ModeOff)
+}
 
 // detectShots is the number of leading shots executed through the full
 // pipeline in ModeAuto: shot 0 carries the cold-start transient (TD = 0,
@@ -94,6 +137,9 @@ type Stats struct {
 	Replayed int
 	// Safe reports whether the program was detected replay-safe.
 	Safe bool
+	// Compiled reports whether replayed shots ran from the compiled
+	// schedule (false: interpreted replay or no replay at all).
+	Compiled bool
 	// Reason explains why replay was not used (empty when Safe).
 	Reason string
 }
@@ -191,19 +237,19 @@ func schedulesEqual(a, b []op) bool {
 // The machine should be freshly constructed or ResetState so the engine
 // owns its full deterministic timeline. Results (data collection unit,
 // OnShot measurement streams, PulsesPlayed/Measurements counters) are
-// bit-identical between ModeOff and ModeAuto for every program — replay
-// only changes how fast they are produced.
+// bit-identical across modes for every program with decoherent qubits —
+// replay only changes how fast they are produced. (The one qualified
+// case: with decoherence disabled entirely, compiled replay fuses
+// adjacent same-qubit unitaries, and results are float-equivalent rather
+// than provably bit-exact — see ModeCompiled.)
 func Run(m *core.Machine, p *isa.Program, opts Options) (Stats, error) {
 	st := Stats{Shots: opts.Shots}
 	if opts.Shots <= 0 {
 		return st, fmt.Errorf("replay: Shots must be positive, got %d", opts.Shots)
 	}
-	mode := opts.Mode
-	if mode == "" {
-		mode = ModeAuto
-	}
-	if mode != ModeAuto && mode != ModeOff {
-		return st, fmt.Errorf("replay: unknown mode %q (want %q or %q)", opts.Mode, ModeAuto, ModeOff)
+	mode, err := ParseMode(string(opts.Mode))
+	if err != nil {
+		return st, err
 	}
 
 	rec := &recorder{}
@@ -277,6 +323,24 @@ func Run(m *core.Machine, p *isa.Program, opts Options) (Stats, error) {
 	// schedule, consuming the machine PRNG in exactly the recorded order.
 	st.Safe = true
 	m.SetProbe(nil)
+	if mode != ModeInterp {
+		// Compiled replay (ModeAuto, ModeCompiled): specialize the
+		// schedule once, then run closure-free steps per shot. The
+		// compiled form is memoized on the machine — pooled machines
+		// re-run the same per-shot program across sweep points, and the
+		// recorded schedule (whose matrices alias stable machine-cache
+		// entries) is compared entry-for-entry before reuse.
+		st.Compiled = true
+		var comp *compiled
+		if e, ok := m.ReplayCache.(*compileCache); ok && schedulesEqual(e.sched, s2) {
+			comp = e.c
+		} else {
+			comp = compileSchedule(s2)
+			m.ReplayCache = &compileCache{sched: s2, c: comp}
+		}
+		st.Replayed = comp.run(m, lead, opts.Shots, opts.OnShot)
+		return st, nil
+	}
 	state := m.State
 	nMD := 0
 	for i := range s2 {

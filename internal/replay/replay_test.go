@@ -6,6 +6,7 @@ import (
 
 	"quma/internal/asm"
 	"quma/internal/core"
+	"quma/internal/qphys"
 )
 
 // runEngine executes src for `shots` on a fresh machine and returns the
@@ -106,14 +107,142 @@ func TestReplayBitIdenticalToFullSimulation(t *testing.T) {
 	backends(t, func(t *testing.T, cfg core.Config) {
 		const shots = 60
 		stOff, off, moff := runEngine(t, cfg, simpleShot, shots, ModeOff)
-		stAuto, auto, mauto := runEngine(t, cfg, simpleShot, shots, ModeAuto)
 		if stOff.Replayed != 0 {
 			t.Errorf("ModeOff replayed %d shots", stOff.Replayed)
 		}
-		if !stAuto.Safe || stAuto.Replayed != shots-detectShots {
-			t.Errorf("ModeAuto stats = %+v, want safe with %d replayed", stAuto, shots-detectShots)
+		for _, mode := range []Mode{ModeAuto, ModeInterp, ModeCompiled} {
+			st, got, m := runEngine(t, cfg, simpleShot, shots, mode)
+			if !st.Safe || st.Replayed != shots-detectShots {
+				t.Errorf("%s stats = %+v, want safe with %d replayed", mode, st, shots-detectShots)
+			}
+			wantCompiled := mode != ModeInterp
+			if st.Compiled != wantCompiled {
+				t.Errorf("%s stats = %+v, want Compiled=%v", mode, st, wantCompiled)
+			}
+			requireIdentical(t, off, got, moff, m)
 		}
-		requireIdentical(t, off, auto, moff, mauto)
+	})
+}
+
+// TestCompiledBitIdenticalToInterpreted is the engine-level A/B of the
+// schedule compiler on a CZ + multi-measure program: the compiled
+// executor must reproduce the interpreted replay loop bit for bit on
+// both backends.
+func TestCompiledBitIdenticalToInterpreted(t *testing.T) {
+	src := `
+mov r15, 40000
+QNopReg r15
+Pulse {q0}, X90
+Wait 4
+Pulse {q0, q1}, CZ
+Wait 4
+Pulse {q1}, Y180
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+MPG {q1}, 300
+MD {q1}, r8
+halt
+`
+	backends(t, func(t *testing.T, cfg core.Config) {
+		cfg.NumQubits = 2
+		cfg.CollectK = 2
+		const shots = 50
+		stI, interp, mi := runEngine(t, cfg, src, shots, ModeInterp)
+		stC, comp, mc := runEngine(t, cfg, src, shots, ModeCompiled)
+		if !stI.Safe || stI.Compiled {
+			t.Fatalf("interp stats = %+v", stI)
+		}
+		if !stC.Safe || !stC.Compiled {
+			t.Fatalf("compiled stats = %+v", stC)
+		}
+		requireIdentical(t, interp, comp, mi, mc)
+	})
+}
+
+// TestNoiselessFusionKeepsResultsIdentical covers the one configuration
+// where compiled replay is float-equivalent rather than provably
+// bit-exact: with decoherence disabled, no channel separates same-qubit
+// pulses, so adjacent unitaries fuse into one precomputed matrix. The
+// measured results must still be identical across every mode at fixed
+// seeds (the amplitudes agree to rounding, and no pricing decision sits
+// within an ulp of a draw).
+func TestNoiselessFusionKeepsResultsIdentical(t *testing.T) {
+	src := `
+mov r15, 400
+QNopReg r15
+Pulse {q0}, X90
+Wait 4
+Pulse {q0}, Y90
+Wait 4
+Pulse {q0}, Xm90
+Wait 4
+MPG {q0}, 300
+MD {q0}, r7
+halt
+`
+	for _, b := range []core.Backend{core.BackendDensity, core.BackendTrajectory} {
+		t.Run(string(b), func(t *testing.T) {
+			cfg := core.DefaultConfig()
+			cfg.Backend = b
+			cfg.Qubit = []qphys.QubitParams{{}} // decoherence disabled: fusion fires
+			cfg.Seed = 13
+			cfg.CollectK = 1
+			const shots = 50
+			_, off, moff := runEngine(t, cfg, src, shots, ModeOff)
+			for _, mode := range []Mode{ModeInterp, ModeCompiled} {
+				st, got, m := runEngine(t, cfg, src, shots, mode)
+				if !st.Safe {
+					t.Fatalf("%s: noiseless pulse program must replay: %+v", mode, st)
+				}
+				requireIdentical(t, off, got, moff, m)
+			}
+		})
+	}
+}
+
+// TestFeedbackFallbackUnderResetStatePooling runs the active-reset
+// feedback program on a pooled machine (ResetState after serving an
+// unrelated program) across every replay mode: the fallback must stay
+// bit-identical to a fresh machine in every combination.
+func TestFeedbackFallbackUnderResetStatePooling(t *testing.T) {
+	backends(t, func(t *testing.T, cfg core.Config) {
+		cfg.CollectK = 2
+		const shots = 30
+		const seed = 77
+		fresh := func(mode Mode) (Stats, [][]MD, *core.Machine) {
+			c := cfg
+			c.Seed = seed
+			return runEngine(t, c, feedbackShot, shots, mode)
+		}
+		_, want, mwant := fresh(ModeOff)
+		for _, mode := range []Mode{ModeOff, ModeInterp, ModeCompiled, ModeAuto} {
+			// Pooled machine: constructed under another seed, used for an
+			// unrelated replay-safe program, then reset — it must behave
+			// exactly like a fresh machine under the target seed.
+			c := cfg
+			c.Seed = 5
+			m, err := core.New(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Run(m, asm.MustAssemble(simpleShot), Options{Shots: 10, Mode: mode}); err != nil {
+				t.Fatal(err)
+			}
+			m.ResetState(seed)
+			prog := asm.MustAssemble(feedbackShot)
+			var hist [][]MD
+			st, err := Run(m, prog, Options{Shots: shots, Mode: mode, OnShot: func(_ int, md []MD) {
+				hist = append(hist, append([]MD(nil), md...))
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Safe || st.Replayed != 0 {
+				t.Fatalf("%s: feedback program must not replay on a pooled machine: %+v", mode, st)
+			}
+			requireIdentical(t, want, hist, mwant, m)
+		}
 	})
 }
 
