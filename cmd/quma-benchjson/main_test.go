@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkReplayRepCode/trajectory/replay-8   \t 12\t  9123456 ns/op\t  1024 B/op\t 12 allocs/op\t 0.031 corrected-err")
@@ -40,5 +44,57 @@ func TestParseLineKeepsSubBenchDashes(t *testing.T) {
 	}
 	if r.Name != "BenchmarkTimingControllerEventDriven/interval-40000" {
 		t.Errorf("name = %q", r.Name)
+	}
+}
+
+// TestOutputShape pushes a realistic multi-line bench text through
+// parseLine and JSON marshaling — the whole pipeline main runs — and
+// asserts the document shape downstream consumers (the CI perf-trajectory
+// diff) rely on: an array ordered as the input, with standard metrics as
+// fixed keys and custom metrics namespaced under "metrics".
+func TestOutputShape(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: quma
+BenchmarkApply1-8          	 3000000	       402 ns/op	       0 B/op	       0 allocs/op
+BenchmarkReplayRB/full-8   	      10	 105000000 ns/op	 9100000 B/op	   84000 allocs/op
+BenchmarkServeBatch        	       5	   2000000 ns/op	    1442 experiments/s
+PASS
+ok  	quma	12.3s
+`
+	var results []Result
+	for _, line := range strings.Split(input, "\n") {
+		if r, ok := parseLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	enc, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc []map[string]any
+	if err := json.Unmarshal(enc, &doc); err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{"BenchmarkApply1", "BenchmarkReplayRB/full", "BenchmarkServeBatch"}
+	for i, want := range wantNames {
+		if doc[i]["name"] != want {
+			t.Errorf("doc[%d].name = %v, want %q", i, doc[i]["name"], want)
+		}
+		if _, ok := doc[i]["ns_per_op"].(float64); !ok {
+			t.Errorf("doc[%d] missing ns_per_op: %v", i, doc[i])
+		}
+	}
+	// The kernel bench reports explicit zero B/op and allocs/op: those
+	// are omitempty zeros, absent from the document by design.
+	if _, ok := doc[0]["bytes_per_op"]; ok {
+		t.Errorf("zero B/op must be omitted: %v", doc[0])
+	}
+	metrics, ok := doc[2]["metrics"].(map[string]any)
+	if !ok || metrics["experiments/s"] != 1442.0 {
+		t.Errorf("custom metric lost: %v", doc[2])
 	}
 }

@@ -1,0 +1,131 @@
+// Command quma-serve runs the quma batch experiment service: a
+// long-lived HTTP/JSON API (internal/service) that accepts batches of
+// experiment requests, executes them on a bounded worker pool over a
+// shared machine/schedule cache environment, and serves job status,
+// results, and streaming progress.
+//
+// The service determinism contract makes it a drop-in for the one-shot
+// CLIs: a job's result JSON is bit-identical to running the same
+// experiments directly through internal/expt, regardless of load,
+// queue order, or worker count.
+//
+// Usage:
+//
+//	quma-serve -addr :8077 -queue 64 -workers 4 -job-timeout 5m
+//	quma-serve -once batch.json     # no HTTP: execute a batch file,
+//	                                # print the results array (the CI
+//	                                # smoke diffs this against the
+//	                                # server's /result body)
+//
+// Shutdown: SIGINT/SIGTERM stops intake (503), finishes every queued
+// and running job, then exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"quma/internal/expt"
+	"quma/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8077", "HTTP listen address")
+		queue      = flag.Int("queue", 64, "job queue bound (full queue returns 429)")
+		workers    = flag.Int("workers", 2, "concurrent job executors (results never depend on this)")
+		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "per-job execution time bound")
+		maxBatch   = flag.Int("max-batch", 64, "experiments allowed per job")
+		once       = flag.String("once", "", "execute the batch request in this JSON file directly (no HTTP) and print the results array")
+	)
+	flag.Parse()
+	if err := run(*addr, *queue, *workers, *jobTimeout, *maxBatch, *once); err != nil {
+		fmt.Fprintln(os.Stderr, "quma-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, queue, workers int, jobTimeout time.Duration, maxBatch int, once string) error {
+	if queue <= 0 || workers <= 0 || maxBatch <= 0 {
+		return fmt.Errorf("-queue, -workers and -max-batch must be positive")
+	}
+	if once != "" {
+		return runOnce(once)
+	}
+
+	srv := service.New(service.Config{
+		QueueSize:  queue,
+		Workers:    workers,
+		JobTimeout: jobTimeout,
+		MaxBatch:   maxBatch,
+	}).Start()
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Printf("quma-serve listening on %s (queue %d, workers %d, job timeout %v)\n", addr, queue, workers, jobTimeout)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("quma-serve: %v — draining\n", sig)
+		srv.Drain()
+		// Every accepted job has finished; let in-flight status/result
+		// responses complete instead of resetting their connections.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(ctx)
+	}
+}
+
+// runOnce executes a batch request file through the same validation and
+// execution path the HTTP service uses, on a fresh environment, and
+// prints exactly the JSON array the service's /result endpoint returns
+// in its "results" field — so `quma-serve -once batch.json` and a live
+// server given the same batch must produce byte-identical documents
+// (the CI smoke asserts this).
+func runOnce(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var req service.SubmitRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(req.Experiments) == 0 {
+		return fmt.Errorf("%s: batch has no experiments", path)
+	}
+	var invalid []error
+	for i, ex := range req.Experiments {
+		for _, fe := range ex.Validate(i) {
+			invalid = append(invalid, fmt.Errorf("%s: %w", path, fe))
+		}
+	}
+	if len(invalid) > 0 {
+		// Report every problem at once, exactly as the HTTP path's
+		// structured 400 details would.
+		return errors.Join(invalid...)
+	}
+	env := expt.NewEnv()
+	results := make([]json.RawMessage, len(req.Experiments))
+	for i, ex := range req.Experiments {
+		if results[i], err = service.Execute(env, ex); err != nil {
+			return fmt.Errorf("experiments[%d] (%s): %w", i, ex.Type, err)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}

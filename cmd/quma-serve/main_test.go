@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"quma/internal/expt"
+	"quma/internal/service"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, tc := range []struct{ queue, workers, maxBatch int }{
+		{0, 2, 64}, {4, 0, 64}, {4, 2, 0}, {-1, -1, -1},
+	} {
+		if err := run(":0", tc.queue, tc.workers, time.Minute, tc.maxBatch, ""); err == nil {
+			t.Errorf("run accepted queue=%d workers=%d max-batch=%d", tc.queue, tc.workers, tc.maxBatch)
+		}
+	}
+}
+
+func TestRunOnceMatchesDirectExecution(t *testing.T) {
+	batch := service.SubmitRequest{Experiments: []service.ExperimentRequest{
+		{Type: "asm", Seed: 7, Rounds: 50,
+			Program: "mov r15, 4000\nQNopReg r15\nPulse {q0}, X90\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n"},
+		{Type: "t1", Seed: 3, Backend: "trajectory", Rounds: 30},
+	}}
+	raw, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "batch.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture runOnce's stdout.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.Bytes()
+	}()
+	onceErr := runOnce(path)
+	w.Close()
+	os.Stdout = old
+	data := <-done
+	if onceErr != nil {
+		t.Fatalf("runOnce: %v", onceErr)
+	}
+
+	var results []json.RawMessage
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("runOnce output is not a JSON array: %v\n%s", err, data)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	env := expt.NewEnv()
+	for i, ex := range batch.Experiments {
+		direct, err := service.Execute(env, ex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got, want any
+		if err := json.Unmarshal(results[i], &got); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(direct, &want); err != nil {
+			t.Fatal(err)
+		}
+		gs, _ := json.Marshal(got)
+		ws, _ := json.Marshal(want)
+		if string(gs) != string(ws) {
+			t.Fatalf("experiments[%d]: -once result differs from direct execution\nonce:   %s\ndirect: %s", i, gs, ws)
+		}
+	}
+}
+
+func TestRunOnceRejectsInvalidBatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"experiments": [{"type": "warpdrive"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runOnce(path)
+	if err == nil || !strings.Contains(err.Error(), "type") {
+		t.Fatalf("want a validation error naming the field, got %v", err)
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+// Output-shape tests for the artifact printers: each fast printer must
+// succeed and produce its table header plus the expected number of body
+// rows. These are deliberately shape tests, not golden tests — the
+// artifact values are pinned elsewhere (package tests, examples
+// goldens); here the contract is that every wired-up flag still renders
+// its table.
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected into a buffer.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("printer failed: %v\noutput so far:\n%s", ferr, out)
+	}
+	return out
+}
+
+func TestPrintTable1Shape(t *testing.T) {
+	out := capture(t, printTable1)
+	if !strings.Contains(out, "codeword") || !strings.Contains(out, "rotation") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	for _, name := range []string{"X180", "X90", "Xm90", "Y180", "Y90", "Ym90"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("missing pulse row %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "total lookup-table memory: 420 bytes") {
+		t.Errorf("LUT footprint drifted from the paper's 420 bytes:\n%s", out)
+	}
+}
+
+func TestPrintMemoryShape(t *testing.T) {
+	out := capture(t, printMemory)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + 3 combination counts × 2 register sizes + footnote.
+	if len(lines) != 8 {
+		t.Fatalf("got %d lines, want 8:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "QuMA bytes") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	for _, l := range lines[1:7] {
+		if !strings.Contains(l, "x") {
+			t.Errorf("body row %q missing ratio column", l)
+		}
+	}
+}
+
+func TestPrintQueuesShape(t *testing.T) {
+	out := capture(t, printQueues)
+	if len(strings.TrimSpace(out)) == 0 {
+		t.Fatal("printQueues produced no output")
+	}
+	for _, q := range []string{"Timing Queue", "Pulse Queue", "MPG Queue", "MD Queue"} {
+		if !strings.Contains(out, q) {
+			t.Errorf("missing queue column %s:\n%s", q, out)
+		}
+	}
+}
+
+func TestPrintTimingShape(t *testing.T) {
+	out := capture(t, printTiming)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("timing table too short:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "delay (ns)") {
+		t.Errorf("missing header:\n%s", out)
+	}
+}

@@ -166,7 +166,27 @@
 //     and a qphys.State interface fallback covers future backends.
 //   - Zero allocations per shot. All scratch (step slice, tables,
 //     measurement buffer) is allocated at compile time, and the compiled
-//     form is memoized on the machine (core.Machine.ReplayCache),
-//     validated entry-for-entry against each fresh recording — pooled
-//     sweep machines compile each program once per lifetime.
+//     form is memoized on the machine (core.Machine.ReplayCache, keyed
+//     by program identity), validated entry-for-entry against each
+//     fresh recording — pooled machines compile each program once per
+//     lifetime, however many programs interleave on them.
+//
+// # Batch experiment service
+//
+// internal/service and cmd/quma-serve put a long-lived, concurrent
+// HTTP/JSON front end over the experiment layer: batches of experiment
+// requests (coherence sweeps, AllXY, Rabi, RB, repetition/phase codes,
+// raw assembly programs) are validated, queued on a bounded job queue
+// (429 on overflow, 503 while draining), and executed by a worker pool
+// over one shared expt.Env — the caller-controlled cache environment
+// that promotes the per-sweep program cache and machine pools (and with
+// them every compiled replay schedule) to service lifetime. The service
+// determinism contract: a job's result is bit-identical to a direct
+// internal/expt call with the same (seed, params), regardless of
+// concurrency, queue order, worker count, or which pooled machine
+// served it. internal/conformance adds the randomized differential
+// layer that keeps the whole execution matrix — {density, trajectory} ×
+// {off, interp, auto, compiled} — agreeing on generated programs, safe
+// and unsafe alike. See the package documentation of internal/service
+// for the API and the invariant list.
 package quma

@@ -169,12 +169,15 @@ type Machine struct {
 	// probe, when non-nil, observes the quantum-operation stream.
 	probe Probe
 	// ReplayCache is an opaque slot for the shot-replay engine to memoize
-	// per-program compiled schedules across runs on this machine. It
-	// survives ResetState on purpose — cached entries are keyed by the
-	// identity of rotation/decoherence cache entries, which also survive,
-	// and the engine validates every entry against the freshly recorded
-	// schedule before reuse, so a stale entry can only miss, never
-	// corrupt.
+	// compiled schedules across runs on this machine, keyed by program
+	// identity. It survives ResetState on purpose — cached entries alias
+	// rotation/decoherence cache entries, which also survive, and the
+	// engine validates every entry against the freshly recorded schedule
+	// before reuse, so a stale entry can only miss, never corrupt. It is
+	// cleared wholesale by UploadPulse and SetQubitParams: those
+	// invalidate the aliased cache entries, leaving every compiled
+	// schedule permanently stale — dropping them bounds the memo to live
+	// programs over a machine pooled for a service lifetime.
 	ReplayCache any
 	// PulsesPlayed counts codeword-triggered playbacks.
 	PulsesPlayed uint64
@@ -365,6 +368,9 @@ func (m *Machine) UploadPulse(q int, cw awg.Codeword, name string, w pulse.Wavef
 			delete(m.rotCache, k)
 		}
 	}
+	// Compiled replay schedules alias the invalidated rotation entries;
+	// they would fail validation forever, so drop them now.
+	m.ReplayCache = nil
 	return nil
 }
 
@@ -383,6 +389,9 @@ func (m *Machine) SetQubitParams(q int, p qphys.QubitParams) error {
 			delete(m.decoCache, k)
 		}
 	}
+	// Compiled replay schedules alias the invalidated Kraus sets; drop
+	// them (see UploadPulse).
+	m.ReplayCache = nil
 	return nil
 }
 

@@ -181,6 +181,11 @@ type AllXYResult struct {
 // the shot-replay engine. cfg.CollectK and cfg.NumQubits are set as
 // needed.
 func RunAllXY(cfg core.Config, p AllXYParams) (*AllXYResult, error) {
+	return NewEnv().RunAllXY(cfg, p)
+}
+
+// RunAllXY runs the AllXY experiment on the environment's shared pools.
+func (e *Env) RunAllXY(cfg core.Config, p AllXYParams) (*AllXYResult, error) {
 	if p.Rounds <= 0 {
 		return nil, fmt.Errorf("expt: Rounds must be positive")
 	}
@@ -196,10 +201,9 @@ func RunAllXY(cfg core.Config, p AllXYParams) (*AllXYResult, error) {
 	raw := make([]float64, len(pairs)*reps)
 	pulses := make([]uint64, len(pairs))
 	memBytes := make([]int, len(pairs))
-	progs := newProgramCache()
-	pool := newMachinePool(cfg)
+	pool := e.poolFor(cfg)
 	err := runPool(len(pairs), p.Workers, func(i int) error {
-		prog, err := progs.get(allXYPairShotProgram(p, pairs[i]))
+		prog, err := e.progs.get(allXYPairShotProgram(p, pairs[i]))
 		if err != nil {
 			return err
 		}

@@ -75,8 +75,10 @@ func shotProgram(p SweepParams, delayCycles int, body func(b *strings.Builder, d
 // running Rounds shots through the replay engine — and converts averaged
 // integration results to populations via the MDU's two calibration
 // levels. The calibration means depend only on the shared config, so they
-// are computed once, outside the worker closures.
-func runSweep(cfg core.Config, p SweepParams, body func(b *strings.Builder, delayCycles int)) (*SweepResult, error) {
+// are computed once, outside the worker closures. Machines and assembled
+// programs come from env, whose lifetime the caller controls (per call
+// for the plain RunX functions, service lifetime for internal/service).
+func runSweep(env *Env, cfg core.Config, p SweepParams, body func(b *strings.Builder, delayCycles int)) (*SweepResult, error) {
 	if len(p.DelaysCycles) == 0 || p.Rounds <= 0 {
 		return nil, fmt.Errorf("expt: empty sweep")
 	}
@@ -102,11 +104,10 @@ func runSweep(cfg core.Config, p SweepParams, body func(b *strings.Builder, dela
 		DelaysSec: make([]float64, len(p.DelaysCycles)),
 		Excited:   make([]float64, len(p.DelaysCycles)),
 	}
-	progs := newProgramCache()
-	pool := newMachinePool(cfg)
+	pool := env.poolFor(cfg)
 	err := runPool(len(p.DelaysCycles), p.Workers, func(i int) error {
 		d := p.DelaysCycles[i]
-		prog, err := progs.get(shotProgram(p, d, body))
+		prog, err := env.progs.get(shotProgram(p, d, body))
 		if err != nil {
 			return err
 		}
@@ -132,7 +133,12 @@ type T1Result struct {
 // RunT1 measures energy relaxation: X180, wait τ, measure; P(1) decays as
 // e^{-τ/T1}.
 func RunT1(cfg core.Config, p SweepParams) (*T1Result, error) {
-	sr, err := runSweep(cfg, p, func(b *strings.Builder, d int) {
+	return NewEnv().RunT1(cfg, p)
+}
+
+// RunT1 runs the T1 experiment on the environment's shared pools.
+func (e *Env) RunT1(cfg core.Config, p SweepParams) (*T1Result, error) {
+	sr, err := runSweep(e, cfg, p, func(b *strings.Builder, d int) {
 		fmt.Fprintf(b, "Pulse {q%d}, X180\nWait 4\n", p.Qubit)
 		if d > 0 {
 			fmt.Fprintf(b, "Wait %d\n", d)
@@ -158,7 +164,12 @@ type RamseyResult struct {
 // detuning Δ (set via cfg.Qubit[q].FreqDetuningHz) the population
 // oscillates at Δ under an e^{-τ/T2*} envelope.
 func RunRamsey(cfg core.Config, p SweepParams) (*RamseyResult, error) {
-	sr, err := runSweep(cfg, p, func(b *strings.Builder, d int) {
+	return NewEnv().RunRamsey(cfg, p)
+}
+
+// RunRamsey runs the Ramsey experiment on the environment's shared pools.
+func (e *Env) RunRamsey(cfg core.Config, p SweepParams) (*RamseyResult, error) {
+	sr, err := runSweep(e, cfg, p, func(b *strings.Builder, d int) {
 		fmt.Fprintf(b, "Pulse {q%d}, X90\nWait 4\n", p.Qubit)
 		if d > 0 {
 			fmt.Fprintf(b, "Wait %d\n", d)
@@ -185,7 +196,12 @@ type EchoResult struct {
 // The π pulse refocuses static detuning, so the envelope decays with the
 // echo time constant instead of oscillating.
 func RunEcho(cfg core.Config, p SweepParams) (*EchoResult, error) {
-	sr, err := runSweep(cfg, p, func(b *strings.Builder, d int) {
+	return NewEnv().RunEcho(cfg, p)
+}
+
+// RunEcho runs the echo experiment on the environment's shared pools.
+func (e *Env) RunEcho(cfg core.Config, p SweepParams) (*EchoResult, error) {
+	sr, err := runSweep(e, cfg, p, func(b *strings.Builder, d int) {
 		half := d / 2
 		half -= half % 4 // keep the π pulse SSB-phase aligned
 		fmt.Fprintf(b, "Pulse {q%d}, X90\nWait 4\n", p.Qubit)

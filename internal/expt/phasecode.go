@@ -144,6 +144,12 @@ func DephasingQubit(t2 float64) qphys.QubitParams {
 // RunPhaseCode compares a bare superposition against the feedback-
 // corrected phase-flip code on dephasing-dominated qubits.
 func RunPhaseCode(cfg core.Config, p RepCodeParams) (*PhaseCodeResult, error) {
+	return NewEnv().RunPhaseCode(cfg, p)
+}
+
+// RunPhaseCode runs the phase-code memory experiment on the
+// environment's shared pools.
+func (e *Env) RunPhaseCode(cfg core.Config, p RepCodeParams) (*PhaseCodeResult, error) {
 	if p.Rounds <= 0 {
 		return nil, fmt.Errorf("expt: Rounds must be positive")
 	}
@@ -174,7 +180,7 @@ func RunPhaseCode(cfg core.Config, p RepCodeParams) (*PhaseCodeResult, error) {
 			return ones < 2
 		}},
 	}
-	errors, err := runChunkedVariants(cfg, p.Rounds, p.Workers, p.Replay, variants)
+	errors, err := runChunkedVariants(e, cfg, p.Rounds, p.Workers, p.Replay, variants)
 	if err != nil {
 		return nil, err
 	}

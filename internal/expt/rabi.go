@@ -79,6 +79,14 @@ type RabiResult struct {
 // calibration. The fixed-phase fit (fit.FitRabi) keeps the extraction
 // robust to the per-point shot noise that independent seeding introduces.
 func RunRabi(cfg core.Config, p RabiParams) (*RabiResult, error) {
+	return NewEnv().RunRabi(cfg, p)
+}
+
+// RunRabi runs the Rabi calibration sweep on the environment's shared
+// pools. The swept pulse is re-uploaded unconditionally on every point
+// (the pooled-machine contract for custom LUT content), so sharing
+// machines with other experiments is safe in both directions.
+func (e *Env) RunRabi(cfg core.Config, p RabiParams) (*RabiResult, error) {
 	if len(p.Scales) < 8 || p.Rounds <= 0 {
 		return nil, fmt.Errorf("expt: Rabi sweep needs ≥8 scales and ≥1 round")
 	}
@@ -99,10 +107,9 @@ func RunRabi(cfg core.Config, p RabiParams) (*RabiResult, error) {
 	src := program.String()
 
 	res := &RabiResult{Params: p, Excited: make([]float64, len(p.Scales))}
-	progs := newProgramCache()
-	pool := newMachinePool(cfg)
+	pool := e.poolFor(cfg)
 	err := runPool(len(p.Scales), p.Workers, func(i int) error {
-		prog, err := progs.get(src)
+		prog, err := e.progs.get(src)
 		if err != nil {
 			return err
 		}

@@ -89,6 +89,11 @@ func rbShotProgram(p RBParams, pulses []string) string {
 // shots past the detection prefix replay the recorded schedule) — and
 // fits the exponential decay of the ground-state survival probability.
 func RunRB(cfg core.Config, p RBParams) (*RBResult, error) {
+	return NewEnv().RunRB(cfg, p)
+}
+
+// RunRB runs randomized benchmarking on the environment's shared pools.
+func (e *Env) RunRB(cfg core.Config, p RBParams) (*RBResult, error) {
 	if len(p.Lengths) < 3 || p.Trials < 1 || p.Rounds < 1 {
 		return nil, fmt.Errorf("expt: RB needs ≥3 lengths and ≥1 trial/round")
 	}
@@ -100,13 +105,12 @@ func RunRB(cfg core.Config, p RBParams) (*RBResult, error) {
 	res := &RBResult{Params: p, AvgPulsesPerClifford: AvgPulsesPerClifford()}
 	njobs := len(p.Lengths) * p.Trials
 	surv := make([]float64, njobs)
-	progs := newProgramCache()
-	pool := newMachinePool(cfg)
+	pool := e.poolFor(cfg)
 	err := runPool(njobs, p.Workers, func(i int) error {
 		length := p.Lengths[i/p.Trials]
 		seqRng := rand.New(rand.NewSource(DeriveSeed(p.Seed, i)))
 		pulses, _ := RandomCliffordSequence(length, seqRng)
-		prog, err := progs.get(rbShotProgram(p, pulses))
+		prog, err := e.progs.get(rbShotProgram(p, pulses))
 		if err != nil {
 			return err
 		}

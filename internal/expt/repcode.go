@@ -291,6 +291,12 @@ type RepCodeResult struct {
 // parallel sweep engine. cfg.Backend selects the state substrate;
 // p.DataQubits ≥ 5 (9+ total qubits) requires core.BackendTrajectory.
 func RunRepCode(cfg core.Config, p RepCodeParams) (*RepCodeResult, error) {
+	return NewEnv().RunRepCode(cfg, p)
+}
+
+// RunRepCode runs the repetition-code memory experiment on the
+// environment's shared pools.
+func (e *Env) RunRepCode(cfg core.Config, p RepCodeParams) (*RepCodeResult, error) {
 	if p.Rounds <= 0 {
 		return nil, fmt.Errorf("expt: Rounds must be positive")
 	}
@@ -322,7 +328,7 @@ func RunRepCode(cfg core.Config, p RepCodeParams) (*RepCodeResult, error) {
 		{src: RepCodeShotProgram(p, false), isError: majorityError},
 		{src: RepCodeShotProgram(p, true), isError: majorityError},
 	}
-	errors, err := runChunkedVariants(cfg, p.Rounds, p.Workers, p.Replay, variants)
+	errors, err := runChunkedVariants(e, cfg, p.Rounds, p.Workers, p.Replay, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -350,7 +356,7 @@ type chunkVariant struct {
 // engine's measurement stream, which is bit-identical between full
 // simulation and replay, so the fractions are deterministic for any
 // worker count and any replay mode.
-func runChunkedVariants(cfg core.Config, rounds, workers int, mode replay.Mode, variants []chunkVariant) ([]float64, error) {
+func runChunkedVariants(env *Env, cfg core.Config, rounds, workers int, mode replay.Mode, variants []chunkVariant) ([]float64, error) {
 	chunks := chunkRounds(rounds, repCodeChunkRounds)
 	type job struct{ variant, chunk, rounds int }
 	var jobs []job
@@ -360,11 +366,10 @@ func runChunkedVariants(cfg core.Config, rounds, workers int, mode replay.Mode, 
 		}
 	}
 	counts := make([]int64, len(jobs))
-	progs := newProgramCache()
-	pool := newMachinePool(cfg)
+	pool := env.poolFor(cfg)
 	err := runPool(len(jobs), workers, func(i int) error {
 		j := jobs[i]
-		prog, err := progs.get(variants[j.variant].src)
+		prog, err := env.progs.get(variants[j.variant].src)
 		if err != nil {
 			return err
 		}

@@ -119,15 +119,25 @@ func runPool(n, workers int, job func(i int) error) error {
 	return nil
 }
 
-// programCache assembles each distinct program text once per sweep.
-// Sweep points that share a program (every repetition-code chunk of a
-// variant, every Rabi amplitude point, every shot-hoisted program reused
-// across worker jobs) hit the cache; assembled programs are immutable, so
-// concurrent machines share them safely.
+// programCache assembles each distinct program text once per cache
+// lifetime (per sweep for the plain RunX functions, per service for an
+// Env held by internal/service). Sweep points that share a program
+// (every repetition-code chunk of a variant, every Rabi amplitude point,
+// every shot-hoisted program reused across worker jobs) hit the cache;
+// assembled programs are immutable, so concurrent machines share them
+// safely.
 type programCache struct {
 	mu    sync.Mutex
 	progs map[string]*isa.Program
 }
+
+// maxCachedPrograms bounds the cache: a service-lifetime Env fed a
+// stream of distinct program texts (e.g. asm requests with unique
+// literals) must not grow without bound. On overflow the whole map is
+// flushed — an epoch reset, not LRU: program pointers stay stable within
+// an epoch (what the per-machine ReplayCache keying wants), and a flush
+// only costs re-assembly, never correctness.
+const maxCachedPrograms = 1024
 
 func newProgramCache() *programCache {
 	return &programCache{progs: make(map[string]*isa.Program)}
@@ -142,6 +152,9 @@ func (c *programCache) get(src string) (*isa.Program, error) {
 	p, err := asm.Assemble(src)
 	if err != nil {
 		return nil, err
+	}
+	if len(c.progs) >= maxCachedPrograms {
+		c.progs = make(map[string]*isa.Program)
 	}
 	c.progs[src] = p
 	return p, nil

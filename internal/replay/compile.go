@@ -36,10 +36,10 @@ import (
 	"quma/internal/qphys"
 )
 
-// compileCache is the machine-resident memo of the last compiled
-// schedule (stored in core.Machine.ReplayCache): the recorded schedule
-// it was built from, for entry-for-entry validation, and the compiled
-// form.
+// compileCache is one entry of the machine-resident compiled-schedule
+// memo (core.Machine.ReplayCache holds a map keyed by *isa.Program): the
+// recorded schedule the entry was built from, for entry-for-entry
+// validation, and the compiled form.
 type compileCache struct {
 	sched []op
 	c     *compiled

@@ -5,6 +5,7 @@ import (
 
 	"quma/internal/asm"
 	"quma/internal/core"
+	"quma/internal/isa"
 	"quma/internal/qphys"
 )
 
@@ -106,19 +107,22 @@ func TestCompileCacheReuse(t *testing.T) {
 	if _, err := Run(m, prog, Options{Shots: 20, Mode: ModeCompiled}); err != nil {
 		t.Fatal(err)
 	}
-	e1, ok := m.ReplayCache.(*compileCache)
-	if !ok {
+	cache1, ok := m.ReplayCache.(map[*isa.Program]*compileCache)
+	if !ok || cache1[prog] == nil {
 		t.Fatal("first compiled run must populate the machine cache")
 	}
+	e1 := cache1[prog]
 	m.ResetState(4)
 	if _, err := Run(m, prog, Options{Shots: 20, Mode: ModeCompiled}); err != nil {
 		t.Fatal(err)
 	}
-	e2 := m.ReplayCache.(*compileCache)
+	e2 := m.ReplayCache.(map[*isa.Program]*compileCache)[prog]
 	if e1.c != e2.c {
 		t.Error("re-running the same program must reuse the compiled schedule")
 	}
-	// A different program must miss and recompile.
+	// A different program compiles its own keyed entry — and leaves the
+	// first program's entry in place, so interleaving programs on one
+	// pooled machine (the batch-service pattern) never thrashes the memo.
 	other := asm.MustAssemble(`
 mov r15, 40000
 QNopReg r15
@@ -132,8 +136,19 @@ halt
 	if _, err := Run(m, other, Options{Shots: 20, Mode: ModeCompiled}); err != nil {
 		t.Fatal(err)
 	}
-	if m.ReplayCache.(*compileCache).c == e1.c {
-		t.Error("a different program must not hit the stale cache entry")
+	cache2 := m.ReplayCache.(map[*isa.Program]*compileCache)
+	if cache2[other] == nil || cache2[other].c == e1.c {
+		t.Error("a different program must compile its own entry")
+	}
+	if cache2[prog] == nil || cache2[prog].c != e2.c {
+		t.Error("the first program's entry must survive a second program")
+	}
+	m.ResetState(6)
+	if _, err := Run(m, prog, Options{Shots: 20, Mode: ModeCompiled}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReplayCache.(map[*isa.Program]*compileCache)[prog]; got == nil || got.c != e2.c {
+		t.Error("returning to the first program must hit its keyed entry")
 	}
 	// And a cached run must equal a fresh machine bit for bit.
 	m.ResetState(9)
@@ -166,10 +181,11 @@ func BenchmarkCompiledShot(b *testing.B) {
 	if _, err := Run(m, prog, Options{Shots: detectShots + 1, Mode: ModeCompiled}); err != nil {
 		b.Fatal(err)
 	}
-	cache, ok := m.ReplayCache.(*compileCache)
-	if !ok {
+	cacheMap, ok := m.ReplayCache.(map[*isa.Program]*compileCache)
+	if !ok || cacheMap[prog] == nil {
 		b.Fatal("no compiled schedule cached")
 	}
+	cache := cacheMap[prog]
 	tr := m.State.(*qphys.Trajectory)
 	md := make([]MD, 0, cache.c.nMD)
 	measure := func(q, outcome int) {

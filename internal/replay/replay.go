@@ -101,6 +101,9 @@ func ParseMode(s string) (Mode, error) {
 		s, ModeAuto, ModeCompiled, ModeInterp, ModeOff)
 }
 
+// maxCompiledPrograms bounds the per-machine compiled-schedule memo.
+const maxCompiledPrograms = 256
+
 // detectShots is the number of leading shots executed through the full
 // pipeline in ModeAuto: shot 0 carries the cold-start transient (TD = 0,
 // all qubits idle since construction, so its idle durations differ from
@@ -326,17 +329,35 @@ func Run(m *core.Machine, p *isa.Program, opts Options) (Stats, error) {
 	if mode != ModeInterp {
 		// Compiled replay (ModeAuto, ModeCompiled): specialize the
 		// schedule once, then run closure-free steps per shot. The
-		// compiled form is memoized on the machine — pooled machines
-		// re-run the same per-shot program across sweep points, and the
+		// compiled form is memoized on the machine, keyed by program
+		// identity — a machine pooled for the lifetime of a sweep (or of
+		// the batch service, which also makes program pointers stable via
+		// its service-lifetime assembly cache) compiles each distinct
+		// program once, however many programs interleave on it. Every
+		// hit is still validated entry-for-entry against the freshly
 		// recorded schedule (whose matrices alias stable machine-cache
-		// entries) is compared entry-for-entry before reuse.
+		// entries), so a stale entry — e.g. after core invalidated the
+		// cache on UploadPulse/SetQubitParams — can only miss, never
+		// corrupt.
 		st.Compiled = true
+		cache, _ := m.ReplayCache.(map[*isa.Program]*compileCache)
+		if cache == nil {
+			cache = make(map[*isa.Program]*compileCache)
+			m.ReplayCache = cache
+		}
 		var comp *compiled
-		if e, ok := m.ReplayCache.(*compileCache); ok && schedulesEqual(e.sched, s2) {
+		if e := cache[p]; e != nil && schedulesEqual(e.sched, s2) {
 			comp = e.c
 		} else {
 			comp = compileSchedule(s2)
-			m.ReplayCache = &compileCache{sched: s2, c: comp}
+			// Bound the memo on machines pooled for a service lifetime:
+			// a stream of distinct programs must not grow it forever.
+			// Flushing costs recompilation only.
+			if len(cache) >= maxCompiledPrograms {
+				cache = make(map[*isa.Program]*compileCache)
+				m.ReplayCache = cache
+			}
+			cache[p] = &compileCache{sched: s2, c: comp}
 		}
 		st.Replayed = comp.run(m, lead, opts.Shots, opts.OnShot)
 		return st, nil

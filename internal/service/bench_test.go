@@ -1,0 +1,80 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// BenchmarkServeBatch measures end-to-end service throughput: submit a
+// mixed batch over HTTP, poll to completion, fetch the result. Because
+// the Env lives across iterations, later iterations run entirely from
+// warmed caches — pooled machines and memoized compiled schedules — so
+// the steady-state number is what a long-lived deployment sees. Wired
+// into the CI bench smoke (BENCH_smoke.json).
+func BenchmarkServeBatch(b *testing.B) {
+	s := New(Config{Workers: 2, QueueSize: 64}).Start()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	defer s.Drain()
+
+	req := SubmitRequest{Experiments: []ExperimentRequest{
+		{Type: "t1", Seed: 5, Backend: "trajectory", Rounds: 60},
+		{Type: "asm", Seed: 9, Backend: "trajectory", Rounds: 200,
+			Program: "mov r15, 40000\nQNopReg r15\nPulse {q0}, X90\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n"},
+		{Type: "rb", Seed: 2, Backend: "trajectory", SeqSeed: 7, Lengths: []int{1, 4, 8}, Trials: 2, Rounds: 60},
+	}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	runOne := func() {
+		resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var acc struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("submit status %d", resp.StatusCode)
+		}
+		for {
+			sr, err := http.Get(hs.URL + "/v1/jobs/" + acc.ID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var st struct {
+				Status string `json:"status"`
+				Error  string `json:"error"`
+			}
+			if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+				b.Fatal(err)
+			}
+			sr.Body.Close()
+			if st.Status == StatusDone {
+				break
+			}
+			if st.Status == StatusFailed {
+				b.Fatalf("job failed: %s", st.Error)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	runOne() // warm the shared caches outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOne()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(req.Experiments))*float64(b.N)/b.Elapsed().Seconds(), "experiments/s")
+}

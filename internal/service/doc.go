@@ -1,0 +1,61 @@
+// Package service is the quma batch experiment service: a long-lived,
+// concurrent job scheduler and HTTP/JSON API in front of the experiment
+// layer (internal/expt). It is the layer that turns the simulator from a
+// collection of one-shot CLIs into a system — requests from many clients
+// share one expt.Env for the life of the process, so the caches the
+// sweep engine used to rebuild per invocation (assembled programs,
+// pooled machines with their rotation/decoherence caches and compiled
+// replay schedules) amortize across all traffic.
+//
+// # API
+//
+//	POST /v1/jobs            submit a batch of experiment requests
+//	                         202 {"id": ...}; 400 structured validation
+//	                         error; 429 when the job queue is full;
+//	                         503 while draining
+//	GET  /v1/jobs/{id}        job status + progress
+//	GET  /v1/jobs/{id}/result completed results (409 until done)
+//	GET  /v1/jobs/{id}/stream SSE progress events, one per completed
+//	                         experiment, closing with the terminal state
+//	GET  /healthz            liveness + queue depth
+//
+// # Invariants (the contract future PRs build on)
+//
+// Determinism: a request's result depends only on its own fields —
+// (seed, params) — never on concurrency, queue order, worker count,
+// which pooled machine served it, or what ran on the Env before it.
+// This is inherited, not re-proven: the sweep engine's seeding contract
+// (expt.DeriveSeed), Machine.ResetState bit-identity, and the pool
+// sharding by config-minus-seed (expt.Env) compose so that a service
+// job is bit-identical to a direct internal/expt call. The service adds
+// no randomness of its own: job IDs never enter result payloads, and
+// result JSON contains no timestamps. Enforced by
+// TestConcurrentIdenticalJobsBitIdentical (under -race in CI) and the
+// CI smoke job (server result diffed against `quma-serve -once`).
+//
+// Cache lifetime: the Env (and with it every per-machine ReplayCache)
+// lives exactly as long as the Server. Invalidation is delegated
+// downward — core.Machine.UploadPulse/SetQubitParams drop compiled
+// schedules whose aliased cache entries died, and the replay engine
+// validates every memo hit against a fresh recording — so no service
+// restart is ever needed for correctness.
+//
+// Backpressure: the job queue is bounded (Config.QueueSize); a full
+// queue rejects with 429 and a Retry-After hint rather than queueing
+// unboundedly. Draining (Server.Drain, wired to SIGINT/SIGTERM in
+// cmd/quma-serve) stops intake with 503, finishes every queued and
+// running job, then returns — submitted work is never dropped.
+//
+// Bounded memory: everything a client can grow is capped — request
+// bodies (maxBodyBytes), asm program size (maxProgramBytes), batch size
+// (Config.MaxBatch), retained terminal jobs and their results
+// (Config.MaxRetainedJobs, oldest evicted to 404), the Env's program
+// cache and pool shards, and each machine's compiled-schedule memo
+// (epoch-flushed on overflow; flushes cost recomputation, never
+// correctness).
+//
+// Timeouts: each job gets Config.JobTimeout of execution time measured
+// from dequeue; the deadline is checked between experiments (the expt
+// layer has no cancellation points inside a sweep), so a job may finish
+// the experiment in flight before failing with "timeout".
+package service

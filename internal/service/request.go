@@ -1,0 +1,326 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"quma/internal/asm"
+	"quma/internal/core"
+	"quma/internal/expt"
+	"quma/internal/qphys"
+	"quma/internal/replay"
+)
+
+// ExperimentRequest is one experiment of a batch job: an experiment type
+// plus the machine and sweep parameters. Zero-valued optional fields
+// select the same defaults the experiment's DefaultXParams would — a
+// request is a delta against the defaults, and its result is a pure
+// function of the request fields.
+type ExperimentRequest struct {
+	// Type selects the experiment: t1, ramsey, echo, allxy, rabi, rb,
+	// repcode, phasecode, or asm (a raw assembly program).
+	Type string `json:"type"`
+
+	// Seed seeds the machine PRNG (sweep points derive per-point seeds
+	// from it). Identical (seed, params) requests return bit-identical
+	// results.
+	Seed int64 `json:"seed"`
+	// Backend is the state substrate: "density" (default) or
+	// "trajectory".
+	Backend string `json:"backend,omitempty"`
+	// Qubit is the driven qubit for single-qubit experiments.
+	Qubit int `json:"qubit,omitempty"`
+	// NumQubits sizes the register for asm programs (default 1).
+	NumQubits int `json:"num_qubits,omitempty"`
+	// AmplitudeError is the fractional pulse miscalibration ε.
+	AmplitudeError float64 `json:"amp_error,omitempty"`
+	// T1Sec/T2Sec/DetuningHz, when non-zero, replace the default
+	// coherence parameters on every qubit.
+	T1Sec      float64 `json:"t1_sec,omitempty"`
+	T2Sec      float64 `json:"t2_sec,omitempty"`
+	DetuningHz float64 `json:"detuning_hz,omitempty"`
+
+	// Rounds is the averaging count (shots per sweep point; the shot
+	// count for asm). Zero selects the experiment default.
+	Rounds int `json:"rounds,omitempty"`
+	// Workers bounds sweep parallelism inside the experiment (0 = one
+	// per CPU). Results are identical for any value.
+	Workers int `json:"workers,omitempty"`
+	// Replay is the shot-replay engine mode: "", auto, compiled, interp,
+	// off. Results are bit-identical for any value.
+	Replay string `json:"replay,omitempty"`
+
+	// DelaysCycles overrides the swept delays (t1/ramsey/echo).
+	DelaysCycles []int `json:"delays_cycles,omitempty"`
+	// Scales overrides the swept amplitude scales (rabi).
+	Scales []float64 `json:"scales,omitempty"`
+	// Lengths/Trials/SeqSeed configure rb sequence sampling.
+	Lengths []int `json:"lengths,omitempty"`
+	Trials  int   `json:"trials,omitempty"`
+	SeqSeed int64 `json:"seq_seed,omitempty"`
+	// DataQubits is the repcode distance (odd, 3-7; phasecode: 3).
+	DataQubits int `json:"data_qubits,omitempty"`
+	// WaitCycles is the repcode/phasecode memory time.
+	WaitCycles int `json:"wait_cycles,omitempty"`
+	// Program is the assembly source for asm requests.
+	Program string `json:"program,omitempty"`
+}
+
+// maxProgramBytes bounds an asm request's program text: validation
+// assembles it synchronously on the submit path, so the size must be
+// capped before, not after.
+const maxProgramBytes = 256 << 10
+
+// experimentTypes is the closed set of request types.
+var experimentTypes = map[string]bool{
+	"t1": true, "ramsey": true, "echo": true, "allxy": true, "rabi": true,
+	"rb": true, "repcode": true, "phasecode": true, "asm": true,
+}
+
+// FieldError locates one validation failure inside a batch.
+type FieldError struct {
+	// Index is the experiment's position in the batch.
+	Index int `json:"index"`
+	// Field names the offending request field (JSON name).
+	Field string `json:"field"`
+	// Message says what is wrong with it.
+	Message string `json:"message"`
+}
+
+func (e FieldError) Error() string {
+	return fmt.Sprintf("experiments[%d].%s: %s", e.Index, e.Field, e.Message)
+}
+
+// Validate checks one request, reporting every problem as a FieldError
+// carrying the batch index i. Validation is complete at submit time: an
+// accepted job can only fail on execution-time physics/timeout errors,
+// never on malformed parameters.
+func (r ExperimentRequest) Validate(i int) []FieldError {
+	var errs []FieldError
+	add := func(field, format string, args ...any) {
+		errs = append(errs, FieldError{Index: i, Field: field, Message: fmt.Sprintf(format, args...)})
+	}
+	if !experimentTypes[r.Type] {
+		add("type", "unknown experiment type %q", r.Type)
+		return errs
+	}
+	switch r.Backend {
+	case "", string(core.BackendDensity), string(core.BackendTrajectory):
+	default:
+		add("backend", "unknown backend %q (want %q or %q)", r.Backend, core.BackendDensity, core.BackendTrajectory)
+	}
+	if _, err := replay.ParseMode(r.Replay); err != nil {
+		add("replay", "%v", err)
+	}
+	if r.Rounds < 0 {
+		add("rounds", "must be non-negative (0 selects the default)")
+	}
+	maxQ := 8
+	if core.Backend(r.Backend) == core.BackendTrajectory {
+		maxQ = 16
+	}
+	if r.Qubit < 0 || r.Qubit >= maxQ {
+		add("qubit", "must be in 0..%d for backend %q", maxQ-1, r.Backend)
+	}
+	if r.Seed < 0 {
+		add("seed", "must be non-negative (machine PRNG seed)")
+	}
+	if r.T1Sec < 0 {
+		add("t1_sec", "must be non-negative")
+	}
+	if r.T2Sec < 0 {
+		add("t2_sec", "must be non-negative")
+	}
+	switch r.Type {
+	case "rb":
+		if len(r.Lengths) > 0 && len(r.Lengths) < 3 {
+			add("lengths", "need at least 3 sequence lengths, got %d", len(r.Lengths))
+		}
+		if r.Trials < 0 {
+			add("trials", "must be non-negative (0 selects the default)")
+		}
+	case "rabi":
+		if len(r.Scales) > 0 && len(r.Scales) < 8 {
+			add("scales", "need at least 8 amplitude scales, got %d", len(r.Scales))
+		}
+	case "repcode":
+		if d := r.DataQubits; d != 0 && (d%2 == 0 || d < 3 || d > 7) {
+			add("data_qubits", "must be odd in 3..7, got %d", d)
+		}
+		if r.DataQubits >= 5 && core.Backend(r.Backend) != core.BackendTrajectory {
+			add("backend", "distance-%d repcode (%d qubits) requires the trajectory backend", r.DataQubits, 2*r.DataQubits-1)
+		}
+	case "phasecode":
+		if r.DataQubits != 0 && r.DataQubits != 3 {
+			add("data_qubits", "the phase code is fixed at 3 data qubits, got %d", r.DataQubits)
+		}
+	case "asm":
+		// Validation assembles and discards; execution re-assembles
+		// through the Env cache. The duplicate is the accepted price of
+		// complete submit-time validation — bounded by maxProgramBytes,
+		// and only the first sighting of a program text pays it twice.
+		if r.Program == "" {
+			add("program", "must contain an assembly program")
+		} else if len(r.Program) > maxProgramBytes {
+			add("program", "is %d bytes, limit is %d", len(r.Program), maxProgramBytes)
+		} else if _, err := asm.Assemble(r.Program); err != nil {
+			add("program", "does not assemble: %v", err)
+		}
+		if r.NumQubits < 0 || r.NumQubits > maxQ {
+			add("num_qubits", "must be in 0..%d for backend %q", maxQ, r.Backend)
+		}
+	}
+	return errs
+}
+
+// config builds the machine configuration a request describes. It must
+// stay a pure function of the request: the config (and the params below)
+// fully determine the result.
+func (r ExperimentRequest) config() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = r.Seed
+	cfg.Backend = core.Backend(r.Backend)
+	cfg.AmplitudeError = r.AmplitudeError
+	if r.Type == "asm" && r.NumQubits > 0 {
+		cfg.NumQubits = r.NumQubits
+	}
+	if r.T1Sec != 0 || r.T2Sec != 0 || r.DetuningHz != 0 {
+		qp := qphys.DefaultQubitParams()
+		if r.T1Sec != 0 {
+			qp.T1 = r.T1Sec
+		}
+		if r.T2Sec != 0 {
+			qp.T2 = r.T2Sec
+		}
+		qp.FreqDetuningHz = r.DetuningHz
+		n := cfg.NumQubits
+		if r.Type == "repcode" {
+			n = 2*r.dataQubits() - 1
+		} else if r.Type == "phasecode" {
+			n = 5
+		} else if r.Qubit >= n {
+			n = r.Qubit + 1
+		}
+		cfg.Qubit = nil
+		for i := 0; i < n; i++ {
+			cfg.Qubit = append(cfg.Qubit, qp)
+		}
+	}
+	return cfg
+}
+
+func (r ExperimentRequest) dataQubits() int {
+	if r.DataQubits == 0 {
+		return 3
+	}
+	return r.DataQubits
+}
+
+func (r ExperimentRequest) sweepParams() expt.SweepParams {
+	p := expt.DefaultSweepParams()
+	p.Qubit = r.Qubit
+	if r.Rounds > 0 {
+		p.Rounds = r.Rounds
+	}
+	if len(r.DelaysCycles) > 0 {
+		p.DelaysCycles = r.DelaysCycles
+	}
+	p.Workers = r.Workers
+	p.Replay = replay.Mode(r.Replay)
+	return p
+}
+
+// Execute runs one validated request on the shared environment and
+// returns its result marshaled to JSON. The bytes are deterministic:
+// encoding/json is deterministic for the fixed result struct types, and
+// every result field is (by the expt contracts) a pure function of the
+// request.
+func Execute(env *expt.Env, r ExperimentRequest) (json.RawMessage, error) {
+	var (
+		res any
+		err error
+	)
+	cfg := r.config()
+	switch r.Type {
+	case "t1":
+		res, err = env.RunT1(cfg, r.sweepParams())
+	case "ramsey":
+		res, err = env.RunRamsey(cfg, r.sweepParams())
+	case "echo":
+		res, err = env.RunEcho(cfg, r.sweepParams())
+	case "allxy":
+		p := expt.DefaultAllXYParams()
+		p.Qubit = r.Qubit
+		if r.Rounds > 0 {
+			p.Rounds = r.Rounds
+		}
+		p.Workers = r.Workers
+		p.Replay = replay.Mode(r.Replay)
+		res, err = env.RunAllXY(cfg, p)
+	case "rabi":
+		p := expt.DefaultRabiParams()
+		p.Qubit = r.Qubit
+		if r.Rounds > 0 {
+			p.Rounds = r.Rounds
+		}
+		if len(r.Scales) > 0 {
+			p.Scales = r.Scales
+		}
+		p.Workers = r.Workers
+		p.Replay = replay.Mode(r.Replay)
+		res, err = env.RunRabi(cfg, p)
+	case "rb":
+		p := expt.DefaultRBParams()
+		p.Qubit = r.Qubit
+		if r.Rounds > 0 {
+			p.Rounds = r.Rounds
+		}
+		if len(r.Lengths) > 0 {
+			p.Lengths = r.Lengths
+		}
+		if r.Trials > 0 {
+			p.Trials = r.Trials
+		}
+		if r.SeqSeed != 0 {
+			p.Seed = r.SeqSeed
+		}
+		p.Workers = r.Workers
+		p.Replay = replay.Mode(r.Replay)
+		res, err = env.RunRB(cfg, p)
+	case "repcode", "phasecode":
+		p := expt.DefaultRepCodeParams()
+		p.DataQubits = r.DataQubits
+		if r.Rounds > 0 {
+			p.Rounds = r.Rounds
+		}
+		if r.WaitCycles > 0 {
+			p.WaitCycles = r.WaitCycles
+		}
+		p.Workers = r.Workers
+		p.Replay = replay.Mode(r.Replay)
+		if r.Type == "repcode" {
+			res, err = env.RunRepCode(cfg, p)
+		} else {
+			res, err = env.RunPhaseCode(cfg, p)
+		}
+	case "asm":
+		shots := r.Rounds
+		if shots == 0 {
+			shots = 100
+		}
+		res, err = env.RunProgram(cfg, expt.ProgramParams{
+			Source: r.Program,
+			Shots:  shots,
+			Replay: replay.Mode(r.Replay),
+		})
+	default:
+		return nil, fmt.Errorf("service: unknown experiment type %q", r.Type)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(struct {
+		Type   string `json:"type"`
+		Result any    `json:"result"`
+	}{Type: r.Type, Result: res})
+}

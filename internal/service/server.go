@@ -1,0 +1,462 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"quma/internal/expt"
+)
+
+// Config sizes the service.
+type Config struct {
+	// QueueSize bounds the job queue; a full queue rejects submissions
+	// with 429 (default 64).
+	QueueSize int
+	// Workers is the number of concurrent job executors (default 2).
+	// Experiment results never depend on it.
+	Workers int
+	// JobTimeout bounds one job's execution time, measured from dequeue
+	// and checked between experiments (default 5 minutes).
+	JobTimeout time.Duration
+	// MaxBatch bounds the experiments per job (default 64).
+	MaxBatch int
+	// MaxRetainedJobs bounds how many terminal (done/failed) jobs — and
+	// their result payloads — stay queryable (default 1024). The oldest
+	// finished jobs are evicted first and then 404.
+	MaxRetainedJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxRetainedJobs <= 0 {
+		c.MaxRetainedJobs = 1024
+	}
+	return c
+}
+
+// Job states.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// job is one accepted batch.
+type job struct {
+	id   string
+	reqs []ExperimentRequest
+
+	mu        sync.Mutex
+	status    string
+	completed int
+	results   []json.RawMessage
+	errMsg    string
+	done      chan struct{} // closed on terminal state
+	subs      []chan progressEvent
+}
+
+// progressEvent is one streaming update.
+type progressEvent struct {
+	Status    string `json:"status"`
+	Completed int    `json:"completed"`
+	Total     int    `json:"total"`
+	Error     string `json:"error,omitempty"`
+}
+
+// snapshot returns the job's current progress under its lock.
+func (j *job) snapshot() progressEvent {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return progressEvent{Status: j.status, Completed: j.completed, Total: len(j.reqs), Error: j.errMsg}
+}
+
+// publish updates the job and fans the event out to subscribers. Slow
+// subscribers never block a worker: events are dropped on a full channel
+// (each subscriber still gets the terminal state from the closing send
+// below, because terminal events are delivered with a blocking send
+// after the channel is otherwise quiet — see stream handler).
+func (j *job) publish() {
+	ev := j.snapshot()
+	j.mu.Lock()
+	subs := append([]chan progressEvent(nil), j.subs...)
+	j.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// Server is the batch experiment service. Create with New, mount
+// Handler on an http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg Config
+	env *expt.Env
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	draining bool
+	queue    chan *job
+	jobs     map[string]*job
+	// retired lists terminal job ids oldest-first; jobs beyond
+	// cfg.MaxRetainedJobs are evicted from the map (bounded memory for
+	// a long-lived service).
+	retired []string
+	nextID  int64
+	wg      sync.WaitGroup
+}
+
+// New builds a server. The expt.Env — and with it every assembled
+// program, pooled machine, and compiled replay schedule — lives for the
+// server's lifetime. Call Start to launch the worker pool; until then
+// submissions are accepted but only queue.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		env:   expt.NewEnv(),
+		mux:   http.NewServeMux(),
+		queue: make(chan *job, cfg.QueueSize),
+		jobs:  make(map[string]*job),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Start launches the worker pool and returns s.
+func (s *Server) Start() *Server {
+	for w := 0; w < s.cfg.Workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for jb := range s.queue {
+				s.runJob(jb)
+			}
+		}()
+	}
+	return s
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops intake (submissions return 503), waits for every queued
+// and running job to reach a terminal state, and stops the workers.
+// Safe to call once.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// apiError is the structured error envelope every non-2xx response
+// carries.
+type apiError struct {
+	Code    string       `json:"code"`
+	Message string       `json:"message"`
+	Details []FieldError `json:"details,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, e apiError) {
+	writeJSON(w, code, struct {
+		Error apiError `json:"error"`
+	}{Error: e})
+}
+
+// SubmitRequest is the POST /v1/jobs body.
+type SubmitRequest struct {
+	Experiments []ExperimentRequest `json:"experiments"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	// The body bound follows from the documented per-field limits — a
+	// full batch of maximal programs fits — plus headroom for JSON
+	// escaping and the non-program fields.
+	maxBody := int64(s.cfg.MaxBatch)*2*maxProgramBytes + (1 << 20)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, apiError{
+				Code:    "body_too_large",
+				Message: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit),
+			})
+			return
+		}
+		writeError(w, http.StatusBadRequest, apiError{Code: "malformed_json", Message: err.Error()})
+		return
+	}
+	if len(req.Experiments) == 0 {
+		writeError(w, http.StatusBadRequest, apiError{Code: "empty_batch", Message: "a job needs at least one experiment"})
+		return
+	}
+	if len(req.Experiments) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, apiError{
+			Code:    "batch_too_large",
+			Message: fmt.Sprintf("batch has %d experiments, limit is %d", len(req.Experiments), s.cfg.MaxBatch),
+		})
+		return
+	}
+	var details []FieldError
+	for i, ex := range req.Experiments {
+		details = append(details, ex.Validate(i)...)
+	}
+	if len(details) > 0 {
+		writeError(w, http.StatusBadRequest, apiError{
+			Code:    "invalid_request",
+			Message: fmt.Sprintf("%d invalid field(s)", len(details)),
+			Details: details,
+		})
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, apiError{Code: "draining", Message: "server is draining; resubmit elsewhere"})
+		return
+	}
+	s.nextID++
+	jb := &job{
+		id:      fmt.Sprintf("job-%d", s.nextID),
+		reqs:    req.Experiments,
+		status:  StatusQueued,
+		results: make([]json.RawMessage, len(req.Experiments)),
+		done:    make(chan struct{}),
+	}
+	select {
+	case s.queue <- jb:
+		s.jobs[jb.id] = jb
+	default:
+		s.nextID-- // the id was never exposed; reuse it
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, apiError{
+			Code:    "queue_full",
+			Message: fmt.Sprintf("job queue is full (%d queued); retry later", s.cfg.QueueSize),
+		})
+		return
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Total  int    `json:"total"`
+	}{ID: jb.id, Status: StatusQueued, Total: len(jb.reqs)})
+}
+
+// lookup resolves the {id} path segment.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	jb := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if jb == nil {
+		writeError(w, http.StatusNotFound, apiError{Code: "not_found", Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+	}
+	return jb
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	jb := s.lookup(w, r)
+	if jb == nil {
+		return
+	}
+	ev := jb.snapshot()
+	writeJSON(w, http.StatusOK, struct {
+		ID string `json:"id"`
+		progressEvent
+	}{ID: jb.id, progressEvent: ev})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	jb := s.lookup(w, r)
+	if jb == nil {
+		return
+	}
+	jb.mu.Lock()
+	status, errMsg := jb.status, jb.errMsg
+	results := append([]json.RawMessage(nil), jb.results...)
+	jb.mu.Unlock()
+	switch status {
+	case StatusDone:
+		// The body deliberately excludes the job id and any timing:
+		// identical requests must produce byte-identical result
+		// documents (the service determinism contract).
+		writeJSON(w, http.StatusOK, struct {
+			Results []json.RawMessage `json:"results"`
+		}{Results: results})
+	case StatusFailed:
+		writeError(w, http.StatusConflict, apiError{Code: "job_failed", Message: errMsg})
+	default:
+		writeError(w, http.StatusConflict, apiError{
+			Code:    "not_finished",
+			Message: fmt.Sprintf("job is %s; poll status or stream until done", status),
+		})
+	}
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	jb := s.lookup(w, r)
+	if jb == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, apiError{Code: "no_streaming", Message: "response writer cannot stream"})
+		return
+	}
+	ch := make(chan progressEvent, 16)
+	jb.mu.Lock()
+	jb.subs = append(jb.subs, ch)
+	jb.mu.Unlock()
+	defer func() {
+		jb.mu.Lock()
+		for i, c := range jb.subs {
+			if c == ch {
+				jb.subs = append(jb.subs[:i], jb.subs[i+1:]...)
+				break
+			}
+		}
+		jb.mu.Unlock()
+	}()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	send := func(ev progressEvent) bool {
+		data, _ := json.Marshal(ev)
+		fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data)
+		fl.Flush()
+		return ev.Status == StatusDone || ev.Status == StatusFailed
+	}
+	// Current state first, so late subscribers see something immediately
+	// (and finished jobs terminate the stream at once).
+	if send(jb.snapshot()) {
+		return
+	}
+	for {
+		select {
+		case ev := <-ch:
+			if send(ev) {
+				return
+			}
+		case <-jb.done:
+			// Drain anything buffered, then emit the terminal snapshot.
+			for {
+				select {
+				case ev := <-ch:
+					if send(ev) {
+						return
+					}
+				default:
+					send(jb.snapshot())
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	njobs := len(s.jobs)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		OK       bool `json:"ok"`
+		Draining bool `json:"draining"`
+		Queued   int  `json:"queued"`
+		Jobs     int  `json:"jobs"`
+	}{OK: true, Draining: draining, Queued: len(s.queue), Jobs: njobs})
+}
+
+// runJob executes one dequeued job to a terminal state.
+func (s *Server) runJob(jb *job) {
+	deadline := time.Now().Add(s.cfg.JobTimeout)
+	jb.mu.Lock()
+	jb.status = StatusRunning
+	jb.mu.Unlock()
+	jb.publish()
+
+	fail := func(msg string) {
+		jb.mu.Lock()
+		jb.status = StatusFailed
+		jb.errMsg = msg
+		jb.mu.Unlock()
+		close(jb.done)
+		jb.publish()
+		s.retire(jb.id)
+	}
+	for i, req := range jb.reqs {
+		if time.Now().After(deadline) {
+			fail(fmt.Sprintf("timeout after %v with %d/%d experiments done", s.cfg.JobTimeout, i, len(jb.reqs)))
+			return
+		}
+		res, err := Execute(s.env, req)
+		if err != nil {
+			fail(fmt.Sprintf("experiments[%d] (%s): %v", i, req.Type, err))
+			return
+		}
+		jb.mu.Lock()
+		jb.results[i] = res
+		jb.completed = i + 1
+		jb.mu.Unlock()
+		jb.publish()
+	}
+	jb.mu.Lock()
+	jb.status = StatusDone
+	jb.mu.Unlock()
+	close(jb.done)
+	jb.publish()
+	s.retire(jb.id)
+}
+
+// retire records a terminal job and evicts the oldest finished jobs
+// beyond the retention bound, so a long-lived server's result store
+// stays finite.
+func (s *Server) retire(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retired = append(s.retired, id)
+	for len(s.retired) > s.cfg.MaxRetainedJobs {
+		delete(s.jobs, s.retired[0])
+		s.retired = s.retired[1:]
+	}
+}

@@ -1,0 +1,522 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"quma/internal/expt"
+)
+
+// testBatch is a mixed batch exercising the sweep engine, the chunked
+// memory experiments, and the raw-assembly path, sized so the full
+// determinism test stays in CI budget.
+func testBatch() SubmitRequest {
+	return SubmitRequest{Experiments: []ExperimentRequest{
+		{Type: "t1", Seed: 5, Backend: "trajectory", Rounds: 40},
+		{Type: "asm", Seed: 9, Rounds: 60, Program: "mov r15, 40000\nQNopReg r15\nPulse {q0}, X90\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n"},
+		{Type: "rb", Seed: 2, SeqSeed: 7, Lengths: []int{1, 4, 8}, Trials: 2, Rounds: 30},
+		{Type: "repcode", Seed: 3, Rounds: 60},
+	}}
+}
+
+func startTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg).Start()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(s.Drain)
+	return s, hs
+}
+
+func submit(t *testing.T, base string, req SubmitRequest) (string, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return "", resp
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return acc.ID, resp
+}
+
+// waitDone polls the status endpoint until the job reaches a terminal
+// state.
+func waitDone(t *testing.T, base, id string) string {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch st.Status {
+		case StatusDone:
+			return st.Status
+		case StatusFailed:
+			t.Fatalf("job %s failed: %s", id, st.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return ""
+}
+
+func fetchResult(t *testing.T, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d: %s", resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestConcurrentIdenticalJobsBitIdentical is the service determinism
+// contract: N concurrent submissions of the same batch — racing for
+// workers and pooled machines — return byte-identical result documents,
+// and each experiment matches a direct internal/expt call on a fresh
+// environment. Runs under -race in CI.
+func TestConcurrentIdenticalJobsBitIdentical(t *testing.T) {
+	_, hs := startTestServer(t, Config{Workers: 3, QueueSize: 16})
+	req := testBatch()
+
+	const n = 6
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(req)
+			resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Errorf("submit %d: status %d", i, resp.StatusCode)
+				return
+			}
+			var acc struct {
+				ID string `json:"id"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			ids[i] = acc.ID
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	bodies := make([][]byte, n)
+	for i, id := range ids {
+		waitDone(t, hs.URL, id)
+		bodies[i] = fetchResult(t, hs.URL, id)
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("result %d differs from result 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+
+	// And the service result must equal the direct internal/expt path.
+	env := expt.NewEnv()
+	var doc struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(bodies[0], &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != len(req.Experiments) {
+		t.Fatalf("got %d results, want %d", len(doc.Results), len(req.Experiments))
+	}
+	for i, ex := range req.Experiments {
+		direct, err := Execute(env, ex)
+		if err != nil {
+			t.Fatalf("direct experiments[%d]: %v", i, err)
+		}
+		// The served raw message was re-indented by the response
+		// encoder; compare compacted forms.
+		var a, b bytes.Buffer
+		if err := json.Compact(&a, doc.Results[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Compact(&b, direct); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("experiments[%d] (%s): service result differs from direct call\nservice: %s\ndirect:  %s",
+				i, ex.Type, a.Bytes(), b.Bytes())
+		}
+	}
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestMalformedRequestsReturnStructured400(t *testing.T) {
+	_, hs := startTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name, body string
+		wantCode   string
+		wantField  string
+		wantIndex  int
+	}{
+		{"truncated json", `{"experiments": [`, "malformed_json", "", 0},
+		{"unknown top-level field", `{"experimentz": []}`, "malformed_json", "", 0},
+		{"empty batch", `{"experiments": []}`, "empty_batch", "", 0},
+		{"unknown type", `{"experiments": [{"type": "teleportation"}]}`, "invalid_request", "type", 0},
+		{"bad backend", `{"experiments": [{"type": "t1", "backend": "gpu"}]}`, "invalid_request", "backend", 0},
+		{"bad replay mode", `{"experiments": [{"type": "t1", "replay": "warp"}]}`, "invalid_request", "replay", 0},
+		{"rb too few lengths", `{"experiments": [{"type": "t1"}, {"type": "rb", "lengths": [1, 2]}]}`, "invalid_request", "lengths", 1},
+		{"even repcode distance", `{"experiments": [{"type": "repcode", "data_qubits": 4}]}`, "invalid_request", "data_qubits", 0},
+		{"wide repcode on density", `{"experiments": [{"type": "repcode", "data_qubits": 5}]}`, "invalid_request", "backend", 0},
+		{"asm with no program", `{"experiments": [{"type": "asm"}]}`, "invalid_request", "program", 0},
+		{"asm that does not assemble", `{"experiments": [{"type": "asm", "program": "frob r1"}]}`, "invalid_request", "program", 0},
+		{"negative rounds", `{"experiments": [{"type": "allxy", "rounds": -5}]}`, "invalid_request", "rounds", 0},
+		{"qubit beyond density register", `{"experiments": [{"type": "t1", "qubit": 12}]}`, "invalid_request", "qubit", 0},
+		{"negative T1", `{"experiments": [{"type": "t1", "t1_sec": -1}]}`, "invalid_request", "t1_sec", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, hs.URL+"/v1/jobs", tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400; body %s", resp.StatusCode, body)
+			}
+			var e struct {
+				Error struct {
+					Code    string       `json:"code"`
+					Details []FieldError `json:"details"`
+				} `json:"error"`
+			}
+			if err := json.Unmarshal(body, &e); err != nil {
+				t.Fatalf("error body is not structured JSON: %v (%s)", err, body)
+			}
+			if e.Error.Code != tc.wantCode {
+				t.Errorf("code %q, want %q", e.Error.Code, tc.wantCode)
+			}
+			if tc.wantField != "" {
+				found := false
+				for _, d := range e.Error.Details {
+					if d.Field == tc.wantField && d.Index == tc.wantIndex {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("details %+v missing field %q at index %d", e.Error.Details, tc.wantField, tc.wantIndex)
+				}
+			}
+		})
+	}
+}
+
+// TestQueueFullReturns429 fills the bounded queue of a server whose
+// workers were never started, so occupancy is deterministic.
+func TestQueueFullReturns429(t *testing.T) {
+	s := New(Config{QueueSize: 2})
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	body, _ := json.Marshal(SubmitRequest{Experiments: []ExperimentRequest{{Type: "t1", Rounds: 5}}})
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("fill %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp, b := postJSON(t, hs.URL+"/v1/jobs", string(body))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429; body %s", resp.StatusCode, b)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 must carry a Retry-After hint")
+	}
+	var e struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(b, &e); err != nil || e.Error.Code != "queue_full" {
+		t.Fatalf("want structured queue_full error, got %s (err %v)", b, err)
+	}
+	// Draining the never-started server must still finish the queued
+	// jobs (Drain closes the queue; Start the workers to consume it).
+	s.Start()
+	s.Drain()
+}
+
+func TestDrainFinishesQueuedJobsAndRejectsNew(t *testing.T) {
+	s, hs := startTestServer(t, Config{Workers: 1, QueueSize: 8})
+	req := SubmitRequest{Experiments: []ExperimentRequest{
+		{Type: "asm", Seed: 4, Rounds: 40, Program: "mov r15, 400\nQNopReg r15\nPulse {q0}, X180\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n"},
+	}}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id, resp := submit(t, hs.URL, req)
+		if id == "" {
+			t.Fatalf("submit %d: status %d", i, resp.StatusCode)
+		}
+		ids = append(ids, id)
+	}
+	s.Drain()
+	// Every job accepted before the drain must have completed.
+	for _, id := range ids {
+		if got := waitDone(t, hs.URL, id); got != StatusDone {
+			t.Fatalf("job %s: status %s after drain", id, got)
+		}
+	}
+	// And new work is refused with 503.
+	body, _ := json.Marshal(req)
+	resp, b := postJSON(t, hs.URL+"/v1/jobs", string(body))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain status %d, want 503; body %s", resp.StatusCode, b)
+	}
+}
+
+func TestStatusResultAndStreamLifecycle(t *testing.T) {
+	_, hs := startTestServer(t, Config{Workers: 1})
+
+	// Unknown job: structured 404 everywhere.
+	for _, path := range []string{"/v1/jobs/nope", "/v1/jobs/nope/result", "/v1/jobs/nope/stream"} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+
+	req := SubmitRequest{Experiments: []ExperimentRequest{
+		{Type: "asm", Seed: 1, Rounds: 30, Program: "mov r15, 400\nQNopReg r15\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n"},
+		{Type: "asm", Seed: 2, Rounds: 30, Program: "mov r15, 400\nQNopReg r15\nPulse {q0}, X180\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n"},
+	}}
+	id, resp := submit(t, hs.URL, req)
+	if id == "" {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+
+	// The SSE stream must deliver monotonic progress ending in done.
+	sresp, err := http.Get(hs.URL + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	var last progressEvent
+	prev := -1
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &last); err != nil {
+			t.Fatalf("bad stream payload %q: %v", line, err)
+		}
+		if last.Completed < prev {
+			t.Fatalf("progress went backwards: %d after %d", last.Completed, prev)
+		}
+		prev = last.Completed
+		if last.Status == StatusDone || last.Status == StatusFailed {
+			break
+		}
+	}
+	if last.Status != StatusDone || last.Completed != 2 || last.Total != 2 {
+		t.Fatalf("terminal stream event %+v, want done 2/2", last)
+	}
+
+	// After done, result is served and a second fetch is identical.
+	r1 := fetchResult(t, hs.URL, id)
+	r2 := fetchResult(t, hs.URL, id)
+	if !bytes.Equal(r1, r2) {
+		t.Fatal("re-fetching a result changed it")
+	}
+
+	// healthz reports liveness.
+	hresp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var health struct {
+		OK bool `json:"ok"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil || !health.OK {
+		t.Fatalf("healthz not ok (err %v)", err)
+	}
+}
+
+// TestRetentionEvictsOldestFinishedJobs bounds the result store: with
+// MaxRetainedJobs=1, finishing a second job evicts the first to 404.
+func TestRetentionEvictsOldestFinishedJobs(t *testing.T) {
+	_, hs := startTestServer(t, Config{Workers: 1, MaxRetainedJobs: 1})
+	req := SubmitRequest{Experiments: []ExperimentRequest{
+		{Type: "asm", Seed: 1, Rounds: 10, Program: "mov r15, 400\nQNopReg r15\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n"},
+	}}
+	id1, _ := submit(t, hs.URL, req)
+	waitDone(t, hs.URL, id1)
+	fetchResult(t, hs.URL, id1) // still retained: it is the only finished job
+	id2, _ := submit(t, hs.URL, req)
+	waitDone(t, hs.URL, id2)
+	fetchResult(t, hs.URL, id2)
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted job status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestJobTimeoutFailsCleanly gives a job a deadline it cannot meet; the
+// job must fail with a timeout message instead of hanging.
+func TestJobTimeoutFailsCleanly(t *testing.T) {
+	_, hs := startTestServer(t, Config{Workers: 1, JobTimeout: time.Nanosecond})
+	id, resp := submit(t, hs.URL, SubmitRequest{Experiments: []ExperimentRequest{
+		{Type: "t1", Rounds: 5},
+		{Type: "t1", Rounds: 5, Seed: 1},
+	}})
+	if id == "" {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		sresp, err := http.Get(hs.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		sresp.Body.Close()
+		if st.Status == StatusFailed {
+			if !strings.Contains(st.Error, "timeout") {
+				t.Fatalf("failure message %q does not mention timeout", st.Error)
+			}
+			break
+		}
+		if st.Status == StatusDone {
+			t.Fatal("job with a 1ns budget cannot finish")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never reached a terminal state")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The result endpoint reports the failure as a conflict.
+	rresp, err := http.Get(hs.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusConflict {
+		t.Fatalf("failed job result status %d, want 409", rresp.StatusCode)
+	}
+}
+
+// TestExecutionErrorFailsJob submits a program that validates but fails
+// at run time (halts on an absent qubit), asserting structured failure.
+func TestExecutionErrorFailsJob(t *testing.T) {
+	_, hs := startTestServer(t, Config{Workers: 1})
+	id, resp := submit(t, hs.URL, SubmitRequest{Experiments: []ExperimentRequest{
+		{Type: "asm", Seed: 1, Rounds: 20, NumQubits: 1,
+			Program: "mov r15, 400\nQNopReg r15\nMPG {q3}, 300\nMD {q3}, r7\nhalt\n"},
+	}})
+	if id == "" {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for {
+		sresp, err := http.Get(hs.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		sresp.Body.Close()
+		if st.Status == StatusFailed {
+			if !strings.Contains(st.Error, "experiments[0]") {
+				t.Fatalf("failure %q does not locate the experiment", st.Error)
+			}
+			return
+		}
+		if st.Status == StatusDone {
+			t.Fatal("job must fail: the program measures an absent qubit")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never reached a terminal state")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
