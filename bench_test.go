@@ -8,6 +8,7 @@
 package quma
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -850,7 +851,7 @@ func BenchmarkReplayRepCode(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					m.ResetState(int64(i + 1))
 					errs := 0
-					st, err := replay.Run(m, prog, replay.Options{
+					st, err := replay.Run(context.Background(), m, prog, replay.Options{
 						Shots: shots,
 						Mode:  mode,
 						OnShot: func(_ int, md []replay.MD) {

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -122,7 +123,7 @@ func main() {
 			fail(err)
 		}
 	} else {
-		stats, err := replay.Run(m, prog, replay.Options{Shots: *shots, Mode: mode})
+		stats, err := replay.Run(context.Background(), m, prog, replay.Options{Shots: *shots, Mode: mode})
 		if err != nil {
 			fail(err)
 		}

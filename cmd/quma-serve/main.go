@@ -16,20 +16,33 @@
 //	                                # print the results array (the CI
 //	                                # smoke diffs this against the
 //	                                # server's /result body)
+//	quma-serve -client http://host:8077 batch.json
+//	                                # submit the batch to a live server,
+//	                                # retrying transient 429/503 with
+//	                                # capped exponential backoff, poll to
+//	                                # completion, print the results array
+//	                                # (byte-identical to -once output)
 //
 // Shutdown: SIGINT/SIGTERM stops intake (503), finishes every queued
-// and running job, then exits.
+// and running job, then exits. With -drain-timeout set, jobs still
+// running when the deadline expires are canceled through the job
+// context (they end `canceled`, retaining no partial results) so the
+// process exit time is bounded.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -39,26 +52,34 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8077", "HTTP listen address")
-		queue      = flag.Int("queue", 64, "job queue bound (full queue returns 429)")
-		workers    = flag.Int("workers", 2, "concurrent job executors (results never depend on this)")
-		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "per-job execution time bound")
-		maxBatch   = flag.Int("max-batch", 64, "experiments allowed per job")
-		once       = flag.String("once", "", "execute the batch request in this JSON file directly (no HTTP) and print the results array")
+		addr         = flag.String("addr", ":8077", "HTTP listen address")
+		queue        = flag.Int("queue", 64, "job queue bound (full queue returns 429)")
+		workers      = flag.Int("workers", 2, "concurrent job executors (results never depend on this)")
+		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "per-job execution time bound")
+		maxBatch     = flag.Int("max-batch", 64, "experiments allowed per job")
+		drainTimeout = flag.Duration("drain-timeout", 0, "hard deadline for shutdown drain; expiring cancels in-flight jobs (0 waits forever)")
+		once         = flag.String("once", "", "execute the batch request in this JSON file directly (no HTTP) and print the results array")
+		client       = flag.String("client", "", "submit the batch file given as the positional argument to this server URL and print the results array")
 	)
 	flag.Parse()
-	if err := run(*addr, *queue, *workers, *jobTimeout, *maxBatch, *once); err != nil {
+	if err := run(*addr, *queue, *workers, *jobTimeout, *maxBatch, *drainTimeout, *once, *client, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "quma-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, queue, workers int, jobTimeout time.Duration, maxBatch int, once string) error {
+func run(addr string, queue, workers int, jobTimeout time.Duration, maxBatch int, drainTimeout time.Duration, once, client string, args []string) error {
 	if queue <= 0 || workers <= 0 || maxBatch <= 0 {
 		return fmt.Errorf("-queue, -workers and -max-batch must be positive")
 	}
 	if once != "" {
 		return runOnce(once)
+	}
+	if client != "" {
+		if len(args) != 1 {
+			return fmt.Errorf("-client needs exactly one batch file argument, got %d", len(args))
+		}
+		return runClient(client, args[0], os.Stdout)
 	}
 
 	srv := service.New(service.Config{
@@ -80,13 +101,133 @@ func run(addr string, queue, workers int, jobTimeout time.Duration, maxBatch int
 		return err
 	case sig := <-sigc:
 		fmt.Printf("quma-serve: %v — draining\n", sig)
-		srv.Drain()
-		// Every accepted job has finished; let in-flight status/result
-		// responses complete instead of resetting their connections.
+		srv.DrainTimeout(drainTimeout)
+		// Every accepted job has reached a terminal state; let in-flight
+		// status/result responses complete instead of resetting their
+		// connections.
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		return hs.Shutdown(ctx)
 	}
+}
+
+// retryDelay computes the backoff before retry `attempt` (0-based):
+// capped exponential growth from 100ms with up to 25% random jitter, or
+// the server's Retry-After hint (seconds) when one was given — the hint
+// still gets jitter so a herd of clients told "1" does not return as a
+// herd.
+func retryDelay(attempt int, retryAfter string) time.Duration {
+	d := 100 * time.Millisecond << attempt
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	if s, err := strconv.Atoi(retryAfter); err == nil && s >= 0 {
+		d = time.Duration(s) * time.Second
+		if d > 5*time.Second {
+			d = 5 * time.Second
+		}
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/4+1))
+}
+
+// runClient drives a live server through one batch: submit (retrying
+// transient rejections — 429 queue_full with its Retry-After hint, 503
+// draining, connection errors while the server is still coming up),
+// poll status to a terminal state, fetch the result, and print the
+// results array byte-identically to what -once prints for the same
+// batch (the CI smoke diffs the two).
+func runClient(base, path string, out io.Writer) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	hc := &http.Client{Timeout: 30 * time.Second}
+	const maxAttempts = 8
+	var id string
+	for attempt := 0; ; attempt++ {
+		resp, err := hc.Post(base+"/v1/jobs", "application/json", bytes.NewReader(raw))
+		var retryAfter string
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				err = rerr
+			} else {
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					var acc struct {
+						ID string `json:"id"`
+					}
+					if err := json.Unmarshal(body, &acc); err != nil {
+						return fmt.Errorf("submit response: %w", err)
+					}
+					id = acc.ID
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					retryAfter = resp.Header.Get("Retry-After")
+					err = fmt.Errorf("submit rejected: %d %s", resp.StatusCode, bytes.TrimSpace(body))
+				default:
+					// Structurally bad requests never become good by
+					// retrying.
+					return fmt.Errorf("submit failed: %d %s", resp.StatusCode, bytes.TrimSpace(body))
+				}
+			}
+		}
+		if id != "" {
+			break
+		}
+		if attempt >= maxAttempts-1 {
+			return fmt.Errorf("submit did not succeed after %d attempts: %w", maxAttempts, err)
+		}
+		time.Sleep(retryDelay(attempt, retryAfter))
+	}
+	for {
+		resp, err := hc.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return err
+		}
+		var st struct {
+			Status string `json:"status"`
+			Code   string `json:"code"`
+			Error  string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch st.Status {
+		case service.StatusDone:
+		case service.StatusFailed, service.StatusCanceled:
+			return fmt.Errorf("job %s %s (%s): %s", id, st.Status, st.Code, st.Error)
+		default:
+			time.Sleep(25 * time.Millisecond)
+			continue
+		}
+		break
+	}
+	resp, err := hc.Get(base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("result fetch failed: %d %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	var doc struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return err
+	}
+	// The encoder re-indents the raw messages, normalizing whitespace to
+	// exactly what runOnce prints for the same batch.
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc.Results)
 }
 
 // runOnce executes a batch request file through the same validation and
@@ -121,7 +262,7 @@ func runOnce(path string) error {
 	env := expt.NewEnv()
 	results := make([]json.RawMessage, len(req.Experiments))
 	for i, ex := range req.Experiments {
-		if results[i], err = service.Execute(env, ex); err != nil {
+		if results[i], err = service.Execute(context.Background(), env, ex); err != nil {
 			return fmt.Errorf("experiments[%d] (%s): %w", i, ex.Type, err)
 		}
 	}

@@ -2,11 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,9 +22,27 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	for _, tc := range []struct{ queue, workers, maxBatch int }{
 		{0, 2, 64}, {4, 0, 64}, {4, 2, 0}, {-1, -1, -1},
 	} {
-		if err := run(":0", tc.queue, tc.workers, time.Minute, tc.maxBatch, ""); err == nil {
+		if err := run(":0", tc.queue, tc.workers, time.Minute, tc.maxBatch, 0, "", "", nil); err == nil {
 			t.Errorf("run accepted queue=%d workers=%d max-batch=%d", tc.queue, tc.workers, tc.maxBatch)
 		}
+	}
+	if err := run(":0", 4, 2, time.Minute, 64, 0, "", "http://127.0.0.1:1", nil); err == nil {
+		t.Error("run accepted -client with no batch file argument")
+	}
+}
+
+func TestRetryDelayGrowsCapsAndHonorsHint(t *testing.T) {
+	for attempt := 0; attempt < 10; attempt++ {
+		d := retryDelay(attempt, "")
+		if d < 100*time.Millisecond || d > 2*time.Second+500*time.Millisecond {
+			t.Errorf("attempt %d: delay %v outside the capped-backoff envelope", attempt, d)
+		}
+	}
+	if d := retryDelay(0, "1"); d < time.Second || d > 1250*time.Millisecond {
+		t.Errorf("Retry-After 1 produced %v, want ~1s with jitter", d)
+	}
+	if d := retryDelay(0, "3600"); d > 7*time.Second {
+		t.Errorf("huge Retry-After must be capped, got %v", d)
 	}
 }
 
@@ -69,7 +91,7 @@ func TestRunOnceMatchesDirectExecution(t *testing.T) {
 	}
 	env := expt.NewEnv()
 	for i, ex := range batch.Experiments {
-		direct, err := service.Execute(env, ex)
+		direct, err := service.Execute(context.Background(), env, ex)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,6 +107,71 @@ func TestRunOnceMatchesDirectExecution(t *testing.T) {
 		if string(gs) != string(ws) {
 			t.Fatalf("experiments[%d]: -once result differs from direct execution\nonce:   %s\ndirect: %s", i, gs, ws)
 		}
+	}
+}
+
+// TestClientRetriesTransientRejections puts a flaky front door in front
+// of a real server: the first submissions bounce with 429 + Retry-After,
+// after which the batch must still complete and print byte-identically
+// to -once (the client's backoff absorbing the rejections).
+func TestClientRetriesTransientRejections(t *testing.T) {
+	batch := service.SubmitRequest{Experiments: []service.ExperimentRequest{
+		{Type: "asm", Seed: 7, Rounds: 40,
+			Program: "mov r15, 4000\nQNopReg r15\nPulse {q0}, X90\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n"},
+	}}
+	raw, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "batch.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := service.New(service.Config{Workers: 1}).Start()
+	defer srv.Drain()
+	var rejected atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && rejected.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"resource_exhausted","reason":"queue_full","message":"injected"}}`))
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	defer hs.Close()
+
+	var got bytes.Buffer
+	if err := runClient(hs.URL, path, &got); err != nil {
+		t.Fatalf("runClient: %v", err)
+	}
+	if n := rejected.Load(); n < 3 {
+		t.Fatalf("flaky front door saw only %d submissions; retries never happened", n)
+	}
+
+	// Byte-identity with the -once path for the same batch.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.Bytes()
+	}()
+	onceErr := runOnce(path)
+	w.Close()
+	os.Stdout = old
+	want := <-done
+	if onceErr != nil {
+		t.Fatalf("runOnce: %v", onceErr)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("-client output differs from -once output:\nclient: %s\nonce:   %s", got.Bytes(), want)
 	}
 }
 

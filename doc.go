@@ -189,4 +189,17 @@
 // {off, interp, auto, compiled} — agreeing on generated programs, safe
 // and unsafe alike. See the package documentation of internal/service
 // for the API and the invariant list.
+//
+// The service is preemptible and fault-isolated: every experiment entry
+// point takes a context.Context that flows through the sweep engine
+// into the replay shot loop (checked with bounded staleness, so
+// cancellation and deadlines land mid-sweep), DELETE /v1/jobs/{id}
+// cancels queued or running jobs, draining can enforce a hard deadline,
+// and worker panics are recovered into structured per-job failures
+// without taking the process down. Cancellation can only abort a job,
+// never perturb one — a completing job stays bit-identical to an
+// uncancellable run, and a canceled job returns no partial results.
+// internal/faultinject holds the deterministic fault plans and the
+// chaos suite that pins availability, the stable error taxonomy, and
+// post-fault byte-identity.
 package quma

@@ -1,6 +1,7 @@
 package conformance
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -48,7 +49,7 @@ func runMatrix(t *testing.T, env *expt.Env, cfg core.Config, src string, kind Ki
 	t.Helper()
 	var ref *expt.ProgramResult
 	for _, mode := range allModes {
-		res, err := env.RunProgram(cfg, expt.ProgramParams{Source: src, Shots: confShots, Replay: mode})
+		res, err := env.RunProgram(context.Background(), cfg, expt.ProgramParams{Source: src, Shots: confShots, Replay: mode})
 		if err != nil {
 			t.Fatalf("mode %s: %v\nprogram:\n%s", mode, err, src)
 		}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -181,11 +182,11 @@ type AllXYResult struct {
 // the shot-replay engine. cfg.CollectK and cfg.NumQubits are set as
 // needed.
 func RunAllXY(cfg core.Config, p AllXYParams) (*AllXYResult, error) {
-	return NewEnv().RunAllXY(cfg, p)
+	return NewEnv().RunAllXY(context.Background(), cfg, p)
 }
 
 // RunAllXY runs the AllXY experiment on the environment's shared pools.
-func (e *Env) RunAllXY(cfg core.Config, p AllXYParams) (*AllXYResult, error) {
+func (e *Env) RunAllXY(ctx context.Context, cfg core.Config, p AllXYParams) (*AllXYResult, error) {
 	if p.Rounds <= 0 {
 		return nil, fmt.Errorf("expt: Rounds must be positive")
 	}
@@ -202,12 +203,12 @@ func (e *Env) RunAllXY(cfg core.Config, p AllXYParams) (*AllXYResult, error) {
 	pulses := make([]uint64, len(pairs))
 	memBytes := make([]int, len(pairs))
 	pool := e.poolFor(cfg)
-	err := runPool(len(pairs), p.Workers, func(i int) error {
+	err := runPool(ctx, len(pairs), p.Workers, func(i int) error {
 		prog, err := e.progs.get(allXYPairShotProgram(p, pairs[i]))
 		if err != nil {
 			return err
 		}
-		return runShotJob(pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, p.Replay, nil, nil,
+		return runShotJob(ctx, pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, p.Replay, nil, nil,
 			func(m *core.Machine, _ replay.Stats) error {
 				if got := m.Collector.Rounds(); got != p.Rounds {
 					return fmt.Errorf("expt: pair %s collected %d rounds, want %d", pairs[i].Label, got, p.Rounds)

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -78,7 +79,7 @@ func shotProgram(p SweepParams, delayCycles int, body func(b *strings.Builder, d
 // are computed once, outside the worker closures. Machines and assembled
 // programs come from env, whose lifetime the caller controls (per call
 // for the plain RunX functions, service lifetime for internal/service).
-func runSweep(env *Env, cfg core.Config, p SweepParams, body func(b *strings.Builder, delayCycles int)) (*SweepResult, error) {
+func runSweep(ctx context.Context, env *Env, cfg core.Config, p SweepParams, body func(b *strings.Builder, delayCycles int)) (*SweepResult, error) {
 	if len(p.DelaysCycles) == 0 || p.Rounds <= 0 {
 		return nil, fmt.Errorf("expt: empty sweep")
 	}
@@ -105,13 +106,13 @@ func runSweep(env *Env, cfg core.Config, p SweepParams, body func(b *strings.Bui
 		Excited:   make([]float64, len(p.DelaysCycles)),
 	}
 	pool := env.poolFor(cfg)
-	err := runPool(len(p.DelaysCycles), p.Workers, func(i int) error {
+	err := runPool(ctx, len(p.DelaysCycles), p.Workers, func(i int) error {
 		d := p.DelaysCycles[i]
 		prog, err := env.progs.get(shotProgram(p, d, body))
 		if err != nil {
 			return err
 		}
-		return runShotJob(pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, p.Replay, nil, nil,
+		return runShotJob(ctx, pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, p.Replay, nil, nil,
 			func(m *core.Machine, _ replay.Stats) error {
 				res.DelaysSec[i] = float64(d) * 5e-9
 				res.Excited[i] = (m.Collector.Averages()[0] - s0) / (s1 - s0)
@@ -133,12 +134,12 @@ type T1Result struct {
 // RunT1 measures energy relaxation: X180, wait τ, measure; P(1) decays as
 // e^{-τ/T1}.
 func RunT1(cfg core.Config, p SweepParams) (*T1Result, error) {
-	return NewEnv().RunT1(cfg, p)
+	return NewEnv().RunT1(context.Background(), cfg, p)
 }
 
 // RunT1 runs the T1 experiment on the environment's shared pools.
-func (e *Env) RunT1(cfg core.Config, p SweepParams) (*T1Result, error) {
-	sr, err := runSweep(e, cfg, p, func(b *strings.Builder, d int) {
+func (e *Env) RunT1(ctx context.Context, cfg core.Config, p SweepParams) (*T1Result, error) {
+	sr, err := runSweep(ctx, e, cfg, p, func(b *strings.Builder, d int) {
 		fmt.Fprintf(b, "Pulse {q%d}, X180\nWait 4\n", p.Qubit)
 		if d > 0 {
 			fmt.Fprintf(b, "Wait %d\n", d)
@@ -164,12 +165,12 @@ type RamseyResult struct {
 // detuning Δ (set via cfg.Qubit[q].FreqDetuningHz) the population
 // oscillates at Δ under an e^{-τ/T2*} envelope.
 func RunRamsey(cfg core.Config, p SweepParams) (*RamseyResult, error) {
-	return NewEnv().RunRamsey(cfg, p)
+	return NewEnv().RunRamsey(context.Background(), cfg, p)
 }
 
 // RunRamsey runs the Ramsey experiment on the environment's shared pools.
-func (e *Env) RunRamsey(cfg core.Config, p SweepParams) (*RamseyResult, error) {
-	sr, err := runSweep(e, cfg, p, func(b *strings.Builder, d int) {
+func (e *Env) RunRamsey(ctx context.Context, cfg core.Config, p SweepParams) (*RamseyResult, error) {
+	sr, err := runSweep(ctx, e, cfg, p, func(b *strings.Builder, d int) {
 		fmt.Fprintf(b, "Pulse {q%d}, X90\nWait 4\n", p.Qubit)
 		if d > 0 {
 			fmt.Fprintf(b, "Wait %d\n", d)
@@ -196,12 +197,12 @@ type EchoResult struct {
 // The π pulse refocuses static detuning, so the envelope decays with the
 // echo time constant instead of oscillating.
 func RunEcho(cfg core.Config, p SweepParams) (*EchoResult, error) {
-	return NewEnv().RunEcho(cfg, p)
+	return NewEnv().RunEcho(context.Background(), cfg, p)
 }
 
 // RunEcho runs the echo experiment on the environment's shared pools.
-func (e *Env) RunEcho(cfg core.Config, p SweepParams) (*EchoResult, error) {
-	sr, err := runSweep(e, cfg, p, func(b *strings.Builder, d int) {
+func (e *Env) RunEcho(ctx context.Context, cfg core.Config, p SweepParams) (*EchoResult, error) {
+	sr, err := runSweep(ctx, e, cfg, p, func(b *strings.Builder, d int) {
 		half := d / 2
 		half -= half % 4 // keep the π pulse SSB-phase aligned
 		fmt.Fprintf(b, "Pulse {q%d}, X90\nWait 4\n", p.Qubit)

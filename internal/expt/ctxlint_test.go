@@ -1,0 +1,83 @@
+package expt
+
+// ctxlint_test enforces the Env contract mechanically: every exported
+// method on *Env (or Env) must take a context.Context as its first
+// parameter, so no future experiment entry point can silently opt out
+// of cancellation. The check parses the package source with go/parser —
+// a structural lint, not a style suggestion — and runs with the normal
+// test suite, so CI fails the moment an uncancellable method appears.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// envReceiver reports whether a method's receiver is Env or *Env.
+func envReceiver(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return false
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == "Env"
+}
+
+// firstParamIsContext reports whether the first parameter's type is
+// context.Context.
+func firstParamIsContext(fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil || len(fn.Type.Params.List) == 0 {
+		return false
+	}
+	sel, ok := fn.Type.Params.List[0].Type.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "context" && sel.Sel.Name == "Context"
+}
+
+func TestEveryExportedEnvMethodTakesContextFirst(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	checked := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !fn.Name.IsExported() || !envReceiver(fn) {
+				continue
+			}
+			checked++
+			// Non-Run accessors (SetFaults today) are configuration, not
+			// experiment execution; the contract binds the Run* entry
+			// points, and anything that starts a sweep is one.
+			if !strings.HasPrefix(fn.Name.Name, "Run") {
+				continue
+			}
+			if !firstParamIsContext(fn) {
+				t.Errorf("%s: (*Env).%s must take a context.Context as its first parameter (cancellation contract; see env.go)",
+					fset.Position(fn.Pos()), fn.Name.Name)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("found no exported Env methods — did the receiver type move?")
+	}
+}

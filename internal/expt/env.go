@@ -31,6 +31,7 @@ package expt
 // experiment.
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -44,8 +45,21 @@ import (
 // value is not usable; construct with NewEnv. All methods are safe for
 // concurrent use — concurrent experiments draw disjoint machines from
 // the pools and results are bit-identical to serial execution.
+//
+// Every experiment method takes a context.Context as its first
+// parameter and honors it mid-sweep: cancellation or deadline expiry
+// preempts the sweep between points and, inside the replay engine,
+// within a bounded number of shots, returning a wrapped ctx error and
+// no result. A method that returns a non-nil result was never
+// preempted, so its result is bit-identical to an uncancellable run —
+// cancellation can only abort, never perturb. The ctx-lint test
+// (ctxlint_test.go) rejects any new Env method that omits the context.
 type Env struct {
 	progs *programCache
+
+	// faults, when non-nil, is copied into every machine pool the Env
+	// creates — the fault-injection hook points (chaos tests only).
+	faults *FaultHooks
 
 	mu    sync.Mutex
 	pools map[string]*machinePool
@@ -54,6 +68,19 @@ type Env struct {
 // NewEnv returns an empty environment.
 func NewEnv() *Env {
 	return &Env{progs: newProgramCache(), pools: make(map[string]*machinePool)}
+}
+
+// SetFaults installs fault-injection hooks (see FaultHooks) on the Env
+// and on every pool it has already created. It must not be called while
+// experiments are running — install the hooks before the first request
+// (the chaos suite passes them at server construction).
+func (e *Env) SetFaults(h *FaultHooks) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.faults = h
+	for _, p := range e.pools {
+		p.faults = h
+	}
 }
 
 // envKey is the machine-pool shard key: the complete machine
@@ -86,6 +113,7 @@ func (e *Env) poolFor(cfg core.Config) *machinePool {
 			e.pools = make(map[string]*machinePool)
 		}
 		p = newMachinePool(cfg)
+		p.faults = e.faults
 		e.pools[key] = p
 	}
 	return p
@@ -142,7 +170,7 @@ type ProgramResult struct {
 // classical register contents surviving into the caller (replayed shots
 // perform no classical execution); results come exclusively from the
 // measurement stream.
-func (e *Env) RunProgram(cfg core.Config, p ProgramParams) (*ProgramResult, error) {
+func (e *Env) RunProgram(ctx context.Context, cfg core.Config, p ProgramParams) (*ProgramResult, error) {
 	if p.Shots <= 0 {
 		return nil, fmt.Errorf("expt: program Shots must be positive, got %d", p.Shots)
 	}
@@ -153,7 +181,7 @@ func (e *Env) RunProgram(cfg core.Config, p ProgramParams) (*ProgramResult, erro
 	res := &ProgramResult{Params: p, Shots: p.Shots}
 	h := fnv.New64a()
 	pool := e.poolFor(cfg)
-	err = runShotJob(pool, cfg.Seed, prog, p.Shots, p.Replay, nil,
+	err = runShotJob(ctx, pool, cfg.Seed, prog, p.Shots, p.Replay, nil,
 		func(shot int, md []replay.MD) {
 			if shot > 0 && len(md) != res.MDPerShot {
 				res.MDVaries = true
@@ -193,7 +221,9 @@ func (e *Env) RunProgram(cfg core.Config, p ProgramParams) (*ProgramResult, erro
 	return res, nil
 }
 
-// RunProgram runs a raw-assembly shot program on a fresh environment.
+// RunProgram runs a raw-assembly shot program on a fresh environment
+// with no cancellation (context.Background()), preserving the
+// historical entry-point shape.
 func RunProgram(cfg core.Config, p ProgramParams) (*ProgramResult, error) {
-	return NewEnv().RunProgram(cfg, p)
+	return NewEnv().RunProgram(context.Background(), cfg, p)
 }

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -46,14 +47,14 @@ func TestSharedEnvMatchesFreshEnv(t *testing.T) {
 	// — pooled machines now carry state from unrelated prior requests.
 	env := NewEnv()
 	for round := 0; round < 2; round++ {
-		gotProg, err := env.RunProgram(cfg, pp)
+		gotProg, err := env.RunProgram(context.Background(), cfg, pp)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if gotProg.StreamHash != wantProg.StreamHash {
 			t.Fatalf("round %d: shared-env program stream %x, fresh %x", round, gotProg.StreamHash, wantProg.StreamHash)
 		}
-		gotT1, err := env.RunT1(cfg, sp)
+		gotT1, err := env.RunT1(context.Background(), cfg, sp)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,7 +67,7 @@ func TestSharedEnvMatchesFreshEnv(t *testing.T) {
 		// later T1/program calls (next round) must be unaffected.
 		rp := DefaultRabiParams()
 		rp.Rounds = 30
-		if _, err := env.RunRabi(cfg, rp); err != nil {
+		if _, err := env.RunRabi(context.Background(), cfg, rp); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -91,7 +92,7 @@ func TestSharedEnvConcurrentRequestsAreBitIdentical(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			got[i], errs[i] = env.RunProgram(cfg, pp)
+			got[i], errs[i] = env.RunProgram(context.Background(), cfg, pp)
 		}(i)
 	}
 	wg.Wait()

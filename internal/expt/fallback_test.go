@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"testing"
 
 	"quma/internal/asm"
@@ -25,7 +26,7 @@ func runShots(t *testing.T, m *core.Machine, src string, shots int, mode replay.
 		t.Fatal(err)
 	}
 	var hist [][]replay.MD
-	st, err := replay.Run(m, prog, replay.Options{Shots: shots, Mode: mode, OnShot: func(_ int, md []replay.MD) {
+	st, err := replay.Run(context.Background(), m, prog, replay.Options{Shots: shots, Mode: mode, OnShot: func(_ int, md []replay.MD) {
 		hist = append(hist, append([]replay.MD(nil), md...))
 	}})
 	if err != nil {
@@ -93,7 +94,7 @@ func TestCorrectedRepCodeFallbackAcrossModesAndPooling(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := replay.Run(mp, asm.MustAssemble(RepCodeShotProgram(p, false)), replay.Options{Shots: 8, Mode: mode}); err != nil {
+			if _, err := replay.Run(context.Background(), mp, asm.MustAssemble(RepCodeShotProgram(p, false)), replay.Options{Shots: 8, Mode: mode}); err != nil {
 				t.Fatal(err)
 			}
 			mp.ResetState(seed)

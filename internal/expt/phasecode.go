@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -144,12 +145,12 @@ func DephasingQubit(t2 float64) qphys.QubitParams {
 // RunPhaseCode compares a bare superposition against the feedback-
 // corrected phase-flip code on dephasing-dominated qubits.
 func RunPhaseCode(cfg core.Config, p RepCodeParams) (*PhaseCodeResult, error) {
-	return NewEnv().RunPhaseCode(cfg, p)
+	return NewEnv().RunPhaseCode(context.Background(), cfg, p)
 }
 
 // RunPhaseCode runs the phase-code memory experiment on the
 // environment's shared pools.
-func (e *Env) RunPhaseCode(cfg core.Config, p RepCodeParams) (*PhaseCodeResult, error) {
+func (e *Env) RunPhaseCode(ctx context.Context, cfg core.Config, p RepCodeParams) (*PhaseCodeResult, error) {
 	if p.Rounds <= 0 {
 		return nil, fmt.Errorf("expt: Rounds must be positive")
 	}
@@ -180,7 +181,7 @@ func (e *Env) RunPhaseCode(cfg core.Config, p RepCodeParams) (*PhaseCodeResult, 
 			return ones < 2
 		}},
 	}
-	errors, err := runChunkedVariants(e, cfg, p.Rounds, p.Workers, p.Replay, variants)
+	errors, err := runChunkedVariants(ctx, e, cfg, p.Rounds, p.Workers, p.Replay, variants)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -79,14 +80,14 @@ type RabiResult struct {
 // calibration. The fixed-phase fit (fit.FitRabi) keeps the extraction
 // robust to the per-point shot noise that independent seeding introduces.
 func RunRabi(cfg core.Config, p RabiParams) (*RabiResult, error) {
-	return NewEnv().RunRabi(cfg, p)
+	return NewEnv().RunRabi(context.Background(), cfg, p)
 }
 
 // RunRabi runs the Rabi calibration sweep on the environment's shared
 // pools. The swept pulse is re-uploaded unconditionally on every point
 // (the pooled-machine contract for custom LUT content), so sharing
 // machines with other experiments is safe in both directions.
-func (e *Env) RunRabi(cfg core.Config, p RabiParams) (*RabiResult, error) {
+func (e *Env) RunRabi(ctx context.Context, cfg core.Config, p RabiParams) (*RabiResult, error) {
 	if len(p.Scales) < 8 || p.Rounds <= 0 {
 		return nil, fmt.Errorf("expt: Rabi sweep needs ≥8 scales and ≥1 round")
 	}
@@ -108,13 +109,13 @@ func (e *Env) RunRabi(cfg core.Config, p RabiParams) (*RabiResult, error) {
 
 	res := &RabiResult{Params: p, Excited: make([]float64, len(p.Scales))}
 	pool := e.poolFor(cfg)
-	err := runPool(len(p.Scales), p.Workers, func(i int) error {
+	err := runPool(ctx, len(p.Scales), p.Workers, func(i int) error {
 		prog, err := e.progs.get(src)
 		if err != nil {
 			return err
 		}
 		var ones int
-		err = runShotJob(pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, p.Replay,
+		err = runShotJob(ctx, pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, p.Replay,
 			func(m *core.Machine) error {
 				m.UOp.DefinePrimitive("RABI", RabiCodeword)
 				scaled := nominal

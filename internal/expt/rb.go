@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -89,11 +90,11 @@ func rbShotProgram(p RBParams, pulses []string) string {
 // shots past the detection prefix replay the recorded schedule) — and
 // fits the exponential decay of the ground-state survival probability.
 func RunRB(cfg core.Config, p RBParams) (*RBResult, error) {
-	return NewEnv().RunRB(cfg, p)
+	return NewEnv().RunRB(context.Background(), cfg, p)
 }
 
 // RunRB runs randomized benchmarking on the environment's shared pools.
-func (e *Env) RunRB(cfg core.Config, p RBParams) (*RBResult, error) {
+func (e *Env) RunRB(ctx context.Context, cfg core.Config, p RBParams) (*RBResult, error) {
 	if len(p.Lengths) < 3 || p.Trials < 1 || p.Rounds < 1 {
 		return nil, fmt.Errorf("expt: RB needs ≥3 lengths and ≥1 trial/round")
 	}
@@ -106,7 +107,7 @@ func (e *Env) RunRB(cfg core.Config, p RBParams) (*RBResult, error) {
 	njobs := len(p.Lengths) * p.Trials
 	surv := make([]float64, njobs)
 	pool := e.poolFor(cfg)
-	err := runPool(njobs, p.Workers, func(i int) error {
+	err := runPool(ctx, njobs, p.Workers, func(i int) error {
 		length := p.Lengths[i/p.Trials]
 		seqRng := rand.New(rand.NewSource(DeriveSeed(p.Seed, i)))
 		pulses, _ := RandomCliffordSequence(length, seqRng)
@@ -115,7 +116,7 @@ func (e *Env) RunRB(cfg core.Config, p RBParams) (*RBResult, error) {
 			return err
 		}
 		var ones int
-		err = runShotJob(pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, p.Replay, nil,
+		err = runShotJob(ctx, pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, p.Replay, nil,
 			func(_ int, md []replay.MD) {
 				if len(md) > 0 && md[0].Result == 1 {
 					ones++

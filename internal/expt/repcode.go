@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -291,12 +292,12 @@ type RepCodeResult struct {
 // parallel sweep engine. cfg.Backend selects the state substrate;
 // p.DataQubits ≥ 5 (9+ total qubits) requires core.BackendTrajectory.
 func RunRepCode(cfg core.Config, p RepCodeParams) (*RepCodeResult, error) {
-	return NewEnv().RunRepCode(cfg, p)
+	return NewEnv().RunRepCode(context.Background(), cfg, p)
 }
 
 // RunRepCode runs the repetition-code memory experiment on the
 // environment's shared pools.
-func (e *Env) RunRepCode(cfg core.Config, p RepCodeParams) (*RepCodeResult, error) {
+func (e *Env) RunRepCode(ctx context.Context, cfg core.Config, p RepCodeParams) (*RepCodeResult, error) {
 	if p.Rounds <= 0 {
 		return nil, fmt.Errorf("expt: Rounds must be positive")
 	}
@@ -328,7 +329,7 @@ func (e *Env) RunRepCode(cfg core.Config, p RepCodeParams) (*RepCodeResult, erro
 		{src: RepCodeShotProgram(p, false), isError: majorityError},
 		{src: RepCodeShotProgram(p, true), isError: majorityError},
 	}
-	errors, err := runChunkedVariants(e, cfg, p.Rounds, p.Workers, p.Replay, variants)
+	errors, err := runChunkedVariants(ctx, e, cfg, p.Rounds, p.Workers, p.Replay, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -356,7 +357,7 @@ type chunkVariant struct {
 // engine's measurement stream, which is bit-identical between full
 // simulation and replay, so the fractions are deterministic for any
 // worker count and any replay mode.
-func runChunkedVariants(env *Env, cfg core.Config, rounds, workers int, mode replay.Mode, variants []chunkVariant) ([]float64, error) {
+func runChunkedVariants(ctx context.Context, env *Env, cfg core.Config, rounds, workers int, mode replay.Mode, variants []chunkVariant) ([]float64, error) {
 	chunks := chunkRounds(rounds, repCodeChunkRounds)
 	type job struct{ variant, chunk, rounds int }
 	var jobs []job
@@ -367,14 +368,14 @@ func runChunkedVariants(env *Env, cfg core.Config, rounds, workers int, mode rep
 	}
 	counts := make([]int64, len(jobs))
 	pool := env.poolFor(cfg)
-	err := runPool(len(jobs), workers, func(i int) error {
+	err := runPool(ctx, len(jobs), workers, func(i int) error {
 		j := jobs[i]
 		prog, err := env.progs.get(variants[j.variant].src)
 		if err != nil {
 			return err
 		}
 		var errs int64
-		err = runShotJob(pool, DeriveSeed2(cfg.Seed, j.variant+1, j.chunk), prog, j.rounds, mode, nil,
+		err = runShotJob(ctx, pool, DeriveSeed2(cfg.Seed, j.variant+1, j.chunk), prog, j.rounds, mode, nil,
 			func(_ int, md []replay.MD) {
 				if variants[j.variant].isError(md) {
 					errs++

@@ -21,6 +21,11 @@ package expt
 //   - runPool writes each point's result into its own slot and runs every
 //     job even if another fails, returning the lowest-index error — so
 //     results and errors are bit-identical regardless of worker count.
+//     The one early exit is cancellation: a done context skips remaining
+//     points and fails the sweep with the ctx error, so a canceled
+//     experiment never returns a partial result. Worker panics are
+//     recovered into *PanicError (the panicking point's machine is
+//     discarded, not pooled) so one bad point cannot kill the process.
 //   - Config values handed to workers are deep-copied (the Qubit slice is
 //     the only reference field) so concurrent machines share nothing;
 //     each distinct program text assembles once per sweep (programCache).
@@ -29,7 +34,10 @@ package expt
 //     with bit-identical results (replay_test.go enforces this).
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -70,14 +78,56 @@ func sweepConfig(cfg core.Config, seed int64) core.Config {
 	return c
 }
 
+// PanicError wraps a panic recovered from a sweep worker: the panic
+// value and the stack captured at the recovery site. Converting the
+// panic into an error keeps one failing sweep point from killing the
+// whole process — the sweep fails like any other erroring job, the
+// machine the point was running on is discarded instead of returned to
+// its pool, and callers (the batch service) map it to a structured
+// `internal` failure.
+type PanicError struct {
+	// Value is the formatted panic value.
+	Value string
+	// Stack is the goroutine stack captured by the recovery handler.
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in sweep worker: %s", e.Value)
+}
+
+// recoverJob runs job(i), converting a panic into a *PanicError. A
+// panicking job unwinds past runShotJob's machine-return path, so the
+// machine it was driving — whose state is unknowable mid-panic — is
+// discarded to the garbage collector rather than pooled.
+func recoverJob(job func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+		}
+	}()
+	return job(i)
+}
+
 // runPool executes jobs 0..n-1 on up to `workers` goroutines (workers <= 0
 // means one per available CPU). Jobs must be independent and write results
-// into per-index slots. Every job runs exactly once even when others fail;
-// the returned error is the lowest-index failure. Both properties make the
-// sweep outcome independent of the worker count.
-func runPool(n, workers int, job func(i int) error) error {
+// into per-index slots. Every job runs exactly once even when others fail —
+// unless ctx is done, which is the one early exit: remaining jobs are
+// skipped and their slots record the ctx error, so a canceled sweep always
+// returns a non-nil error (and therefore no result escapes the experiment).
+// The returned error is the lowest-index failure; with cancellation in
+// play that is the ctx error of the first skipped job or the preemption
+// error of an interrupted one — either way errors.Is-matchable against
+// context.Canceled / context.DeadlineExceeded. A panicking job is
+// recovered into a *PanicError instead of crossing the goroutine boundary
+// and killing the process. All properties together keep the sweep outcome
+// independent of the worker count.
+func runPool(ctx context.Context, n, workers int, job func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -85,10 +135,16 @@ func runPool(n, workers int, job func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
-	var firstErr error
 	if workers == 1 {
+		var firstErr error
 		for i := 0; i < n; i++ {
-			if err := job(i); err != nil && firstErr == nil {
+			if err := ctx.Err(); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("expt: sweep point %d skipped: %w", i, err)
+				}
+				break
+			}
+			if err := recoverJob(job, i); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
@@ -106,7 +162,11 @@ func runPool(n, workers int, job func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = job(i)
+				if err := ctx.Err(); err != nil {
+					errs[i] = fmt.Errorf("expt: sweep point %d skipped: %w", i, err)
+					continue
+				}
+				errs[i] = recoverJob(job, i)
 			}
 		}()
 	}
@@ -160,19 +220,41 @@ func (c *programCache) get(src string) (*isa.Program, error) {
 	return p, nil
 }
 
+// FaultHooks are the narrow fault-injection points of the sweep engine,
+// consumed by internal/faultinject's deterministic fault plans. A nil
+// *FaultHooks (the default everywhere outside chaos tests) costs one nil
+// check per sweep point — the hooks never appear on the per-shot hot
+// path unless installed. Install with Env.SetFaults before the first
+// experiment on that Env.
+type FaultHooks struct {
+	// PoolGet runs before every machine-pool acquisition; a non-nil error
+	// fails that sweep point exactly as a machine-construction error
+	// would (exercising the error path between the pool and the runner).
+	PoolGet func() error
+	// Shot runs after every engine shot of every sweep point, with the
+	// shot index. It has no error return on purpose: its two fault modes
+	// are panicking (exercising worker panic isolation — the machine is
+	// discarded, the job fails `internal`, the process survives) and
+	// sleeping (forcing a deadline to expire mid-sweep).
+	Shot func(shot int)
+}
+
 // machinePool reuses core.Machine instances across the points of one
 // sweep via Machine.ResetState: construction (waveform synthesis, LUT
 // upload, MDU calibration) is paid once per worker instead of once per
 // point, while ResetState(seed) guarantees a pooled machine behaves
 // bit-identically to a fresh core.New with that seed — so the sweep
 // determinism contract (results independent of worker count and of which
-// machine served which point) is preserved. One caveat rides along:
+// machine served which point) is preserved. Two caveats ride along:
 // custom LUT uploads and µop definitions survive the reset, so a
 // runShotJob setup that customizes the machine must do so
-// unconditionally on every point (see Machine.ResetState).
+// unconditionally on every point (see Machine.ResetState); and a machine
+// whose job panicked is never returned here — its state is unknowable,
+// so it is discarded and the pool rebuilds on the next get.
 type machinePool struct {
-	cfg  core.Config
-	pool sync.Pool
+	cfg    core.Config
+	faults *FaultHooks
+	pool   sync.Pool
 }
 
 func newMachinePool(cfg core.Config) *machinePool {
@@ -181,6 +263,11 @@ func newMachinePool(cfg core.Config) *machinePool {
 }
 
 func (mp *machinePool) get(seed int64) (*core.Machine, error) {
+	if h := mp.faults; h != nil && h.PoolGet != nil {
+		if err := h.PoolGet(); err != nil {
+			return nil, err
+		}
+	}
 	if v := mp.pool.Get(); v != nil {
 		m := v.(*core.Machine)
 		m.ResetState(seed)
@@ -196,7 +283,15 @@ func (mp *machinePool) put(m *core.Machine) { mp.pool.Put(m) }
 // the per-shot program `shots` times through the replay engine, and hand
 // the machine to finish for result extraction before returning it to the
 // pool.
-func runShotJob(mp *machinePool, seed int64, prog *isa.Program, shots int, mode replay.Mode,
+//
+// The machine return is deliberately not deferred: a panic anywhere in
+// the point (engine, callbacks, injected fault) unwinds past the put, so
+// a machine in an unknowable post-panic state is discarded rather than
+// pooled. Every non-panic exit returns the machine — including a
+// canceled run, because ResetState restores a preempted machine to a
+// state bit-identical to fresh construction (the cancellation tests
+// reuse a pool across a cancel and assert bit-identity).
+func runShotJob(ctx context.Context, mp *machinePool, seed int64, prog *isa.Program, shots int, mode replay.Mode,
 	setup func(*core.Machine) error,
 	onShot func(int, []replay.MD),
 	finish func(*core.Machine, replay.Stats) error) error {
@@ -204,20 +299,27 @@ func runShotJob(mp *machinePool, seed int64, prog *isa.Program, shots int, mode 
 	if err != nil {
 		return err
 	}
-	defer mp.put(m)
+	if h := mp.faults; h != nil && h.Shot != nil {
+		inner := onShot
+		onShot = func(shot int, md []replay.MD) {
+			if inner != nil {
+				inner(shot, md)
+			}
+			h.Shot(shot)
+		}
+	}
 	if setup != nil {
 		if err := setup(m); err != nil {
+			mp.put(m)
 			return err
 		}
 	}
-	stats, err := replay.Run(m, prog, replay.Options{Shots: shots, Mode: mode, OnShot: onShot})
-	if err != nil {
-		return err
+	stats, err := replay.Run(ctx, m, prog, replay.Options{Shots: shots, Mode: mode, OnShot: onShot})
+	if err == nil && finish != nil {
+		err = finish(m, stats)
 	}
-	if finish != nil {
-		return finish(m, stats)
-	}
-	return nil
+	mp.put(m)
+	return err
 }
 
 // chunkRounds partitions `total` rounds into fixed-size chunks. The

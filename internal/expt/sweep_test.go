@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"runtime"
@@ -30,7 +31,7 @@ func TestDeriveSeedIsStableAndSpreads(t *testing.T) {
 func TestRunPoolRunsAllJobsAndReturnsLowestIndexError(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		var ran atomic.Int64
-		err := runPool(10, workers, func(i int) error {
+		err := runPool(context.Background(), 10, workers, func(i int) error {
 			ran.Add(1)
 			if i == 3 || i == 7 {
 				return fmt.Errorf("job %d failed", i)

@@ -1,0 +1,372 @@
+package faultinject_test
+
+// The chaos suite: drive a real quma-serve server (httptest, full HTTP
+// round trips) through deterministic injected faults and assert the
+// three hardening invariants from the robustness contract:
+//
+//  1. Availability — no injected fault (pool-get failure, worker panic,
+//     forced slowness, cancellation) takes the server down; it keeps
+//     accepting and completing jobs afterwards.
+//  2. Taxonomy — every failure surfaces exactly one stable error code:
+//     invalid_argument, canceled, deadline_exceeded, resource_exhausted,
+//     or internal. Messages are free text; codes are the contract.
+//  3. Determinism — a fault can only abort work, never perturb it:
+//     fault-free (re)runs of the same requests are byte-identical to
+//     runs on a server that never had fault hooks installed.
+//
+// Everything is seeded/ordinal-driven, so a failing case replays
+// exactly. CI runs this package under -race.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"quma/internal/faultinject"
+	"quma/internal/service"
+)
+
+func startServer(t *testing.T, cfg service.Config) (*service.Server, *httptest.Server) {
+	t.Helper()
+	s := service.New(cfg).Start()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(func() { s.DrainTimeout(5 * time.Second) })
+	return s, hs
+}
+
+func submitOne(t *testing.T, base string, ex service.ExperimentRequest) string {
+	t.Helper()
+	body, _ := json.Marshal(service.SubmitRequest{Experiments: []service.ExperimentRequest{ex}})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, b)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	return acc.ID
+}
+
+// jobState is the polled terminal state of one job.
+type jobState struct {
+	Status string `json:"status"`
+	Code   string `json:"code"`
+	Error  string `json:"error"`
+}
+
+func waitTerminal(t *testing.T, base, id string) jobState {
+	t.Helper()
+	deadline := time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st jobState
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch st.Status {
+		case service.StatusDone, service.StatusFailed, service.StatusCanceled:
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return jobState{}
+}
+
+func fetchResult(t *testing.T, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d: %s", resp.StatusCode, b)
+	}
+	return b
+}
+
+// errCode extracts the taxonomy code from a non-2xx error envelope.
+func errCode(t *testing.T, body []byte) string {
+	t.Helper()
+	var e struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("error body is not structured: %v (%s)", err, body)
+	}
+	return e.Error.Code
+}
+
+// chaosRequest is the standard small experiment the suite injects
+// faults into, parameterized by backend and replay mode so every
+// backend × mode pairing sees every fault class.
+func chaosRequest(backend, mode string) service.ExperimentRequest {
+	return service.ExperimentRequest{
+		Type: "t1", Seed: 11, Backend: backend, Replay: mode,
+		Rounds: 24, DelaysCycles: []int{0, 400, 800, 1600},
+	}
+}
+
+var chaosCombos = []struct{ backend, mode string }{
+	{"density", "off"},
+	{"density", "compiled"},
+	{"trajectory", "interp"},
+	{"trajectory", "auto"},
+}
+
+// cleanResult runs ex on a freshly built, never-faulted server and
+// returns the result document — the byte-identity reference.
+func cleanResult(t *testing.T, ex service.ExperimentRequest) []byte {
+	t.Helper()
+	_, hs := startServer(t, service.Config{Workers: 2})
+	id := submitOne(t, hs.URL, ex)
+	if st := waitTerminal(t, hs.URL, id); st.Status != service.StatusDone {
+		t.Fatalf("clean run ended %s: %s", st.Status, st.Error)
+	}
+	return fetchResult(t, hs.URL, id)
+}
+
+// TestPoolGetFailureFailsOnlyThatJob injects an error on the first
+// machine-pool acquisition: the first job must fail `internal` with the
+// injected error in its message, and the very same server must then run
+// the identical request to completion with a result byte-identical to
+// an unfaulted server's.
+func TestPoolGetFailureFailsOnlyThatJob(t *testing.T) {
+	for _, c := range chaosCombos {
+		t.Run(c.backend+"/"+c.mode, func(t *testing.T) {
+			ex := chaosRequest(c.backend, c.mode)
+			_, hs := startServer(t, service.Config{
+				Workers: 2,
+				Faults:  faultinject.Plan{FailPoolGet: 1}.Hooks(),
+			})
+			st := waitTerminal(t, hs.URL, submitOne(t, hs.URL, ex))
+			if st.Status != service.StatusFailed || st.Code != service.CodeInternal {
+				t.Fatalf("faulted job ended %s/%s, want failed/internal (%s)", st.Status, st.Code, st.Error)
+			}
+			if !strings.Contains(st.Error, "injected pool-get failure") {
+				t.Fatalf("failure message %q does not carry the injected error", st.Error)
+			}
+			// The fault is spent; the server must still serve, identically.
+			id2 := submitOne(t, hs.URL, ex)
+			if st2 := waitTerminal(t, hs.URL, id2); st2.Status != service.StatusDone {
+				t.Fatalf("post-fault job ended %s: %s", st2.Status, st2.Error)
+			}
+			if got, want := fetchResult(t, hs.URL, id2), cleanResult(t, ex); !bytes.Equal(got, want) {
+				t.Fatalf("post-fault result differs from clean server:\n%s\nvs\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestInjectedPanicIsIsolated panics inside the engine shot loop of one
+// job: that job alone fails `internal` with the recovered stack in its
+// message, the process survives, and subsequent identical jobs on the
+// same server produce byte-identical results.
+func TestInjectedPanicIsIsolated(t *testing.T) {
+	for _, c := range chaosCombos {
+		t.Run(c.backend+"/"+c.mode, func(t *testing.T) {
+			ex := chaosRequest(c.backend, c.mode)
+			_, hs := startServer(t, service.Config{
+				Workers: 2,
+				Faults:  faultinject.Plan{PanicShot: 7}.Hooks(),
+			})
+			st := waitTerminal(t, hs.URL, submitOne(t, hs.URL, ex))
+			if st.Status != service.StatusFailed || st.Code != service.CodeInternal {
+				t.Fatalf("panicked job ended %s/%s, want failed/internal (%s)", st.Status, st.Code, st.Error)
+			}
+			if !strings.Contains(st.Error, "injected panic") || !strings.Contains(st.Error, "goroutine") {
+				t.Fatalf("failure message %q lacks the panic value or captured stack", st.Error)
+			}
+			// The panicked machine was discarded, not pooled; the server
+			// must keep serving bit-identical results.
+			id2 := submitOne(t, hs.URL, ex)
+			if st2 := waitTerminal(t, hs.URL, id2); st2.Status != service.StatusDone {
+				t.Fatalf("post-panic job ended %s: %s", st2.Status, st2.Error)
+			}
+			if got, want := fetchResult(t, hs.URL, id2), cleanResult(t, ex); !bytes.Equal(got, want) {
+				t.Fatalf("post-panic result differs from clean server:\n%s\nvs\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestSlowShotExpiresDeadline forces every shot slow under a short job
+// timeout: the job must end failed/deadline_exceeded (preempted
+// mid-sweep by the layered deadline), never hang and never return a
+// partial result.
+func TestSlowShotExpiresDeadline(t *testing.T) {
+	ex := chaosRequest("density", "auto")
+	_, hs := startServer(t, service.Config{
+		Workers:    1,
+		JobTimeout: 50 * time.Millisecond,
+		Faults:     faultinject.Plan{SlowShot: 1, SlowFor: 2 * time.Millisecond}.Hooks(),
+	})
+	id := submitOne(t, hs.URL, ex)
+	st := waitTerminal(t, hs.URL, id)
+	if st.Status != service.StatusFailed || st.Code != service.CodeDeadlineExceeded {
+		t.Fatalf("slow job ended %s/%s, want failed/deadline_exceeded (%s)", st.Status, st.Code, st.Error)
+	}
+	// No partial result may leak from the preempted job.
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusConflict || errCode(t, b) != service.CodeDeadlineExceeded {
+		t.Fatalf("preempted result status %d body %s, want 409 deadline_exceeded", resp.StatusCode, b)
+	}
+}
+
+// TestTaxonomyUnderChaos sweeps the five taxonomy codes end to end on
+// live servers: invalid_argument (bad submit), canceled (DELETE mid
+// sweep), deadline_exceeded (forced slowness), resource_exhausted
+// (draining intake), internal (injected panic).
+func TestTaxonomyUnderChaos(t *testing.T) {
+	t.Run("invalid_argument", func(t *testing.T) {
+		_, hs := startServer(t, service.Config{Workers: 1})
+		resp, err := http.Post(hs.URL+"/v1/jobs", "application/json",
+			strings.NewReader(`{"experiments":[{"type":"warp-drive"}]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusBadRequest || errCode(t, b) != service.CodeInvalidArgument {
+			t.Fatalf("status %d code %s, want 400 invalid_argument", resp.StatusCode, errCode(t, b))
+		}
+	})
+	t.Run("canceled", func(t *testing.T) {
+		// Slow every shot (without a deadline) so the DELETE reliably
+		// lands mid-sweep, then cancel and assert the canceled taxonomy
+		// plus no result body.
+		_, hs := startServer(t, service.Config{
+			Workers: 1,
+			Faults:  faultinject.Plan{SlowShot: 1, SlowFor: time.Millisecond}.Hooks(),
+		})
+		id := submitOne(t, hs.URL, chaosRequest("trajectory", "compiled"))
+		time.Sleep(10 * time.Millisecond) // let it start sweeping
+		req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/jobs/"+id, nil)
+		dresp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dresp.Body.Close()
+		if dresp.StatusCode != http.StatusOK {
+			t.Fatalf("DELETE status %d, want 200", dresp.StatusCode)
+		}
+		st := waitTerminal(t, hs.URL, id)
+		if st.Status != service.StatusCanceled || st.Code != service.CodeCanceled {
+			t.Fatalf("canceled job ended %s/%s (%s)", st.Status, st.Code, st.Error)
+		}
+		rresp, err := http.Get(hs.URL + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rresp.Body.Close()
+		b, _ := io.ReadAll(rresp.Body)
+		if rresp.StatusCode != http.StatusConflict || errCode(t, b) != service.CodeCanceled {
+			t.Fatalf("canceled result status %d body %s, want 409 canceled", rresp.StatusCode, b)
+		}
+	})
+	t.Run("deadline_exceeded", func(t *testing.T) {
+		_, hs := startServer(t, service.Config{
+			Workers:    1,
+			JobTimeout: 30 * time.Millisecond,
+			Faults:     faultinject.Plan{SlowShot: 1, SlowFor: 2 * time.Millisecond}.Hooks(),
+		})
+		st := waitTerminal(t, hs.URL, submitOne(t, hs.URL, chaosRequest("density", "interp")))
+		if st.Code != service.CodeDeadlineExceeded {
+			t.Fatalf("code %s, want deadline_exceeded (%s)", st.Code, st.Error)
+		}
+	})
+	t.Run("resource_exhausted", func(t *testing.T) {
+		s, hs := startServer(t, service.Config{Workers: 1})
+		s.Drain()
+		body, _ := json.Marshal(service.SubmitRequest{Experiments: []service.ExperimentRequest{chaosRequest("density", "")}})
+		resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusServiceUnavailable || errCode(t, b) != service.CodeResourceExhausted {
+			t.Fatalf("status %d body %s, want 503 resource_exhausted", resp.StatusCode, b)
+		}
+	})
+	t.Run("internal", func(t *testing.T) {
+		_, hs := startServer(t, service.Config{
+			Workers: 1,
+			Faults:  faultinject.Plan{PanicShot: 3}.Hooks(),
+		})
+		st := waitTerminal(t, hs.URL, submitOne(t, hs.URL, chaosRequest("density", "off")))
+		if st.Code != service.CodeInternal {
+			t.Fatalf("code %s, want internal (%s)", st.Code, st.Error)
+		}
+	})
+}
+
+// TestSeededPlansKeepServerAvailable sweeps seed-derived fault plans —
+// whatever fault at whatever ordinal each seed picks — and asserts the
+// availability invariant: after every plan's job reaches a terminal
+// state (done, failed, or timed out under the plan), the same server
+// completes a fresh fault-free-by-exhaustion check or, for persistent
+// slowness, still answers /healthz.
+func TestSeededPlansKeepServerAvailable(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			plan := faultinject.NewPlan(seed)
+			_, hs := startServer(t, service.Config{
+				Workers:    2,
+				JobTimeout: 2 * time.Second,
+				Faults:     plan.Hooks(),
+			})
+			st := waitTerminal(t, hs.URL, submitOne(t, hs.URL, chaosRequest("trajectory", "auto")))
+			switch st.Status {
+			case service.StatusDone:
+			case service.StatusFailed:
+				switch st.Code {
+				case service.CodeInternal, service.CodeDeadlineExceeded:
+				default:
+					t.Fatalf("plan %+v produced unexpected code %s (%s)", plan, st.Code, st.Error)
+				}
+			default:
+				t.Fatalf("plan %+v ended status %s", plan, st.Status)
+			}
+			resp, err := http.Get(hs.URL + "/healthz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("healthz %d after plan %+v", resp.StatusCode, plan)
+			}
+		})
+	}
+}

@@ -32,6 +32,9 @@
 package replay
 
 import (
+	"context"
+	"fmt"
+
 	"quma/internal/core"
 	"quma/internal/qphys"
 )
@@ -252,10 +255,22 @@ func (c *compiled) runGeneric(m *core.Machine, state qphys.State, md []MD) []MD 
 }
 
 // run replays shots first..shots-1 from the compiled schedule, binding
-// the whole shot loop to the concrete backend type once.
-func (c *compiled) run(m *core.Machine, first, shots int, onShot func(int, []MD)) int {
+// the whole shot loop to the concrete backend type once. The context is
+// consulted every ctxCheckShots shots (bounded-staleness preemption); a
+// preempted run returns the wrapped ctx.Err() with the count of shots
+// already replayed.
+func (c *compiled) run(ctx context.Context, m *core.Machine, first, shots int, onShot func(int, []MD)) (int, error) {
 	md := make([]MD, 0, c.nMD)
 	replayed := 0
+	check := func(shot int) error {
+		if (shot-first)%ctxCheckShots != 0 {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("replay: preempted at shot %d: %w", shot, err)
+		}
+		return nil
+	}
 	switch state := m.State.(type) {
 	case *qphys.Trajectory:
 		// The trajectory executor lives in qphys (one devirtualized pass
@@ -267,6 +282,9 @@ func (c *compiled) run(m *core.Machine, first, shots int, onShot func(int, []MD)
 		}
 		carry, carryQ := qphys.PopCarry{}, -1
 		for shot := first; shot < shots; shot++ {
+			if err := check(shot); err != nil {
+				return replayed, err
+			}
 			md = md[:0]
 			carry, carryQ = state.RunSchedule(c.ops, carry, carryQ, measure)
 			m.PulsesPlayed += c.pulses
@@ -277,6 +295,9 @@ func (c *compiled) run(m *core.Machine, first, shots int, onShot func(int, []MD)
 		}
 	case *qphys.Density:
 		for shot := first; shot < shots; shot++ {
+			if err := check(shot); err != nil {
+				return replayed, err
+			}
 			md = c.runDensity(m, state, md[:0])
 			replayed++
 			if onShot != nil {
@@ -285,6 +306,9 @@ func (c *compiled) run(m *core.Machine, first, shots int, onShot func(int, []MD)
 		}
 	default:
 		for shot := first; shot < shots; shot++ {
+			if err := check(shot); err != nil {
+				return replayed, err
+			}
 			md = c.runGeneric(m, m.State, md[:0])
 			replayed++
 			if onShot != nil {
@@ -292,5 +316,5 @@ func (c *compiled) run(m *core.Machine, first, shots int, onShot func(int, []MD)
 			}
 		}
 	}
-	return replayed
+	return replayed, nil
 }

@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"context"
 	"testing"
 
 	"quma/internal/asm"
@@ -104,7 +105,7 @@ func TestCompileCacheReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 	prog := asm.MustAssemble(simpleShot)
-	if _, err := Run(m, prog, Options{Shots: 20, Mode: ModeCompiled}); err != nil {
+	if _, err := Run(context.Background(), m, prog, Options{Shots: 20, Mode: ModeCompiled}); err != nil {
 		t.Fatal(err)
 	}
 	cache1, ok := m.ReplayCache.(map[*isa.Program]*compileCache)
@@ -113,7 +114,7 @@ func TestCompileCacheReuse(t *testing.T) {
 	}
 	e1 := cache1[prog]
 	m.ResetState(4)
-	if _, err := Run(m, prog, Options{Shots: 20, Mode: ModeCompiled}); err != nil {
+	if _, err := Run(context.Background(), m, prog, Options{Shots: 20, Mode: ModeCompiled}); err != nil {
 		t.Fatal(err)
 	}
 	e2 := m.ReplayCache.(map[*isa.Program]*compileCache)[prog]
@@ -133,7 +134,7 @@ MD {q0}, r7
 halt
 `)
 	m.ResetState(5)
-	if _, err := Run(m, other, Options{Shots: 20, Mode: ModeCompiled}); err != nil {
+	if _, err := Run(context.Background(), m, other, Options{Shots: 20, Mode: ModeCompiled}); err != nil {
 		t.Fatal(err)
 	}
 	cache2 := m.ReplayCache.(map[*isa.Program]*compileCache)
@@ -144,7 +145,7 @@ halt
 		t.Error("the first program's entry must survive a second program")
 	}
 	m.ResetState(6)
-	if _, err := Run(m, prog, Options{Shots: 20, Mode: ModeCompiled}); err != nil {
+	if _, err := Run(context.Background(), m, prog, Options{Shots: 20, Mode: ModeCompiled}); err != nil {
 		t.Fatal(err)
 	}
 	if got := m.ReplayCache.(map[*isa.Program]*compileCache)[prog]; got == nil || got.c != e2.c {
@@ -153,7 +154,7 @@ halt
 	// And a cached run must equal a fresh machine bit for bit.
 	m.ResetState(9)
 	var pooled [][]MD
-	if _, err := Run(m, prog, Options{Shots: 25, Mode: ModeCompiled, OnShot: func(_ int, md []MD) {
+	if _, err := Run(context.Background(), m, prog, Options{Shots: 25, Mode: ModeCompiled, OnShot: func(_ int, md []MD) {
 		pooled = append(pooled, append([]MD(nil), md...))
 	}}); err != nil {
 		t.Fatal(err)
@@ -178,7 +179,7 @@ func BenchmarkCompiledShot(b *testing.B) {
 	}
 	prog := asm.MustAssemble(repCodeShotSrc)
 	// Record and compile through the engine once.
-	if _, err := Run(m, prog, Options{Shots: detectShots + 1, Mode: ModeCompiled}); err != nil {
+	if _, err := Run(context.Background(), m, prog, Options{Shots: detectShots + 1, Mode: ModeCompiled}); err != nil {
 		b.Fatal(err)
 	}
 	cacheMap, ok := m.ReplayCache.(map[*isa.Program]*compileCache)

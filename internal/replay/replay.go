@@ -50,6 +50,7 @@
 package replay
 
 import (
+	"context"
 	"fmt"
 
 	"quma/internal/core"
@@ -111,6 +112,15 @@ const maxCompiledPrograms = 256
 // consecutive steady-state shots with identical schedules prove
 // shot-invariance for all that follow.
 const detectShots = 3
+
+// ctxCheckShots is the bounded-staleness interval of the cancellation
+// check inside the replayed shot loops: the context is consulted once
+// every ctxCheckShots shots, so a cancellation or deadline preempts a
+// sweep within that many shots (a compiled repcode shot is ~2.7µs, so
+// the bound is well under a millisecond) while the per-shot cost of the
+// check amortizes to nothing. Full-pipeline shots are individually slow
+// enough that their loops check every shot instead.
+const ctxCheckShots = 32
 
 // MD is one per-qubit measurement of a shot: the addressed qubit and the
 // binary discrimination result the controller would see.
@@ -245,7 +255,16 @@ func schedulesEqual(a, b []op) bool {
 // case: with decoherence disabled entirely, compiled replay fuses
 // adjacent same-qubit unitaries, and results are float-equivalent rather
 // than provably bit-exact — see ModeCompiled.)
-func Run(m *core.Machine, p *isa.Program, opts Options) (Stats, error) {
+//
+// Cancellation: a done ctx preempts the run between full-pipeline shots
+// and, inside replayed loops, within ctxCheckShots shots, returning the
+// wrapped ctx.Err() (errors.Is-matchable against context.Canceled /
+// context.DeadlineExceeded). A preempted run produces no usable result;
+// a run that returns nil error is bit-identical to one executed with a
+// context that was never canceled — cancellation can only abort a run,
+// never perturb it. The machine is left mid-timeline; ResetState returns
+// it to a sound pooled state (enforced by expt's cancellation tests).
+func Run(ctx context.Context, m *core.Machine, p *isa.Program, opts Options) (Stats, error) {
 	st := Stats{Shots: opts.Shots}
 	if opts.Shots <= 0 {
 		return st, fmt.Errorf("replay: Shots must be positive, got %d", opts.Shots)
@@ -254,6 +273,9 @@ func Run(m *core.Machine, p *isa.Program, opts Options) (Stats, error) {
 	if err != nil {
 		return st, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 
 	rec := &recorder{}
 	m.SetProbe(rec)
@@ -261,6 +283,9 @@ func Run(m *core.Machine, p *isa.Program, opts Options) (Stats, error) {
 	m.Controller.ResetReplayTracking()
 
 	fullShot := func(shot int) error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("replay: preempted before shot %d: %w", shot, err)
+		}
 		rec.md = rec.md[:0]
 		if err := m.RunProgram(p); err != nil {
 			return fmt.Errorf("replay: shot %d: %w", shot, err)
@@ -359,8 +384,8 @@ func Run(m *core.Machine, p *isa.Program, opts Options) (Stats, error) {
 			}
 			cache[p] = &compileCache{sched: s2, c: comp}
 		}
-		st.Replayed = comp.run(m, lead, opts.Shots, opts.OnShot)
-		return st, nil
+		st.Replayed, err = comp.run(ctx, m, lead, opts.Shots, opts.OnShot)
+		return st, err
 	}
 	state := m.State
 	nMD := 0
@@ -371,6 +396,11 @@ func Run(m *core.Machine, p *isa.Program, opts Options) (Stats, error) {
 	}
 	md := make([]MD, 0, nMD)
 	for shot := lead; shot < opts.Shots; shot++ {
+		if (shot-lead)%ctxCheckShots == 0 {
+			if err := ctx.Err(); err != nil {
+				return st, fmt.Errorf("replay: preempted at shot %d: %w", shot, err)
+			}
+		}
 		md = md[:0]
 		for i := range s2 {
 			o := &s2[i]

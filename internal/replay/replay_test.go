@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -23,7 +24,7 @@ func runEngine(t *testing.T, cfg core.Config, src string, shots int, mode Mode) 
 		t.Fatal(err)
 	}
 	var hist [][]MD
-	st, err := Run(m, prog, Options{Shots: shots, Mode: mode, OnShot: func(_ int, md []MD) {
+	st, err := Run(context.Background(), m, prog, Options{Shots: shots, Mode: mode, OnShot: func(_ int, md []MD) {
 		hist = append(hist, append([]MD(nil), md...))
 	}})
 	if err != nil {
@@ -226,13 +227,13 @@ func TestFeedbackFallbackUnderResetStatePooling(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := Run(m, asm.MustAssemble(simpleShot), Options{Shots: 10, Mode: mode}); err != nil {
+			if _, err := Run(context.Background(), m, asm.MustAssemble(simpleShot), Options{Shots: 10, Mode: mode}); err != nil {
 				t.Fatal(err)
 			}
 			m.ResetState(seed)
 			prog := asm.MustAssemble(feedbackShot)
 			var hist [][]MD
-			st, err := Run(m, prog, Options{Shots: shots, Mode: mode, OnShot: func(_ int, md []MD) {
+			st, err := Run(context.Background(), m, prog, Options{Shots: shots, Mode: mode, OnShot: func(_ int, md []MD) {
 				hist = append(hist, append([]MD(nil), md...))
 			}})
 			if err != nil {
@@ -346,10 +347,10 @@ func TestRunRejectsBadOptions(t *testing.T) {
 		t.Fatal(err)
 	}
 	prog := asm.MustAssemble("halt\n")
-	if _, err := Run(m, prog, Options{Shots: 0}); err == nil {
+	if _, err := Run(context.Background(), m, prog, Options{Shots: 0}); err == nil {
 		t.Error("Shots=0 must fail")
 	}
-	if _, err := Run(m, prog, Options{Shots: 1, Mode: "sometimes"}); err == nil {
+	if _, err := Run(context.Background(), m, prog, Options{Shots: 1, Mode: "sometimes"}); err == nil {
 		t.Error("unknown mode must fail")
 	}
 }

@@ -9,15 +9,31 @@
 //
 // # API
 //
-//	POST /v1/jobs            submit a batch of experiment requests
-//	                         202 {"id": ...}; 400 structured validation
-//	                         error; 429 when the job queue is full;
-//	                         503 while draining
-//	GET  /v1/jobs/{id}        job status + progress
-//	GET  /v1/jobs/{id}/result completed results (409 until done)
-//	GET  /v1/jobs/{id}/stream SSE progress events, one per completed
-//	                         experiment, closing with the terminal state
-//	GET  /healthz            liveness + queue depth
+//	POST   /v1/jobs           submit a batch of experiment requests
+//	                          202 {"id": ...}; 400 structured validation
+//	                          error; 429 when the job queue is full;
+//	                          503 while draining
+//	GET    /v1/jobs/{id}       job status + progress (+ terminal code)
+//	DELETE /v1/jobs/{id}       cancel: a queued job goes terminal at
+//	                          once, a running job is preempted mid-sweep
+//	                          within a bounded number of shots;
+//	                          idempotent, 200 with the current status
+//	GET    /v1/jobs/{id}/result completed results (409 with the job's
+//	                          terminal code for failed/canceled jobs)
+//	GET    /v1/jobs/{id}/stream SSE progress events, one per completed
+//	                          experiment, closing with the terminal state
+//	GET    /healthz           liveness + queue depth
+//
+// # Error taxonomy
+//
+// Every non-2xx envelope and every terminal job failure carries exactly
+// one stable code (errors.go): invalid_argument, canceled,
+// deadline_exceeded, resource_exhausted, internal — plus the
+// lookup-shaped not_found and failed_precondition. A `reason` slug
+// subdivides codes that cover several causes (queue_full vs draining);
+// messages are free text and carry the recovered stack for worker
+// panics. The chaos suite (internal/faultinject) pins the mapping under
+// injected faults.
 //
 // # Invariants (the contract future PRs build on)
 //
@@ -45,6 +61,17 @@
 // unboundedly. Draining (Server.Drain, wired to SIGINT/SIGTERM in
 // cmd/quma-serve) stops intake with 503, finishes every queued and
 // running job, then returns — submitted work is never dropped.
+// Server.DrainTimeout layers a hard deadline on top: on expiry every
+// non-terminal job's context is canceled (the jobs end `canceled`,
+// retaining nothing) so shutdown time is bounded by the preemption
+// latency, not by the slowest sweep.
+//
+// Isolation: a panic anywhere inside a job's sweep workers is recovered
+// at the worker boundary (expt.PanicError), fails that job alone with
+// code `internal` and the captured stack in the message, and discards —
+// never pools — the machine it unwound from. The server keeps serving;
+// the chaos suite submits work after every injected panic and asserts
+// byte-identical results.
 //
 // Bounded memory: everything a client can grow is capped — request
 // bodies (maxBodyBytes), asm program size (maxProgramBytes), batch size
@@ -54,8 +81,16 @@
 // (epoch-flushed on overflow; flushes cost recomputation, never
 // correctness).
 //
-// Timeouts: each job gets Config.JobTimeout of execution time measured
-// from dequeue; the deadline is checked between experiments (the expt
-// layer has no cancellation points inside a sweep), so a job may finish
-// the experiment in flight before failing with "timeout".
+// Cancellation: each job owns a context created at submit; DELETE and
+// the drain deadline cancel it, and Config.JobTimeout is layered on top
+// at dequeue (context.WithTimeout). The context flows through Execute
+// into every expt.Env entry point and down into the replay engine's
+// shot loop, which checks it with bounded staleness (every
+// replay.ctxCheckShots shots) — so preemption lands mid-sweep, not
+// between experiments. A preempted job never exposes a partial result:
+// the expt layer returns (nil, wrapped ctx error) and job.finish drops
+// the result slots on any non-done terminal state. The flip side is the
+// determinism half of the contract: a job that completes is bit-identical
+// to an uncancellable run — cancellation can only abort, never perturb
+// (cancel_test.go in internal/expt pins both halves under -race).
 package service

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"quma/internal/expt"
+)
+
+// The stable error taxonomy. Every failure the service reports — HTTP
+// envelope codes and terminal job codes alike — carries exactly one of
+// these values in its `code` field, so clients branch on a closed set
+// while the free-text message stays free to improve. The chaos suite
+// (internal/faultinject) asserts the mapping under injected faults.
+const (
+	// CodeInvalidArgument: the request itself is wrong — malformed JSON,
+	// unknown experiment type, out-of-range field, oversize body or
+	// batch. Complete at submit time; an accepted job never fails with it.
+	CodeInvalidArgument = "invalid_argument"
+	// CodeCanceled: the job was canceled — DELETE /v1/jobs/{id}, client
+	// disconnect of a canceled context, or drain-deadline expiry.
+	CodeCanceled = "canceled"
+	// CodeDeadlineExceeded: the job hit its execution deadline
+	// (Config.JobTimeout) and was preempted mid-sweep.
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeResourceExhausted: a server bound was hit — the job queue is
+	// full (429 + Retry-After) or intake is draining (503).
+	CodeResourceExhausted = "resource_exhausted"
+	// CodeInternal: execution failed — a physics/fit error, an injected
+	// fault, or a recovered worker panic (the message then carries the
+	// stack). The server itself stays up and keeps serving other jobs.
+	CodeInternal = "internal"
+	// CodeNotFound: no such job (unknown or evicted id). Lookup-shaped,
+	// not part of the execution taxonomy.
+	CodeNotFound = "not_found"
+	// CodeFailedPrecondition: the resource exists but is in the wrong
+	// state for the call — e.g. fetching the result of an unfinished,
+	// failed, or canceled job.
+	CodeFailedPrecondition = "failed_precondition"
+)
+
+// classifyErr maps a job execution error onto the taxonomy. Order
+// matters: a panic that wraps nothing is internal; context errors win
+// over whatever text surrounds them (the expt layer wraps ctx.Err with
+// %w precisely so this classification survives message changes).
+func classifyErr(err error) string {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadlineExceeded
+	default:
+		return CodeInternal
+	}
+}
+
+// jobErrorMessage renders a terminal job error, appending the recovered
+// stack when the failure was a worker panic so the operator sees the
+// crash site without the process having crashed.
+func jobErrorMessage(i int, exType string, err error) string {
+	msg := fmt.Sprintf("experiments[%d] (%s): %v", i, exType, err)
+	var pe *expt.PanicError
+	if errors.As(err, &pe) {
+		msg += "\n" + pe.Stack
+	}
+	return msg
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -234,8 +235,9 @@ func (r ExperimentRequest) sweepParams() expt.SweepParams {
 // returns its result marshaled to JSON. The bytes are deterministic:
 // encoding/json is deterministic for the fixed result struct types, and
 // every result field is (by the expt contracts) a pure function of the
-// request.
-func Execute(env *expt.Env, r ExperimentRequest) (json.RawMessage, error) {
+// request. ctx preempts the experiment mid-sweep (see expt.Env); a
+// preempted Execute returns the wrapped ctx error and no result.
+func Execute(ctx context.Context, env *expt.Env, r ExperimentRequest) (json.RawMessage, error) {
 	var (
 		res any
 		err error
@@ -243,11 +245,11 @@ func Execute(env *expt.Env, r ExperimentRequest) (json.RawMessage, error) {
 	cfg := r.config()
 	switch r.Type {
 	case "t1":
-		res, err = env.RunT1(cfg, r.sweepParams())
+		res, err = env.RunT1(ctx, cfg, r.sweepParams())
 	case "ramsey":
-		res, err = env.RunRamsey(cfg, r.sweepParams())
+		res, err = env.RunRamsey(ctx, cfg, r.sweepParams())
 	case "echo":
-		res, err = env.RunEcho(cfg, r.sweepParams())
+		res, err = env.RunEcho(ctx, cfg, r.sweepParams())
 	case "allxy":
 		p := expt.DefaultAllXYParams()
 		p.Qubit = r.Qubit
@@ -256,7 +258,7 @@ func Execute(env *expt.Env, r ExperimentRequest) (json.RawMessage, error) {
 		}
 		p.Workers = r.Workers
 		p.Replay = replay.Mode(r.Replay)
-		res, err = env.RunAllXY(cfg, p)
+		res, err = env.RunAllXY(ctx, cfg, p)
 	case "rabi":
 		p := expt.DefaultRabiParams()
 		p.Qubit = r.Qubit
@@ -268,7 +270,7 @@ func Execute(env *expt.Env, r ExperimentRequest) (json.RawMessage, error) {
 		}
 		p.Workers = r.Workers
 		p.Replay = replay.Mode(r.Replay)
-		res, err = env.RunRabi(cfg, p)
+		res, err = env.RunRabi(ctx, cfg, p)
 	case "rb":
 		p := expt.DefaultRBParams()
 		p.Qubit = r.Qubit
@@ -286,7 +288,7 @@ func Execute(env *expt.Env, r ExperimentRequest) (json.RawMessage, error) {
 		}
 		p.Workers = r.Workers
 		p.Replay = replay.Mode(r.Replay)
-		res, err = env.RunRB(cfg, p)
+		res, err = env.RunRB(ctx, cfg, p)
 	case "repcode", "phasecode":
 		p := expt.DefaultRepCodeParams()
 		p.DataQubits = r.DataQubits
@@ -299,16 +301,16 @@ func Execute(env *expt.Env, r ExperimentRequest) (json.RawMessage, error) {
 		p.Workers = r.Workers
 		p.Replay = replay.Mode(r.Replay)
 		if r.Type == "repcode" {
-			res, err = env.RunRepCode(cfg, p)
+			res, err = env.RunRepCode(ctx, cfg, p)
 		} else {
-			res, err = env.RunPhaseCode(cfg, p)
+			res, err = env.RunPhaseCode(ctx, cfg, p)
 		}
 	case "asm":
 		shots := r.Rounds
 		if shots == 0 {
 			shots = 100
 		}
-		res, err = env.RunProgram(cfg, expt.ProgramParams{
+		res, err = env.RunProgram(ctx, cfg, expt.ProgramParams{
 			Source: r.Program,
 			Shots:  shots,
 			Replay: replay.Mode(r.Replay),

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,10 +25,14 @@ type Config struct {
 	JobTimeout time.Duration
 	// MaxBatch bounds the experiments per job (default 64).
 	MaxBatch int
-	// MaxRetainedJobs bounds how many terminal (done/failed) jobs — and
-	// their result payloads — stay queryable (default 1024). The oldest
-	// finished jobs are evicted first and then 404.
+	// MaxRetainedJobs bounds how many terminal (done/failed/canceled)
+	// jobs — and their result payloads — stay queryable (default 1024).
+	// The oldest finished jobs are evicted first and then 404.
 	MaxRetainedJobs int
+	// Faults, when non-nil, installs fault-injection hooks on the
+	// server's Env (see expt.FaultHooks). Chaos tests only; leave nil in
+	// production — a nil hook set is free.
+	Faults *expt.FaultHooks
 }
 
 func (c Config) withDefaults() Config {
@@ -51,21 +56,33 @@ func (c Config) withDefaults() Config {
 
 // Job states.
 const (
-	StatusQueued  = "queued"
-	StatusRunning = "running"
-	StatusDone    = "done"
-	StatusFailed  = "failed"
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
 )
+
+// terminal reports whether a status is a job's final state.
+func terminal(status string) bool {
+	return status == StatusDone || status == StatusFailed || status == StatusCanceled
+}
 
 // job is one accepted batch.
 type job struct {
 	id   string
 	reqs []ExperimentRequest
+	// ctx is the job's cancellation root: canceled by DELETE
+	// /v1/jobs/{id} and by the drain deadline. The per-job execution
+	// deadline is layered on top at dequeue time.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu        sync.Mutex
 	status    string
 	completed int
 	results   []json.RawMessage
+	errCode   string
 	errMsg    string
 	done      chan struct{} // closed on terminal state
 	subs      []chan progressEvent
@@ -76,14 +93,38 @@ type progressEvent struct {
 	Status    string `json:"status"`
 	Completed int    `json:"completed"`
 	Total     int    `json:"total"`
-	Error     string `json:"error,omitempty"`
+	// Code classifies a terminal failure with the stable error taxonomy
+	// (canceled, deadline_exceeded, internal); empty while the job is
+	// live and for done jobs.
+	Code  string `json:"code,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // snapshot returns the job's current progress under its lock.
 func (j *job) snapshot() progressEvent {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return progressEvent{Status: j.status, Completed: j.completed, Total: len(j.reqs), Error: j.errMsg}
+	return progressEvent{Status: j.status, Completed: j.completed, Total: len(j.reqs), Code: j.errCode, Error: j.errMsg}
+}
+
+// finish moves the job to a terminal state exactly once: later callers
+// (a DELETE racing the worker, a worker racing drain) are no-ops. On any
+// non-done terminal state the result slots are dropped — a canceled or
+// failed job retains no partial results, by contract.
+func (j *job) finish(status, code, msg string) bool {
+	j.mu.Lock()
+	if terminal(j.status) {
+		j.mu.Unlock()
+		return false
+	}
+	j.status, j.errCode, j.errMsg = status, code, msg
+	if status != StatusDone {
+		j.results = nil
+	}
+	j.mu.Unlock()
+	close(j.done)
+	j.publish()
+	return true
 }
 
 // publish updates the job and fans the event out to subscribers. Slow
@@ -136,8 +177,12 @@ func New(cfg Config) *Server {
 		queue: make(chan *job, cfg.QueueSize),
 		jobs:  make(map[string]*job),
 	}
+	if cfg.Faults != nil {
+		s.env.SetFaults(cfg.Faults)
+	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -162,22 +207,53 @@ func (s *Server) Start() *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Drain stops intake (submissions return 503), waits for every queued
-// and running job to reach a terminal state, and stops the workers.
-// Safe to call once.
-func (s *Server) Drain() {
+// and running job to reach a terminal state, and stops the workers —
+// with no deadline: it waits as long as the work takes. Safe to call
+// more than once.
+func (s *Server) Drain() { s.DrainTimeout(0) }
+
+// DrainTimeout drains like Drain but enforces a hard deadline: if the
+// accepted work has not finished within `timeout`, every non-terminal
+// job's context is canceled and the cancellation preempts in-flight
+// sweeps mid-shot-loop (the jobs end `canceled`, retaining no partial
+// results), after which the workers are certain to exit promptly.
+// timeout <= 0 means no deadline.
+func (s *Server) DrainTimeout(timeout time.Duration) {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
 		close(s.queue)
 	}
 	s.mu.Unlock()
-	s.wg.Wait()
+	if timeout <= 0 {
+		s.wg.Wait()
+		return
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		s.mu.Lock()
+		for _, jb := range s.jobs {
+			jb.cancel() // idempotent; terminal jobs ignore it
+		}
+		s.mu.Unlock()
+		<-done
+	}
 }
 
 // apiError is the structured error envelope every non-2xx response
-// carries.
+// carries. Code is always one of the taxonomy constants (errors.go) so
+// clients branch on a closed set; Reason subdivides it with a stable
+// machine-readable slug (e.g. queue_full vs draining, both
+// resource_exhausted) when one taxonomy code covers several causes.
 type apiError struct {
 	Code    string       `json:"code"`
+	Reason  string       `json:"reason,omitempty"`
 	Message string       `json:"message"`
 	Details []FieldError `json:"details,omitempty"`
 }
@@ -213,21 +289,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			writeError(w, http.StatusRequestEntityTooLarge, apiError{
-				Code:    "body_too_large",
+				Code:    CodeInvalidArgument,
+				Reason:  "body_too_large",
 				Message: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit),
 			})
 			return
 		}
-		writeError(w, http.StatusBadRequest, apiError{Code: "malformed_json", Message: err.Error()})
+		writeError(w, http.StatusBadRequest, apiError{Code: CodeInvalidArgument, Reason: "malformed_json", Message: err.Error()})
 		return
 	}
 	if len(req.Experiments) == 0 {
-		writeError(w, http.StatusBadRequest, apiError{Code: "empty_batch", Message: "a job needs at least one experiment"})
+		writeError(w, http.StatusBadRequest, apiError{Code: CodeInvalidArgument, Reason: "empty_batch", Message: "a job needs at least one experiment"})
 		return
 	}
 	if len(req.Experiments) > s.cfg.MaxBatch {
 		writeError(w, http.StatusBadRequest, apiError{
-			Code:    "batch_too_large",
+			Code:    CodeInvalidArgument,
+			Reason:  "batch_too_large",
 			Message: fmt.Sprintf("batch has %d experiments, limit is %d", len(req.Experiments), s.cfg.MaxBatch),
 		})
 		return
@@ -238,7 +316,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(details) > 0 {
 		writeError(w, http.StatusBadRequest, apiError{
-			Code:    "invalid_request",
+			Code:    CodeInvalidArgument,
+			Reason:  "invalid_fields",
 			Message: fmt.Sprintf("%d invalid field(s)", len(details)),
 			Details: details,
 		})
@@ -248,13 +327,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, apiError{Code: "draining", Message: "server is draining; resubmit elsewhere"})
+		writeError(w, http.StatusServiceUnavailable, apiError{Code: CodeResourceExhausted, Reason: "draining", Message: "server is draining; resubmit elsewhere"})
 		return
 	}
 	s.nextID++
+	ctx, cancel := context.WithCancel(context.Background())
 	jb := &job{
 		id:      fmt.Sprintf("job-%d", s.nextID),
 		reqs:    req.Experiments,
+		ctx:     ctx,
+		cancel:  cancel,
 		status:  StatusQueued,
 		results: make([]json.RawMessage, len(req.Experiments)),
 		done:    make(chan struct{}),
@@ -265,9 +347,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.nextID-- // the id was never exposed; reuse it
 		s.mu.Unlock()
+		cancel()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, apiError{
-			Code:    "queue_full",
+			Code:    CodeResourceExhausted,
+			Reason:  "queue_full",
 			Message: fmt.Sprintf("job queue is full (%d queued); retry later", s.cfg.QueueSize),
 		})
 		return
@@ -286,9 +370,41 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
 	jb := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
 	if jb == nil {
-		writeError(w, http.StatusNotFound, apiError{Code: "not_found", Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		writeError(w, http.StatusNotFound, apiError{Code: CodeNotFound, Message: fmt.Sprintf("no job %q", r.PathValue("id"))})
 	}
 	return jb
+}
+
+// handleCancel implements DELETE /v1/jobs/{id}. Cancellation is
+// idempotent and state-aware: a queued job goes terminal immediately
+// (the worker skips it at dequeue); a running job has its context
+// canceled, which preempts the sweep within a bounded number of shots —
+// the worker then records the canceled state; a job already terminal is
+// left untouched. Every path responds 200 with the job's current
+// status, so repeating a DELETE (or racing one against completion) is
+// safe and the response tells the client what actually happened.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	jb := s.lookup(w, r)
+	if jb == nil {
+		return
+	}
+	jb.cancel()
+	// A queued job has no worker to observe the canceled context until
+	// dequeue; finish it now so the client sees `canceled` immediately.
+	// finish is a no-op if the job is running (the worker owns the
+	// transition via the ctx) — except that a running job's sweep is now
+	// preempted and the worker will record the same canceled state.
+	jb.mu.Lock()
+	queued := jb.status == StatusQueued
+	jb.mu.Unlock()
+	if queued && jb.finish(StatusCanceled, CodeCanceled, "canceled before execution started") {
+		s.retire(jb.id)
+	}
+	ev := jb.snapshot()
+	writeJSON(w, http.StatusOK, struct {
+		ID string `json:"id"`
+		progressEvent
+	}{ID: jb.id, progressEvent: ev})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -309,7 +425,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	jb.mu.Lock()
-	status, errMsg := jb.status, jb.errMsg
+	status, errCode, errMsg := jb.status, jb.errCode, jb.errMsg
 	results := append([]json.RawMessage(nil), jb.results...)
 	jb.mu.Unlock()
 	switch status {
@@ -320,11 +436,14 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct {
 			Results []json.RawMessage `json:"results"`
 		}{Results: results})
-	case StatusFailed:
-		writeError(w, http.StatusConflict, apiError{Code: "job_failed", Message: errMsg})
+	case StatusFailed, StatusCanceled:
+		// No result body ever leaves a failed or canceled job — the error
+		// envelope carries the job's terminal taxonomy code instead.
+		writeError(w, http.StatusConflict, apiError{Code: errCode, Reason: "job_" + status, Message: errMsg})
 	default:
 		writeError(w, http.StatusConflict, apiError{
-			Code:    "not_finished",
+			Code:    CodeFailedPrecondition,
+			Reason:  "not_finished",
 			Message: fmt.Sprintf("job is %s; poll status or stream until done", status),
 		})
 	}
@@ -337,7 +456,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusNotImplemented, apiError{Code: "no_streaming", Message: "response writer cannot stream"})
+		writeError(w, http.StatusNotImplemented, apiError{Code: CodeInternal, Reason: "no_streaming", Message: "response writer cannot stream"})
 		return
 	}
 	ch := make(chan progressEvent, 16)
@@ -362,7 +481,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		data, _ := json.Marshal(ev)
 		fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data)
 		fl.Flush()
-		return ev.Status == StatusDone || ev.Status == StatusFailed
+		return terminal(ev.Status)
 	}
 	// Current state first, so late subscribers see something immediately
 	// (and finished jobs terminate the stream at once).
@@ -407,45 +526,68 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}{OK: true, Draining: draining, Queued: len(s.queue), Jobs: njobs})
 }
 
-// runJob executes one dequeued job to a terminal state.
+// runJob executes one dequeued job to a terminal state. The execution
+// context layers the job deadline (Config.JobTimeout, measured from
+// dequeue) on the job's cancellation root, so one ctx carries both
+// DELETE/drain cancellation and the timeout down through the expt layer
+// into the replay shot loop — either preempts a sweep within a bounded
+// number of shots. Terminal classification rides the error: a wrapped
+// context.Canceled ends the job `canceled`, context.DeadlineExceeded
+// ends it failed with code `deadline_exceeded`, anything else — fit
+// errors, injected faults, recovered worker panics — failed with code
+// `internal`.
 func (s *Server) runJob(jb *job) {
-	deadline := time.Now().Add(s.cfg.JobTimeout)
+	// A job canceled while still queued never starts. (handleCancel
+	// usually records this itself; this path wins the race where cancel
+	// and dequeue interleave.)
+	if jb.ctx.Err() != nil {
+		if jb.finish(StatusCanceled, CodeCanceled, "canceled before execution started") {
+			s.retire(jb.id)
+		}
+		return
+	}
+	ctx, cancel := context.WithTimeout(jb.ctx, s.cfg.JobTimeout)
+	defer cancel()
+
 	jb.mu.Lock()
+	if terminal(jb.status) {
+		// A DELETE finished the job between dequeue and here.
+		jb.mu.Unlock()
+		return
+	}
 	jb.status = StatusRunning
 	jb.mu.Unlock()
 	jb.publish()
 
-	fail := func(msg string) {
-		jb.mu.Lock()
-		jb.status = StatusFailed
-		jb.errMsg = msg
-		jb.mu.Unlock()
-		close(jb.done)
-		jb.publish()
-		s.retire(jb.id)
-	}
 	for i, req := range jb.reqs {
-		if time.Now().After(deadline) {
-			fail(fmt.Sprintf("timeout after %v with %d/%d experiments done", s.cfg.JobTimeout, i, len(jb.reqs)))
-			return
-		}
-		res, err := Execute(s.env, req)
+		res, err := Execute(ctx, s.env, req)
 		if err != nil {
-			fail(fmt.Sprintf("experiments[%d] (%s): %v", i, req.Type, err))
+			code := classifyErr(err)
+			status := StatusFailed
+			if code == CodeCanceled {
+				status = StatusCanceled
+			}
+			if jb.finish(status, code, jobErrorMessage(i, req.Type, err)) {
+				s.retire(jb.id)
+			}
 			return
 		}
 		jb.mu.Lock()
+		if terminal(jb.status) {
+			// A DELETE landed after the experiment's last context check;
+			// the job is already canceled and retains no results — this
+			// one is dropped too, honoring the no-partial-results contract.
+			jb.mu.Unlock()
+			return
+		}
 		jb.results[i] = res
 		jb.completed = i + 1
 		jb.mu.Unlock()
 		jb.publish()
 	}
-	jb.mu.Lock()
-	jb.status = StatusDone
-	jb.mu.Unlock()
-	close(jb.done)
-	jb.publish()
-	s.retire(jb.id)
+	if jb.finish(StatusDone, "", "") {
+		s.retire(jb.id)
+	}
 }
 
 // retire records a terminal job and evicts the oldest finished jobs

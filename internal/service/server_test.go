@@ -3,6 +3,7 @@ package service
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -174,7 +175,7 @@ func TestConcurrentIdenticalJobsBitIdentical(t *testing.T) {
 		t.Fatalf("got %d results, want %d", len(doc.Results), len(req.Experiments))
 	}
 	for i, ex := range req.Experiments {
-		direct, err := Execute(env, ex)
+		direct, err := Execute(context.Background(), env, ex)
 		if err != nil {
 			t.Fatalf("direct experiments[%d]: %v", i, err)
 		}
@@ -212,24 +213,24 @@ func TestMalformedRequestsReturnStructured400(t *testing.T) {
 	_, hs := startTestServer(t, Config{Workers: 1})
 	cases := []struct {
 		name, body string
-		wantCode   string
+		wantReason string
 		wantField  string
 		wantIndex  int
 	}{
 		{"truncated json", `{"experiments": [`, "malformed_json", "", 0},
 		{"unknown top-level field", `{"experimentz": []}`, "malformed_json", "", 0},
 		{"empty batch", `{"experiments": []}`, "empty_batch", "", 0},
-		{"unknown type", `{"experiments": [{"type": "teleportation"}]}`, "invalid_request", "type", 0},
-		{"bad backend", `{"experiments": [{"type": "t1", "backend": "gpu"}]}`, "invalid_request", "backend", 0},
-		{"bad replay mode", `{"experiments": [{"type": "t1", "replay": "warp"}]}`, "invalid_request", "replay", 0},
-		{"rb too few lengths", `{"experiments": [{"type": "t1"}, {"type": "rb", "lengths": [1, 2]}]}`, "invalid_request", "lengths", 1},
-		{"even repcode distance", `{"experiments": [{"type": "repcode", "data_qubits": 4}]}`, "invalid_request", "data_qubits", 0},
-		{"wide repcode on density", `{"experiments": [{"type": "repcode", "data_qubits": 5}]}`, "invalid_request", "backend", 0},
-		{"asm with no program", `{"experiments": [{"type": "asm"}]}`, "invalid_request", "program", 0},
-		{"asm that does not assemble", `{"experiments": [{"type": "asm", "program": "frob r1"}]}`, "invalid_request", "program", 0},
-		{"negative rounds", `{"experiments": [{"type": "allxy", "rounds": -5}]}`, "invalid_request", "rounds", 0},
-		{"qubit beyond density register", `{"experiments": [{"type": "t1", "qubit": 12}]}`, "invalid_request", "qubit", 0},
-		{"negative T1", `{"experiments": [{"type": "t1", "t1_sec": -1}]}`, "invalid_request", "t1_sec", 0},
+		{"unknown type", `{"experiments": [{"type": "teleportation"}]}`, "invalid_fields", "type", 0},
+		{"bad backend", `{"experiments": [{"type": "t1", "backend": "gpu"}]}`, "invalid_fields", "backend", 0},
+		{"bad replay mode", `{"experiments": [{"type": "t1", "replay": "warp"}]}`, "invalid_fields", "replay", 0},
+		{"rb too few lengths", `{"experiments": [{"type": "t1"}, {"type": "rb", "lengths": [1, 2]}]}`, "invalid_fields", "lengths", 1},
+		{"even repcode distance", `{"experiments": [{"type": "repcode", "data_qubits": 4}]}`, "invalid_fields", "data_qubits", 0},
+		{"wide repcode on density", `{"experiments": [{"type": "repcode", "data_qubits": 5}]}`, "invalid_fields", "backend", 0},
+		{"asm with no program", `{"experiments": [{"type": "asm"}]}`, "invalid_fields", "program", 0},
+		{"asm that does not assemble", `{"experiments": [{"type": "asm", "program": "frob r1"}]}`, "invalid_fields", "program", 0},
+		{"negative rounds", `{"experiments": [{"type": "allxy", "rounds": -5}]}`, "invalid_fields", "rounds", 0},
+		{"qubit beyond density register", `{"experiments": [{"type": "t1", "qubit": 12}]}`, "invalid_fields", "qubit", 0},
+		{"negative T1", `{"experiments": [{"type": "t1", "t1_sec": -1}]}`, "invalid_fields", "t1_sec", 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -240,14 +241,18 @@ func TestMalformedRequestsReturnStructured400(t *testing.T) {
 			var e struct {
 				Error struct {
 					Code    string       `json:"code"`
+					Reason  string       `json:"reason"`
 					Details []FieldError `json:"details"`
 				} `json:"error"`
 			}
 			if err := json.Unmarshal(body, &e); err != nil {
 				t.Fatalf("error body is not structured JSON: %v (%s)", err, body)
 			}
-			if e.Error.Code != tc.wantCode {
-				t.Errorf("code %q, want %q", e.Error.Code, tc.wantCode)
+			if e.Error.Code != CodeInvalidArgument {
+				t.Errorf("code %q, want %q", e.Error.Code, CodeInvalidArgument)
+			}
+			if e.Error.Reason != tc.wantReason {
+				t.Errorf("reason %q, want %q", e.Error.Reason, tc.wantReason)
 			}
 			if tc.wantField != "" {
 				found := false
@@ -290,11 +295,12 @@ func TestQueueFullReturns429(t *testing.T) {
 	}
 	var e struct {
 		Error struct {
-			Code string `json:"code"`
+			Code   string `json:"code"`
+			Reason string `json:"reason"`
 		} `json:"error"`
 	}
-	if err := json.Unmarshal(b, &e); err != nil || e.Error.Code != "queue_full" {
-		t.Fatalf("want structured queue_full error, got %s (err %v)", b, err)
+	if err := json.Unmarshal(b, &e); err != nil || e.Error.Code != CodeResourceExhausted || e.Error.Reason != "queue_full" {
+		t.Fatalf("want structured resource_exhausted/queue_full error, got %s (err %v)", b, err)
 	}
 	// Draining the never-started server must still finish the queued
 	// jobs (Drain closes the queue; Start the workers to consume it).
@@ -327,6 +333,81 @@ func TestDrainFinishesQueuedJobsAndRejectsNew(t *testing.T) {
 	resp, b := postJSON(t, hs.URL+"/v1/jobs", string(body))
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain status %d, want 503; body %s", resp.StatusCode, b)
+	}
+}
+
+// TestDrainTimeoutCancelsInFlightJobs holds a worker busy with an
+// artificially slow sweep, then drains with a hard deadline: the drain
+// must return promptly (not wait out the whole job), the job must end
+// `canceled` with no result, and post-drain submissions must be refused.
+func TestDrainTimeoutCancelsInFlightJobs(t *testing.T) {
+	s := New(Config{
+		Workers: 1,
+		Faults:  &expt.FaultHooks{Shot: func(int) { time.Sleep(time.Millisecond) }},
+	}).Start()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	id, resp := submit(t, hs.URL, SubmitRequest{Experiments: []ExperimentRequest{
+		{Type: "t1", Rounds: 100},
+	}})
+	if id == "" {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	// Wait for the worker to pick the job up, so the drain deadline is
+	// exercised against a genuinely running sweep.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sresp, err := http.Get(hs.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Status string `json:"status"`
+		}
+		if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		sresp.Body.Close()
+		if st.Status == StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	start := time.Now()
+	s.DrainTimeout(30 * time.Millisecond)
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("drain with a 30ms deadline took %v", waited)
+	}
+	sresp, err := http.Get(hs.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Status string `json:"status"`
+		Code   string `json:"code"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.Status != StatusCanceled || st.Code != CodeCanceled {
+		t.Fatalf("drained job is %s/%s, want canceled/canceled", st.Status, st.Code)
+	}
+	rresp, err := http.Get(hs.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusConflict {
+		t.Fatalf("canceled job served a result (status %d)", rresp.StatusCode)
+	}
+	body, _ := json.Marshal(SubmitRequest{Experiments: []ExperimentRequest{{Type: "t1"}}})
+	presp, b := postJSON(t, hs.URL+"/v1/jobs", string(body))
+	if presp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit status %d, want 503; body %s", presp.StatusCode, b)
 	}
 }
 
@@ -431,7 +512,7 @@ func TestRetentionEvictsOldestFinishedJobs(t *testing.T) {
 }
 
 // TestJobTimeoutFailsCleanly gives a job a deadline it cannot meet; the
-// job must fail with a timeout message instead of hanging.
+// job must fail with the deadline_exceeded code instead of hanging.
 func TestJobTimeoutFailsCleanly(t *testing.T) {
 	_, hs := startTestServer(t, Config{Workers: 1, JobTimeout: time.Nanosecond})
 	id, resp := submit(t, hs.URL, SubmitRequest{Experiments: []ExperimentRequest{
@@ -449,6 +530,7 @@ func TestJobTimeoutFailsCleanly(t *testing.T) {
 		}
 		var st struct {
 			Status string `json:"status"`
+			Code   string `json:"code"`
 			Error  string `json:"error"`
 		}
 		if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
@@ -456,8 +538,8 @@ func TestJobTimeoutFailsCleanly(t *testing.T) {
 		}
 		sresp.Body.Close()
 		if st.Status == StatusFailed {
-			if !strings.Contains(st.Error, "timeout") {
-				t.Fatalf("failure message %q does not mention timeout", st.Error)
+			if st.Code != CodeDeadlineExceeded {
+				t.Fatalf("failure code %q (message %q), want %q", st.Code, st.Error, CodeDeadlineExceeded)
 			}
 			break
 		}
