@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"quma/internal/aps2"
@@ -490,6 +491,57 @@ func BenchmarkRepCode(b *testing.B) {
 	}
 	b.ReportMetric(bare, "bare-err")
 	b.ReportMetric(corrected, "corrected-err")
+}
+
+// BenchmarkShardedRepCode measures the shot-sharding lever on a
+// shot-heavy repetition-code job (E18): 100k replay-safe code rounds
+// through Env.RunProgram — one shard per expt.ShotShardSize shots — at
+// 1 vs NumCPU shot workers, on the density backend at the paper-era
+// d = 3 and on the trajectory backend at the d = 7 scale only it can
+// reach. Results are bit-identical across the worker axis (the shard
+// plan and seeds are pure functions of the shot count); only the wall
+// clock moves, which is exactly what ns/op isolates.
+func BenchmarkShardedRepCode(b *testing.B) {
+	cases := []struct {
+		name    string
+		backend core.Backend
+		d       int
+	}{
+		{"density-d3", core.BackendDensity, 3},
+		{"trajectory-d7", core.BackendTrajectory, 7},
+	}
+	// The full 100k-shot job is the acceptance measurement; -short (the
+	// CI bench smoke) scales it down to breakage-detection size.
+	shots := 100_000
+	if testing.Short() {
+		shots = 10_000
+	}
+	workerAxis := []int{1, runtime.NumCPU()}
+	if runtime.NumCPU() == 1 {
+		workerAxis = workerAxis[:1] // the axes coincide; skip the duplicate
+	}
+	for _, c := range cases {
+		p := expt.DefaultRepCodeParams()
+		p.DataQubits = c.d
+		src := expt.RepCodeShotProgram(p, false)
+		for _, sw := range workerAxis {
+			b.Run(fmt.Sprintf("%s/shot-workers-%d", c.name, sw), func(b *testing.B) {
+				b.ReportAllocs()
+				env := expt.NewEnv()
+				cfg := core.DefaultConfig()
+				cfg.Backend = c.backend
+				cfg.NumQubits = 2*c.d - 1
+				cfg.Seed = 1
+				for i := 0; i < b.N; i++ {
+					if _, err := env.RunProgram(context.Background(), cfg, expt.ProgramParams{
+						Source: src, Shots: shots, ShotWorkers: sw,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkVLIWIssueRate bundles the AllXY program at increasing widths

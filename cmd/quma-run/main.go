@@ -3,20 +3,30 @@
 // registers, measurement counts, averaged integration results, and
 // (optionally) the deterministic-domain event timeline.
 //
-// With -shots N > 1 the program runs N times on one machine through the
-// shot-replay engine (internal/replay): the classical pipeline is
-// simulated for the leading shots and, when the program is detected
-// replay-safe, the recorded quantum schedule is replayed for the rest —
-// bit-identical results, order-of-magnitude faster on shot-heavy
-// programs. -replay=off forces full per-shot simulation. Note that
-// replayed shots perform no classical execution, so final register
-// contents reflect the last fully simulated shot; programs whose
-// registers matter are detected unsafe and fall back automatically.
+// With -shots N > 1 the program runs N times through the shot-replay
+// engine (internal/replay): the classical pipeline is simulated for the
+// leading shots and, when the program is detected replay-safe, the
+// recorded quantum schedule is replayed for the rest — bit-identical
+// results, order-of-magnitude faster on shot-heavy programs. -replay=off
+// forces full per-shot simulation. Note that replayed shots perform no
+// classical execution, so final register contents reflect the last fully
+// simulated shot; programs whose registers matter are detected unsafe and
+// fall back automatically.
+//
+// Shot counts above expt.ShotShardSize are split across the fixed shot-
+// shard plan (expt.ShotShardPlan): shard k runs on its own machine seeded
+// DeriveSeed(seed, k), up to -shot-workers shards concurrently. The plan,
+// seeds, and merge order depend only on the shot count, so results are
+// bit-identical for any -shot-workers value. Instruction, pulse, and
+// measurement counters sum across shards; registers, final qubit state,
+// and the timeline come from the last shard's machine; the data
+// collection unit's averages merge exactly across the shards.
 //
 // Usage:
 //
 //	quma-run [-qubits N] [-backend density|trajectory] [-seed S] [-trace] [-collect K] prog.qasm
 //	quma-run -shots 10000 -replay auto prog.qasm
+//	quma-run -shots 100000 -shot-workers 8 prog.qasm
 //	quma-run -cpuprofile cpu.pprof -shots 10000 prog.qasm
 //	quma-run -bin prog.bin          # hex words from quma-asm
 package main
@@ -30,25 +40,30 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"sync"
+	"sync/atomic"
+
 	"quma/internal/asm"
 	"quma/internal/core"
+	"quma/internal/expt"
 	"quma/internal/isa"
 	"quma/internal/replay"
 )
 
 func main() {
 	var (
-		qubits     = flag.Int("qubits", 1, "number of simulated qubits (1-8 density, 1-16 trajectory)")
-		backend    = flag.String("backend", "density", "quantum-state backend: density (exact, O(4^n)) or trajectory (Monte-Carlo statevector, O(2^n))")
-		seed       = flag.Int64("seed", 1, "PRNG seed")
-		trace      = flag.Bool("trace", false, "print the deterministic-domain event timeline")
-		collect    = flag.Int("collect", 0, "enable the data collection unit with K results per round")
-		amperr     = flag.Float64("amp-error", 0, "fractional pulse amplitude miscalibration ε")
-		binary     = flag.Bool("bin", false, "input is a binary (hex words) produced by quma-asm")
-		shots      = flag.Int("shots", 1, "number of times to run the program on one machine (the shot loop of an experiment)")
-		replayMode = flag.String("replay", "auto", "shot-replay engine mode: compiled (replay the compiled schedule when safe), interp (op-by-op replay, the A/B baseline), auto (best available = compiled), or off (full simulation per shot)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		qubits      = flag.Int("qubits", 1, "number of simulated qubits (1-8 density, 1-16 trajectory)")
+		backend     = flag.String("backend", "density", "quantum-state backend: density (exact, O(4^n)) or trajectory (Monte-Carlo statevector, O(2^n))")
+		seed        = flag.Int64("seed", 1, "PRNG seed")
+		trace       = flag.Bool("trace", false, "print the deterministic-domain event timeline")
+		collect     = flag.Int("collect", 0, "enable the data collection unit with K results per round")
+		amperr      = flag.Float64("amp-error", 0, "fractional pulse amplitude miscalibration ε")
+		binary      = flag.Bool("bin", false, "input is a binary (hex words) produced by quma-asm")
+		shots       = flag.Int("shots", 1, "number of times to run the program on one machine (the shot loop of an experiment)")
+		shotWorkers = flag.Int("shot-workers", 0, "bound on concurrent shot shards when -shots exceeds the shard threshold (0 = one per CPU); results are bit-identical for any value")
+		replayMode  = flag.String("replay", "auto", "shot-replay engine mode: compiled (replay the compiled schedule when safe), interp (op-by-op replay, the A/B baseline), auto (best available = compiled), or off (full simulation per shot)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -58,7 +73,7 @@ func main() {
 	// Validate flag values up front with a clear non-zero exit: an
 	// unknown backend or replay mode, or a non-positive shot count, must
 	// never silently fall back to a default.
-	mode, err := validateFlags(*backend, *replayMode, *shots)
+	mode, err := validateFlags(*backend, *replayMode, *shots, *shotWorkers)
 	if err != nil {
 		fail(err)
 	}
@@ -118,27 +133,38 @@ func main() {
 		fail(err)
 	}
 
-	if *shots == 1 {
+	machines := []*core.Machine{m}
+	plan := expt.ShotShardPlan(*shots)
+	switch {
+	case *shots == 1:
 		if err := m.RunProgram(prog); err != nil {
 			fail(err)
 		}
-	} else {
+	case plan == nil:
 		stats, err := replay.Run(context.Background(), m, prog, replay.Options{Shots: *shots, Mode: mode})
 		if err != nil {
 			fail(err)
 		}
-		switch {
-		case stats.Safe && stats.Compiled:
-			fmt.Printf("shot-replay engine: %d/%d shots replayed from the compiled schedule\n", stats.Replayed, stats.Shots)
-		case stats.Safe:
-			fmt.Printf("shot-replay engine: %d/%d shots replayed from the recorded schedule\n", stats.Replayed, stats.Shots)
-		default:
-			fmt.Printf("shot-replay engine: full simulation (%s)\n", stats.Reason)
+		printEngine(stats)
+	default:
+		stats, shardMachines, err := runSharded(cfg, prog, plan, *shotWorkers, mode)
+		if err != nil {
+			fail(err)
 		}
+		machines = shardMachines
+		m = machines[len(machines)-1]
+		fmt.Printf("shot-shard plan: %d shards of ≤%d shots\n", len(plan), expt.ShotShardSize)
+		printEngine(stats)
 	}
 
-	fmt.Printf("program completed: %d instructions executed\n", m.Controller.Steps)
-	fmt.Printf("pulses played: %d, measurements: %d\n", m.PulsesPlayed, m.Measurements)
+	var steps, pulses, measurements uint64
+	for _, sm := range machines {
+		steps += sm.Controller.Steps
+		pulses += sm.PulsesPlayed
+		measurements += sm.Measurements
+	}
+	fmt.Printf("program completed: %d instructions executed\n", steps)
+	fmt.Printf("pulses played: %d, measurements: %d\n", pulses, measurements)
 	fmt.Printf("CTPG memory footprint: %d bytes (12-bit samples)\n", m.MemoryFootprintBytes())
 	fmt.Println("registers:")
 	for r, v := range m.Controller.Regs {
@@ -150,9 +176,28 @@ func main() {
 		fmt.Printf("qubit %d final P(|1>) = %.4f\n", q, m.State.ProbExcited(q))
 	}
 	if m.Collector != nil {
-		fmt.Printf("data collection unit: %d complete rounds, averages:\n", m.Collector.Rounds())
-		for i, s := range m.Collector.Averages() {
-			fmt.Printf("  S[%d] = %.4f\n", i, s)
+		// Merge the shard collectors exactly: sums and counts added in
+		// shard order, divided once (identical to a single collector when
+		// there is one machine).
+		sums := make([]float64, m.Collector.K)
+		counts := make([]int, m.Collector.K)
+		rounds := 0
+		for _, sm := range machines {
+			for i, s := range sm.Collector.Sums() {
+				sums[i] += s
+			}
+			for i, c := range sm.Collector.Counts() {
+				counts[i] += c
+			}
+			rounds += sm.Collector.Rounds()
+		}
+		fmt.Printf("data collection unit: %d complete rounds, averages:\n", rounds)
+		for i := range sums {
+			avg := 0.0
+			if counts[i] > 0 {
+				avg = sums[i] / float64(counts[i])
+			}
+			fmt.Printf("  S[%d] = %.4f\n", i, avg)
 		}
 	}
 	if *trace {
@@ -175,12 +220,83 @@ func main() {
 	}
 }
 
-// validateFlags rejects unknown -backend/-replay values and non-positive
-// -shots before any machine is built, so a typo fails loudly instead of
-// silently running under a default.
-func validateFlags(backend, replayMode string, shots int) (replay.Mode, error) {
+// printEngine reports what the shot-replay engine did.
+func printEngine(stats replay.Stats) {
+	switch {
+	case stats.Safe && stats.Compiled:
+		fmt.Printf("shot-replay engine: %d/%d shots replayed from the compiled schedule\n", stats.Replayed, stats.Shots)
+	case stats.Safe:
+		fmt.Printf("shot-replay engine: %d/%d shots replayed from the recorded schedule\n", stats.Replayed, stats.Shots)
+	default:
+		fmt.Printf("shot-replay engine: full simulation (%s)\n", stats.Reason)
+	}
+}
+
+// runSharded executes the shot-shard plan: shard k runs plan[k] shots on
+// a fresh machine seeded expt.DeriveSeed(cfg.Seed, k) with its global
+// shot offset as replay.Options.BaseShot, up to `workers` shards
+// concurrently (0 = one per CPU). Stats merge in shard order; the
+// machines return in shard order too, so the caller's "last machine"
+// state is deterministic.
+func runSharded(cfg core.Config, prog *isa.Program, plan []int, workers int, mode replay.Mode) (replay.Stats, []*core.Machine, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(plan) {
+		workers = len(plan)
+	}
+	starts := make([]int, len(plan))
+	for k := 1; k < len(plan); k++ {
+		starts[k] = starts[k-1] + plan[k-1]
+	}
+	machines := make([]*core.Machine, len(plan))
+	statsv := make([]replay.Stats, len(plan))
+	errs := make([]error, len(plan))
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1))
+				if k >= len(plan) {
+					return
+				}
+				scfg := cfg
+				scfg.Seed = expt.DeriveSeed(cfg.Seed, k)
+				sm, err := core.New(scfg)
+				if err != nil {
+					errs[k] = err
+					continue
+				}
+				machines[k] = sm
+				statsv[k], errs[k] = replay.Run(context.Background(), sm, prog,
+					replay.Options{Shots: plan[k], Mode: mode, BaseShot: starts[k]})
+			}
+		}()
+	}
+	wg.Wait()
+	var merged replay.Stats
+	for k := range plan {
+		if errs[k] != nil {
+			return merged, nil, errs[k]
+		}
+		merged.Merge(statsv[k])
+	}
+	return merged, machines, nil
+}
+
+// validateFlags rejects unknown -backend/-replay values, non-positive
+// -shots, and negative -shot-workers before any machine is built, so a
+// typo fails loudly instead of silently running under a default.
+func validateFlags(backend, replayMode string, shots, shotWorkers int) (replay.Mode, error) {
 	if shots < 1 {
 		return "", fmt.Errorf("-shots must be positive, got %d", shots)
+	}
+	if shotWorkers < 0 {
+		return "", fmt.Errorf("-shot-workers must be non-negative (0 selects one per CPU), got %d", shotWorkers)
 	}
 	switch core.Backend(backend) {
 	case core.BackendDensity, core.BackendTrajectory:

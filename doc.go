@@ -171,6 +171,32 @@
 //     fresh recording — pooled machines compile each program once per
 //     lifetime, however many programs interleave on them.
 //
+// # Shot-sharded parallel replay
+//
+// Above the sweep-point level, internal/expt shards the shot range of a
+// single job across a worker pool (expt.ShotShardPlan, shotshard.go).
+// The shard plan is a pure function of the shot count — fixed chunks of
+// ShotShardSize shots, independent of worker count, like chunkRounds —
+// so it is part of the determinism contract, not a scheduling detail:
+// shard k runs on its own pooled machine seeded DeriveSeed(pointSeed, k),
+// executes its own lead/detect shots plus its slice of the replay loop,
+// and results merge in shard order (measurement streams buffered
+// per shard and delivered with global shot indices; collector averages
+// recomputed exactly from per-shard sums and counts). The result is
+// bit-identical for any ShotWorkers value (0 = all CPUs), on both
+// backends, in every replay mode. Shot counts at or below ShotShardSize
+// keep the legacy single PRNG stream exactly; above it the stream layout
+// changes — statistically equal, pinned at 5σ against the unsharded path
+// by internal/conformance — which is why the service result schema
+// version bumped (service.ResultSchemaVersion). The chunked
+// repetition-code experiments keep their historical fixed chunk plan and
+// DeriveSeed2 seeds, so their results are bit-identical to every
+// prior release. Sharded error handling preserves the taxonomy: an
+// injected or real panic in one shard cancels its siblings but is
+// reported itself (never masked by the sibling aborts it caused), and
+// cancellation mid-shard still aborts without perturbing
+// (internal/expt/cancel_test.go, internal/faultinject).
+//
 // # Batch experiment service
 //
 // internal/service and cmd/quma-serve put a long-lived, concurrent

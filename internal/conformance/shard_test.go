@@ -1,0 +1,156 @@
+package conformance
+
+// Shot-sharding conformance: the differential layer for the shot-shard
+// engine (expt.ShotShardPlan). Shot counts above expt.ShotShardSize run
+// one PRNG stream per fixed shard instead of the legacy single stream,
+// so the contract splits in two:
+//
+//   - bit-identity across ShotWorkers and replay modes for the same
+//     shard plan (the plan, seeds, and merge order are pure functions of
+//     the shot count);
+//   - agreement with the unsharded single stream: exact for the
+//     deterministic population (outcomes are certain, PRNG layout can't
+//     matter), statistical at 5σ for the stochastic one (the layouts
+//     sample different variates of the same distribution).
+//
+// CI runs this file under -race in the chaos smoke step.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"quma/internal/asm"
+	"quma/internal/core"
+	"quma/internal/expt"
+	"quma/internal/replay"
+)
+
+// shardShots exceeds expt.ShotShardSize so the automatic plan engages
+// (3 shards), while staying affordable across the mode × worker matrix.
+const shardShots = 552
+
+// runShardMatrix executes one program at a sharded shot count across
+// every replay mode and a ladder of ShotWorkers values, asserting all
+// combinations produce the identical measurement stream.
+func runShardMatrix(t *testing.T, env *expt.Env, cfg core.Config, src string) *expt.ProgramResult {
+	t.Helper()
+	var ref *expt.ProgramResult
+	for _, mode := range allModes {
+		for _, sw := range []int{1, 2, runtime.NumCPU()} {
+			res, err := env.RunProgram(context.Background(), cfg,
+				expt.ProgramParams{Source: src, Shots: shardShots, Replay: mode, ShotWorkers: sw})
+			if err != nil {
+				t.Fatalf("mode %s ShotWorkers %d: %v\nprogram:\n%s", mode, sw, err, src)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if res.StreamHash != ref.StreamHash {
+				t.Fatalf("mode %s ShotWorkers %d: stream %x, want %x\nprogram:\n%s",
+					mode, sw, res.StreamHash, ref.StreamHash, src)
+			}
+		}
+	}
+	return ref
+}
+
+// unshardedOnes reruns the program as the pre-sharding engine would —
+// one machine seeded cfg.Seed, one replay.Run over all shots — and
+// returns the per-position |1⟩ counts.
+func unshardedOnes(t *testing.T, cfg core.Config, src string, shots int) []int {
+	t.Helper()
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ones []int
+	_, err = replay.Run(context.Background(), m, prog, replay.Options{Shots: shots, OnShot: func(_ int, md []replay.MD) {
+		for i, r := range md {
+			if i == len(ones) {
+				ones = append(ones, 0)
+			}
+			ones[i] += r.Result
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ones
+}
+
+// TestShardedDifferentialConformance runs generated programs from the
+// safe and deterministic populations at a sharded shot count: all
+// mode × ShotWorkers combinations must agree bit for bit, deterministic
+// programs must match the unsharded stream exactly, and stochastic ones
+// within 5σ of the pooled binomial spread.
+func TestShardedDifferentialConformance(t *testing.T) {
+	env := expt.NewEnv()
+	for _, seed := range committedSeeds[:4] {
+		for _, kind := range []Kind{Safe, Deterministic} {
+			t.Run(fmt.Sprintf("seed-%d/%s", seed, kind), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed ^ int64(kind)<<32))
+				nQubits := 2 + rng.Intn(2)
+				src := Generate(rng, kind, nQubits, 8+rng.Intn(8))
+				cfg := confConfig(kind, core.BackendDensity, nQubits, seed*1000003+int64(kind))
+
+				sharded := runShardMatrix(t, env, cfg, src)
+				ones := unshardedOnes(t, cfg, src, shardShots)
+				if len(ones) != len(sharded.Ones) {
+					t.Fatalf("sharded run has %d measurement positions, unsharded %d", len(sharded.Ones), len(ones))
+				}
+				for i := range ones {
+					if kind == Deterministic {
+						// Outcomes are certain: the PRNG layout cannot
+						// matter, so sharded and unsharded agree exactly.
+						if sharded.Ones[i] != ones[i] {
+							t.Errorf("deterministic ones[%d]: sharded %d, unsharded %d\nprogram:\n%s",
+								i, sharded.Ones[i], ones[i], src)
+						}
+						continue
+					}
+					ps := float64(sharded.Ones[i]) / shardShots
+					pu := float64(ones[i]) / shardShots
+					pool := (ps + pu) / 2
+					sigma := math.Sqrt(2 * pool * (1 - pool) / shardShots)
+					if tol := 5*sigma + 0.02; math.Abs(ps-pu) > tol {
+						t.Errorf("ones[%d]: sharded %.3f vs unsharded %.3f exceeds %.3f\nprogram:\n%s",
+							i, ps, pu, tol, src)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardThresholdKeepsLegacyStream pins backward compatibility at the
+// boundary: a shot count at expt.ShotShardSize must still consume the
+// legacy single stream, bit for bit, while one shot more must engage the
+// shard plan (observable as a different — but statistically equal —
+// stream).
+func TestShardThresholdKeepsLegacyStream(t *testing.T) {
+	env := expt.NewEnv()
+	rng := rand.New(rand.NewSource(committedSeeds[0]))
+	src := Generate(rng, Safe, 2, 10)
+	cfg := confConfig(Safe, core.BackendDensity, 2, 12345)
+
+	at, err := env.RunProgram(context.Background(), cfg,
+		expt.ProgramParams{Source: src, Shots: expt.ShotShardSize, ShotWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := unshardedOnes(t, cfg, src, expt.ShotShardSize)
+	for i := range legacy {
+		if at.Ones[i] != legacy[i] {
+			t.Fatalf("at-threshold ones[%d] = %d, legacy single stream %d", i, at.Ones[i], legacy[i])
+		}
+	}
+}

@@ -68,6 +68,10 @@ type AllXYParams struct {
 	// Workers bounds the sweep parallelism across the 21 pairs (0 = one
 	// worker per CPU). Results are identical for any value; see sweep.go.
 	Workers int
+	// ShotWorkers bounds the shot-shard parallelism inside each pair when
+	// Rounds exceeds ShotShardSize (0 = one worker per CPU). Results are
+	// identical for any value; see shotshard.go.
+	ShotWorkers int
 	// Replay selects the shot-replay engine mode: replay.ModeOff,
 	// ModeInterp, or ModeCompiled (default auto = compiled). Results are
 	// bit-identical for any value — see internal/replay; interp vs
@@ -203,21 +207,52 @@ func (e *Env) RunAllXY(ctx context.Context, cfg core.Config, p AllXYParams) (*Al
 	pulses := make([]uint64, len(pairs))
 	memBytes := make([]int, len(pairs))
 	pool := e.poolFor(cfg)
+	plan := ShotShardPlan(p.Rounds)
 	err := runPool(ctx, len(pairs), p.Workers, func(i int) error {
 		prog, err := e.progs.get(allXYPairShotProgram(p, pairs[i]))
 		if err != nil {
 			return err
 		}
-		return runShotJob(ctx, pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, p.Replay, nil, nil,
-			func(m *core.Machine, _ replay.Stats) error {
-				if got := m.Collector.Rounds(); got != p.Rounds {
-					return fmt.Errorf("expt: pair %s collected %d rounds, want %d", pairs[i].Label, got, p.Rounds)
+		// Per-shard collector sums and counts, merged exactly in shard
+		// order after the job (one shard reproduces Averages() bit for
+		// bit). Pulse counts sum across shards; the LUT footprint is a
+		// per-config constant, so shard 0's value stands for the point.
+		nshards := shardCount(plan)
+		sums := make([][]float64, nshards)
+		counts := make([][]int, nshards)
+		shardPulses := make([]uint64, nshards)
+		_, err = runShotJobSharded(ctx, pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, plan, p.ShotWorkers, p.Replay, nil, nil,
+			func(k int, m *core.Machine, _ replay.Stats) error {
+				want := shardShots(plan, k, p.Rounds)
+				if got := m.Collector.Rounds(); got != want {
+					return fmt.Errorf("expt: pair %s shard %d collected %d rounds, want %d", pairs[i].Label, k, got, want)
 				}
-				copy(raw[i*reps:(i+1)*reps], m.Collector.Averages())
-				pulses[i] = m.PulsesPlayed
-				memBytes[i] = m.MemoryFootprintBytes()
+				sums[k] = m.Collector.Sums()
+				counts[k] = m.Collector.Counts()
+				shardPulses[k] = m.PulsesPlayed
+				if k == 0 {
+					memBytes[i] = m.MemoryFootprintBytes()
+				}
 				return nil
 			})
+		if err != nil {
+			return err
+		}
+		for _, n := range shardPulses {
+			pulses[i] += n
+		}
+		for r := 0; r < reps; r++ {
+			var sum float64
+			var n int
+			for k := 0; k < nshards; k++ {
+				sum += sums[k][r]
+				n += counts[k][r]
+			}
+			if n > 0 {
+				raw[i*reps+r] = sum / float64(n)
+			}
+		}
+		return nil
 	})
 	if err != nil {
 		return nil, err

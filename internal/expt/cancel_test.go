@@ -29,11 +29,12 @@ func cancelParams(workers int) SweepParams {
 	return p
 }
 
-// sameT1 compares two T1 results up to the worker count echoed in
-// Params — the one field the determinism contract explicitly excludes.
+// sameT1 compares two T1 results up to the worker counts echoed in
+// Params — the fields the determinism contract explicitly excludes.
 func sameT1(a, b *T1Result) bool {
 	ac, bc := *a, *b
 	ac.Params.Workers, bc.Params.Workers = 0, 0
+	ac.Params.ShotWorkers, bc.Params.ShotWorkers = 0, 0
 	return reflect.DeepEqual(ac, bc)
 }
 
@@ -114,6 +115,82 @@ func TestPoolStaysSoundAfterCancel(t *testing.T) {
 	}
 	if !sameT1(res, baseline) {
 		t.Fatal("rerun on a pool that served a canceled sweep differs from fresh baseline")
+	}
+}
+
+// shardedCancelParams is a sweep whose points each exceed ShotShardSize
+// (2000 rounds → 8 shards per point), so randomized cancellation lands
+// inside the sharded shot loops, not just between sweep points.
+func shardedCancelParams(workers, shotWorkers int) SweepParams {
+	p := DefaultSweepParams()
+	p.Rounds = 2000
+	p.InitCycles = 400
+	p.DelaysCycles = []int{0, 400, 800}
+	p.Workers = workers
+	p.ShotWorkers = shotWorkers
+	return p
+}
+
+// TestShardedMidSweepCancelNeverLeaksPartialResults is the sharded twin
+// of the randomized cancel ladder: deadlines land inside the per-shard
+// replay loops, siblings abort via the shard context, and every
+// preempted run must return (nil, wrapped ctx error) while a run the
+// deadline misses must be bit-identical to baseline.
+func TestShardedMidSweepCancelNeverLeaksPartialResults(t *testing.T) {
+	cfg := core.DefaultConfig()
+	baseline, err := RunT1(cfg, shardedCancelParams(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shotWorkers := range []int{2, 0} {
+		for trial := 0; trial < 5; trial++ {
+			delay := time.Duration(DeriveSeed2(7, shotWorkers, trial)%30000) * time.Microsecond
+			ctx, cancel := context.WithTimeout(context.Background(), delay)
+			res, err := NewEnv().RunT1(ctx, cfg, shardedCancelParams(2, shotWorkers))
+			cancel()
+			if err == nil {
+				if !sameT1(res, baseline) {
+					t.Fatalf("shotWorkers=%d trial=%d: late-cancel result differs from baseline", shotWorkers, trial)
+				}
+				continue
+			}
+			if res != nil {
+				t.Fatalf("shotWorkers=%d trial=%d: preempted run returned a result alongside %v", shotWorkers, trial, err)
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("shotWorkers=%d trial=%d: err = %v, not a wrapped ctx error", shotWorkers, trial, err)
+			}
+		}
+	}
+}
+
+// TestPoolStaysSoundAfterShardedCancel preempts a sharded sweep on a
+// shared Env — its pooled machines were mid-shard when the context died
+// — then reruns on the same Env and demands bit-identity with a
+// fresh-Env baseline.
+func TestPoolStaysSoundAfterShardedCancel(t *testing.T) {
+	cfg := core.DefaultConfig()
+	baseline, err := RunT1(cfg, shardedCancelParams(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(3 * time.Millisecond)
+		cancel()
+	}()
+	if res, err := env.RunT1(ctx, cfg, shardedCancelParams(2, 2)); err == nil {
+		if !sameT1(res, baseline) {
+			t.Fatal("uncanceled first run differs from baseline")
+		}
+	}
+	res, err := env.RunT1(context.Background(), cfg, shardedCancelParams(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameT1(res, baseline) {
+		t.Fatal("rerun on a pool that served a canceled sharded sweep differs from fresh baseline")
 	}
 }
 

@@ -28,6 +28,10 @@ type SweepParams struct {
 	// Workers bounds the sweep parallelism (0 = one worker per CPU).
 	// Results are identical for any value; see sweep.go.
 	Workers int
+	// ShotWorkers bounds the shot-shard parallelism inside each delay
+	// point when Rounds exceeds ShotShardSize (0 = one worker per CPU).
+	// Results are identical for any value; see shotshard.go.
+	ShotWorkers int
 	// Replay selects the shot-replay engine mode: replay.ModeOff,
 	// ModeInterp, or ModeCompiled (default auto = compiled). Results are
 	// bit-identical for any value — see internal/replay; interp vs
@@ -106,18 +110,40 @@ func runSweep(ctx context.Context, env *Env, cfg core.Config, p SweepParams, bod
 		Excited:   make([]float64, len(p.DelaysCycles)),
 	}
 	pool := env.poolFor(cfg)
+	plan := ShotShardPlan(p.Rounds)
 	err := runPool(ctx, len(p.DelaysCycles), p.Workers, func(i int) error {
 		d := p.DelaysCycles[i]
 		prog, err := env.progs.get(shotProgram(p, d, body))
 		if err != nil {
 			return err
 		}
-		return runShotJob(ctx, pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, p.Replay, nil, nil,
-			func(m *core.Machine, _ replay.Stats) error {
-				res.DelaysSec[i] = float64(d) * 5e-9
-				res.Excited[i] = (m.Collector.Averages()[0] - s0) / (s1 - s0)
+		// Each shard's collector is merged exactly: shard sums and
+		// counts added in shard order, divided once. With one shard this
+		// reproduces Averages()[0] bit for bit.
+		sums := make([]float64, shardCount(plan))
+		counts := make([]int, shardCount(plan))
+		_, err = runShotJobSharded(ctx, pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, plan, p.ShotWorkers, p.Replay, nil, nil,
+			func(k int, m *core.Machine, _ replay.Stats) error {
+				sums[k] = m.Collector.Sums()[0]
+				counts[k] = m.Collector.Counts()[0]
 				return nil
 			})
+		if err != nil {
+			return err
+		}
+		var sum float64
+		var n int
+		for k := range sums {
+			sum += sums[k]
+			n += counts[k]
+		}
+		avg := 0.0
+		if n > 0 {
+			avg = sum / float64(n)
+		}
+		res.DelaysSec[i] = float64(d) * 5e-9
+		res.Excited[i] = (avg - s0) / (s1 - s0)
+		return nil
 	})
 	if err != nil {
 		return nil, err

@@ -129,6 +129,11 @@ type ProgramParams struct {
 	// Replay selects the shot-replay engine mode ("" = auto). Results
 	// are bit-identical for any value, as for every experiment.
 	Replay replay.Mode
+	// ShotWorkers bounds the shot-shard parallelism when Shots exceeds
+	// ShotShardSize (0 = one worker per CPU). The shard plan is a pure
+	// function of Shots, so results are bit-identical for any value —
+	// see shotshard.go.
+	ShotWorkers int
 }
 
 // ProgramResult summarizes a raw-assembly shot run. Everything in it is
@@ -164,9 +169,12 @@ type ProgramResult struct {
 	Compiled bool `json:"compiled"`
 }
 
-// RunProgram assembles and runs a raw program p.Shots times on one
-// pooled machine seeded with cfg.Seed, collecting the engine's
-// measurement stream. The program must halt and must not rely on
+// RunProgram assembles and runs a raw program p.Shots times, collecting
+// the engine's measurement stream. Up to ShotShardSize shots run on one
+// pooled machine seeded with cfg.Seed (the legacy single stream); larger
+// shot counts split across the fixed shard plan, one pooled machine per
+// shard seeded DeriveSeed(cfg.Seed, shard), merged in shard order — see
+// shotshard.go. The program must halt and must not rely on
 // classical register contents surviving into the caller (replayed shots
 // perform no classical execution); results come exclusively from the
 // measurement stream.
@@ -181,7 +189,7 @@ func (e *Env) RunProgram(ctx context.Context, cfg core.Config, p ProgramParams) 
 	res := &ProgramResult{Params: p, Shots: p.Shots}
 	h := fnv.New64a()
 	pool := e.poolFor(cfg)
-	err = runShotJob(ctx, pool, cfg.Seed, prog, p.Shots, p.Replay, nil,
+	stats, err := runShotJobSharded(ctx, pool, cfg.Seed, prog, p.Shots, ShotShardPlan(p.Shots), p.ShotWorkers, p.Replay, nil,
 		func(shot int, md []replay.MD) {
 			if shot > 0 && len(md) != res.MDPerShot {
 				res.MDVaries = true
@@ -207,16 +215,13 @@ func (e *Env) RunProgram(ctx context.Context, cfg core.Config, p ProgramParams) 
 			// Shot separator: streams that differ only in shot boundaries
 			// must hash differently.
 			h.Write([]byte{0xFF})
-		},
-		func(_ *core.Machine, stats replay.Stats) error {
-			res.Replayed = stats.Replayed
-			res.Safe = stats.Safe
-			res.Compiled = stats.Compiled
-			return nil
-		})
+		}, nil)
 	if err != nil {
 		return nil, err
 	}
+	res.Replayed = stats.Replayed
+	res.Safe = stats.Safe
+	res.Compiled = stats.Compiled
 	res.StreamHash = h.Sum64()
 	return res, nil
 }

@@ -40,6 +40,10 @@ type RabiParams struct {
 	// Workers bounds the sweep parallelism across scale points (0 = one
 	// worker per CPU). Results are identical for any value; see sweep.go.
 	Workers int
+	// ShotWorkers bounds the shot-shard parallelism inside each scale
+	// point when Rounds exceeds ShotShardSize (0 = one worker per CPU).
+	// Results are identical for any value; see shotshard.go.
+	ShotWorkers int
 	// Replay selects the shot-replay engine mode: replay.ModeOff,
 	// ModeInterp, or ModeCompiled (default auto = compiled). Results are
 	// bit-identical for any value — see internal/replay; interp vs
@@ -115,7 +119,7 @@ func (e *Env) RunRabi(ctx context.Context, cfg core.Config, p RabiParams) (*Rabi
 			return err
 		}
 		var ones int
-		err = runShotJob(ctx, pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, p.Replay,
+		_, err = runShotJobSharded(ctx, pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, ShotShardPlan(p.Rounds), p.ShotWorkers, p.Replay,
 			func(m *core.Machine) error {
 				m.UOp.DefinePrimitive("RABI", RabiCodeword)
 				scaled := nominal

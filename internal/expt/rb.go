@@ -31,6 +31,10 @@ type RBParams struct {
 	// (0 = one worker per CPU). Results are identical for any value; see
 	// sweep.go.
 	Workers int
+	// ShotWorkers bounds the shot-shard parallelism inside each sequence
+	// when Rounds exceeds ShotShardSize (0 = one worker per CPU). Results
+	// are identical for any value; see shotshard.go.
+	ShotWorkers int
 	// Replay selects the shot-replay engine mode: replay.ModeOff,
 	// ModeInterp, or ModeCompiled (default auto = compiled). Results are
 	// bit-identical for any value — see internal/replay; interp vs
@@ -116,7 +120,7 @@ func (e *Env) RunRB(ctx context.Context, cfg core.Config, p RBParams) (*RBResult
 			return err
 		}
 		var ones int
-		err = runShotJob(ctx, pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, p.Replay, nil,
+		_, err = runShotJobSharded(ctx, pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, ShotShardPlan(p.Rounds), p.ShotWorkers, p.Replay, nil,
 			func(_ int, md []replay.MD) {
 				if len(md) > 0 && md[0].Result == 1 {
 					ones++

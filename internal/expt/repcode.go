@@ -38,9 +38,16 @@ type RepCodeParams struct {
 	InitCycles int
 	// MeasureCycles is the MPG duration.
 	MeasureCycles int
-	// Workers bounds the sweep parallelism across round chunks (0 = one
-	// worker per CPU). Results are identical for any value; see sweep.go.
+	// Workers bounds the sweep parallelism across program variants (0 =
+	// one worker per CPU). Results are identical for any value; see
+	// sweep.go.
 	Workers int
+	// ShotWorkers bounds the shot-shard parallelism across each variant's
+	// fixed round chunks (0 = one worker per CPU). The chunk partition and
+	// per-chunk seeds are unchanged from earlier releases, so results are
+	// bit-identical for any value — and to pre-sharding builds — for every
+	// Rounds; see shotshard.go.
+	ShotWorkers int
 	// Replay selects the shot-replay engine mode: replay.ModeOff,
 	// ModeInterp, or ModeCompiled (default auto = compiled). Results are
 	// bit-identical for any value — see internal/replay; interp vs
@@ -286,10 +293,11 @@ type RepCodeResult struct {
 }
 
 // RunRepCode runs the three memory variants on identically configured
-// machines and reports their logical error rates. Rounds are partitioned
-// into fixed chunks and every (variant, chunk) pair runs on its own
-// machine — seeded with DeriveSeed2(cfg.Seed, variant, chunk) — on the
-// parallel sweep engine. cfg.Backend selects the state substrate;
+// machines and reports their logical error rates. Each variant is one
+// sweep job whose rounds are shot-sharded on the experiment's fixed chunk
+// plan: every (variant, chunk) pair still runs on its own machine seeded
+// DeriveSeed2(cfg.Seed, variant, chunk). cfg.Backend selects the state
+// substrate;
 // p.DataQubits ≥ 5 (9+ total qubits) requires core.BackendTrajectory.
 func RunRepCode(cfg core.Config, p RepCodeParams) (*RepCodeResult, error) {
 	return NewEnv().RunRepCode(context.Background(), cfg, p)
@@ -329,7 +337,7 @@ func (e *Env) RunRepCode(ctx context.Context, cfg core.Config, p RepCodeParams) 
 		{src: RepCodeShotProgram(p, false), isError: majorityError},
 		{src: RepCodeShotProgram(p, true), isError: majorityError},
 	}
-	errors, err := runChunkedVariants(ctx, e, cfg, p.Rounds, p.Workers, p.Replay, variants)
+	errors, err := runChunkedVariants(ctx, e, cfg, p.Rounds, p.Workers, p.ShotWorkers, p.Replay, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -351,48 +359,40 @@ type chunkVariant struct {
 }
 
 // runChunkedVariants runs each per-shot program variant for a total of
-// `rounds` shots, split into fixed chunks across the worker pool, with
-// each chunk's shots driven by the replay engine, and returns each
-// variant's logical-error fraction. Error counting consumes only the
-// engine's measurement stream, which is bit-identical between full
-// simulation and replay, so the fractions are deterministic for any
-// worker count and any replay mode.
-func runChunkedVariants(ctx context.Context, env *Env, cfg core.Config, rounds, workers int, mode replay.Mode, variants []chunkVariant) ([]float64, error) {
-	chunks := chunkRounds(rounds, repCodeChunkRounds)
-	type job struct{ variant, chunk, rounds int }
-	var jobs []job
-	for v := range variants {
-		for k, r := range chunks {
-			jobs = append(jobs, job{variant: v, chunk: k, rounds: r})
-		}
-	}
-	counts := make([]int64, len(jobs))
+// `rounds` shots on the shot-shard engine — one sweep job per variant,
+// whose shot range is forced onto the experiment's historical chunk plan
+// chunkRounds(rounds, repCodeChunkRounds) instead of the automatic
+// ShotShardPlan — and returns each variant's logical-error fraction.
+// Shard k of variant v is seeded DeriveSeed(DeriveSeed(cfg.Seed, v+1), k)
+// ≡ DeriveSeed2(cfg.Seed, v+1, k), the exact seeds the pre-sharding
+// (variant, chunk) job fan-out used, so the measured fractions are
+// bit-identical to earlier releases for every Rounds, worker count, and
+// replay mode. Error counting consumes only the engine's measurement
+// stream, which is bit-identical between full simulation and replay.
+func runChunkedVariants(ctx context.Context, env *Env, cfg core.Config, rounds, workers, shotWorkers int, mode replay.Mode, variants []chunkVariant) ([]float64, error) {
+	plan := chunkRounds(rounds, repCodeChunkRounds)
+	out := make([]float64, len(variants))
 	pool := env.poolFor(cfg)
-	err := runPool(ctx, len(jobs), workers, func(i int) error {
-		j := jobs[i]
-		prog, err := env.progs.get(variants[j.variant].src)
+	err := runPool(ctx, len(variants), workers, func(v int) error {
+		prog, err := env.progs.get(variants[v].src)
 		if err != nil {
 			return err
 		}
 		var errs int64
-		err = runShotJob(ctx, pool, DeriveSeed2(cfg.Seed, j.variant+1, j.chunk), prog, j.rounds, mode, nil,
+		_, err = runShotJobSharded(ctx, pool, DeriveSeed(cfg.Seed, v+1), prog, rounds, plan, shotWorkers, mode, nil,
 			func(_ int, md []replay.MD) {
-				if variants[j.variant].isError(md) {
+				if variants[v].isError(md) {
 					errs++
 				}
 			}, nil)
-		counts[i] = errs
-		return err
+		if err != nil {
+			return err
+		}
+		out[v] = float64(errs) / float64(rounds)
+		return nil
 	})
 	if err != nil {
 		return nil, err
-	}
-	out := make([]float64, len(variants))
-	for i, j := range jobs {
-		out[j.variant] += float64(counts[i])
-	}
-	for v := range out {
-		out[v] /= float64(rounds)
 	}
 	return out, nil
 }

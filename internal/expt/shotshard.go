@@ -1,0 +1,238 @@
+package expt
+
+// shotshard.go is the shot-sharding layer of the sweep engine:
+// parallelism *inside* one sweep point. A large shot range is split by a
+// fixed shard plan — a pure function of the shot count, never of the
+// worker count, exactly like chunkRounds one level up — and every shard
+// runs on its own pooled machine, seeded with DeriveSeed(pointSeed,
+// shardIndex), through its own replay.Run invocation (lead/detect shots
+// plus its slice of the replay loop). Results merge in shard order, so
+// the outcome is bit-identical for any ShotWorkers value given the same
+// plan. The contract, extending the sweep determinism contract:
+//
+//   - The shard plan depends only on the total shot count (auto
+//     experiments: ShotShardPlan) or on the experiment's own fixed
+//     chunking (repcode/phasecode: chunkRounds(rounds, 50), which this
+//     layer inherited unchanged — those seeds and chunk sizes predate
+//     sharding and stay bit-identical to every earlier release).
+//   - Shard k's machine runs in the ResetState(DeriveSeed(pointSeed, k))
+//     condition. This is a different PRNG stream layout than the single
+//     stream a pre-sharding engine consumed, so crossing the auto-shard
+//     threshold changes sampled results (never their statistics — the
+//     conformance suite pins sharded vs unsharded agreement at 5σ).
+//     Below the threshold the legacy single stream is kept bit-for-bit.
+//   - Per-shot callbacks are buffered per shard and delivered after the
+//     last shard completes, in shard order, with global shot indices
+//     (the engine numbers each shard's shots from its global offset via
+//     replay.Options.BaseShot) — so order-sensitive consumers (the
+//     RunProgram stream hash) observe one deterministic merged stream.
+//   - Cancellation and failure: the first failing shard cancels its
+//     siblings' context (they abort within the engine's bounded-
+//     staleness window); a shard panic is recovered into *PanicError at
+//     the shard boundary (its machine is discarded, not pooled — the
+//     runShotJob unwind rule). The job's error is the outer ctx error
+//     if the caller was preempted, else the lowest-index non-ctx shard
+//     error — so a panic is never masked by the sibling aborts it
+//     caused, and the service taxonomy (internal vs canceled) is stable
+//     under sharding.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"quma/internal/core"
+	"quma/internal/isa"
+	"quma/internal/replay"
+)
+
+// ShotShardSize is the fixed shard size of the automatic shot-shard
+// plan. Each shard pays the engine's lead/detect shots (three
+// full-pipeline executions) before replaying its remainder, so the size
+// balances that per-shard overhead (~6% at 256 for a compiled repcode
+// shot) against shard-count parallelism and against test affordability
+// (exceeding the threshold must not require huge shot counts).
+const ShotShardSize = 256
+
+// ShotShardPlan returns the automatic shard plan for a shot count: nil
+// when shots ≤ ShotShardSize — the job then runs as a single legacy
+// stream, machine seeded with the point seed itself, bit-identical to
+// the pre-sharding engine — and fixed ShotShardSize chunks above it.
+// The plan is a pure function of shots: results are bit-identical for
+// any ShotWorkers value because the plan, the per-shard seeds, and the
+// shard merge order never depend on scheduling.
+func ShotShardPlan(shots int) []int {
+	if shots <= ShotShardSize {
+		return nil
+	}
+	return chunkRounds(shots, ShotShardSize)
+}
+
+// shardShots returns the shot count of shard k of a plan, treating a
+// nil plan as one shard holding the whole range.
+func shardShots(plan []int, k, total int) int {
+	if plan == nil {
+		return total
+	}
+	return plan[k]
+}
+
+// shardCount returns the number of shards of a plan (1 for nil: the
+// legacy single stream).
+func shardCount(plan []int) int {
+	if plan == nil {
+		return 1
+	}
+	return len(plan)
+}
+
+// shardStream buffers one shard's per-shot measurement streams: the
+// flattened MD records plus per-shot lengths, appended live by the
+// shard's engine callback and replayed to the caller's OnShot after all
+// shards complete.
+type shardStream struct {
+	md   []replay.MD
+	lens []int
+}
+
+// runShotJobSharded executes one sweep point with its shot range split
+// across the shard plan: shard k runs plan[k] shots on its own pooled
+// machine seeded DeriveSeed(pointSeed, k), up to shotWorkers shards
+// concurrently (0 = one per CPU), and the per-shot streams, engine
+// stats, and finishShard extractions merge in shard order. A nil plan
+// is the legacy unsharded path: one machine seeded pointSeed, live
+// callback delivery, bit-identical to the pre-sharding engine.
+//
+// setup runs on every shard's machine (the pooled-machine rule for
+// machine customization). onShot, when non-nil, receives every shot in
+// global order after the run completes; the fault-injection Shot hook,
+// by contrast, fires live inside each shard's loop (runShotJob wraps
+// the per-shard callback), so injected panics and slowness land
+// mid-shard. finishShard runs per shard, with that shard's machine
+// still in hand, as the shard completes — callers must write only
+// shard-indexed slots from it. The returned stats are the shard-order
+// merge (replay.Stats.Merge).
+func runShotJobSharded(ctx context.Context, mp *machinePool, pointSeed int64, prog *isa.Program, shots int, plan []int, shotWorkers int, mode replay.Mode,
+	setup func(*core.Machine) error,
+	onShot func(int, []replay.MD),
+	finishShard func(shard int, m *core.Machine, stats replay.Stats) error) (replay.Stats, error) {
+	var merged replay.Stats
+	if plan == nil || len(plan) == 1 {
+		// Single stream: nil plan keeps the legacy seed (pointSeed);
+		// a one-shard plan uses the sharded seed rule. Either way the
+		// callback is live — order is already global.
+		seed := pointSeed
+		if plan != nil {
+			seed = DeriveSeed(pointSeed, 0)
+		}
+		err := runShotJob(ctx, mp, seed, prog, shots, 0, mode, setup, onShot,
+			func(m *core.Machine, st replay.Stats) error {
+				merged = st
+				if finishShard != nil {
+					return finishShard(0, m, st)
+				}
+				return nil
+			})
+		return merged, err
+	}
+	if total := sum(plan); total != shots {
+		return merged, fmt.Errorf("expt: shard plan covers %d shots, job has %d", total, shots)
+	}
+	starts := make([]int, len(plan))
+	for k := 1; k < len(plan); k++ {
+		starts[k] = starts[k-1] + plan[k-1]
+	}
+	// The first failing shard cancels its siblings: they abort at the
+	// engine's next bounded-staleness check instead of finishing work
+	// whose job already failed.
+	sctx, cancelShards := context.WithCancel(ctx)
+	defer cancelShards()
+	bufs := make([]shardStream, len(plan))
+	statsv := make([]replay.Stats, len(plan))
+	errs := make([]error, len(plan))
+	poolErr := runPool(sctx, len(plan), shotWorkers, func(k int) error {
+		// Recover panics here, not only in runPool, so the recovery
+		// reaches cancelShards: a panicking shard must abort its
+		// siblings exactly like an erroring one. The machine discard
+		// happens regardless — the panic unwinds past runShotJob's put.
+		err := recoverJob(func(int) error {
+			var s shardStream
+			var cb func(int, []replay.MD)
+			if onShot != nil {
+				s.lens = make([]int, 0, plan[k])
+				cb = func(_ int, md []replay.MD) {
+					s.md = append(s.md, md...)
+					s.lens = append(s.lens, len(md))
+				}
+			}
+			err := runShotJob(sctx, mp, DeriveSeed(pointSeed, k), prog, plan[k], starts[k], mode, setup, cb,
+				func(m *core.Machine, st replay.Stats) error {
+					statsv[k] = st
+					if finishShard != nil {
+						return finishShard(k, m, st)
+					}
+					return nil
+				})
+			if err == nil {
+				bufs[k] = s
+			}
+			return err
+		}, k)
+		if err != nil {
+			errs[k] = err
+			cancelShards()
+		}
+		return err
+	})
+	// Error selection: the caller's own preemption wins (taxonomy:
+	// canceled/deadline), then the lowest-index shard error that is NOT
+	// itself a ctx abort — sibling shards canceled by a panicking or
+	// failing shard must not mask the root cause — then any error.
+	if err := ctx.Err(); err != nil {
+		return merged, fmt.Errorf("expt: sharded shot job preempted: %w", err)
+	}
+	var firstErr error
+	for _, e := range errs {
+		if e != nil && !errors.Is(e, context.Canceled) && !errors.Is(e, context.DeadlineExceeded) {
+			firstErr = e
+			break
+		}
+	}
+	if firstErr == nil {
+		for _, e := range errs {
+			if e != nil {
+				firstErr = e
+				break
+			}
+		}
+	}
+	if firstErr == nil {
+		firstErr = poolErr
+	}
+	if firstErr != nil {
+		return merged, firstErr
+	}
+	for k := range statsv {
+		merged.Merge(statsv[k])
+	}
+	// Deliver the buffered streams in shard order with global indices:
+	// one deterministic merged stream, independent of shard scheduling.
+	if onShot != nil {
+		for k := range bufs {
+			off := 0
+			for i, n := range bufs[k].lens {
+				onShot(starts[k]+i, bufs[k].md[off:off+n:off+n])
+				off += n
+			}
+		}
+	}
+	return merged, nil
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

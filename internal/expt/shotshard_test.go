@@ -1,0 +1,271 @@
+package expt
+
+// Shot-sharding determinism: the shard plan is a pure function of the
+// shot count, so every ShotWorkers value — and the legacy chunk fan-out
+// the repcode experiments migrated from — must produce bit-identical
+// results. CI runs this file under -race.
+
+import (
+	"context"
+	"hash/fnv"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"quma/internal/core"
+	"quma/internal/qphys"
+	"quma/internal/replay"
+)
+
+func TestShotShardPlanFixedness(t *testing.T) {
+	for _, shots := range []int{1, 100, ShotShardSize} {
+		if plan := ShotShardPlan(shots); plan != nil {
+			t.Errorf("ShotShardPlan(%d) = %v, want nil (legacy single stream)", shots, plan)
+		}
+	}
+	for _, shots := range []int{ShotShardSize + 1, 552, 600, 100_000} {
+		plan := ShotShardPlan(shots)
+		if plan == nil {
+			t.Fatalf("ShotShardPlan(%d) = nil, want shards", shots)
+		}
+		total := 0
+		for k, n := range plan {
+			if n <= 0 || n > ShotShardSize {
+				t.Errorf("ShotShardPlan(%d)[%d] = %d, want 1..%d", shots, k, n, ShotShardSize)
+			}
+			total += n
+		}
+		if total != shots {
+			t.Errorf("ShotShardPlan(%d) sums to %d", shots, total)
+		}
+		if again := ShotShardPlan(shots); !reflect.DeepEqual(plan, again) {
+			t.Errorf("ShotShardPlan(%d) not stable: %v vs %v", shots, plan, again)
+		}
+	}
+}
+
+// shardWorkerCounts is the ShotWorkers axis the determinism tests sweep:
+// serial, small, oversubscribed, and the auto default.
+func shardWorkerCounts() []int {
+	return []int{1, 2, 8, runtime.NumCPU()}
+}
+
+// TestSweepBitIdenticalAcrossShotWorkers runs a T1 sweep whose Rounds
+// exceed ShotShardSize (600 → 3 shards per point) at every ShotWorkers
+// value and demands bit-identical results — the tentpole contract.
+func TestSweepBitIdenticalAcrossShotWorkers(t *testing.T) {
+	cfg := core.DefaultConfig()
+	p := DefaultSweepParams()
+	p.Rounds = 600
+	p.DelaysCycles = []int{0, 800, 1600, 2400}
+	var baseline *T1Result
+	for _, sw := range shardWorkerCounts() {
+		p.ShotWorkers = sw
+		res, err := NewEnv().RunT1(context.Background(), cfg, p)
+		if err != nil {
+			t.Fatalf("ShotWorkers=%d: %v", sw, err)
+		}
+		res.Params.ShotWorkers = 0
+		if baseline == nil {
+			baseline = res
+			continue
+		}
+		if !reflect.DeepEqual(res, baseline) {
+			t.Fatalf("ShotWorkers=%d result differs from ShotWorkers=%d", sw, shardWorkerCounts()[0])
+		}
+	}
+}
+
+// TestRunProgramStreamIdenticalAcrossShotWorkers pins the buffered
+// shard-order stream merge: the FNV stream hash — sensitive to every
+// (shot, index, qubit, result) in order — must match across ShotWorkers
+// and replay modes for a sharded shot count (552 → 3 shards).
+func TestRunProgramStreamIdenticalAcrossShotWorkers(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.NumQubits = 2
+	src := "mov r15, 40\nQNopReg r15\nPulse {q0}, X90\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nMPG {q1}, 300\nMD {q1}, r8\nhalt\n"
+	env := NewEnv()
+	var ref *ProgramResult
+	for _, mode := range []replay.Mode{replay.ModeOff, replay.ModeInterp, replay.ModeCompiled} {
+		for _, sw := range shardWorkerCounts() {
+			res, err := env.RunProgram(context.Background(), cfg, ProgramParams{Source: src, Shots: 552, Replay: mode, ShotWorkers: sw})
+			if err != nil {
+				t.Fatalf("mode=%s ShotWorkers=%d: %v", mode, sw, err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if res.StreamHash != ref.StreamHash {
+				t.Fatalf("mode=%s ShotWorkers=%d: stream %x, want %x", mode, sw, res.StreamHash, ref.StreamHash)
+			}
+			if !reflect.DeepEqual(res.Ones, ref.Ones) {
+				t.Fatalf("mode=%s ShotWorkers=%d: ones %v, want %v", mode, sw, res.Ones, ref.Ones)
+			}
+		}
+	}
+}
+
+// TestBelowThresholdKeepsLegacySingleStream pins the compatibility half
+// of the contract: at or below ShotShardSize the engine must consume the
+// exact pre-sharding PRNG stream — one machine seeded with the point
+// seed itself. The expected hash is computed by driving replay.Run
+// directly on a fresh machine, the way the engine ran before sharding
+// existed.
+func TestBelowThresholdKeepsLegacySingleStream(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = 42
+	src := "mov r15, 40\nQNopReg r15\nPulse {q0}, X90\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n"
+	res, err := NewEnv().RunProgram(context.Background(), cfg, ProgramParams{Source: src, Shots: ShotShardSize, ShotWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := newProgramCache().get(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	_, err = replay.Run(context.Background(), m, prog, replay.Options{Shots: ShotShardSize, OnShot: func(_ int, md []replay.MD) {
+		for _, r := range md {
+			h.Write([]byte{byte(r.Qubit), byte(r.Result)})
+		}
+		h.Write([]byte{0xFF})
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StreamHash != h.Sum64() {
+		t.Fatalf("engine stream %x, legacy single-stream %x", res.StreamHash, h.Sum64())
+	}
+}
+
+// TestRepCodeMatchesLegacyChunkFanout reruns the repetition-code
+// experiment at every (Workers, ShotWorkers) combination and checks all
+// of them — plus a by-hand reconstruction of the pre-sharding
+// (variant, chunk) job fan-out with its DeriveSeed2 seeds — agree
+// bit-for-bit on the measured error fractions.
+func TestRepCodeMatchesLegacyChunkFanout(t *testing.T) {
+	cfg := core.DefaultConfig()
+	p := DefaultRepCodeParams()
+	p.Rounds = 120 // 3 chunks of the fixed 50-round plan
+	var baseline *RepCodeResult
+	for _, workers := range []int{1, 4} {
+		for _, sw := range shardWorkerCounts() {
+			p.Workers, p.ShotWorkers = workers, sw
+			res, err := RunRepCode(cfg, p)
+			if err != nil {
+				t.Fatalf("Workers=%d ShotWorkers=%d: %v", workers, sw, err)
+			}
+			res.Params.Workers, res.Params.ShotWorkers = 0, 0
+			if baseline == nil {
+				baseline = res
+				continue
+			}
+			if !reflect.DeepEqual(res, baseline) {
+				t.Fatalf("Workers=%d ShotWorkers=%d differs from first combination", workers, sw)
+			}
+		}
+	}
+
+	// Legacy reconstruction: one runShotJob per (variant, chunk) with the
+	// historical seed DeriveSeed2(cfg.Seed, variant+1, chunk).
+	runCfg := cfg
+	runCfg.NumQubits = 5
+	for len(runCfg.Qubit) < 5 {
+		runCfg.Qubit = append(runCfg.Qubit, qphys.DefaultQubitParams())
+	}
+	majority := func(md []replay.MD) bool {
+		if len(md) < 3 {
+			return true
+		}
+		ones := 0
+		for _, r := range md[len(md)-3:] {
+			ones += r.Result
+		}
+		return ones < 2
+	}
+	variants := []chunkVariant{
+		{src: UnprotectedShotProgram(p), isError: func(md []replay.MD) bool { return len(md) < 1 || md[0].Result == 0 }},
+		{src: RepCodeShotProgram(p, false), isError: majority},
+		{src: RepCodeShotProgram(p, true), isError: majority},
+	}
+	env := NewEnv()
+	pool := env.poolFor(runCfg)
+	chunks := chunkRounds(p.Rounds, repCodeChunkRounds)
+	want := []float64{baseline.Unprotected, baseline.Uncorrected, baseline.Protected}
+	for v, variant := range variants {
+		prog, err := env.progs.get(variant.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs := 0
+		for k, rounds := range chunks {
+			err := runShotJob(context.Background(), pool, DeriveSeed2(runCfg.Seed, v+1, k), prog, rounds, 0, p.Replay, nil,
+				func(_ int, md []replay.MD) {
+					if variant.isError(md) {
+						errs++
+					}
+				}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := float64(errs) / float64(p.Rounds); got != want[v] {
+			t.Errorf("variant %d: legacy chunk fan-out %v, sharded engine %v", v, got, want[v])
+		}
+	}
+}
+
+// TestShardPlanMismatchRejected pins the runner's self-check: a plan
+// that does not cover the shot range is a programming error, reported —
+// not silently truncated.
+func TestShardPlanMismatchRejected(t *testing.T) {
+	cfg := core.DefaultConfig()
+	env := NewEnv()
+	prog, err := env.progs.get("mov r1, 1\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = runShotJobSharded(context.Background(), env.poolFor(cfg), 1, prog, 500, []int{100, 100}, 2, replay.ModeAuto, nil, nil, nil)
+	if err == nil {
+		t.Fatal("mismatched shard plan accepted")
+	}
+}
+
+// TestShardSeedDerivation pins the per-shard seed rule the docs promise:
+// shard k of point seed s runs ResetState(DeriveSeed(s, k)), equal to
+// DeriveSeed2 composition used by the chunked experiments.
+func TestShardSeedDerivation(t *testing.T) {
+	for v := 0; v < 4; v++ {
+		for k := 0; k < 4; k++ {
+			if got, want := DeriveSeed(DeriveSeed(7, v+1), k), DeriveSeed2(7, v+1, k); got != want {
+				t.Fatalf("DeriveSeed(DeriveSeed(7,%d),%d) = %d, DeriveSeed2 = %d", v+1, k, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkShardedT1Point measures one sharded sweep point end to end
+// (engine overhead, not physics: small rounds keep it in the smoke
+// budget).
+func BenchmarkShardedT1Point(b *testing.B) {
+	cfg := core.DefaultConfig()
+	env := NewEnv()
+	prog, err := env.progs.get("mov r15, 40\nQNopReg r15\nPulse {q0}, X180\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := env.poolFor(cfg)
+	shots := 600
+	plan := ShotShardPlan(shots)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runShotJobSharded(context.Background(), pool, 1, prog, shots, plan, 0, replay.ModeAuto, nil, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -278,11 +278,15 @@ func (mp *machinePool) get(seed int64) (*core.Machine, error) {
 
 func (mp *machinePool) put(m *core.Machine) { mp.pool.Put(m) }
 
-// runShotJob executes one sweep point: acquire a pooled machine under the
-// point seed, run optional per-point setup (e.g. a pulse upload), execute
+// runShotJob executes one sweep point (or one shard of a shot-sharded
+// point — see runShotJobSharded): acquire a pooled machine under the
+// given seed, run optional per-point setup (e.g. a pulse upload), execute
 // the per-shot program `shots` times through the replay engine, and hand
 // the machine to finish for result extraction before returning it to the
-// pool.
+// pool. base is the global index of this job's first shot (0 for an
+// unsharded point): the engine reports shot indices offset by it, so
+// OnShot callbacks and the fault-injection Shot hook observe global shot
+// numbering whichever shard they run on.
 //
 // The machine return is deliberately not deferred: a panic anywhere in
 // the point (engine, callbacks, injected fault) unwinds past the put, so
@@ -291,7 +295,7 @@ func (mp *machinePool) put(m *core.Machine) { mp.pool.Put(m) }
 // canceled run, because ResetState restores a preempted machine to a
 // state bit-identical to fresh construction (the cancellation tests
 // reuse a pool across a cancel and assert bit-identity).
-func runShotJob(ctx context.Context, mp *machinePool, seed int64, prog *isa.Program, shots int, mode replay.Mode,
+func runShotJob(ctx context.Context, mp *machinePool, seed int64, prog *isa.Program, shots, base int, mode replay.Mode,
 	setup func(*core.Machine) error,
 	onShot func(int, []replay.MD),
 	finish func(*core.Machine, replay.Stats) error) error {
@@ -314,7 +318,7 @@ func runShotJob(ctx context.Context, mp *machinePool, seed int64, prog *isa.Prog
 			return err
 		}
 	}
-	stats, err := replay.Run(ctx, m, prog, replay.Options{Shots: shots, Mode: mode, OnShot: onShot})
+	stats, err := replay.Run(ctx, m, prog, replay.Options{Shots: shots, Mode: mode, OnShot: onShot, BaseShot: base})
 	if err == nil && finish != nil {
 		err = finish(m, stats)
 	}

@@ -215,6 +215,20 @@ func (d *DataCollector) Record(s float64) {
 // Rounds returns the number of complete rounds recorded.
 func (d *DataCollector) Rounds() int { return d.rounds }
 
+// Sums returns a copy of the per-index running sums Σ_j S_{i,j}.
+// Together with Counts it lets shot-sharded experiments merge several
+// collectors exactly: summing the shard sums and counts in shard order,
+// then dividing once, reproduces the single-collector average bit for
+// bit when there is one shard and deterministically for any shard count.
+func (d *DataCollector) Sums() []float64 {
+	return append([]float64(nil), d.sums...)
+}
+
+// Counts returns a copy of the per-index record counts.
+func (d *DataCollector) Counts() []int {
+	return append([]int(nil), d.counts...)
+}
+
 // Averages returns S̄_i for i in 0..K-1. Indices never recorded return 0.
 func (d *DataCollector) Averages() []float64 {
 	out := make([]float64, d.K)

@@ -258,8 +258,10 @@ func (c *compiled) runGeneric(m *core.Machine, state qphys.State, md []MD) []MD 
 // the whole shot loop to the concrete backend type once. The context is
 // consulted every ctxCheckShots shots (bounded-staleness preemption); a
 // preempted run returns the wrapped ctx.Err() with the count of shots
-// already replayed.
-func (c *compiled) run(ctx context.Context, m *core.Machine, first, shots int, onShot func(int, []MD)) (int, error) {
+// already replayed. base offsets the shot indices reported to onShot and
+// in preemption messages (Options.BaseShot): shot-sharded callers run
+// each shard as its own engine invocation but number shots globally.
+func (c *compiled) run(ctx context.Context, m *core.Machine, base, first, shots int, onShot func(int, []MD)) (int, error) {
 	md := make([]MD, 0, c.nMD)
 	replayed := 0
 	check := func(shot int) error {
@@ -267,7 +269,7 @@ func (c *compiled) run(ctx context.Context, m *core.Machine, first, shots int, o
 			return nil
 		}
 		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("replay: preempted at shot %d: %w", shot, err)
+			return fmt.Errorf("replay: preempted at shot %d: %w", base+shot, err)
 		}
 		return nil
 	}
@@ -290,7 +292,7 @@ func (c *compiled) run(ctx context.Context, m *core.Machine, first, shots int, o
 			m.PulsesPlayed += c.pulses
 			replayed++
 			if onShot != nil {
-				onShot(shot, md)
+				onShot(base+shot, md)
 			}
 		}
 	case *qphys.Density:
@@ -301,7 +303,7 @@ func (c *compiled) run(ctx context.Context, m *core.Machine, first, shots int, o
 			md = c.runDensity(m, state, md[:0])
 			replayed++
 			if onShot != nil {
-				onShot(shot, md)
+				onShot(base+shot, md)
 			}
 		}
 	default:
@@ -312,7 +314,7 @@ func (c *compiled) run(ctx context.Context, m *core.Machine, first, shots int, o
 			md = c.runGeneric(m, m.State, md[:0])
 			replayed++
 			if onShot != nil {
-				onShot(shot, md)
+				onShot(base+shot, md)
 			}
 		}
 	}

@@ -140,6 +140,14 @@ type Options struct {
 	// measurement results in deterministic-domain order. The slice is
 	// reused across shots; copy it to retain.
 	OnShot func(shot int, md []MD)
+	// BaseShot offsets the shot indices reported to OnShot and in
+	// preemption/error messages: the global index of this run's first
+	// shot when the caller splits one logical shot range across several
+	// Runs on separate machines (the expt shot-sharding engine).
+	// Execution is unaffected — lead/detection shots, replay-safety
+	// detection, and the ctx-check cadence are all relative to this
+	// run's own local shot range.
+	BaseShot int
 }
 
 // Stats reports what the engine did.
@@ -155,6 +163,25 @@ type Stats struct {
 	Compiled bool
 	// Reason explains why replay was not used (empty when Safe).
 	Reason string
+}
+
+// Merge folds the stats of the next shard of a shot-sharded run into s,
+// in shard order: shot counts add, Safe/Compiled hold only if every
+// shard held them (each shard detects independently; identical programs
+// agree, so the AND is diagnostic, not lossy), and the first non-empty
+// Reason is kept. Merging into a zero Stats adopts t wholesale.
+func (s *Stats) Merge(t Stats) {
+	if s.Shots == 0 {
+		*s = t
+		return
+	}
+	s.Shots += t.Shots
+	s.Replayed += t.Replayed
+	s.Safe = s.Safe && t.Safe
+	s.Compiled = s.Compiled && t.Compiled
+	if s.Reason == "" {
+		s.Reason = t.Reason
+	}
 }
 
 // op kinds of a recorded schedule.
@@ -282,16 +309,17 @@ func Run(ctx context.Context, m *core.Machine, p *isa.Program, opts Options) (St
 	defer m.SetProbe(nil)
 	m.Controller.ResetReplayTracking()
 
+	base := opts.BaseShot
 	fullShot := func(shot int) error {
 		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("replay: preempted before shot %d: %w", shot, err)
+			return fmt.Errorf("replay: preempted before shot %d: %w", base+shot, err)
 		}
 		rec.md = rec.md[:0]
 		if err := m.RunProgram(p); err != nil {
-			return fmt.Errorf("replay: shot %d: %w", shot, err)
+			return fmt.Errorf("replay: shot %d: %w", base+shot, err)
 		}
 		if opts.OnShot != nil {
-			opts.OnShot(shot, rec.md)
+			opts.OnShot(base+shot, rec.md)
 		}
 		return nil
 	}
@@ -384,7 +412,7 @@ func Run(ctx context.Context, m *core.Machine, p *isa.Program, opts Options) (St
 			}
 			cache[p] = &compileCache{sched: s2, c: comp}
 		}
-		st.Replayed, err = comp.run(ctx, m, lead, opts.Shots, opts.OnShot)
+		st.Replayed, err = comp.run(ctx, m, base, lead, opts.Shots, opts.OnShot)
 		return st, err
 	}
 	state := m.State
@@ -398,7 +426,7 @@ func Run(ctx context.Context, m *core.Machine, p *isa.Program, opts Options) (St
 	for shot := lead; shot < opts.Shots; shot++ {
 		if (shot-lead)%ctxCheckShots == 0 {
 			if err := ctx.Err(); err != nil {
-				return st, fmt.Errorf("replay: preempted at shot %d: %w", shot, err)
+				return st, fmt.Errorf("replay: preempted at shot %d: %w", base+shot, err)
 			}
 		}
 		md = md[:0]
@@ -426,7 +454,7 @@ func Run(ctx context.Context, m *core.Machine, p *isa.Program, opts Options) (St
 		}
 		st.Replayed++
 		if opts.OnShot != nil {
-			opts.OnShot(shot, md)
+			opts.OnShot(base+shot, md)
 		}
 	}
 	return st, nil

@@ -49,6 +49,17 @@
 // TestConcurrentIdenticalJobsBitIdentical (under -race in CI) and the
 // CI smoke job (server result diffed against `quma-serve -once`).
 //
+// Result schema: every result envelope is {type, schema, result} with
+// schema = ResultSchemaVersion. Byte-identity is promised per schema
+// version: v2 introduced shot-sharded replay (expt.ShotShardPlan), which
+// re-laid-out the PRNG streams of requests whose per-point shot count
+// exceeds expt.ShotShardSize — their sampled results differ from v1's
+// (statistics pinned at 5σ by internal/conformance) while smaller shot
+// counts stay byte-identical. The shot_workers request field, like
+// workers, can never change the measured data — the shard plan,
+// per-shard seeds, and merge order are pure functions of the shot
+// count — it only appears as its own echo in the result's params block.
+//
 // Cache lifetime: the Env (and with it every per-machine ReplayCache)
 // lives exactly as long as the Server. Invalidation is delegated
 // downward — core.Machine.UploadPulse/SetQubitParams drop compiled

@@ -47,6 +47,10 @@ type ExperimentRequest struct {
 	// Workers bounds sweep parallelism inside the experiment (0 = one
 	// per CPU). Results are identical for any value.
 	Workers int `json:"workers,omitempty"`
+	// ShotWorkers bounds shot-shard parallelism inside each sweep point
+	// (0 = one per CPU). The shard plan is a pure function of the shot
+	// count, so results are identical for any value.
+	ShotWorkers int `json:"shot_workers,omitempty"`
 	// Replay is the shot-replay engine mode: "", auto, compiled, interp,
 	// off. Results are bit-identical for any value.
 	Replay string `json:"replay,omitempty"`
@@ -66,6 +70,22 @@ type ExperimentRequest struct {
 	// Program is the assembly source for asm requests.
 	Program string `json:"program,omitempty"`
 }
+
+// ResultSchemaVersion is the version stamped into every result envelope.
+// It bumps when the bytes a fixed request produces change — the service's
+// byte-identity contract is per schema version, not forever.
+//
+//	v1: initial envelope {type, result}.
+//	v2: shot-sharded replay — requests whose per-point shot count exceeds
+//	    expt.ShotShardSize consume a sharded PRNG stream layout (one
+//	    derived stream per fixed shard) instead of the single per-point
+//	    stream, changing their sampled results (never the statistics:
+//	    internal/conformance pins 5σ agreement against v1's layout).
+//	    Shot counts at or below the threshold are byte-identical to v1.
+//	    Adds the shot_workers request field, which — like workers —
+//	    never affects the measured data, only its echo in the result's
+//	    params block.
+const ResultSchemaVersion = 2
 
 // maxProgramBytes bounds an asm request's program text: validation
 // assembles it synchronously on the submit path, so the size must be
@@ -115,6 +135,9 @@ func (r ExperimentRequest) Validate(i int) []FieldError {
 	}
 	if r.Rounds < 0 {
 		add("rounds", "must be non-negative (0 selects the default)")
+	}
+	if r.ShotWorkers < 0 {
+		add("shot_workers", "must be non-negative (0 selects one worker per CPU)")
 	}
 	maxQ := 8
 	if core.Backend(r.Backend) == core.BackendTrajectory {
@@ -227,6 +250,7 @@ func (r ExperimentRequest) sweepParams() expt.SweepParams {
 		p.DelaysCycles = r.DelaysCycles
 	}
 	p.Workers = r.Workers
+	p.ShotWorkers = r.ShotWorkers
 	p.Replay = replay.Mode(r.Replay)
 	return p
 }
@@ -257,6 +281,7 @@ func Execute(ctx context.Context, env *expt.Env, r ExperimentRequest) (json.RawM
 			p.Rounds = r.Rounds
 		}
 		p.Workers = r.Workers
+		p.ShotWorkers = r.ShotWorkers
 		p.Replay = replay.Mode(r.Replay)
 		res, err = env.RunAllXY(ctx, cfg, p)
 	case "rabi":
@@ -269,6 +294,7 @@ func Execute(ctx context.Context, env *expt.Env, r ExperimentRequest) (json.RawM
 			p.Scales = r.Scales
 		}
 		p.Workers = r.Workers
+		p.ShotWorkers = r.ShotWorkers
 		p.Replay = replay.Mode(r.Replay)
 		res, err = env.RunRabi(ctx, cfg, p)
 	case "rb":
@@ -287,6 +313,7 @@ func Execute(ctx context.Context, env *expt.Env, r ExperimentRequest) (json.RawM
 			p.Seed = r.SeqSeed
 		}
 		p.Workers = r.Workers
+		p.ShotWorkers = r.ShotWorkers
 		p.Replay = replay.Mode(r.Replay)
 		res, err = env.RunRB(ctx, cfg, p)
 	case "repcode", "phasecode":
@@ -299,6 +326,7 @@ func Execute(ctx context.Context, env *expt.Env, r ExperimentRequest) (json.RawM
 			p.WaitCycles = r.WaitCycles
 		}
 		p.Workers = r.Workers
+		p.ShotWorkers = r.ShotWorkers
 		p.Replay = replay.Mode(r.Replay)
 		if r.Type == "repcode" {
 			res, err = env.RunRepCode(ctx, cfg, p)
@@ -311,9 +339,10 @@ func Execute(ctx context.Context, env *expt.Env, r ExperimentRequest) (json.RawM
 			shots = 100
 		}
 		res, err = env.RunProgram(ctx, cfg, expt.ProgramParams{
-			Source: r.Program,
-			Shots:  shots,
-			Replay: replay.Mode(r.Replay),
+			Source:      r.Program,
+			Shots:       shots,
+			Replay:      replay.Mode(r.Replay),
+			ShotWorkers: r.ShotWorkers,
 		})
 	default:
 		return nil, fmt.Errorf("service: unknown experiment type %q", r.Type)
@@ -323,6 +352,7 @@ func Execute(ctx context.Context, env *expt.Env, r ExperimentRequest) (json.RawM
 	}
 	return json.Marshal(struct {
 		Type   string `json:"type"`
+		Schema int    `json:"schema"`
 		Result any    `json:"result"`
-	}{Type: r.Type, Result: res})
+	}{Type: r.Type, Schema: ResultSchemaVersion, Result: res})
 }
