@@ -18,10 +18,28 @@
 //	                                # server's /result body)
 //	quma-serve -client http://host:8077 batch.json
 //	                                # submit the batch to a live server,
-//	                                # retrying transient 429/503 with
-//	                                # capped exponential backoff, poll to
+//	                                # retrying transient 429/503 and
+//	                                # connection errors with capped
+//	                                # exponential backoff, poll to
 //	                                # completion, print the results array
 //	                                # (byte-identical to -once output)
+//	quma-serve -journal-dir /var/lib/quma/journal
+//	                                # durable mode: accepted jobs survive
+//	                                # a crash — on restart the journal
+//	                                # replays, unfinished jobs re-execute
+//	                                # deterministically under their
+//	                                # original IDs
+//
+// Durability: with -journal-dir set, every accepted job is appended to
+// an fsync'd write-ahead log before the submission is acknowledged,
+// and every state transition after it. A killed server restarted on
+// the same directory recovers: finished jobs serve their journaled
+// results byte-for-byte, unfinished jobs re-execute — and because
+// results are pure functions of requests, re-execution reproduces the
+// exact bytes a crash-free run would have produced. Clients pair this
+// with the Idempotency-Key header (-key) to make resubmission after a
+// connection loss safe: a duplicate submission returns the original
+// job instead of creating a new one.
 //
 // Shutdown: SIGINT/SIGTERM stops intake (503), finishes every queued
 // and running job, then exits. With -drain-timeout set, jobs still
@@ -47,6 +65,7 @@ import (
 	"time"
 
 	"quma/internal/expt"
+	"quma/internal/journal"
 	"quma/internal/service"
 )
 
@@ -60,15 +79,17 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 0, "hard deadline for shutdown drain; expiring cancels in-flight jobs (0 waits forever)")
 		once         = flag.String("once", "", "execute the batch request in this JSON file directly (no HTTP) and print the results array")
 		client       = flag.String("client", "", "submit the batch file given as the positional argument to this server URL and print the results array")
+		journalDir   = flag.String("journal-dir", "", "directory for the durable job journal; accepted jobs survive a crash and recover on restart (empty disables durability)")
+		key          = flag.String("key", "", "Idempotency-Key header for -client submissions: resubmitting the same batch under the same key returns the original job instead of a duplicate")
 	)
 	flag.Parse()
-	if err := run(*addr, *queue, *workers, *jobTimeout, *maxBatch, *drainTimeout, *once, *client, flag.Args()); err != nil {
+	if err := run(*addr, *queue, *workers, *jobTimeout, *maxBatch, *drainTimeout, *once, *client, *journalDir, *key, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "quma-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, queue, workers int, jobTimeout time.Duration, maxBatch int, drainTimeout time.Duration, once, client string, args []string) error {
+func run(addr string, queue, workers int, jobTimeout time.Duration, maxBatch int, drainTimeout time.Duration, once, client, journalDir, key string, args []string) error {
 	if queue <= 0 || workers <= 0 || maxBatch <= 0 {
 		return fmt.Errorf("-queue, -workers and -max-batch must be positive")
 	}
@@ -79,15 +100,32 @@ func run(addr string, queue, workers int, jobTimeout time.Duration, maxBatch int
 		if len(args) != 1 {
 			return fmt.Errorf("-client needs exactly one batch file argument, got %d", len(args))
 		}
-		return runClient(client, args[0], os.Stdout)
+		return runClient(client, args[0], key, os.Stdout)
 	}
 
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		QueueSize:  queue,
 		Workers:    workers,
 		JobTimeout: jobTimeout,
 		MaxBatch:   maxBatch,
-	}).Start()
+	}
+	if journalDir != "" {
+		jr, err := journal.Open(journal.Options{Dir: journalDir})
+		if err != nil {
+			return fmt.Errorf("open journal: %w", err)
+		}
+		// The server journals through jr until Drain returns; close after.
+		defer jr.Close()
+		cfg.Journal = jr
+		st := jr.Stats()
+		fmt.Printf("quma-serve: journal %s replayed %d records across %d segments (%d jobs)\n",
+			journalDir, st.Records, st.Segments, st.Jobs)
+		if st.TruncatedBytes > 0 || st.DroppedSegments > 0 {
+			fmt.Printf("quma-serve: journal recovered with truncation: %d bytes of torn tail, %d later segments dropped\n",
+				st.TruncatedBytes, st.DroppedSegments)
+		}
+	}
+	srv := service.New(cfg).Start()
 	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
@@ -136,16 +174,43 @@ func retryDelay(attempt int, retryAfter string) time.Duration {
 // poll status to a terminal state, fetch the result, and print the
 // results array byte-identically to what -once prints for the same
 // batch (the CI smoke diffs the two).
-func runClient(base, path string, out io.Writer) error {
+//
+// Connection errors during polling are retryable with the same capped
+// backoff: against a journaled server (-journal-dir) a crash-restart
+// mid-job is invisible to the client beyond latency — the job recovers
+// under the same ID and the poll loop rides through the outage.
+func runClient(base, path, key string, out io.Writer) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
 	hc := &http.Client{Timeout: 30 * time.Second}
 	const maxAttempts = 8
+	// getRetry absorbs connection refused/reset — the window where the
+	// server is restarting — and hands back the first real response.
+	getRetry := func(url string) (*http.Response, error) {
+		for attempt := 0; ; attempt++ {
+			resp, err := hc.Get(url)
+			if err == nil {
+				return resp, nil
+			}
+			if attempt >= maxAttempts-1 {
+				return nil, fmt.Errorf("after %d attempts: %w", maxAttempts, err)
+			}
+			time.Sleep(retryDelay(attempt, ""))
+		}
+	}
 	var id string
 	for attempt := 0; ; attempt++ {
-		resp, err := hc.Post(base+"/v1/jobs", "application/json", bytes.NewReader(raw))
+		hreq, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			hreq.Header.Set("Idempotency-Key", key)
+		}
+		resp, err := hc.Do(hreq)
 		var retryAfter string
 		if err == nil {
 			body, rerr := io.ReadAll(resp.Body)
@@ -154,7 +219,10 @@ func runClient(base, path string, out io.Writer) error {
 				err = rerr
 			} else {
 				switch resp.StatusCode {
-				case http.StatusAccepted:
+				// 200 is the idempotent-replay response: the key was
+				// already used for this batch and the original job (possibly
+				// already finished) is returned.
+				case http.StatusAccepted, http.StatusOK:
 					var acc struct {
 						ID string `json:"id"`
 					}
@@ -181,7 +249,7 @@ func runClient(base, path string, out io.Writer) error {
 		time.Sleep(retryDelay(attempt, retryAfter))
 	}
 	for {
-		resp, err := hc.Get(base + "/v1/jobs/" + id)
+		resp, err := getRetry(base + "/v1/jobs/" + id)
 		if err != nil {
 			return err
 		}
@@ -205,7 +273,7 @@ func runClient(base, path string, out io.Writer) error {
 		}
 		break
 	}
-	resp, err := hc.Get(base + "/v1/jobs/" + id + "/result")
+	resp, err := getRetry(base + "/v1/jobs/" + id + "/result")
 	if err != nil {
 		return err
 	}

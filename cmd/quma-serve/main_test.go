@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -22,12 +23,17 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	for _, tc := range []struct{ queue, workers, maxBatch int }{
 		{0, 2, 64}, {4, 0, 64}, {4, 2, 0}, {-1, -1, -1},
 	} {
-		if err := run(":0", tc.queue, tc.workers, time.Minute, tc.maxBatch, 0, "", "", nil); err == nil {
+		if err := run(":0", tc.queue, tc.workers, time.Minute, tc.maxBatch, 0, "", "", "", "", nil); err == nil {
 			t.Errorf("run accepted queue=%d workers=%d max-batch=%d", tc.queue, tc.workers, tc.maxBatch)
 		}
 	}
-	if err := run(":0", 4, 2, time.Minute, 64, 0, "", "http://127.0.0.1:1", nil); err == nil {
+	if err := run(":0", 4, 2, time.Minute, 64, 0, "", "http://127.0.0.1:1", "", "", nil); err == nil {
 		t.Error("run accepted -client with no batch file argument")
+	}
+	// A journal dir that cannot be created fails startup loudly (it is
+	// the durability root, not a best-effort cache).
+	if err := run(":0", 4, 2, time.Minute, 64, 0, "", "", string([]byte{0}), "", nil); err == nil {
+		t.Error("run accepted an uncreatable -journal-dir")
 	}
 }
 
@@ -143,7 +149,7 @@ func TestClientRetriesTransientRejections(t *testing.T) {
 	defer hs.Close()
 
 	var got bytes.Buffer
-	if err := runClient(hs.URL, path, &got); err != nil {
+	if err := runClient(hs.URL, path, "", &got); err != nil {
 		t.Fatalf("runClient: %v", err)
 	}
 	if n := rejected.Load(); n < 3 {
@@ -172,6 +178,135 @@ func TestClientRetriesTransientRejections(t *testing.T) {
 	}
 	if !bytes.Equal(got.Bytes(), want) {
 		t.Fatalf("-client output differs from -once output:\nclient: %s\nonce:   %s", got.Bytes(), want)
+	}
+}
+
+// TestClientRidesThroughConnectionLoss slams the connection shut on the
+// client's first status polls — the restart window of a crashed server —
+// and asserts the poll loop retries through it and still prints the
+// results byte-identically to -once.
+func TestClientRidesThroughConnectionLoss(t *testing.T) {
+	batch := service.SubmitRequest{Experiments: []service.ExperimentRequest{
+		{Type: "asm", Seed: 7, Rounds: 40,
+			Program: "mov r15, 4000\nQNopReg r15\nPulse {q0}, X90\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n"},
+	}}
+	raw, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "batch.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := service.New(service.Config{Workers: 1}).Start()
+	defer srv.Drain()
+	var dropped atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && dropped.Add(1) <= 2 {
+			// Kill the TCP connection mid-request: the client sees a
+			// reset/EOF, exactly what a crashed server produces.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("test server cannot hijack")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close()
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	defer hs.Close()
+
+	var got bytes.Buffer
+	if err := runClient(hs.URL, path, "", &got); err != nil {
+		t.Fatalf("runClient did not ride through dropped connections: %v", err)
+	}
+	if dropped.Load() < 3 {
+		t.Fatalf("front door dropped only %d GETs; the retry path never ran", dropped.Load())
+	}
+
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.Bytes()
+	}()
+	onceErr := runOnce(path)
+	w.Close()
+	os.Stdout = old
+	want := <-done
+	if onceErr != nil {
+		t.Fatalf("runOnce: %v", onceErr)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("-client output differs from -once output after connection loss:\nclient: %s\nonce:   %s", got.Bytes(), want)
+	}
+}
+
+// TestClientIdempotencyKeyDedupes submits the same batch twice under one
+// key: the second submission must be answered with the replayed original
+// job (200, not 202) and both invocations must print identical results.
+func TestClientIdempotencyKeyDedupes(t *testing.T) {
+	batch := service.SubmitRequest{Experiments: []service.ExperimentRequest{
+		{Type: "asm", Seed: 7, Rounds: 40,
+			Program: "mov r15, 4000\nQNopReg r15\nPulse {q0}, X90\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n"},
+	}}
+	raw, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "batch.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := service.New(service.Config{Workers: 1}).Start()
+	defer srv.Drain()
+	var statuses []int
+	var mu sync.Mutex
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			rec := httptest.NewRecorder()
+			srv.Handler().ServeHTTP(rec, r)
+			mu.Lock()
+			statuses = append(statuses, rec.Code)
+			mu.Unlock()
+			for k, vs := range rec.Header() {
+				w.Header()[k] = vs
+			}
+			w.WriteHeader(rec.Code)
+			w.Write(rec.Body.Bytes())
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	defer hs.Close()
+
+	var first, second bytes.Buffer
+	if err := runClient(hs.URL, path, "dedupe-key", &first); err != nil {
+		t.Fatalf("first runClient: %v", err)
+	}
+	if err := runClient(hs.URL, path, "dedupe-key", &second); err != nil {
+		t.Fatalf("second runClient: %v", err)
+	}
+	mu.Lock()
+	got := append([]int(nil), statuses...)
+	mu.Unlock()
+	if len(got) != 2 || got[0] != http.StatusAccepted || got[1] != http.StatusOK {
+		t.Fatalf("submit statuses %v, want [202 200] (second deduped to the original job)", got)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("deduped submission printed different results:\nfirst:  %s\nsecond: %s", first.Bytes(), second.Bytes())
 	}
 }
 

@@ -228,4 +228,20 @@
 // internal/faultinject holds the deterministic fault plans and the
 // chaos suite that pins availability, the stable error taxonomy, and
 // post-fault byte-identity.
+//
+// The service is also crash-safe: with a journal directory configured
+// (quma-serve -journal-dir), every accepted job is recorded in an
+// append-only, fsync'd, checksummed log (internal/journal) before the
+// submission is acknowledged, and a restarted server replays the log —
+// finished jobs keep their journaled results, unfinished jobs
+// re-execute deterministically under their original IDs, and a torn
+// tail from a mid-write crash is truncated away rather than failing
+// startup. Determinism is what turns this at-least-once re-execution
+// into exactly-once-observable semantics; the Idempotency-Key request
+// header extends the same guarantee to client resubmission. The
+// kill-based crash harness (internal/service/crash_test.go and the CI
+// crash-recovery smoke) SIGKILLs live servers mid-sweep, with and
+// without injected disk faults (faultinject disk plans), and asserts
+// nothing accepted is lost and every recovered byte matches an
+// uncrashed run.
 package quma

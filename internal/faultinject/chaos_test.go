@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"quma/internal/faultinject"
+	"quma/internal/journal"
 	"quma/internal/service"
 )
 
@@ -437,6 +438,77 @@ func TestSeededPlansKeepServerAvailable(t *testing.T) {
 			if resp.StatusCode != http.StatusOK {
 				t.Fatalf("healthz %d after plan %+v", resp.StatusCode, plan)
 			}
+		})
+	}
+}
+
+// TestSeededDiskPlansKeepServerAvailable sweeps seed-derived disk fault
+// plans against a journaled server: whichever journal fault at whichever
+// ordinal each seed picks, the server stays available (an accepted-append
+// failure rejects only that submission with the stable taxonomy code),
+// later work completes, and the journal directory the faulted server
+// leaves behind always reopens cleanly — the recovery invariant even a
+// wedged, torn, or append-starved journal must preserve.
+func TestSeededDiskPlansKeepServerAvailable(t *testing.T) {
+	quick := service.ExperimentRequest{Type: "t1", Seed: 3, Backend: "trajectory", Rounds: 20}
+	for seed := int64(1); seed <= 6; seed++ {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			plan := faultinject.NewDiskPlan(seed)
+			if plan != faultinject.NewDiskPlan(seed) {
+				t.Fatalf("NewDiskPlan(%d) is not deterministic", seed)
+			}
+			dir := t.TempDir()
+			jr, err := journal.Open(journal.Options{Dir: dir, Faults: plan.JournalFaults()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, hs := startServer(t, service.Config{Workers: 1, Journal: jr})
+			t.Cleanup(func() { jr.Close() })
+
+			// Drive enough submissions past the plan's ordinal window
+			// (NewDiskPlan ordinals are ≤ 8; each job appends ≥ 3 records).
+			rejected := 0
+			for i := 0; i < 4; i++ {
+				body, _ := json.Marshal(service.SubmitRequest{Experiments: []service.ExperimentRequest{quick}})
+				resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					var acc struct {
+						ID string `json:"id"`
+					}
+					if err := json.Unmarshal(b, &acc); err != nil {
+						t.Fatal(err)
+					}
+					if st := waitTerminal(t, hs.URL, acc.ID); st.Status != service.StatusDone {
+						t.Fatalf("plan %+v: job %s ended %s/%s (%s)", plan, acc.ID, st.Status, st.Code, st.Error)
+					}
+				case http.StatusInternalServerError:
+					// Only the load-bearing accepted-record append may reject,
+					// and only with the stable code.
+					rejected++
+					if code := errCode(t, b); code != service.CodeInternal {
+						t.Fatalf("plan %+v: rejected submission code %s, want internal", plan, code)
+					}
+				default:
+					t.Fatalf("plan %+v: submit status %d: %s", plan, resp.StatusCode, b)
+				}
+			}
+			if plan.FailJournalAppend == 0 && rejected != 0 {
+				t.Fatalf("plan %+v rejected %d submissions without an append fault", plan, rejected)
+			}
+
+			// Whatever state the faulted journal left on disk, a fresh open
+			// must succeed — torn tails truncate, they never brick recovery.
+			jr2, err := journal.Open(journal.Options{Dir: dir})
+			if err != nil {
+				t.Fatalf("plan %+v left an unrecoverable journal: %v", plan, err)
+			}
+			jr2.Close()
 		})
 	}
 }

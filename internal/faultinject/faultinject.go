@@ -3,6 +3,9 @@
 // machine-pool acquisition that should fail, the engine shot that
 // should panic, or the shot from which every shot turns slow — and
 // compiles into the expt.FaultHooks hook points of the sweep engine.
+// Disk fault plans (FailJournalAppend, TornWrite, SlowFsync) compile
+// the same way into the journal's hook points (journal.Faults) and
+// drive the kill-based crash-recovery harness in internal/service.
 // Determinism is the point: a chaos test that fails replays exactly by
 // rerunning with the same plan, because the injection sites are counted
 // with atomic ordinals, not sampled per call.
@@ -23,11 +26,15 @@ import (
 	"time"
 
 	"quma/internal/expt"
+	"quma/internal/journal"
 )
 
 // ErrInjected marks an injected pool-acquisition failure, so tests can
 // errors.Is their way past the service's message formatting.
 var ErrInjected = errors.New("faultinject: injected pool-get failure")
+
+// ErrInjectedAppend marks an injected journal append failure.
+var ErrInjectedAppend = errors.New("faultinject: injected journal append failure")
 
 // Plan is one deterministic fault schedule. Ordinals are 1-based and
 // counted across the whole Env the hooks are installed on (all sweep
@@ -47,6 +54,25 @@ type Plan struct {
 	// preemption path). SlowFor defaults to 1ms when SlowShot is set.
 	SlowShot int
 	SlowFor  time.Duration
+
+	// Disk fault plan — compiled by JournalFaults into the journal's
+	// hook points (same nil-check-only pattern), for the kill-based
+	// crash harness in internal/service.
+	//
+	// FailJournalAppend fails the Nth journal append with an error
+	// wrapping ErrInjectedAppend: at the accepted record this rejects
+	// the submission (500 journal_append_failed); at any later record it
+	// is absorbed (best-effort transitions re-execute after a crash).
+	FailJournalAppend int
+	// TornWrite tears the Nth journal append: only a prefix of the
+	// framed record reaches disk and the journal wedges, reproducing
+	// exactly the tail a crash mid-write leaves. Recovery must truncate
+	// it, never fail startup.
+	TornWrite int
+	// SlowFsync makes every journal fsync from the Nth onward sleep
+	// SlowFsyncFor (default 1ms): durability latency without failure.
+	SlowFsync    int
+	SlowFsyncFor time.Duration
 }
 
 // NewPlan derives a single-fault plan from a seed: the fault kind and
@@ -101,4 +127,63 @@ func (p Plan) Hooks() *expt.FaultHooks {
 		}
 	}
 	return h
+}
+
+// NewDiskPlan derives a single disk-fault plan from a seed, the same
+// way NewPlan derives sweep-engine faults (NewPlan's seed→fault mapping
+// is part of replayability and must not change, so disk faults get
+// their own derivation). The ordinal stays small so the fault lands
+// within the first few appends of a test workload.
+func NewDiskPlan(seed int64) Plan {
+	kind := expt.DeriveSeed(seed, 2) % 3
+	ord := int(expt.DeriveSeed(seed, 3)%8) + 1
+	switch kind {
+	case 0:
+		return Plan{FailJournalAppend: ord}
+	case 1:
+		return Plan{TornWrite: ord}
+	default:
+		return Plan{SlowFsync: ord, SlowFsyncFor: time.Millisecond}
+	}
+}
+
+// JournalFaults compiles the plan's disk faults into journal hook
+// points. Like Hooks, each call carries independent atomic ordinal
+// counters; nil is returned when the plan injects no disk fault.
+func (p Plan) JournalFaults() *journal.Faults {
+	if p.FailJournalAppend <= 0 && p.TornWrite <= 0 && p.SlowFsync <= 0 {
+		return nil
+	}
+	slowFor := p.SlowFsyncFor
+	if slowFor <= 0 {
+		slowFor = time.Millisecond
+	}
+	var appends, syncs atomic.Int64
+	f := &journal.Faults{}
+	if p.FailJournalAppend > 0 || p.TornWrite > 0 {
+		// One counter covers both append-shaped faults so their ordinals
+		// share a timeline, like PanicShot/SlowShot do.
+		f.Append = func() error {
+			if appends.Add(1) == int64(p.FailJournalAppend) {
+				return fmt.Errorf("%w (append %d)", ErrInjectedAppend, p.FailJournalAppend)
+			}
+			return nil
+		}
+		if p.TornWrite > 0 {
+			f.Torn = func(frame []byte) []byte {
+				if appends.Load() == int64(p.TornWrite) {
+					return frame[:len(frame)/2]
+				}
+				return nil
+			}
+		}
+	}
+	if p.SlowFsync > 0 {
+		f.Fsync = func() {
+			if syncs.Add(1) >= int64(p.SlowFsync) {
+				time.Sleep(slowFor)
+			}
+		}
+	}
+	return f
 }

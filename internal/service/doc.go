@@ -12,7 +12,11 @@
 //	POST   /v1/jobs           submit a batch of experiment requests
 //	                          202 {"id": ...}; 400 structured validation
 //	                          error; 429 when the job queue is full;
-//	                          503 while draining
+//	                          503 while draining. An Idempotency-Key
+//	                          header dedupes resubmission: a repeated
+//	                          (key, batch) pair answers 200 with the
+//	                          original job, a reused key with a different
+//	                          batch answers 409 failed_precondition
 //	GET    /v1/jobs/{id}       job status + progress (+ terminal code)
 //	DELETE /v1/jobs/{id}       cancel: a queued job goes terminal at
 //	                          once, a running job is preempted mid-sweep
@@ -21,8 +25,13 @@
 //	GET    /v1/jobs/{id}/result completed results (409 with the job's
 //	                          terminal code for failed/canceled jobs)
 //	GET    /v1/jobs/{id}/stream SSE progress events, one per completed
-//	                          experiment, closing with the terminal state
-//	GET    /healthz           liveness + queue depth
+//	                          experiment, closing with the terminal state.
+//	                          Events carry monotonic per-job ids; a
+//	                          reconnect with Last-Event-ID resumes after
+//	                          that id without duplicates (/progress is an
+//	                          alias of /stream)
+//	GET    /healthz           liveness + queue depth (+ journal recovery
+//	                          stats when durability is on)
 //
 // # Error taxonomy
 //
@@ -91,6 +100,41 @@
 // cache and pool shards, and each machine's compiled-schedule memo
 // (epoch-flushed on overflow; flushes cost recomputation, never
 // correctness).
+//
+// # Durability and recovery
+//
+// With Config.Journal set (quma-serve -journal-dir), the server keeps a
+// crash-safe record of every accepted job in an append-only, fsync'd,
+// checksummed log (internal/journal): one record at acceptance —
+// written and synced before the 202 is sent, carrying the canonicalized
+// request bytes and their hash — and one per state transition after it
+// (running, done/failed/canceled with result bytes and result hash,
+// evicted). The accepted append is load-bearing: if it fails, the
+// submission is rejected 500 internal/journal_append_failed rather than
+// accepted undurably. Later appends are best-effort, which is safe
+// because of the determinism invariant above — if a crash eats a
+// terminal record, recovery simply re-executes the request and
+// reproduces the exact bytes the lost record held.
+//
+// Recovery is replay: a restarted server reads the journal before
+// serving, restores finished jobs (results verified against the
+// journaled hash; a mismatch demotes the job to re-execution), and
+// re-enqueues every non-terminal job in original submission order under
+// its original ID. At-least-once re-execution plus byte-deterministic
+// results gives exactly-once-observable semantics — a client polling
+// across a crash sees, at worst, a latency blip. A torn or corrupt
+// journal tail (the signature a mid-write crash leaves) is truncated
+// away at open, never a startup failure; /healthz reports the
+// truncation. Idempotency-Key dedup state is itself journaled (the key
+// rides the accepted record), so resubmitting after a crash returns the
+// recovered original job. Recovered terminal jobs occupy retention
+// slots like live ones, and eviction writes a journal tombstone that
+// compaction (segment rotation) later drops — restarts never grow the
+// journal or the retained set beyond Config.MaxRetainedJobs. The
+// kill-based harness (crash_test.go) SIGKILLs a real server process
+// mid-sweep — including under injected disk faults
+// (faultinject.Plan.JournalFaults) — restarts it on the same directory,
+// and pins all of the above under -race.
 //
 // Cancellation: each job owns a context created at submit; DELETE and
 // the drain deadline cancel it, and Config.JobTimeout is layered on top

@@ -2,14 +2,19 @@ package service
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"quma/internal/expt"
+	"quma/internal/journal"
 )
 
 // Config sizes the service.
@@ -33,6 +38,15 @@ type Config struct {
 	// server's Env (see expt.FaultHooks). Chaos tests only; leave nil in
 	// production — a nil hook set is free.
 	Faults *expt.FaultHooks
+	// Journal, when non-nil, makes accepted jobs durable: every state
+	// transition is appended (and fsync'd) to the write-ahead log before
+	// it is acknowledged, and New replays the log — restoring terminal
+	// jobs byte-for-byte and re-enqueueing every non-terminal job for
+	// deterministic re-execution under its original ID, in its original
+	// submit order. The caller owns the journal's lifetime (open before
+	// New, close after Drain). Durability never perturbs result bytes:
+	// the journal sits entirely outside the execution path.
+	Journal *journal.Journal
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +86,12 @@ func terminal(status string) bool {
 type job struct {
 	id   string
 	reqs []ExperimentRequest
+	// idemKey/reqHash are the idempotency identity: the client's
+	// Idempotency-Key header (if any) and the hash of the canonicalized
+	// request, journaled with the accepted record so resubmissions
+	// dedupe across restarts.
+	idemKey string
+	reqHash string
 	// ctx is the job's cancellation root: canceled by DELETE
 	// /v1/jobs/{id} and by the drain deadline. The per-job execution
 	// deadline is layered on top at dequeue time.
@@ -85,7 +105,11 @@ type job struct {
 	errCode   string
 	errMsg    string
 	done      chan struct{} // closed on terminal state
-	subs      []chan progressEvent
+	// events is the job's full progress history, ids 1..n — the SSE
+	// reconnect backlog. Bounded: one event per state transition plus one
+	// per completed experiment, so at most len(reqs)+3.
+	events []numberedEvent
+	subs   []chan numberedEvent
 }
 
 // progressEvent is one streaming update.
@@ -100,11 +124,25 @@ type progressEvent struct {
 	Error string `json:"error,omitempty"`
 }
 
+// numberedEvent is a progressEvent with its per-job SSE id. Ids are
+// monotonic within one server incarnation; after a crash recovery the
+// history restarts (clients reconnecting with a stale Last-Event-ID
+// still receive the terminal state — see handleStream).
+type numberedEvent struct {
+	ID int
+	progressEvent
+}
+
+// snapshotLocked builds the current progress event; callers hold j.mu.
+func (j *job) snapshotLocked() progressEvent {
+	return progressEvent{Status: j.status, Completed: j.completed, Total: len(j.reqs), Code: j.errCode, Error: j.errMsg}
+}
+
 // snapshot returns the job's current progress under its lock.
 func (j *job) snapshot() progressEvent {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return progressEvent{Status: j.status, Completed: j.completed, Total: len(j.reqs), Code: j.errCode, Error: j.errMsg}
+	return j.snapshotLocked()
 }
 
 // finish moves the job to a terminal state exactly once: later callers
@@ -127,19 +165,20 @@ func (j *job) finish(status, code, msg string) bool {
 	return true
 }
 
-// publish updates the job and fans the event out to subscribers. Slow
-// subscribers never block a worker: events are dropped on a full channel
-// (each subscriber still gets the terminal state from the closing send
-// below, because terminal events are delivered with a blocking send
-// after the channel is otherwise quiet — see stream handler).
+// publish appends the job's current state to its event history under
+// the next id and fans it out to subscribers. Slow subscribers never
+// block a worker: events are dropped on a full channel — the history
+// replay and the terminal-snapshot fallback in the stream handler
+// guarantee no subscriber misses the terminal state.
 func (j *job) publish() {
-	ev := j.snapshot()
 	j.mu.Lock()
-	subs := append([]chan progressEvent(nil), j.subs...)
+	ne := numberedEvent{ID: len(j.events) + 1, progressEvent: j.snapshotLocked()}
+	j.events = append(j.events, ne)
+	subs := append([]chan numberedEvent(nil), j.subs...)
 	j.mu.Unlock()
 	for _, ch := range subs {
 		select {
-		case ch <- ev:
+		case ch <- ne:
 		default:
 		}
 	}
@@ -151,42 +190,174 @@ type Server struct {
 	cfg Config
 	env *expt.Env
 	mux *http.ServeMux
+	jr  *journal.Journal
 
 	mu       sync.Mutex
 	draining bool
 	queue    chan *job
 	jobs     map[string]*job
+	// idem maps Idempotency-Key → job id for every retained job that was
+	// submitted with a key; entries die with their job's eviction.
+	// Rebuilt from the journal at recovery.
+	idem map[string]string
 	// retired lists terminal job ids oldest-first; jobs beyond
 	// cfg.MaxRetainedJobs are evicted from the map (bounded memory for
 	// a long-lived service).
 	retired []string
 	nextID  int64
 	wg      sync.WaitGroup
+	// recovered/reenqueued count what journal replay restored, for
+	// /healthz observability.
+	recovered  int
+	reenqueued int
 }
 
 // New builds a server. The expt.Env — and with it every assembled
 // program, pooled machine, and compiled replay schedule — lives for the
 // server's lifetime. Call Start to launch the worker pool; until then
 // submissions are accepted but only queue.
+//
+// With Config.Journal set, New replays the journal before serving:
+// terminal jobs come back queryable with their exact result bytes, and
+// every job that was accepted but not terminal at the crash is
+// re-enqueued — original ID, original submit order — for deterministic
+// re-execution (the queue is sized up if the backlog exceeds
+// QueueSize, so recovery never drops accepted work).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		env:   expt.NewEnv(),
-		mux:   http.NewServeMux(),
-		queue: make(chan *job, cfg.QueueSize),
-		jobs:  make(map[string]*job),
+		cfg:  cfg,
+		env:  expt.NewEnv(),
+		mux:  http.NewServeMux(),
+		jr:   cfg.Journal,
+		jobs: make(map[string]*job),
+		idem: make(map[string]string),
 	}
 	if cfg.Faults != nil {
 		s.env.SetFaults(cfg.Faults)
+	}
+	pending := s.recoverFromJournal()
+	qsize := cfg.QueueSize
+	if len(pending) > qsize {
+		qsize = len(pending)
+	}
+	s.queue = make(chan *job, qsize)
+	for _, jb := range pending {
+		s.queue <- jb
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/progress", s.handleStream)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
+}
+
+// recoverFromJournal rebuilds the job table from the replayed journal
+// and returns the non-terminal jobs to re-enqueue, in submit order.
+// Called from New before the server is visible to any request, so no
+// locking is needed.
+func (s *Server) recoverFromJournal() []*job {
+	if s.jr == nil {
+		return nil
+	}
+	var pending []*job
+	for _, st := range s.jr.States() {
+		if n, ok := strings.CutPrefix(st.ID, "job-"); ok {
+			if v, err := strconv.ParseInt(n, 10, 64); err == nil && v > s.nextID {
+				s.nextID = v
+			}
+		}
+		jb := &job{id: st.ID, idemKey: st.Key, reqHash: st.ReqHash, done: make(chan struct{})}
+		jb.ctx, jb.cancel = context.WithCancel(context.Background())
+		terminalState := st.Terminal()
+		if terminalState && st.Status == journal.TypeDone {
+			// Integrity check: result bytes must match their journaled
+			// hash; a mismatch demotes the record to non-terminal and the
+			// job re-executes (determinism reproduces the true bytes).
+			if hashBytes(st.Results) != st.ResultHash {
+				terminalState = false
+			}
+		}
+		if terminalState {
+			var results []json.RawMessage
+			if st.Status == journal.TypeDone {
+				if err := json.Unmarshal(st.Results, &results); err != nil {
+					// Undecodable results: re-execute instead.
+					terminalState = false
+				}
+			}
+			if terminalState {
+				jb.status = st.Status // journal terminal types match service statuses
+				jb.errCode, jb.errMsg = st.Code, st.Error
+				jb.results = results
+				jb.completed = len(results)
+				close(jb.done)
+				jb.events = []numberedEvent{{ID: 1, progressEvent: jb.snapshotLocked()}}
+				s.jobs[jb.id] = jb
+				if st.Key != "" {
+					s.idem[st.Key] = jb.id
+				}
+				s.retired = append(s.retired, jb.id)
+				s.recovered++
+				continue
+			}
+		}
+		// Non-terminal (or demoted): decode the canonical request and
+		// re-enqueue for re-execution.
+		var reqs []ExperimentRequest
+		if err := json.Unmarshal(st.Request, &reqs); err != nil || len(reqs) == 0 {
+			// A journaled request that no longer decodes cannot re-execute;
+			// surface it as a failed job rather than dropping it silently.
+			jb.status = StatusFailed
+			jb.errCode = CodeInternal
+			jb.errMsg = fmt.Sprintf("journal recovery: request undecodable: %v", err)
+			close(jb.done)
+			jb.events = []numberedEvent{{ID: 1, progressEvent: jb.snapshotLocked()}}
+			s.jobs[jb.id] = jb
+			s.retired = append(s.retired, jb.id)
+			s.journalAppend(journal.Failed(jb.id, jb.errCode, jb.errMsg))
+			s.recovered++
+			continue
+		}
+		jb.status = StatusQueued
+		jb.reqs = reqs
+		jb.results = make([]json.RawMessage, len(reqs))
+		jb.events = []numberedEvent{{ID: 1, progressEvent: jb.snapshotLocked()}}
+		s.jobs[jb.id] = jb
+		if st.Key != "" {
+			s.idem[st.Key] = jb.id
+		}
+		pending = append(pending, jb)
+		s.recovered++
+		s.reenqueued++
+	}
+	// Recovered terminal jobs participate in the retention bound exactly
+	// like live ones: trim the oldest beyond the cap now, journaling the
+	// evictions so the next restart does not resurrect them.
+	s.trimRetiredLocked()
+	return pending
+}
+
+// hashBytes is the journal integrity/idempotency hash: hex SHA-256.
+func hashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// journalAppend appends best-effort: transitions after acceptance
+// (running, terminal, evicted) tolerate a journal write failure — the
+// in-memory job proceeds, and if the process dies before a later append
+// lands, recovery simply re-executes the job (at-least-once execution
+// with exactly-once-observable results, by determinism). Only the
+// accepted record is load-bearing and its failure rejects the submit.
+func (s *Server) journalAppend(rec journal.Record) {
+	if s.jr == nil {
+		return
+	}
+	s.jr.Append(rec)
 }
 
 // Start launches the worker pool and returns s.
@@ -324,30 +495,55 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Canonical request bytes: the experiments array re-marshaled from
+	// the decoded struct — field order and formatting are fixed by the
+	// struct, so byte-equal canonical forms mean identical requests.
+	// These bytes are what the journal re-executes at recovery and what
+	// the idempotency hash covers.
+	canonical, err := json.Marshal(req.Experiments)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, apiError{Code: CodeInvalidArgument, Reason: "malformed_json", Message: err.Error()})
+		return
+	}
+	reqHash := hashBytes(canonical)
+	idemKey := r.Header.Get("Idempotency-Key")
+
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		writeError(w, http.StatusServiceUnavailable, apiError{Code: CodeResourceExhausted, Reason: "draining", Message: "server is draining; resubmit elsewhere"})
 		return
 	}
-	s.nextID++
-	ctx, cancel := context.WithCancel(context.Background())
-	jb := &job{
-		id:      fmt.Sprintf("job-%d", s.nextID),
-		reqs:    req.Experiments,
-		ctx:     ctx,
-		cancel:  cancel,
-		status:  StatusQueued,
-		results: make([]json.RawMessage, len(req.Experiments)),
-		done:    make(chan struct{}),
+	if idemKey != "" {
+		if id, ok := s.idem[idemKey]; ok {
+			if jb := s.jobs[id]; jb != nil {
+				if jb.reqHash != reqHash {
+					s.mu.Unlock()
+					writeError(w, http.StatusConflict, apiError{
+						Code:    CodeFailedPrecondition,
+						Reason:  "idempotency_key_mismatch",
+						Message: fmt.Sprintf("Idempotency-Key %q was already used for a different request", idemKey),
+					})
+					return
+				}
+				s.mu.Unlock()
+				// Replay: 200 (not 202) with the original job — the client
+				// polls the same id whether or not its first submission's
+				// response was lost to a crash or a dropped connection.
+				writeJSON(w, http.StatusOK, struct {
+					ID string `json:"id"`
+					progressEvent
+				}{ID: jb.id, progressEvent: jb.snapshot()})
+				return
+			}
+			// The job the key pointed at was evicted; treat as new.
+			delete(s.idem, idemKey)
+		}
 	}
-	select {
-	case s.queue <- jb:
-		s.jobs[jb.id] = jb
-	default:
-		s.nextID-- // the id was never exposed; reuse it
+	// All queue senders hold s.mu, so a vacancy check here guarantees
+	// the send below cannot block (workers only ever shrink the queue).
+	if len(s.queue) >= cap(s.queue) {
 		s.mu.Unlock()
-		cancel()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, apiError{
 			Code:    CodeResourceExhausted,
@@ -355,6 +551,43 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			Message: fmt.Sprintf("job queue is full (%d queued); retry later", s.cfg.QueueSize),
 		})
 		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	if s.jr != nil {
+		// The accepted record is the durability point: it must be on disk
+		// before the id is exposed, so a crash after this response can
+		// never lose the job. A failed append rejects the submission —
+		// accepting work the journal cannot remember would silently void
+		// the crash-safety contract.
+		if err := s.jr.Append(journal.Accepted(id, idemKey, reqHash, canonical)); err != nil {
+			s.nextID-- // the id was never exposed; reuse it
+			s.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, apiError{
+				Code:    CodeInternal,
+				Reason:  "journal_append_failed",
+				Message: fmt.Sprintf("could not journal the job: %v", err),
+			})
+			return
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	jb := &job{
+		id:      id,
+		reqs:    req.Experiments,
+		idemKey: idemKey,
+		reqHash: reqHash,
+		ctx:     ctx,
+		cancel:  cancel,
+		status:  StatusQueued,
+		results: make([]json.RawMessage, len(req.Experiments)),
+		done:    make(chan struct{}),
+	}
+	jb.events = []numberedEvent{{ID: 1, progressEvent: jb.snapshotLocked()}}
+	s.queue <- jb
+	s.jobs[jb.id] = jb
+	if idemKey != "" {
+		s.idem[idemKey] = jb.id
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusAccepted, struct {
@@ -397,8 +630,8 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	jb.mu.Lock()
 	queued := jb.status == StatusQueued
 	jb.mu.Unlock()
-	if queued && jb.finish(StatusCanceled, CodeCanceled, "canceled before execution started") {
-		s.retire(jb.id)
+	if queued {
+		s.finishJob(jb, StatusCanceled, CodeCanceled, "canceled before execution started")
 	}
 	ev := jb.snapshot()
 	writeJSON(w, http.StatusOK, struct {
@@ -449,6 +682,17 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleStream serves the SSE progress stream (mounted at both /stream
+// and /progress). Every event carries a monotonically numbered per-job
+// id; a client that reconnects with the standard Last-Event-ID header
+// resumes from the event after it — the job's full history is retained
+// (it is bounded by the batch size), so a dropped connection never
+// loses an event, and in particular never the terminal one. After a
+// server restart the history restarts from the recovered state; a
+// reconnect carrying a stale (larger) Last-Event-ID skips the replayed
+// backlog but is still guaranteed the terminal event, with an id above
+// the client's — resumption degrades to "terminal state only", never to
+// a hang or a miss.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	jb := s.lookup(w, r)
 	if jb == nil {
@@ -459,8 +703,23 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotImplemented, apiError{Code: CodeInternal, Reason: "no_streaming", Message: "response writer cannot stream"})
 		return
 	}
-	ch := make(chan progressEvent, 16)
+	sent := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			sent = n
+		}
+	}
+	ch := make(chan numberedEvent, 16)
 	jb.mu.Lock()
+	// Backlog and subscription under one critical section: every event
+	// published after this point reaches ch, every one before is in the
+	// backlog, and the id-dedupe in send covers the overlap.
+	backlog := make([]numberedEvent, 0, len(jb.events))
+	for _, ne := range jb.events {
+		if ne.ID > sent {
+			backlog = append(backlog, ne)
+		}
+	}
 	jb.subs = append(jb.subs, ch)
 	jb.mu.Unlock()
 	defer func() {
@@ -477,33 +736,46 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
-	send := func(ev progressEvent) bool {
-		data, _ := json.Marshal(ev)
-		fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data)
+	send := func(ne numberedEvent) bool {
+		if ne.ID <= sent {
+			return false
+		}
+		sent = ne.ID
+		data, _ := json.Marshal(ne.progressEvent)
+		fmt.Fprintf(w, "id: %d\nevent: progress\ndata: %s\n\n", ne.ID, data)
 		fl.Flush()
-		return terminal(ev.Status)
+		return terminal(ne.Status)
 	}
-	// Current state first, so late subscribers see something immediately
-	// (and finished jobs terminate the stream at once).
-	if send(jb.snapshot()) {
-		return
+	for _, ne := range backlog {
+		if send(ne) {
+			return
+		}
 	}
 	for {
 		select {
-		case ev := <-ch:
-			if send(ev) {
+		case ne := <-ch:
+			if send(ne) {
 				return
 			}
 		case <-jb.done:
-			// Drain anything buffered, then emit the terminal snapshot.
+			// The terminal state is set (finish closes done after setting
+			// it) but its published event may still be in flight or may
+			// have been dropped from a full channel: drain what is
+			// buffered, then emit a terminal snapshot under the next id.
 			for {
 				select {
-				case ev := <-ch:
-					if send(ev) {
+				case ne := <-ch:
+					if send(ne) {
 						return
 					}
 				default:
-					send(jb.snapshot())
+					jb.mu.Lock()
+					ne := numberedEvent{ID: len(jb.events), progressEvent: jb.snapshotLocked()}
+					jb.mu.Unlock()
+					if ne.ID <= sent {
+						ne.ID = sent + 1
+					}
+					send(ne)
 					return
 				}
 			}
@@ -513,17 +785,41 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// healthJournal is the /healthz durability block, present only when the
+// server runs with a journal.
+type healthJournal struct {
+	// RecoveredJobs is how many jobs the startup replay restored
+	// (terminal and re-enqueued combined); Reenqueued of them were
+	// non-terminal and re-executed.
+	RecoveredJobs int `json:"recovered_jobs"`
+	Reenqueued    int `json:"reenqueued"`
+	// TruncatedBytes/DroppedSegments report the torn-tail repair, if any.
+	TruncatedBytes  int64 `json:"truncated_bytes"`
+	DroppedSegments int   `json:"dropped_segments"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	njobs := len(s.jobs)
+	var hj *healthJournal
+	if s.jr != nil {
+		st := s.jr.Stats()
+		hj = &healthJournal{
+			RecoveredJobs:   s.recovered,
+			Reenqueued:      s.reenqueued,
+			TruncatedBytes:  st.TruncatedBytes,
+			DroppedSegments: st.DroppedSegments,
+		}
+	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, struct {
-		OK       bool `json:"ok"`
-		Draining bool `json:"draining"`
-		Queued   int  `json:"queued"`
-		Jobs     int  `json:"jobs"`
-	}{OK: true, Draining: draining, Queued: len(s.queue), Jobs: njobs})
+		OK       bool           `json:"ok"`
+		Draining bool           `json:"draining"`
+		Queued   int            `json:"queued"`
+		Jobs     int            `json:"jobs"`
+		Journal  *healthJournal `json:"journal,omitempty"`
+	}{OK: true, Draining: draining, Queued: len(s.queue), Jobs: njobs, Journal: hj})
 }
 
 // runJob executes one dequeued job to a terminal state. The execution
@@ -541,9 +837,7 @@ func (s *Server) runJob(jb *job) {
 	// usually records this itself; this path wins the race where cancel
 	// and dequeue interleave.)
 	if jb.ctx.Err() != nil {
-		if jb.finish(StatusCanceled, CodeCanceled, "canceled before execution started") {
-			s.retire(jb.id)
-		}
+		s.finishJob(jb, StatusCanceled, CodeCanceled, "canceled before execution started")
 		return
 	}
 	ctx, cancel := context.WithTimeout(jb.ctx, s.cfg.JobTimeout)
@@ -558,6 +852,7 @@ func (s *Server) runJob(jb *job) {
 	jb.status = StatusRunning
 	jb.mu.Unlock()
 	jb.publish()
+	s.journalAppend(journal.Running(jb.id))
 
 	for i, req := range jb.reqs {
 		res, err := Execute(ctx, s.env, req)
@@ -567,9 +862,7 @@ func (s *Server) runJob(jb *job) {
 			if code == CodeCanceled {
 				status = StatusCanceled
 			}
-			if jb.finish(status, code, jobErrorMessage(i, req.Type, err)) {
-				s.retire(jb.id)
-			}
+			s.finishJob(jb, status, code, jobErrorMessage(i, req.Type, err))
 			return
 		}
 		jb.mu.Lock()
@@ -585,20 +878,58 @@ func (s *Server) runJob(jb *job) {
 		jb.mu.Unlock()
 		jb.publish()
 	}
-	if jb.finish(StatusDone, "", "") {
-		s.retire(jb.id)
+	s.finishJob(jb, StatusDone, "", "")
+}
+
+// finishJob is the single terminal-transition point: move the job to a
+// terminal state (exactly once), journal the transition, and retire it
+// into the retention window. The journal append is best-effort and
+// happens after the in-memory transition — if the process dies in
+// between, recovery re-executes the job and determinism reproduces the
+// identical bytes.
+func (s *Server) finishJob(jb *job, status, code, msg string) {
+	if !jb.finish(status, code, msg) {
+		return
 	}
+	if s.jr != nil {
+		switch status {
+		case StatusDone:
+			jb.mu.Lock()
+			results, err := json.Marshal(jb.results)
+			jb.mu.Unlock()
+			if err == nil {
+				s.journalAppend(journal.Done(jb.id, hashBytes(results), results))
+			}
+		case StatusCanceled:
+			s.journalAppend(journal.Canceled(jb.id, code, msg))
+		default:
+			s.journalAppend(journal.Failed(jb.id, code, msg))
+		}
+	}
+	s.retire(jb.id)
 }
 
 // retire records a terminal job and evicts the oldest finished jobs
 // beyond the retention bound, so a long-lived server's result store
-// stays finite.
+// stays finite. Evictions are journaled (tombstones compacted away at
+// the next rotation), so the bound holds across restarts too.
 func (s *Server) retire(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.retired = append(s.retired, id)
+	s.trimRetiredLocked()
+}
+
+// trimRetiredLocked evicts beyond the retention bound; callers hold
+// s.mu (or, during recovery, exclusive access).
+func (s *Server) trimRetiredLocked() {
 	for len(s.retired) > s.cfg.MaxRetainedJobs {
-		delete(s.jobs, s.retired[0])
+		id := s.retired[0]
 		s.retired = s.retired[1:]
+		if jb := s.jobs[id]; jb != nil && jb.idemKey != "" && s.idem[jb.idemKey] == id {
+			delete(s.idem, jb.idemKey)
+		}
+		delete(s.jobs, id)
+		s.journalAppend(journal.Evicted(id))
 	}
 }
