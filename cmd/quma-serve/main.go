@@ -29,6 +29,25 @@
 //	                                # replays, unfinished jobs re-execute
 //	                                # deterministically under their
 //	                                # original IDs
+//	quma-serve -api-keys tenants.json -cache 1024
+//	                                # multi-tenant mode: requests carrying
+//	                                # Authorization: Bearer <key> run under
+//	                                # their tenant's quotas and priority
+//	                                # class; unauthenticated requests stay
+//	                                # the anonymous tenant. -cache sizes
+//	                                # the content-addressed result cache
+//	                                # (0 disables): repeat submissions of
+//	                                # an identical batch are answered
+//	                                # immediately from the retained
+//	                                # original job, byte-identical by
+//	                                # construction
+//	quma-serve -client http://host:8077 -api-key k3y batch.json
+//	                                # authenticate the client submission
+//	                                # as the tenant owning k3y
+//
+// The -api-keys file is JSON: {"tenants": [{"name": ..., "key": ...,
+// "class": "interactive"|"batch", "max_queued_jobs": N,
+// "max_experiments_in_flight": M}, ...]} — see service.TenantConfig.
 //
 // Durability: with -journal-dir set, every accepted job is appended to
 // an fsync'd write-ahead log before the submission is acknowledged,
@@ -56,7 +75,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"os/signal"
@@ -69,48 +88,82 @@ import (
 	"quma/internal/service"
 )
 
+// options collects the parsed flags; one struct rather than a positional
+// parade so tests can state only what they exercise.
+type options struct {
+	addr         string
+	queue        int
+	workers      int
+	jobTimeout   time.Duration
+	maxBatch     int
+	drainTimeout time.Duration
+	once         string
+	client       string
+	journalDir   string
+	key          string
+	apiKeys      string
+	apiKey       string
+	cacheSize    int
+	args         []string
+}
+
 func main() {
-	var (
-		addr         = flag.String("addr", ":8077", "HTTP listen address")
-		queue        = flag.Int("queue", 64, "job queue bound (full queue returns 429)")
-		workers      = flag.Int("workers", 2, "concurrent job executors (results never depend on this)")
-		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "per-job execution time bound")
-		maxBatch     = flag.Int("max-batch", 64, "experiments allowed per job")
-		drainTimeout = flag.Duration("drain-timeout", 0, "hard deadline for shutdown drain; expiring cancels in-flight jobs (0 waits forever)")
-		once         = flag.String("once", "", "execute the batch request in this JSON file directly (no HTTP) and print the results array")
-		client       = flag.String("client", "", "submit the batch file given as the positional argument to this server URL and print the results array")
-		journalDir   = flag.String("journal-dir", "", "directory for the durable job journal; accepted jobs survive a crash and recover on restart (empty disables durability)")
-		key          = flag.String("key", "", "Idempotency-Key header for -client submissions: resubmitting the same batch under the same key returns the original job instead of a duplicate")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8077", "HTTP listen address")
+	flag.IntVar(&o.queue, "queue", 64, "job queue bound (full queue returns 429)")
+	flag.IntVar(&o.workers, "workers", 2, "concurrent job executors (results never depend on this)")
+	flag.DurationVar(&o.jobTimeout, "job-timeout", 5*time.Minute, "per-job execution time bound")
+	flag.IntVar(&o.maxBatch, "max-batch", 64, "experiments allowed per job")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 0, "hard deadline for shutdown drain; expiring cancels in-flight jobs (0 waits forever)")
+	flag.StringVar(&o.once, "once", "", "execute the batch request in this JSON file directly (no HTTP) and print the results array")
+	flag.StringVar(&o.client, "client", "", "submit the batch file given as the positional argument to this server URL and print the results array")
+	flag.StringVar(&o.journalDir, "journal-dir", "", "directory for the durable job journal; accepted jobs survive a crash and recover on restart (empty disables durability)")
+	flag.StringVar(&o.key, "key", "", "Idempotency-Key header for -client submissions: resubmitting the same batch under the same key returns the original job instead of a duplicate")
+	flag.StringVar(&o.apiKeys, "api-keys", "", "tenant API-key file (JSON); enables per-tenant quotas and priority classes, anonymous requests still admitted (empty leaves the server anonymous-only)")
+	flag.StringVar(&o.apiKey, "api-key", "", "bearer API key for -client requests (Authorization: Bearer <key>)")
+	flag.IntVar(&o.cacheSize, "cache", 256, "content-addressed result cache entries: repeat submissions of an identical batch are served from the retained original job (0 disables)")
 	flag.Parse()
-	if err := run(*addr, *queue, *workers, *jobTimeout, *maxBatch, *drainTimeout, *once, *client, *journalDir, *key, flag.Args()); err != nil {
+	o.args = flag.Args()
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "quma-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, queue, workers int, jobTimeout time.Duration, maxBatch int, drainTimeout time.Duration, once, client, journalDir, key string, args []string) error {
-	if queue <= 0 || workers <= 0 || maxBatch <= 0 {
+func run(o options) error {
+	if o.queue <= 0 || o.workers <= 0 || o.maxBatch <= 0 {
 		return fmt.Errorf("-queue, -workers and -max-batch must be positive")
 	}
-	if once != "" {
-		return runOnce(once)
+	if o.once != "" {
+		return runOnce(o.once)
 	}
-	if client != "" {
-		if len(args) != 1 {
-			return fmt.Errorf("-client needs exactly one batch file argument, got %d", len(args))
+	if o.client != "" {
+		if len(o.args) != 1 {
+			return fmt.Errorf("-client needs exactly one batch file argument, got %d", len(o.args))
 		}
-		return runClient(client, args[0], key, os.Stdout)
+		return runClient(o.client, o.args[0], o.key, o.apiKey, os.Stdout)
 	}
 
 	cfg := service.Config{
-		QueueSize:  queue,
-		Workers:    workers,
-		JobTimeout: jobTimeout,
-		MaxBatch:   maxBatch,
+		QueueSize:  o.queue,
+		Workers:    o.workers,
+		JobTimeout: o.jobTimeout,
+		MaxBatch:   o.maxBatch,
+		CacheSize:  o.cacheSize,
 	}
-	if journalDir != "" {
-		jr, err := journal.Open(journal.Options{Dir: journalDir})
+	if o.cacheSize <= 0 {
+		cfg.CacheSize = -1 // flag 0 means off; Config 0 means default
+	}
+	if o.apiKeys != "" {
+		tenants, err := service.LoadAPIKeys(o.apiKeys)
+		if err != nil {
+			return fmt.Errorf("load api keys: %w", err)
+		}
+		cfg.Tenants = tenants
+		fmt.Printf("quma-serve: %d tenants loaded from %s\n", len(tenants), o.apiKeys)
+	}
+	if o.journalDir != "" {
+		jr, err := journal.Open(journal.Options{Dir: o.journalDir})
 		if err != nil {
 			return fmt.Errorf("open journal: %w", err)
 		}
@@ -119,18 +172,18 @@ func run(addr string, queue, workers int, jobTimeout time.Duration, maxBatch int
 		cfg.Journal = jr
 		st := jr.Stats()
 		fmt.Printf("quma-serve: journal %s replayed %d records across %d segments (%d jobs)\n",
-			journalDir, st.Records, st.Segments, st.Jobs)
+			o.journalDir, st.Records, st.Segments, st.Jobs)
 		if st.TruncatedBytes > 0 || st.DroppedSegments > 0 {
 			fmt.Printf("quma-serve: journal recovered with truncation: %d bytes of torn tail, %d later segments dropped\n",
 				st.TruncatedBytes, st.DroppedSegments)
 		}
 	}
 	srv := service.New(cfg).Start()
-	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	hs := &http.Server{Addr: o.addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Printf("quma-serve listening on %s (queue %d, workers %d, job timeout %v)\n", addr, queue, workers, jobTimeout)
+	fmt.Printf("quma-serve listening on %s (queue %d, workers %d, job timeout %v)\n", o.addr, o.queue, o.workers, o.jobTimeout)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -139,7 +192,7 @@ func run(addr string, queue, workers int, jobTimeout time.Duration, maxBatch int
 		return err
 	case sig := <-sigc:
 		fmt.Printf("quma-serve: %v — draining\n", sig)
-		srv.DrainTimeout(drainTimeout)
+		srv.DrainTimeout(o.drainTimeout)
 		// Every accepted job has reached a terminal state; let in-flight
 		// status/result responses complete instead of resetting their
 		// connections.
@@ -153,7 +206,11 @@ func run(addr string, queue, workers int, jobTimeout time.Duration, maxBatch int
 // capped exponential growth from 100ms with up to 25% random jitter, or
 // the server's Retry-After hint (seconds) when one was given — the hint
 // still gets jitter so a herd of clients told "1" does not return as a
-// herd.
+// herd. The jitter source is math/rand/v2, which is seeded per process:
+// a fleet of clients restarted together (the crash-recovery stampede)
+// draws distinct jitter, where the old global math/rand source gave
+// every process the identical backoff schedule and defeated the herd
+// protection it existed for.
 func retryDelay(attempt int, retryAfter string) time.Duration {
 	d := 100 * time.Millisecond << attempt
 	if d > 2*time.Second {
@@ -165,7 +222,19 @@ func retryDelay(attempt int, retryAfter string) time.Duration {
 			d = 5 * time.Second
 		}
 	}
-	return d + time.Duration(rand.Int63n(int64(d)/4+1))
+	return d + time.Duration(rand.Int64N(int64(d)/4+1))
+}
+
+// drainClose drains a response body before closing it so the underlying
+// HTTP connection returns to the keep-alive pool. Closing an undrained
+// body (the decoder stops at the JSON value, leaving the trailing
+// newline) forces a new TCP connection per request — under a retry storm
+// that multiplies exactly when the server is least able to absorb it.
+// The drain is capped: a response too large to be one of ours is not
+// worth a connection.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	body.Close()
 }
 
 // runClient drives a live server through one batch: submit (retrying
@@ -179,18 +248,28 @@ func retryDelay(attempt int, retryAfter string) time.Duration {
 // backoff: against a journaled server (-journal-dir) a crash-restart
 // mid-job is invisible to the client beyond latency — the job recovers
 // under the same ID and the poll loop rides through the outage.
-func runClient(base, path, key string, out io.Writer) error {
+func runClient(base, path, key, apiKey string, out io.Writer) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
 	hc := &http.Client{Timeout: 30 * time.Second}
 	const maxAttempts = 8
+	authorize := func(req *http.Request) {
+		if apiKey != "" {
+			req.Header.Set("Authorization", "Bearer "+apiKey)
+		}
+	}
 	// getRetry absorbs connection refused/reset — the window where the
 	// server is restarting — and hands back the first real response.
 	getRetry := func(url string) (*http.Response, error) {
 		for attempt := 0; ; attempt++ {
-			resp, err := hc.Get(url)
+			hreq, err := http.NewRequest(http.MethodGet, url, nil)
+			if err != nil {
+				return nil, err
+			}
+			authorize(hreq)
+			resp, err := hc.Do(hreq)
 			if err == nil {
 				return resp, nil
 			}
@@ -210,6 +289,7 @@ func runClient(base, path, key string, out io.Writer) error {
 		if key != "" {
 			hreq.Header.Set("Idempotency-Key", key)
 		}
+		authorize(hreq)
 		resp, err := hc.Do(hreq)
 		var retryAfter string
 		if err == nil {
@@ -259,7 +339,7 @@ func runClient(base, path, key string, out io.Writer) error {
 			Error  string `json:"error"`
 		}
 		err = json.NewDecoder(resp.Body).Decode(&st)
-		resp.Body.Close()
+		drainClose(resp.Body)
 		if err != nil {
 			return err
 		}

@@ -23,17 +23,23 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	for _, tc := range []struct{ queue, workers, maxBatch int }{
 		{0, 2, 64}, {4, 0, 64}, {4, 2, 0}, {-1, -1, -1},
 	} {
-		if err := run(":0", tc.queue, tc.workers, time.Minute, tc.maxBatch, 0, "", "", "", "", nil); err == nil {
+		o := options{addr: ":0", queue: tc.queue, workers: tc.workers, jobTimeout: time.Minute, maxBatch: tc.maxBatch}
+		if err := run(o); err == nil {
 			t.Errorf("run accepted queue=%d workers=%d max-batch=%d", tc.queue, tc.workers, tc.maxBatch)
 		}
 	}
-	if err := run(":0", 4, 2, time.Minute, 64, 0, "", "http://127.0.0.1:1", "", "", nil); err == nil {
+	if err := run(options{addr: ":0", queue: 4, workers: 2, jobTimeout: time.Minute, maxBatch: 64, client: "http://127.0.0.1:1"}); err == nil {
 		t.Error("run accepted -client with no batch file argument")
 	}
 	// A journal dir that cannot be created fails startup loudly (it is
 	// the durability root, not a best-effort cache).
-	if err := run(":0", 4, 2, time.Minute, 64, 0, "", "", string([]byte{0}), "", nil); err == nil {
+	if err := run(options{addr: ":0", queue: 4, workers: 2, jobTimeout: time.Minute, maxBatch: 64, journalDir: string([]byte{0})}); err == nil {
 		t.Error("run accepted an uncreatable -journal-dir")
+	}
+	// An unreadable API-key file fails startup loudly too: silently
+	// booting without the declared tenants would drop their quotas.
+	if err := run(options{addr: ":0", queue: 4, workers: 2, jobTimeout: time.Minute, maxBatch: 64, apiKeys: "/nonexistent/tenants.json"}); err == nil {
+		t.Error("run accepted an unreadable -api-keys file")
 	}
 }
 
@@ -149,7 +155,7 @@ func TestClientRetriesTransientRejections(t *testing.T) {
 	defer hs.Close()
 
 	var got bytes.Buffer
-	if err := runClient(hs.URL, path, "", &got); err != nil {
+	if err := runClient(hs.URL, path, "", "", &got); err != nil {
 		t.Fatalf("runClient: %v", err)
 	}
 	if n := rejected.Load(); n < 3 {
@@ -222,7 +228,7 @@ func TestClientRidesThroughConnectionLoss(t *testing.T) {
 	defer hs.Close()
 
 	var got bytes.Buffer
-	if err := runClient(hs.URL, path, "", &got); err != nil {
+	if err := runClient(hs.URL, path, "", "", &got); err != nil {
 		t.Fatalf("runClient did not ride through dropped connections: %v", err)
 	}
 	if dropped.Load() < 3 {
@@ -293,10 +299,10 @@ func TestClientIdempotencyKeyDedupes(t *testing.T) {
 	defer hs.Close()
 
 	var first, second bytes.Buffer
-	if err := runClient(hs.URL, path, "dedupe-key", &first); err != nil {
+	if err := runClient(hs.URL, path, "dedupe-key", "", &first); err != nil {
 		t.Fatalf("first runClient: %v", err)
 	}
-	if err := runClient(hs.URL, path, "dedupe-key", &second); err != nil {
+	if err := runClient(hs.URL, path, "dedupe-key", "", &second); err != nil {
 		t.Fatalf("second runClient: %v", err)
 	}
 	mu.Lock()

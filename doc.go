@@ -244,4 +244,15 @@
 // without injected disk faults (faultinject disk plans), and asserts
 // nothing accepted is lost and every recovered byte matches an
 // uncrashed run.
+//
+// Determinism also makes the service memoizable and multi-tenant:
+// every batch reduces to a canonical form (result-neutral scheduling
+// knobs scrubbed, everything else hashed), and a bounded
+// content-addressed cache answers repeat submissions of a cached form
+// terminal-immediately with the original retained job — byte-identical
+// by construction, rebuilt from the journal across restarts. Static
+// API-key tenants (quma-serve -api-keys) add per-tenant admission
+// quotas (429 with a backlog-derived Retry-After) and priority
+// classes drained by a deterministic weighted-fair stride scheduler;
+// anonymous traffic keeps the pre-tenancy behavior unchanged.
 package quma

@@ -20,11 +20,13 @@ package faultinject_test
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -469,7 +471,11 @@ func TestSeededDiskPlansKeepServerAvailable(t *testing.T) {
 			// (NewDiskPlan ordinals are ≤ 8; each job appends ≥ 3 records).
 			rejected := 0
 			for i := 0; i < 4; i++ {
-				body, _ := json.Marshal(service.SubmitRequest{Experiments: []service.ExperimentRequest{quick}})
+				// Distinct seeds: identical batches would be answered from
+				// the result cache without touching the journal.
+				exp := quick
+				exp.Seed = quick.Seed + int64(i)
+				body, _ := json.Marshal(service.SubmitRequest{Experiments: []service.ExperimentRequest{exp}})
 				resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 				if err != nil {
 					t.Fatal(err)
@@ -510,5 +516,76 @@ func TestSeededDiskPlansKeepServerAvailable(t *testing.T) {
 			}
 			jr2.Close()
 		})
+	}
+}
+
+// TestCacheHitsImmuneToDiskFaults pins a resilience property of the
+// content-addressed result cache: a cache hit performs no journal
+// append and touches no machine, so once a form is cached, resubmitting
+// it keeps working — with byte-identical results — even while every
+// journal append fails.
+func TestCacheHitsImmuneToDiskFaults(t *testing.T) {
+	quick := service.ExperimentRequest{Type: "t1", Seed: 7, Backend: "trajectory", Rounds: 20}
+	var failing atomic.Bool
+	faults := &journal.Faults{Append: func() error {
+		if failing.Load() {
+			return errors.New("injected: disk full")
+		}
+		return nil
+	}}
+	jr, err := journal.Open(journal.Options{Dir: t.TempDir(), Faults: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hs := startServer(t, service.Config{Workers: 1, Journal: jr})
+	t.Cleanup(func() { jr.Close() })
+
+	id := submitOne(t, hs.URL, quick)
+	if st := waitTerminal(t, hs.URL, id); st.Status != service.StatusDone {
+		t.Fatalf("seed job ended %s (%s)", st.Status, st.Error)
+	}
+	cold := fetchResult(t, hs.URL, id)
+
+	// Every append fails from here on: fresh submissions are rejected
+	// with the stable internal code...
+	failing.Store(true)
+	other := quick
+	other.Seed = 8
+	body, _ := json.Marshal(service.SubmitRequest{Experiments: []service.ExperimentRequest{other}})
+	resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError || errCode(t, rb) != service.CodeInternal {
+		t.Fatalf("fresh submit under append faults: status %d (%s)", resp.StatusCode, rb)
+	}
+
+	// ...but the cached form keeps answering, byte-identical.
+	body, _ = json.Marshal(service.SubmitRequest{Experiments: []service.ExperimentRequest{quick}})
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cached resubmit %d under append faults: status %d (%s)", i, resp.StatusCode, hb)
+		}
+		var env struct {
+			ID    string `json:"id"`
+			Cache string `json:"cache"`
+		}
+		if err := json.Unmarshal(hb, &env); err != nil {
+			t.Fatal(err)
+		}
+		if env.Cache != "hit" || env.ID != id {
+			t.Fatalf("resubmit %d: cache %q id %s, want hit on %s", i, env.Cache, env.ID, id)
+		}
+		if got := fetchResult(t, hs.URL, env.ID); !bytes.Equal(got, cold) {
+			t.Fatalf("resubmit %d served different bytes under faults", i)
+		}
 	}
 }

@@ -90,6 +90,11 @@ type Record struct {
 	Key     string          `json:"key,omitempty"`
 	ReqHash string          `json:"req_hash,omitempty"`
 	Request json.RawMessage `json:"request,omitempty"`
+	// Tenant names the submitting tenant on accepted records, so
+	// recovery restores per-tenant quota accounting; empty means the
+	// anonymous tenant (schema-additive: records written before tenancy
+	// existed decode with the empty value).
+	Tenant string `json:"tenant,omitempty"`
 
 	// Failed/canceled records carry the stable taxonomy code and the
 	// free-text message.
@@ -105,7 +110,8 @@ type Record struct {
 }
 
 // Record constructors — one per transition, so call sites cannot
-// mis-assemble a record.
+// mis-assemble a record. The optional Tenant field is set directly on
+// the Accepted record by callers that run with tenancy enabled.
 
 func Accepted(job, key, reqHash string, request json.RawMessage) Record {
 	return Record{Type: TypeAccepted, Job: job, Key: key, ReqHash: reqHash, Request: request}
@@ -131,6 +137,8 @@ type JobState struct {
 	Key     string
 	ReqHash string
 	Request json.RawMessage
+	// Tenant is the submitting tenant's name; empty means anonymous.
+	Tenant string
 
 	Status     string
 	Code       string
@@ -377,7 +385,7 @@ func (j *Journal) apply(rec Record) {
 	case TypeAccepted:
 		j.state[rec.Job] = &JobState{
 			Seq: rec.Seq, ID: rec.Job, Key: rec.Key, ReqHash: rec.ReqHash,
-			Request: rec.Request, Status: TypeAccepted,
+			Request: rec.Request, Tenant: rec.Tenant, Status: TypeAccepted,
 		}
 	case TypeRunning:
 		if st := j.state[rec.Job]; st != nil {
@@ -552,7 +560,9 @@ func (j *Journal) rotateLocked() error {
 
 // records reconstructs the compacted record sequence for one job state.
 func (st *JobState) records() []Record {
-	recs := []Record{Accepted(st.ID, st.Key, st.ReqHash, st.Request)}
+	acc := Accepted(st.ID, st.Key, st.ReqHash, st.Request)
+	acc.Tenant = st.Tenant
+	recs := []Record{acc}
 	switch st.Status {
 	case TypeRunning:
 		recs = append(recs, Running(st.ID))

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -21,18 +22,26 @@ func BenchmarkServeBatch(b *testing.B) {
 	defer hs.Close()
 	defer s.Drain()
 
-	req := SubmitRequest{Experiments: []ExperimentRequest{
-		{Type: "t1", Seed: 5, Backend: "trajectory", Rounds: 60},
-		{Type: "asm", Seed: 9, Backend: "trajectory", Rounds: 200,
-			Program: "mov r15, 40000\nQNopReg r15\nPulse {q0}, X90\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n"},
-		{Type: "rb", Seed: 2, Backend: "trajectory", SeqSeed: 7, Lengths: []int{1, 4, 8}, Trials: 2, Rounds: 60},
-	}}
-	body, err := json.Marshal(req)
-	if err != nil {
-		b.Fatal(err)
+	// The t1/asm seeds vary per iteration so every batch is a distinct
+	// canonical form — each misses the result cache and executes cold;
+	// the warmed-repeat path is BenchmarkServeBatchCached. The rb
+	// experiment keeps its known-good seed (its decay fit is only
+	// guaranteed to converge for sane sequences, not every PRNG stream).
+	batch := func(seed int64) SubmitRequest {
+		return SubmitRequest{Experiments: []ExperimentRequest{
+			{Type: "t1", Seed: seed, Backend: "trajectory", Rounds: 60},
+			{Type: "asm", Seed: seed + 4, Backend: "trajectory", Rounds: 200,
+				Program: "mov r15, 40000\nQNopReg r15\nPulse {q0}, X90\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n"},
+			{Type: "rb", Seed: 2, Backend: "trajectory", SeqSeed: 7, Lengths: []int{1, 4, 8}, Trials: 2, Rounds: 60},
+		}}
 	}
+	experimentsPerBatch := len(batch(0).Experiments)
 
-	runOne := func() {
+	runOne := func(seed int64) {
+		body, err := json.Marshal(batch(seed))
+		if err != nil {
+			b.Fatal(err)
+		}
 		resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
 			b.Fatal(err)
@@ -70,10 +79,104 @@ func BenchmarkServeBatch(b *testing.B) {
 		}
 	}
 
-	runOne() // warm the shared caches outside the timer
+	runOne(5) // warm the shared caches outside the timer
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runOne()
+		runOne(int64(1000 + i*16))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(experimentsPerBatch)*float64(b.N)/b.Elapsed().Seconds(), "experiments/s")
+}
+
+// BenchmarkServeBatchCached measures the warmed repeat-submission path:
+// the same batch as BenchmarkServeBatch, submitted once cold and then
+// resubmitted — every timed iteration is a content-addressed cache hit
+// answered terminal-immediately, including the result fetch. The gap to
+// BenchmarkServeBatch is what the cache saves a repeat caller (the
+// acceptance floor is 5x; in practice it is orders of magnitude).
+func BenchmarkServeBatchCached(b *testing.B) {
+	s := New(Config{Workers: 2, QueueSize: 64}).Start()
+	hs := httptest.NewServer(s.Handler())
+	defer hs.Close()
+	defer s.Drain()
+
+	req := SubmitRequest{Experiments: []ExperimentRequest{
+		{Type: "t1", Seed: 5, Backend: "trajectory", Rounds: 60},
+		{Type: "asm", Seed: 9, Backend: "trajectory", Rounds: 200,
+			Program: "mov r15, 40000\nQNopReg r15\nPulse {q0}, X90\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n"},
+		{Type: "rb", Seed: 2, Backend: "trajectory", SeqSeed: 7, Lengths: []int{1, 4, 8}, Trials: 2, Rounds: 60},
+	}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Cold submission populates the cache.
+	resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		b.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b.Fatalf("cold submit status %d", resp.StatusCode)
+	}
+	for {
+		sr, err := http.Get(hs.URL + "/v1/jobs/" + acc.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+			b.Fatal(err)
+		}
+		sr.Body.Close()
+		if st.Status == StatusDone {
+			break
+		}
+		if st.Status == StatusFailed {
+			b.Fatalf("cold job failed: %s", st.Error)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var env struct {
+			ID     string `json:"id"`
+			Cache  string `json:"cache"`
+			Status string `json:"status"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || env.Cache != "hit" || env.Status != StatusDone {
+			b.Fatalf("iteration %d: status %d cache %q job status %q, want a terminal-immediate hit", i, resp.StatusCode, env.Cache, env.Status)
+		}
+		rr, err := http.Get(hs.URL + "/v1/jobs/" + env.ID + "/result")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, rr.Body); err != nil {
+			b.Fatal(err)
+		}
+		rr.Body.Close()
+		if rr.StatusCode != http.StatusOK {
+			b.Fatalf("iteration %d: result status %d", i, rr.StatusCode)
+		}
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(len(req.Experiments))*float64(b.N)/b.Elapsed().Seconds(), "experiments/s")

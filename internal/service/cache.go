@@ -1,0 +1,95 @@
+package service
+
+import "container/list"
+
+// resultCache is the content-addressed result index: canonical request
+// hash → retained job id, bounded LRU. It holds references, never result
+// bytes — a hit is answered with the original retained job, whose result
+// document already exists (journaled when durability is on), so cache
+// hits are byte-identical to cold execution *by construction*: there is
+// exactly one result document per canonical request, and the cache only
+// ever points at it.
+//
+// The cache is an index over the retention window, so its entries can
+// never outlive their jobs: finishJob inserts on done, eviction from the
+// retention window invalidates, and recovery rebuilds the index from the
+// journaled terminal jobs. All methods require the caller to hold
+// Server.mu — the cache shares the server's one lock rather than adding
+// ordering concerns of its own.
+type resultCache struct {
+	cap int
+	ll  *list.List               // MRU at front; values are *cacheEntry
+	m   map[string]*list.Element // canonical hash → element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	hash  string
+	jobID string
+}
+
+// newResultCache builds a cache holding at most capacity entries;
+// capacity <= 0 returns nil (callers treat a nil cache as disabled).
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &resultCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// lookup resolves a canonical hash to its retained job id, refreshing
+// the entry's recency and counting the hit or miss.
+func (c *resultCache) lookup(hash string) (string, bool) {
+	if el, ok := c.m[hash]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).jobID, true
+	}
+	c.misses++
+	return "", false
+}
+
+// insert indexes a completed job under its canonical hash, evicting the
+// least-recently-used entry past capacity. A hash already present is
+// repointed (the newer job holds the same bytes, by determinism) rather
+// than duplicated.
+func (c *resultCache) insert(hash, jobID string) {
+	if el, ok := c.m[hash]; ok {
+		el.Value.(*cacheEntry).jobID = jobID
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[hash] = c.ll.PushFront(&cacheEntry{hash: hash, jobID: jobID})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).hash)
+		c.evictions++
+	}
+}
+
+// invalidate drops the entry for hash if it still points at jobID —
+// called when the retention window evicts a job, so the cache never
+// serves a reference to a 404. A hash since repointed at a newer job is
+// left alone.
+func (c *resultCache) invalidate(hash, jobID string) {
+	if el, ok := c.m[hash]; ok && el.Value.(*cacheEntry).jobID == jobID {
+		c.ll.Remove(el)
+		delete(c.m, hash)
+		c.evictions++
+	}
+}
+
+// cacheStats is the /healthz cache block.
+type cacheStats struct {
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+func (c *resultCache) stats() *cacheStats {
+	return &cacheStats{Entries: c.ll.Len(), Capacity: c.cap, Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+}

@@ -538,10 +538,11 @@ func TestJournalDoesNotPerturbResults(t *testing.T) {
 // retained set or the journal without bound.
 func TestRecoveredTerminalJobsCountTowardRetention(t *testing.T) {
 	dir := t.TempDir()
-	req := quickAsm(55)
 
-	runOne := func(base string) string {
-		id, code := submitKeyed(t, base, req, "")
+	// Distinct seeds per submission: identical batches would be served
+	// from the result cache instead of creating (and evicting) jobs.
+	runOne := func(base string, seed int64) string {
+		id, code := submitKeyed(t, base, quickAsm(seed), "")
 		if id == "" {
 			t.Fatalf("submit: status %d", code)
 		}
@@ -563,8 +564,8 @@ func TestRecoveredTerminalJobsCountTowardRetention(t *testing.T) {
 	}
 	s := New(Config{Workers: 1, MaxRetainedJobs: 1, Journal: jr}).Start()
 	base := httpTestServer(t, s)
-	id1 := runOne(base)
-	id2 := runOne(base) // evicts id1
+	id1 := runOne(base, 55)
+	id2 := runOne(base, 56) // evicts id1
 	if got := get(base, id1); got != http.StatusNotFound {
 		t.Fatalf("evicted job pre-restart: status %d, want 404", got)
 	}
@@ -587,7 +588,7 @@ func TestRecoveredTerminalJobsCountTowardRetention(t *testing.T) {
 	}
 	fetchResult(t, base2, id2)
 	// A recovered terminal job is evicted by new work like a live one.
-	id3 := runOne(base2)
+	id3 := runOne(base2, 57)
 	if got := get(base2, id2); got != http.StatusNotFound {
 		t.Fatalf("recovered job not evicted by new work: status %d, want 404", got)
 	}
@@ -606,7 +607,7 @@ func TestRecoveredTerminalJobsCountTowardRetention(t *testing.T) {
 		}
 		sN := New(Config{Workers: 1, MaxRetainedJobs: 1, Journal: jrN}).Start()
 		baseN := httpTestServer(t, sN)
-		runOne(baseN)
+		runOne(baseN, int64(60+i))
 		sN.Drain()
 		if n := len(jrN.States()); n > 2 {
 			t.Fatalf("journal holds %d jobs after restart %d; retention is not bounding recovery", n, i)
@@ -701,5 +702,99 @@ func TestStreamReconnectResumesWithLastEventID(t *testing.T) {
 	stale := readStream("999")
 	if len(stale) != 1 || stale[0].ev.Status != StatusDone || stale[0].id <= 999 {
 		t.Fatalf("stale reconnect got %+v, want one terminal event with id > 999", stale)
+	}
+}
+
+// TestCacheHitsSurviveCrash is the durability half of the result-cache
+// contract: the content-addressed index is rebuilt from the journal at
+// recovery, so an unkeyed resubmission after a SIGKILL is answered
+// terminal-immediately with the pre-crash job's exact bytes — no
+// re-execution, no byte drift.
+func TestCacheHitsSurviveCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash test")
+	}
+	dir := t.TempDir()
+	req := quickAsm(70)
+
+	p1 := startCrashServer(t, dir, "", 0)
+	id1, code := submitKeyed(t, p1.url, req, "")
+	if id1 == "" {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitStatus(t, p1.url, id1, time.Minute, StatusDone)
+	pre := fetchResult(t, p1.url, id1)
+	// Warm sanity: the live server already serves this form from cache.
+	if hitID, code := submitKeyed(t, p1.url, req, ""); code != http.StatusOK || hitID != id1 {
+		t.Fatalf("pre-crash resubmit: status %d id %s, want 200 %s", code, hitID, id1)
+	}
+	p1.kill()
+
+	p2 := startCrashServer(t, dir, "", 0)
+	hitID, code := submitKeyed(t, p2.url, req, "")
+	if code != http.StatusOK || hitID != id1 {
+		t.Fatalf("post-crash resubmit: status %d id %s, want 200 cache hit on %s", code, hitID, id1)
+	}
+	if post := fetchResult(t, p2.url, hitID); !bytes.Equal(post, pre) {
+		t.Fatalf("post-crash cached result differs from pre-crash bytes:\npre:  %s\npost: %s", pre, post)
+	}
+}
+
+// TestCacheEvictionConsistentAcrossRestart drives cache × retention ×
+// recovery: a form evicted from the retention window must miss (and
+// re-execute byte-identically) both before and after a restart, while
+// the retained form keeps hitting — the rebuilt index tracks exactly
+// the recovered retention window, never a stale superset.
+func TestCacheEvictionConsistentAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	reqA, reqB := quickAsm(71), quickAsm(72)
+
+	jr, err := journal.Open(journal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 1, MaxRetainedJobs: 1, Journal: jr}).Start()
+	base := httpTestServer(t, s)
+	idA, _ := submitKeyed(t, base, reqA, "")
+	waitStatus(t, base, idA, time.Minute, StatusDone)
+	bytesA := fetchResult(t, base, idA)
+	idB, _ := submitKeyed(t, base, reqB, "")
+	waitStatus(t, base, idB, time.Minute, StatusDone) // evicts A
+
+	// A's eviction invalidated its cache entry: resubmitting is a miss
+	// that re-executes to the identical bytes (and re-enters the window,
+	// evicting B in turn).
+	idA2, code := submitKeyed(t, base, reqA, "")
+	if code != http.StatusAccepted {
+		t.Fatalf("evicted form pre-restart: status %d, want 202", code)
+	}
+	waitStatus(t, base, idA2, time.Minute, StatusDone)
+	if got := fetchResult(t, base, idA2); !bytes.Equal(got, bytesA) {
+		t.Fatal("re-executed result differs from the evicted original")
+	}
+	s.Drain()
+	jr.Close()
+
+	// Restart: only the retained window (the re-executed A) is indexed.
+	jr2, err := journal.Open(journal.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Config{Workers: 1, MaxRetainedJobs: 1, Journal: jr2}).Start()
+	defer jr2.Close()
+	defer s2.Drain()
+	base2 := httpTestServer(t, s2)
+
+	hitID, code := submitKeyed(t, base2, reqA, "")
+	if code != http.StatusOK || hitID != idA2 {
+		t.Fatalf("retained form post-restart: status %d id %s, want 200 hit on %s", code, hitID, idA2)
+	}
+	if got := fetchResult(t, base2, hitID); !bytes.Equal(got, bytesA) {
+		t.Fatal("post-restart cached result differs from original bytes")
+	}
+	if idB2, code := submitKeyed(t, base2, reqB, ""); code != http.StatusAccepted {
+		t.Fatalf("evicted form post-restart: status %d, want 202 (miss)", code)
+	} else {
+		waitStatus(t, base2, idB2, time.Minute, StatusDone)
 	}
 }

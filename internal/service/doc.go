@@ -11,12 +11,21 @@
 //
 //	POST   /v1/jobs           submit a batch of experiment requests
 //	                          202 {"id": ...}; 400 structured validation
-//	                          error; 429 when the job queue is full;
-//	                          503 while draining. An Idempotency-Key
-//	                          header dedupes resubmission: a repeated
-//	                          (key, batch) pair answers 200 with the
-//	                          original job, a reused key with a different
-//	                          batch answers 409 failed_precondition
+//	                          error; 401 unauthenticated for a malformed
+//	                          or unknown Authorization: Bearer key (no
+//	                          header is the anonymous tenant); 429
+//	                          resource_exhausted with Retry-After when
+//	                          the job queue is full (queue_full) or the
+//	                          tenant is at quota (tenant_quota); 503
+//	                          while draining. An Idempotency-Key header
+//	                          dedupes resubmission: a repeated (key,
+//	                          batch) pair answers 200 with the original
+//	                          job, a reused key with a different batch
+//	                          answers 409 failed_precondition. An unkeyed
+//	                          resubmission whose canonical form is cached
+//	                          answers 200 {"id", "cache": "hit", ...}
+//	                          terminal-immediately with the original
+//	                          retained job (Cache-Status response header)
 //	GET    /v1/jobs/{id}       job status + progress (+ terminal code)
 //	DELETE /v1/jobs/{id}       cancel: a queued job goes terminal at
 //	                          once, a running job is preempted mid-sweep
@@ -30,16 +39,19 @@
 //	                          reconnect with Last-Event-ID resumes after
 //	                          that id without duplicates (/progress is an
 //	                          alias of /stream)
-//	GET    /healthz           liveness + queue depth (+ journal recovery
-//	                          stats when durability is on)
+//	GET    /healthz           liveness + queue depth (total and per
+//	                          priority class), cache hit/miss/eviction
+//	                          counters (+ journal recovery stats when
+//	                          durability is on)
 //
 // # Error taxonomy
 //
 // Every non-2xx envelope and every terminal job failure carries exactly
 // one stable code (errors.go): invalid_argument, canceled,
 // deadline_exceeded, resource_exhausted, internal — plus the
-// lookup-shaped not_found and failed_precondition. A `reason` slug
-// subdivides codes that cover several causes (queue_full vs draining);
+// lookup-shaped not_found, failed_precondition, and unauthenticated. A
+// `reason` slug subdivides codes that cover several causes (queue_full
+// vs tenant_quota vs draining, all resource_exhausted);
 // messages are free text and carry the recovered stack for worker
 // panics. The chaos suite (internal/faultinject) pins the mapping under
 // injected faults.
@@ -64,10 +76,61 @@
 // re-laid-out the PRNG streams of requests whose per-point shot count
 // exceeds expt.ShotShardSize — their sampled results differ from v1's
 // (statistics pinned at 5σ by internal/conformance) while smaller shot
-// counts stay byte-identical. The shot_workers request field, like
-// workers, can never change the measured data — the shard plan,
-// per-shard seeds, and merge order are pure functions of the shot
-// count — it only appears as its own echo in the result's params block.
+// counts stay byte-identical. v3 scrubs the result-neutral workers and
+// shot_workers knobs from the result's params echo (they render as 0),
+// making the result bytes a pure function of the canonical request form;
+// requests that never set those fields are byte-identical to v2.
+//
+// # Canonicalization and the result cache
+//
+// Every submitted batch is reduced to a canonical form: the decoded
+// experiment structs with their result-neutral fields (workers,
+// shot_workers — the knobs the determinism contracts prove can never
+// change a result) scrubbed to zero, re-marshaled, and hashed. That one
+// hash drives three mechanisms: Idempotency-Key conflict detection, the
+// journaled request bytes recovery re-executes, and the
+// content-addressed result cache. TestCanonicalFormCoversEveryRequestField
+// forces every ExperimentRequest field to be explicitly classified as
+// result-affecting (hashed) or result-neutral (scrubbed, with a proof
+// obligation) — an unclassified new field fails the build's tests, so
+// the cache can never silently collide distinct results.
+//
+// The cache (Config.CacheSize, default 256, negative disables) is a
+// bounded LRU mapping canonical hash → retained job id. It stores
+// references, never bytes: a hit answers with the original retained
+// job, so cache hits are byte-identical to cold execution by
+// construction — there is exactly one result document per canonical
+// form. The cache is strictly an index over the retention window:
+// entries are inserted when a job retires done, invalidated when
+// retention evicts the job, and rebuilt from the journal at recovery,
+// so a hit can never reference a 404 and a restart keeps warm. Keyed
+// (Idempotency-Key) submissions bypass the cache and keep their
+// stricter per-key contract. Hit/miss/eviction counters are on
+// /healthz.
+//
+// # Tenancy, admission, and fair scheduling
+//
+// Tenants are declared statically (Config.Tenants; quma-serve
+// -api-keys file.json) with a bearer key, a priority class, and
+// quotas. Requests without an Authorization header run as the built-in
+// anonymous tenant — batch class, no quotas — so an un-keyed deployment
+// behaves exactly as before tenancy existed; a malformed or unknown
+// credential is 401, never a silent demotion. Quotas bound a tenant's
+// non-terminal jobs (max_queued_jobs) and total in-flight experiments
+// (max_experiments_in_flight); the charge is taken at admission and
+// released when the job retires, and over-quota submissions get 429
+// tenant_quota with a Retry-After derived from the tenant's own
+// backlog. The tenant name rides the journal's accepted record, so
+// recovery restores each re-enqueued job's quota charge and class.
+//
+// Dequeue order is deterministic weighted fair scheduling (queue.go):
+// per-class FIFO lanes drained by stride scheduling, interactive 3:1
+// over batch under contention, ties to interactive, passes caught up on
+// empty→non-empty transitions so an idle class earns priority but never
+// unbounded credit. The schedule is a pure function of arrival order
+// and classes — results never depend on it (each job is a pure function
+// of its request); reproducibility makes fairness testable
+// (TestFairDequeueServiceOrder pins the exact completion order).
 //
 // Cache lifetime: the Env (and with it every per-machine ReplayCache)
 // lives exactly as long as the Server. Invalidation is delegated
@@ -131,8 +194,11 @@
 // slots like live ones, and eviction writes a journal tombstone that
 // compaction (segment rotation) later drops — restarts never grow the
 // journal or the retained set beyond Config.MaxRetainedJobs. The
-// kill-based harness (crash_test.go) SIGKILLs a real server process
-// mid-sweep — including under injected disk faults
+// content-addressed cache index is rebuilt from the recovered terminal
+// jobs in the same replay (and recovered evictions invalidate it), so
+// repeat submissions keep hitting across restarts with the exact
+// pre-crash bytes. The kill-based harness (crash_test.go) SIGKILLs a
+// real server process mid-sweep — including under injected disk faults
 // (faultinject.Plan.JournalFaults) — restarts it on the same directory,
 // and pins all of the above under -race.
 //

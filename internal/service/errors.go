@@ -31,6 +31,11 @@ const (
 	// fault, or a recovered worker panic (the message then carries the
 	// stack). The server itself stays up and keeps serving other jobs.
 	CodeInternal = "internal"
+	// CodeUnauthenticated: the request presented a credential the server
+	// does not recognize — a malformed Authorization header or an unknown
+	// API key (401). Requests with no credential at all are the anonymous
+	// tenant, never this code.
+	CodeUnauthenticated = "unauthenticated"
 	// CodeNotFound: no such job (unknown or evicted id). Lookup-shaped,
 	// not part of the execution taxonomy.
 	CodeNotFound = "not_found"

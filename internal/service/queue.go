@@ -1,0 +1,153 @@
+package service
+
+import "sync"
+
+// Priority classes. Dequeue order is weighted toward interactive
+// traffic but never starves batch: for every strideBatch/strideInteractive
+// interactive jobs dequeued under contention, one batch job is.
+const (
+	ClassInteractive = "interactive"
+	ClassBatch       = "batch"
+)
+
+const (
+	classInteractiveIdx = iota
+	classBatchIdx
+	numClasses
+)
+
+// classStride is the stride-scheduling weight inverse: a class's pass
+// advances by its stride per dequeue, and the lowest pass dequeues next,
+// so interactive (stride 1) gets 3 dequeues for each batch (stride 3)
+// dequeue under contention.
+var classStride = [numClasses]uint64{classInteractiveIdx: 1, classBatchIdx: 3}
+
+// classIndex maps a class name to its queue lane; unknown or empty
+// classes are batch (the anonymous default).
+func classIndex(class string) int {
+	if class == ClassInteractive {
+		return classInteractiveIdx
+	}
+	return classBatchIdx
+}
+
+// fairQueue is the job queue: per-class FIFO lanes drained by
+// deterministic stride scheduling. The dequeue order is a pure function
+// of the arrival order and each job's class — never of worker timing —
+// which keeps the scheduler inside the service determinism story:
+// *results* never depend on order anyway (each job is a pure function of
+// its request), but a reproducible execution order makes fairness
+// testable and incident timelines replayable.
+//
+// Scheduling rule: each class keeps a pass counter, advanced by its
+// stride on every dequeue from it. pop takes the non-empty class with
+// the lowest pass; ties break toward the higher-priority (lower-index)
+// class. Within a class, strict FIFO. When the queue goes idle the
+// passes reset, and a class that goes from empty to non-empty is caught
+// up to the current minimum pass so it cannot burn accumulated credit
+// starving the others.
+type fairQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	lanes  [numClasses][]*job
+	pass   [numClasses]uint64
+	n      int
+	closed bool
+}
+
+func newFairQueue() *fairQueue {
+	q := &fairQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a job on its class lane. Push never blocks and never
+// fails — admission control (queue bound, tenant quotas) happens in
+// handleSubmit before the push, under Server.mu.
+func (q *fairQueue) push(jb *job) {
+	q.mu.Lock()
+	idx := classIndex(jb.class)
+	if len(q.lanes[idx]) == 0 {
+		// Catch an empty lane up to the busiest floor so arriving after an
+		// idle stretch grants priority, not unbounded credit.
+		if floor, ok := q.minActivePassLocked(); ok && q.pass[idx] < floor {
+			q.pass[idx] = floor
+		}
+	}
+	q.lanes[idx] = append(q.lanes[idx], jb)
+	q.n++
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// minActivePassLocked returns the lowest pass among non-empty lanes.
+func (q *fairQueue) minActivePassLocked() (uint64, bool) {
+	var floor uint64
+	found := false
+	for i := 0; i < numClasses; i++ {
+		if len(q.lanes[i]) == 0 {
+			continue
+		}
+		if !found || q.pass[i] < floor {
+			floor, found = q.pass[i], true
+		}
+	}
+	return floor, found
+}
+
+// pop blocks for the next job in fair order; ok is false once the queue
+// is closed and drained, which is the workers' exit signal.
+func (q *fairQueue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.n == 0 {
+		return nil, false
+	}
+	best := -1
+	for i := 0; i < numClasses; i++ {
+		if len(q.lanes[i]) == 0 {
+			continue
+		}
+		if best == -1 || q.pass[i] < q.pass[best] {
+			best = i // strict <: ties stay with the lower (higher-priority) index
+		}
+	}
+	jb := q.lanes[best][0]
+	q.lanes[best][0] = nil // free the job for GC once it retires
+	q.lanes[best] = q.lanes[best][1:]
+	q.pass[best] += classStride[best]
+	q.n--
+	if q.n == 0 {
+		// Idle queue: reset so the schedule restarts from a clean slate and
+		// stays a pure function of the arrivals that follow.
+		q.pass = [numClasses]uint64{}
+		q.lanes = [numClasses][]*job{}
+	}
+	return jb, true
+}
+
+// depth returns the total queued jobs.
+func (q *fairQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// depthByClass returns the per-lane depths for /healthz.
+func (q *fairQueue) depthByClass() (interactive, batch int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.lanes[classInteractiveIdx]), len(q.lanes[classBatchIdx])
+}
+
+// close stops intake; blocked and future pops drain the remaining jobs
+// and then return ok=false. Idempotent.
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

@@ -1,0 +1,188 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+func mkJob(id, class string) *job {
+	return &job{id: id, class: class, done: make(chan struct{})}
+}
+
+func popAll(t *testing.T, q *fairQueue, n int) []string {
+	t.Helper()
+	var order []string
+	for i := 0; i < n; i++ {
+		jb, ok := q.pop()
+		if !ok {
+			t.Fatalf("pop %d: queue closed early", i)
+		}
+		order = append(order, jb.id)
+	}
+	return order
+}
+
+// TestFairQueueStrideOrder pins the dequeue schedule by hand: with
+// strides 1 (interactive) and 3 (batch), a mixed backlog drains
+// interactive-heavy but never starves batch, and ties break toward
+// interactive.
+func TestFairQueueStrideOrder(t *testing.T) {
+	q := newFairQueue()
+	for _, j := range []*job{
+		mkJob("b1", ClassBatch), mkJob("i1", ClassInteractive),
+		mkJob("b2", ClassBatch), mkJob("i2", ClassInteractive),
+		mkJob("i3", ClassInteractive), mkJob("b3", ClassBatch),
+	} {
+		q.push(j)
+	}
+	// pass starts [0,0]: tie → i1 (1,0); b1 (1,3); i2 (2,3); i3 (3,3);
+	// interactive lane empty → b2 (3,6); b3.
+	want := []string{"i1", "b1", "i2", "i3", "b2", "b3"}
+	if got := popAll(t, q, 6); !reflect.DeepEqual(got, want) {
+		t.Fatalf("dequeue order %v, want %v", got, want)
+	}
+}
+
+// TestFairQueueDeterministic runs the same arrival sequence through two
+// queues: the schedule is a pure function of arrivals, so the orders
+// must match exactly.
+func TestFairQueueDeterministic(t *testing.T) {
+	arrivals := []string{"b", "b", "i", "b", "i", "i", "b", "i", "b", "i", "i", "b"}
+	runOnce := func() []string {
+		q := newFairQueue()
+		for i, c := range arrivals {
+			class := ClassBatch
+			if c == "i" {
+				class = ClassInteractive
+			}
+			q.push(mkJob(string(rune('a'+i)), class))
+		}
+		return popAll(t, q, len(arrivals))
+	}
+	first := runOnce()
+	for i := 0; i < 5; i++ {
+		if got := runOnce(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d order %v differs from first %v", i, got, first)
+		}
+	}
+}
+
+// TestFairQueueInteractiveRatio checks the contention guarantee: with
+// both lanes backlogged, interactive dequeues ~3x as often as batch —
+// and batch still makes steady progress.
+func TestFairQueueInteractiveRatio(t *testing.T) {
+	q := newFairQueue()
+	for i := 0; i < 12; i++ {
+		q.push(mkJob(string(rune('A'+i)), ClassInteractive))
+		q.push(mkJob(string(rune('a'+i)), ClassBatch))
+	}
+	order := popAll(t, q, 16) // both lanes stay non-empty throughout
+	inter := 0
+	for _, id := range order {
+		if id[0] >= 'A' && id[0] <= 'Z' {
+			inter++
+		}
+	}
+	batch := len(order) - inter
+	if inter != 12 || batch != 4 {
+		t.Fatalf("first 16 dequeues: %d interactive / %d batch (%v), want 12/4 (3:1)", inter, batch, order)
+	}
+}
+
+// TestFairQueueEmptyLaneCatchUp pins the anti-starvation refinement: a
+// lane that arrives after an idle stretch is caught up to the active
+// floor — it gets priority from its stride, not unbounded credit from
+// its absence.
+func TestFairQueueEmptyLaneCatchUp(t *testing.T) {
+	q := newFairQueue()
+	for i := 0; i < 4; i++ {
+		q.push(mkJob(string(rune('a'+i)), ClassBatch))
+	}
+	if got := popAll(t, q, 2); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("warmup order %v", got)
+	}
+	// batch pass is now 6; the arriving interactive lane catches up to 6
+	// instead of entering at 0 with 6 dequeues of credit.
+	q.push(mkJob("i1", ClassInteractive))
+	q.push(mkJob("i2", ClassInteractive))
+	want := []string{"i1", "c", "i2", "d"} // (6,6) tie→i1 (7,6); c (7,9); i2 (8,9); d
+	if got := popAll(t, q, 4); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-idle order %v, want %v", got, want)
+	}
+}
+
+// TestFairQueueCloseDrains checks shutdown: close stops intake-side
+// waiting, the backlog still drains in order, and then pops report
+// closed.
+func TestFairQueueCloseDrains(t *testing.T) {
+	q := newFairQueue()
+	q.push(mkJob("a", ClassBatch))
+	q.push(mkJob("b", ClassBatch))
+	q.close()
+	if got := popAll(t, q, 2); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("drain order %v", got)
+	}
+	if jb, ok := q.pop(); ok {
+		t.Fatalf("pop after drain returned %v, want closed", jb.id)
+	}
+}
+
+// TestFairDequeueServiceOrder is the end-to-end fairness check: the
+// whole backlog is queued before Start (New accepts submissions with no
+// workers running), so the single worker's completion order is exactly
+// the stride schedule — deterministic all the way through the HTTP
+// layer.
+func TestFairDequeueServiceOrder(t *testing.T) {
+	key := "ik-ratio"
+	s := New(Config{
+		Workers: 1,
+		Tenants: []TenantConfig{{Name: "ops", Key: key, Class: ClassInteractive}},
+	})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+
+	var ids []string
+	classes := []string{"b", "i", "b", "i", "i", "b"}
+	for i, c := range classes {
+		body, _ := json.Marshal(quickAsm(int64(80 + i)))
+		req, _ := http.NewRequest("POST", hs.URL+"/v1/jobs", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if c == "i" {
+			req.Header.Set("Authorization", "Bearer "+key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var acc struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, resp.StatusCode)
+		}
+		ids = append(ids, acc.ID)
+	}
+	s.Start()
+	t.Cleanup(s.Drain)
+	for _, id := range ids {
+		waitDone(t, hs.URL, id)
+	}
+	s.mu.Lock()
+	order := append([]string(nil), s.retired...)
+	s.mu.Unlock()
+	// With one worker and the full backlog present at Start, completion
+	// order is the stride schedule over arrival order b,i,b,i,i,b:
+	// i1, b1, i2, i3, b2, b3 (see TestFairQueueStrideOrder).
+	want := []string{ids[1], ids[0], ids[3], ids[4], ids[2], ids[5]}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("completion order %v, want %v (classes %v, ids %v)", order, want, classes, ids)
+	}
+}

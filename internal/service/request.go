@@ -85,7 +85,75 @@ type ExperimentRequest struct {
 //	    Adds the shot_workers request field, which — like workers —
 //	    never affects the measured data, only its echo in the result's
 //	    params block.
-const ResultSchemaVersion = 2
+//	v3: result-neutral fields are scrubbed from the result's params echo —
+//	    workers and shot_workers render as 0 no matter what the request
+//	    set, so the result bytes (not just the measured data) are a pure
+//	    function of the canonical request form. This is what makes the
+//	    content-addressed result cache sound: two requests that differ
+//	    only in scheduling knobs share one canonical hash and one result
+//	    document. Requests that never set those fields are byte-identical
+//	    to v2.
+const ResultSchemaVersion = 3
+
+// scrubNeutralFields zeroes the result-neutral request fields in place.
+// These are the fields that can never change the measured data — the
+// sweep/shard determinism contracts guarantee results are bit-identical
+// for any Workers/ShotWorkers value — so they are excluded from the
+// canonical request form that the idempotency hash, the journal, and the
+// content-addressed result cache all key on. Every other field is
+// result-affecting and must stay inside the canonical form: a field
+// added here without a determinism proof would collide distinct results
+// under one cache key. TestCanonicalFormCoversEveryRequestField is the
+// guard — it fails on any new ExperimentRequest field until the field is
+// classified, and proves the neutral set is exactly this one.
+func scrubNeutralFields(r *ExperimentRequest) {
+	r.Workers = 0
+	r.ShotWorkers = 0
+}
+
+// canonicalExperiments builds the canonical request bytes for a batch:
+// each experiment with its result-neutral fields scrubbed, re-marshaled
+// from the decoded structs so field order and formatting are fixed.
+// Byte-equal canonical forms mean requests whose results are identical
+// by construction. These bytes are what the journal re-executes at
+// recovery (sound because the scrubbed fields are result-neutral) and
+// what the idempotency/cache hash covers.
+func canonicalExperiments(exps []ExperimentRequest) ([]byte, error) {
+	canon := make([]ExperimentRequest, len(exps))
+	copy(canon, exps)
+	for i := range canon {
+		scrubNeutralFields(&canon[i])
+	}
+	return json.Marshal(canon)
+}
+
+// scrubResultParams zeroes the result-neutral knobs in a result's params
+// echo before marshaling, so the served bytes match what the canonical
+// (scrubbed) form of the request would produce — the other half of the
+// schema-v3 contract. The experiment layer guarantees the measured data
+// is already identical; only the verbatim echo needed scrubbing.
+func scrubResultParams(res any) {
+	switch v := res.(type) {
+	case *expt.T1Result:
+		v.Params.Workers, v.Params.ShotWorkers = 0, 0
+	case *expt.RamseyResult:
+		v.Params.Workers, v.Params.ShotWorkers = 0, 0
+	case *expt.EchoResult:
+		v.Params.Workers, v.Params.ShotWorkers = 0, 0
+	case *expt.AllXYResult:
+		v.Params.Workers, v.Params.ShotWorkers = 0, 0
+	case *expt.RabiResult:
+		v.Params.Workers, v.Params.ShotWorkers = 0, 0
+	case *expt.RBResult:
+		v.Params.Workers, v.Params.ShotWorkers = 0, 0
+	case *expt.RepCodeResult:
+		v.Params.Workers, v.Params.ShotWorkers = 0, 0
+	case *expt.PhaseCodeResult:
+		v.Params.Workers, v.Params.ShotWorkers = 0, 0
+	case *expt.ProgramResult:
+		v.Params.ShotWorkers = 0
+	}
+}
 
 // maxProgramBytes bounds an asm request's program text: validation
 // assembles it synchronously on the submit path, so the size must be
@@ -350,6 +418,7 @@ func Execute(ctx context.Context, env *expt.Env, r ExperimentRequest) (json.RawM
 	if err != nil {
 		return nil, err
 	}
+	scrubResultParams(res)
 	return json.Marshal(struct {
 		Type   string `json:"type"`
 		Schema int    `json:"schema"`

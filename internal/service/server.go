@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"quma/internal/expt"
@@ -34,6 +35,18 @@ type Config struct {
 	// jobs — and their result payloads — stay queryable (default 1024).
 	// The oldest finished jobs are evicted first and then 404.
 	MaxRetainedJobs int
+	// CacheSize bounds the content-addressed result cache: repeat
+	// submissions of a canonically identical batch are answered
+	// terminal-immediately with the original retained job instead of
+	// re-executing. 0 selects the default (256 entries); negative
+	// disables the cache.
+	CacheSize int
+	// Tenants declares the API-key tenants (see TenantConfig). Empty
+	// leaves the server anonymous-only — every request is admitted as
+	// the unlimited, batch-class anonymous tenant, exactly the
+	// pre-tenancy behavior. Invalid tenant configuration panics in New;
+	// cmd/quma-serve validates via LoadAPIKeys first.
+	Tenants []TenantConfig
 	// Faults, when non-nil, installs fault-injection hooks on the
 	// server's Env (see expt.FaultHooks). Chaos tests only; leave nil in
 	// production — a nil hook set is free.
@@ -65,6 +78,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxRetainedJobs <= 0 {
 		c.MaxRetainedJobs = 1024
 	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
 	return c
 }
 
@@ -92,6 +108,14 @@ type job struct {
 	// dedupe across restarts.
 	idemKey string
 	reqHash string
+	// tenant/class are the admission identity: the journaled tenant name
+	// (empty = anonymous) and the fair-queue priority class. tenantSt is
+	// the live quota accounting, charged at submit and released exactly
+	// once at retire (both under Server.mu); nil when no quota was
+	// charged (recovered terminal jobs).
+	tenant   string
+	class    string
+	tenantSt *tenantState
 	// ctx is the job's cancellation root: canceled by DELETE
 	// /v1/jobs/{id} and by the drain deadline. The per-job execution
 	// deadline is layered on top at dequeue time.
@@ -191,11 +215,25 @@ type Server struct {
 	env *expt.Env
 	mux *http.ServeMux
 	jr  *journal.Journal
+	// queue is the fair job queue: per-class FIFO lanes under
+	// deterministic stride scheduling (queue.go). Push never blocks;
+	// admission control happens in handleSubmit under s.mu.
+	queue *fairQueue
+	// tenants resolves API keys to quota/class state (tenant.go). The
+	// table is immutable after New; the per-tenant counters it holds are
+	// guarded by s.mu.
+	tenants *tenantTable
+	// avgJobNanos is an EWMA of completed-job execution time, feeding the
+	// derived Retry-After hints. Timing only ever reaches response
+	// headers, never result bytes.
+	avgJobNanos atomic.Int64
 
 	mu       sync.Mutex
 	draining bool
-	queue    chan *job
-	jobs     map[string]*job
+	// cache is the content-addressed result index (cache.go), guarded by
+	// s.mu; nil when disabled.
+	cache *resultCache
+	jobs  map[string]*job
 	// idem maps Idempotency-Key → job id for every retained job that was
 	// submitted with a key; entries die with their job's eviction.
 	// Rebuilt from the journal at recovery.
@@ -225,25 +263,29 @@ type Server struct {
 // QueueSize, so recovery never drops accepted work).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{
-		cfg:  cfg,
-		env:  expt.NewEnv(),
-		mux:  http.NewServeMux(),
-		jr:   cfg.Journal,
-		jobs: make(map[string]*job),
-		idem: make(map[string]string),
+	tenants, err := newTenantTable(cfg.Tenants)
+	if err != nil {
+		// Static misconfiguration, caught at construction — the server
+		// must not come up silently dropping a tenant's key or quota.
+		panic(fmt.Sprintf("service: invalid tenant config: %v", err))
 	}
+	s := &Server{
+		cfg:     cfg,
+		env:     expt.NewEnv(),
+		mux:     http.NewServeMux(),
+		jr:      cfg.Journal,
+		queue:   newFairQueue(),
+		tenants: tenants,
+		cache:   newResultCache(cfg.CacheSize),
+		jobs:    make(map[string]*job),
+		idem:    make(map[string]string),
+	}
+	s.avgJobNanos.Store(int64(time.Second)) // neutral prior until jobs complete
 	if cfg.Faults != nil {
 		s.env.SetFaults(cfg.Faults)
 	}
-	pending := s.recoverFromJournal()
-	qsize := cfg.QueueSize
-	if len(pending) > qsize {
-		qsize = len(pending)
-	}
-	s.queue = make(chan *job, qsize)
-	for _, jb := range pending {
-		s.queue <- jb
+	for _, jb := range s.recoverFromJournal() {
+		s.queue.push(jb)
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -270,7 +312,7 @@ func (s *Server) recoverFromJournal() []*job {
 				s.nextID = v
 			}
 		}
-		jb := &job{id: st.ID, idemKey: st.Key, reqHash: st.ReqHash, done: make(chan struct{})}
+		jb := &job{id: st.ID, idemKey: st.Key, reqHash: st.ReqHash, tenant: st.Tenant, done: make(chan struct{})}
 		jb.ctx, jb.cancel = context.WithCancel(context.Background())
 		terminalState := st.Terminal()
 		if terminalState && st.Status == journal.TypeDone {
@@ -300,6 +342,13 @@ func (s *Server) recoverFromJournal() []*job {
 				if st.Key != "" {
 					s.idem[st.Key] = jb.id
 				}
+				if st.Status == journal.TypeDone && s.cache != nil && jb.reqHash != "" {
+					// Rebuild the content-addressed index: recovered results
+					// are journal-verified bytes, so a post-restart resubmit
+					// hits the cache exactly as it would have pre-crash.
+					// States() is Seq-ordered, so recency matches submit order.
+					s.cache.insert(jb.reqHash, jb.id)
+				}
 				s.retired = append(s.retired, jb.id)
 				s.recovered++
 				continue
@@ -325,6 +374,13 @@ func (s *Server) recoverFromJournal() []*job {
 		jb.status = StatusQueued
 		jb.reqs = reqs
 		jb.results = make([]json.RawMessage, len(reqs))
+		// Restore the tenant's admission accounting: a re-enqueued job
+		// occupies its quota exactly as it did before the crash. A tenant
+		// name the current key file no longer declares resolves to
+		// anonymous (unlimited) — accepted work is never dropped.
+		jb.tenantSt = s.tenants.resolve(st.Tenant)
+		jb.class = jb.tenantSt.class
+		jb.tenantSt.acquire(len(reqs))
 		jb.events = []numberedEvent{{ID: 1, progressEvent: jb.snapshotLocked()}}
 		s.jobs[jb.id] = jb
 		if st.Key != "" {
@@ -366,7 +422,11 @@ func (s *Server) Start() *Server {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			for jb := range s.queue {
+			for {
+				jb, ok := s.queue.pop()
+				if !ok {
+					return
+				}
 				s.runJob(jb)
 			}
 		}()
@@ -393,7 +453,7 @@ func (s *Server) DrainTimeout(timeout time.Duration) {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.queue.close()
 	}
 	s.mu.Unlock()
 	if timeout <= 0 {
@@ -495,18 +555,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Canonical request bytes: the experiments array re-marshaled from
-	// the decoded struct — field order and formatting are fixed by the
-	// struct, so byte-equal canonical forms mean identical requests.
-	// These bytes are what the journal re-executes at recovery and what
-	// the idempotency hash covers.
-	canonical, err := json.Marshal(req.Experiments)
+	// Canonical request bytes: the experiments array with its
+	// result-neutral fields scrubbed, re-marshaled from the decoded
+	// structs — field order and formatting are fixed by the struct, so
+	// byte-equal canonical forms mean requests with identical results by
+	// construction (see canonicalExperiments). These bytes are what the
+	// journal re-executes at recovery and what the idempotency and
+	// result-cache hashes cover.
+	canonical, err := canonicalExperiments(req.Experiments)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, apiError{Code: CodeInvalidArgument, Reason: "malformed_json", Message: err.Error()})
 		return
 	}
 	reqHash := hashBytes(canonical)
 	idemKey := r.Header.Get("Idempotency-Key")
+	tenant, aerr := s.tenants.authenticate(r)
+	if aerr != nil {
+		writeError(w, http.StatusUnauthorized, *aerr)
+		return
+	}
 
 	s.mu.Lock()
 	if s.draining {
@@ -540,17 +607,58 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			delete(s.idem, idemKey)
 		}
 	}
-	// All queue senders hold s.mu, so a vacancy check here guarantees
-	// the send below cannot block (workers only ever shrink the queue).
-	if len(s.queue) >= cap(s.queue) {
+	// Content-addressed result cache: an unkeyed resubmission of a
+	// canonically identical batch is answered terminal-immediately with
+	// the original retained job — no machine, no queue slot, no quota
+	// charge. The response is byte-identical to cold execution by
+	// construction: it references the single result document that exists
+	// for this canonical form. Keyed submissions bypass the cache so the
+	// idempotency contract (per-key 409 on mismatch, journaled dedup
+	// across restarts) keeps its own, stricter path.
+	if idemKey == "" && s.cache != nil {
+		if id, ok := s.cache.lookup(reqHash); ok {
+			if jb := s.jobs[id]; jb != nil {
+				s.mu.Unlock()
+				w.Header().Set("Cache-Status", "quma-result-cache; hit")
+				writeJSON(w, http.StatusOK, struct {
+					ID    string `json:"id"`
+					Cache string `json:"cache"`
+					progressEvent
+				}{ID: jb.id, Cache: "hit", progressEvent: jb.snapshot()})
+				return
+			}
+		}
+	}
+	// Admission control, tenant quota first: a tenant at its bound is
+	// told to back off proportionally to its own backlog, and never
+	// consumes shared queue capacity.
+	if msg, ok := tenant.admit(len(req.Experiments)); !ok {
+		retry := s.retryAfterHint(tenant.activeJobs)
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retry)
+		writeError(w, http.StatusTooManyRequests, apiError{
+			Code:    CodeResourceExhausted,
+			Reason:  "tenant_quota",
+			Message: msg,
+		})
+		return
+	}
+	// Queue bound: push below never blocks (fairQueue is unbounded), so
+	// this check under s.mu is the whole admission decision.
+	if depth := s.queue.depth(); depth >= s.cfg.QueueSize {
+		retry := s.retryAfterHint(depth)
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", retry)
 		writeError(w, http.StatusTooManyRequests, apiError{
 			Code:    CodeResourceExhausted,
 			Reason:  "queue_full",
 			Message: fmt.Sprintf("job queue is full (%d queued); retry later", s.cfg.QueueSize),
 		})
 		return
+	}
+	tenantName := ""
+	if tenant.name != AnonymousTenant {
+		tenantName = tenant.name
 	}
 	s.nextID++
 	id := fmt.Sprintf("job-%d", s.nextID)
@@ -560,7 +668,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// never lose the job. A failed append rejects the submission —
 		// accepting work the journal cannot remember would silently void
 		// the crash-safety contract.
-		if err := s.jr.Append(journal.Accepted(id, idemKey, reqHash, canonical)); err != nil {
+		rec := journal.Accepted(id, idemKey, reqHash, canonical)
+		rec.Tenant = tenantName
+		if err := s.jr.Append(rec); err != nil {
 			s.nextID-- // the id was never exposed; reuse it
 			s.mu.Unlock()
 			writeError(w, http.StatusInternalServerError, apiError{
@@ -573,18 +683,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	jb := &job{
-		id:      id,
-		reqs:    req.Experiments,
-		idemKey: idemKey,
-		reqHash: reqHash,
-		ctx:     ctx,
-		cancel:  cancel,
-		status:  StatusQueued,
-		results: make([]json.RawMessage, len(req.Experiments)),
-		done:    make(chan struct{}),
+		id:       id,
+		reqs:     req.Experiments,
+		idemKey:  idemKey,
+		reqHash:  reqHash,
+		tenant:   tenantName,
+		class:    tenant.class,
+		tenantSt: tenant,
+		ctx:      ctx,
+		cancel:   cancel,
+		status:   StatusQueued,
+		results:  make([]json.RawMessage, len(req.Experiments)),
+		done:     make(chan struct{}),
 	}
+	tenant.acquire(len(req.Experiments))
 	jb.events = []numberedEvent{{ID: 1, progressEvent: jb.snapshotLocked()}}
-	s.queue <- jb
+	s.queue.push(jb)
 	s.jobs[jb.id] = jb
 	if idemKey != "" {
 		s.idem[idemKey] = jb.id
@@ -595,6 +709,37 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Status string `json:"status"`
 		Total  int    `json:"total"`
 	}{ID: jb.id, Status: StatusQueued, Total: len(jb.reqs)})
+}
+
+// retryAfterHint derives a Retry-After value (whole seconds, the HTTP
+// delta-seconds form) from the work ahead: `pending` jobs at the EWMA
+// job duration spread over the worker pool, rounded up and clamped to
+// [1, 30] so clients always back off at least a second and a cold or
+// pathological estimate never tells them to vanish for minutes. Timing
+// influences headers only — never result bytes.
+func (s *Server) retryAfterHint(pending int) string {
+	avg := time.Duration(s.avgJobNanos.Load())
+	est := time.Duration(pending) * avg / time.Duration(s.cfg.Workers)
+	secs := int64((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// observeJobDuration folds one completed job's wall time into the EWMA
+// behind retryAfterHint (new = old + (sample-old)/8).
+func (s *Server) observeJobDuration(d time.Duration) {
+	for {
+		old := s.avgJobNanos.Load()
+		next := old + (int64(d)-old)/8
+		if s.avgJobNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // lookup resolves the {id} path segment.
@@ -798,10 +943,21 @@ type healthJournal struct {
 	DroppedSegments int   `json:"dropped_segments"`
 }
 
+// healthQueue is the /healthz fair-queue block: total depth plus the
+// per-class lane depths.
+type healthQueue struct {
+	Interactive int `json:"interactive"`
+	Batch       int `json:"batch"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	njobs := len(s.jobs)
+	var hc *cacheStats
+	if s.cache != nil {
+		hc = s.cache.stats()
+	}
 	var hj *healthJournal
 	if s.jr != nil {
 		st := s.jr.Stats()
@@ -813,13 +969,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
+	qi, qb := s.queue.depthByClass()
 	writeJSON(w, http.StatusOK, struct {
 		OK       bool           `json:"ok"`
 		Draining bool           `json:"draining"`
 		Queued   int            `json:"queued"`
+		Classes  healthQueue    `json:"classes"`
 		Jobs     int            `json:"jobs"`
+		Cache    *cacheStats    `json:"cache,omitempty"`
 		Journal  *healthJournal `json:"journal,omitempty"`
-	}{OK: true, Draining: draining, Queued: len(s.queue), Jobs: njobs, Journal: hj})
+	}{OK: true, Draining: draining, Queued: qi + qb, Classes: healthQueue{Interactive: qi, Batch: qb}, Jobs: njobs, Cache: hc, Journal: hj})
 }
 
 // runJob executes one dequeued job to a terminal state. The execution
@@ -854,6 +1013,7 @@ func (s *Server) runJob(jb *job) {
 	jb.publish()
 	s.journalAppend(journal.Running(jb.id))
 
+	start := time.Now()
 	for i, req := range jb.reqs {
 		res, err := Execute(ctx, s.env, req)
 		if err != nil {
@@ -879,6 +1039,9 @@ func (s *Server) runJob(jb *job) {
 		jb.publish()
 	}
 	s.finishJob(jb, StatusDone, "", "")
+	// Completed executions feed the Retry-After estimator; aborted ones
+	// would bias it toward zero.
+	s.observeJobDuration(time.Since(start))
 }
 
 // finishJob is the single terminal-transition point: move the job to a
@@ -906,28 +1069,46 @@ func (s *Server) finishJob(jb *job, status, code, msg string) {
 			s.journalAppend(journal.Failed(jb.id, code, msg))
 		}
 	}
-	s.retire(jb.id)
+	s.retire(jb)
 }
 
 // retire records a terminal job and evicts the oldest finished jobs
 // beyond the retention bound, so a long-lived server's result store
 // stays finite. Evictions are journaled (tombstones compacted away at
-// the next rotation), so the bound holds across restarts too.
-func (s *Server) retire(id string) {
+// the next rotation), so the bound holds across restarts too. Retire is
+// also where the job's admission charge is settled: the tenant quota is
+// released exactly once, and a completed job is indexed into the
+// content-addressed cache (a failed or canceled one is not — only done
+// jobs carry the canonical result document).
+func (s *Server) retire(jb *job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.retired = append(s.retired, id)
+	if jb.tenantSt != nil {
+		jb.tenantSt.release(len(jb.reqs))
+		jb.tenantSt = nil
+	}
+	if s.cache != nil && jb.reqHash != "" && jb.snapshot().Status == StatusDone {
+		s.cache.insert(jb.reqHash, jb.id)
+	}
+	s.retired = append(s.retired, jb.id)
 	s.trimRetiredLocked()
 }
 
 // trimRetiredLocked evicts beyond the retention bound; callers hold
-// s.mu (or, during recovery, exclusive access).
+// s.mu (or, during recovery, exclusive access). Eviction invalidates
+// the job's cache entry in the same critical section — the cache is an
+// index over the retention window and must never point at a 404.
 func (s *Server) trimRetiredLocked() {
 	for len(s.retired) > s.cfg.MaxRetainedJobs {
 		id := s.retired[0]
 		s.retired = s.retired[1:]
-		if jb := s.jobs[id]; jb != nil && jb.idemKey != "" && s.idem[jb.idemKey] == id {
-			delete(s.idem, jb.idemKey)
+		if jb := s.jobs[id]; jb != nil {
+			if jb.idemKey != "" && s.idem[jb.idemKey] == id {
+				delete(s.idem, jb.idemKey)
+			}
+			if s.cache != nil && jb.reqHash != "" {
+				s.cache.invalidate(jb.reqHash, id)
+			}
 		}
 		delete(s.jobs, id)
 		s.journalAppend(journal.Evicted(id))

@@ -131,7 +131,11 @@ func TestConcurrentIdenticalJobsBitIdentical(t *testing.T) {
 				return
 			}
 			defer resp.Body.Close()
-			if resp.StatusCode != http.StatusAccepted {
+			// 202 is a fresh accept; 200 is a content-addressed cache hit —
+			// a racing submission that landed after a sibling already
+			// completed is answered with the sibling's retained job, which
+			// serves the identical bytes the loop below asserts.
+			if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
 				t.Errorf("submit %d: status %d", i, resp.StatusCode)
 				return
 			}
@@ -192,6 +196,37 @@ func TestConcurrentIdenticalJobsBitIdentical(t *testing.T) {
 			t.Fatalf("experiments[%d] (%s): service result differs from direct call\nservice: %s\ndirect:  %s",
 				i, ex.Type, a.Bytes(), b.Bytes())
 		}
+	}
+
+	// Cache-hit byte-identity vs cold execution: with every sibling
+	// finished, one more unkeyed resubmission must be a terminal-
+	// immediate cache hit (200, cache:"hit", status done) whose result
+	// document is byte-identical to the cold executions above.
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(hs.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm resubmit: status %d, want 200 cache hit", resp.StatusCode)
+	}
+	if cs := resp.Header.Get("Cache-Status"); !strings.Contains(cs, "hit") {
+		t.Fatalf("warm resubmit: Cache-Status %q, want a hit", cs)
+	}
+	var hit struct {
+		ID     string `json:"id"`
+		Cache  string `json:"cache"`
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hit); err != nil {
+		t.Fatal(err)
+	}
+	if hit.Cache != "hit" || hit.Status != StatusDone || hit.ID == "" {
+		t.Fatalf("warm resubmit envelope: %+v, want cache=hit status=done", hit)
+	}
+	if got := fetchResult(t, hs.URL, hit.ID); !bytes.Equal(got, bodies[0]) {
+		t.Fatalf("cache-hit result differs from cold execution:\nhit:  %s\ncold: %s", got, bodies[0])
 	}
 }
 
@@ -315,6 +350,9 @@ func TestDrainFinishesQueuedJobsAndRejectsNew(t *testing.T) {
 	}}
 	var ids []string
 	for i := 0; i < 3; i++ {
+		// Distinct seeds: identical batches would dedupe onto one job
+		// through the result cache once the first completes.
+		req.Experiments[0].Seed = int64(4 + i)
 		id, resp := submit(t, hs.URL, req)
 		if id == "" {
 			t.Fatalf("submit %d: status %d", i, resp.StatusCode)
@@ -498,6 +536,7 @@ func TestRetentionEvictsOldestFinishedJobs(t *testing.T) {
 	id1, _ := submit(t, hs.URL, req)
 	waitDone(t, hs.URL, id1)
 	fetchResult(t, hs.URL, id1) // still retained: it is the only finished job
+	req.Experiments[0].Seed = 2 // distinct job, not a cache hit
 	id2, _ := submit(t, hs.URL, req)
 	waitDone(t, hs.URL, id2)
 	fetchResult(t, hs.URL, id2)

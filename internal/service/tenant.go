@@ -1,0 +1,166 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// AnonymousTenant is the identity of unauthenticated traffic. It always
+// exists, runs in the batch class, and has no quotas — exactly the
+// pre-tenancy behavior, so a server started without -api-keys (or a
+// client that sends no Authorization header) is unchanged.
+const AnonymousTenant = "anonymous"
+
+// TenantConfig declares one tenant in the static API-key file: its
+// bearer key, priority class, and admission quotas.
+type TenantConfig struct {
+	// Name identifies the tenant in journal records and errors. Must be
+	// unique and must not claim the reserved anonymous identity.
+	Name string `json:"name"`
+	// Key is the static bearer credential (Authorization: Bearer <key>).
+	Key string `json:"key"`
+	// Class is the tenant's priority class: "interactive" or "batch"
+	// (default batch). Interactive jobs dequeue ahead of batch 3:1 under
+	// contention (see fairQueue).
+	Class string `json:"class,omitempty"`
+	// MaxQueuedJobs bounds the tenant's non-terminal jobs (queued +
+	// running); 0 is unlimited. Exceeding it is 429 tenant_quota.
+	MaxQueuedJobs int `json:"max_queued_jobs,omitempty"`
+	// MaxExperimentsInFlight bounds the total experiments across the
+	// tenant's non-terminal jobs; 0 is unlimited.
+	MaxExperimentsInFlight int `json:"max_experiments_in_flight,omitempty"`
+}
+
+// LoadAPIKeys reads a tenant key file: JSON {"tenants": [TenantConfig...]}.
+func LoadAPIKeys(path string) ([]TenantConfig, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Tenants []TenantConfig `json:"tenants"`
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Tenants) == 0 {
+		return nil, fmt.Errorf("%s: no tenants declared", path)
+	}
+	return doc.Tenants, nil
+}
+
+// tenantState is one tenant's live admission accounting. The counters
+// are guarded by Server.mu: acquired at submit (and at recovery
+// re-enqueue), released exactly once when the job retires.
+type tenantState struct {
+	name    string
+	class   string
+	maxJobs int
+	maxExps int
+
+	activeJobs int
+	activeExps int
+}
+
+// admit checks the tenant's quotas for a new job of n experiments;
+// a failure names the exhausted quota for the 429 reason detail.
+func (t *tenantState) admit(n int) (string, bool) {
+	if t.maxJobs > 0 && t.activeJobs >= t.maxJobs {
+		return fmt.Sprintf("tenant %q has %d jobs in flight, quota is %d", t.name, t.activeJobs, t.maxJobs), false
+	}
+	if t.maxExps > 0 && t.activeExps+n > t.maxExps {
+		return fmt.Sprintf("tenant %q has %d experiments in flight, adding %d exceeds quota %d", t.name, t.activeExps, n, t.maxExps), false
+	}
+	return "", true
+}
+
+func (t *tenantState) acquire(n int) { t.activeJobs++; t.activeExps += n }
+func (t *tenantState) release(n int) { t.activeJobs--; t.activeExps -= n }
+
+// tenantTable resolves bearer keys (and, at recovery, journaled tenant
+// names) to tenant state. Built once at New; the map itself is
+// immutable afterwards, only the per-tenant counters mutate (under
+// Server.mu).
+type tenantTable struct {
+	byKey  map[string]*tenantState
+	byName map[string]*tenantState
+	anon   *tenantState
+}
+
+func newTenantTable(cfgs []TenantConfig) (*tenantTable, error) {
+	t := &tenantTable{
+		byKey:  make(map[string]*tenantState),
+		byName: make(map[string]*tenantState),
+		anon:   &tenantState{name: AnonymousTenant, class: ClassBatch},
+	}
+	t.byName[AnonymousTenant] = t.anon
+	for i, c := range cfgs {
+		if c.Name == "" || c.Key == "" {
+			return nil, fmt.Errorf("tenant %d: name and key are required", i)
+		}
+		if c.Name == AnonymousTenant {
+			return nil, fmt.Errorf("tenant %d: %q is the reserved unauthenticated identity", i, AnonymousTenant)
+		}
+		switch c.Class {
+		case "", ClassBatch, ClassInteractive:
+		default:
+			return nil, fmt.Errorf("tenant %q: unknown class %q (want %q or %q)", c.Name, c.Class, ClassInteractive, ClassBatch)
+		}
+		if c.MaxQueuedJobs < 0 || c.MaxExperimentsInFlight < 0 {
+			return nil, fmt.Errorf("tenant %q: quotas must be non-negative", c.Name)
+		}
+		if _, dup := t.byName[c.Name]; dup {
+			return nil, fmt.Errorf("tenant %q: duplicate name", c.Name)
+		}
+		if _, dup := t.byKey[c.Key]; dup {
+			return nil, fmt.Errorf("tenant %q: key already assigned to another tenant", c.Name)
+		}
+		class := c.Class
+		if class == "" {
+			class = ClassBatch
+		}
+		st := &tenantState{name: c.Name, class: class, maxJobs: c.MaxQueuedJobs, maxExps: c.MaxExperimentsInFlight}
+		t.byName[c.Name] = st
+		t.byKey[c.Key] = st
+	}
+	return t, nil
+}
+
+// authenticate resolves a request to its tenant. No Authorization header
+// is the anonymous tenant (compatibility: tenancy is opt-in per
+// request); a malformed header or unknown key is rejected — presenting a
+// credential means asking to be authenticated, and a typo'd key silently
+// demoted to anonymous would be a quota/priority escalation hazard in
+// the other direction.
+func (t *tenantTable) authenticate(r *http.Request) (*tenantState, *apiError) {
+	h := r.Header.Get("Authorization")
+	if h == "" {
+		return t.anon, nil
+	}
+	key, ok := strings.CutPrefix(h, "Bearer ")
+	if !ok || key == "" {
+		return nil, &apiError{Code: CodeUnauthenticated, Reason: "malformed_authorization", Message: `Authorization header must be "Bearer <key>"`}
+	}
+	st, ok := t.byKey[key]
+	if !ok {
+		return nil, &apiError{Code: CodeUnauthenticated, Reason: "unknown_key", Message: "unknown API key"}
+	}
+	return st, nil
+}
+
+// resolve maps a journaled tenant name back to its state at recovery.
+// A name absent from the current key file (the file changed across the
+// restart) falls back to anonymous: the job still re-executes — accepted
+// work is never dropped — it just stops counting against a quota that
+// no longer exists.
+func (t *tenantTable) resolve(name string) *tenantState {
+	if st, ok := t.byName[name]; ok {
+		return st
+	}
+	return t.anon
+}

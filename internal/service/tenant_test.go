@@ -1,0 +1,294 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func cloneSubmit(t *testing.T, base, auth string, body []byte) *http.Request {
+	t.Helper()
+	hr, _ := http.NewRequest("POST", base+"/v1/jobs", bytes.NewReader(body))
+	hr.Header.Set("Content-Type", "application/json")
+	if auth != "" {
+		hr.Header.Set("Authorization", auth)
+	}
+	return hr
+}
+
+// TestAuthRejectsBadCredentials pins the authentication contract: no
+// header is anonymous (admitted), a malformed header or an unknown key
+// is 401 unauthenticated — presenting a credential means asking to be
+// authenticated; a typo must not silently demote to anonymous.
+func TestAuthRejectsBadCredentials(t *testing.T) {
+	_, hs := startTestServer(t, Config{
+		Workers: 1,
+		Tenants: []TenantConfig{{Name: "alice", Key: "alice-key"}},
+	})
+	post := func(auth string, req SubmitRequest) (int, apiError) {
+		t.Helper()
+		body, _ := json.Marshal(req)
+		resp, err := http.DefaultClient.Do(cloneSubmit(t, hs.URL, auth, body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var env struct {
+			Error apiError `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&env)
+		return resp.StatusCode, env.Error
+	}
+
+	if code, _ := post("", quickAsm(90)); code != http.StatusAccepted {
+		t.Fatalf("anonymous submit: status %d, want 202", code)
+	}
+	if code, _ := post("Bearer alice-key", quickAsm(91)); code != http.StatusAccepted {
+		t.Fatalf("authenticated submit: status %d, want 202", code)
+	}
+	for _, auth := range []string{"Basic xyz", "Bearer ", "alice-key"} {
+		code, e := post(auth, quickAsm(92))
+		if code != http.StatusUnauthorized || e.Code != CodeUnauthenticated || e.Reason != "malformed_authorization" {
+			t.Fatalf("auth %q: status %d code %q reason %q, want 401 unauthenticated/malformed_authorization", auth, code, e.Code, e.Reason)
+		}
+	}
+	code, e := post("Bearer wrong-key", quickAsm(93))
+	if code != http.StatusUnauthorized || e.Code != CodeUnauthenticated || e.Reason != "unknown_key" {
+		t.Fatalf("unknown key: status %d code %q reason %q, want 401 unauthenticated/unknown_key", code, e.Code, e.Reason)
+	}
+}
+
+// TestTenantJobQuota drives a tenant into its MaxQueuedJobs bound: the
+// over-quota submission is 429 resource_exhausted/tenant_quota with a
+// Retry-After hint, anonymous traffic is unaffected, and completing the
+// job releases the quota.
+func TestTenantJobQuota(t *testing.T) {
+	s := New(Config{
+		Workers: 1,
+		Tenants: []TenantConfig{{Name: "alice", Key: "ak", MaxQueuedJobs: 1}},
+	})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	auth := "Bearer ak"
+
+	post := func(auth string, req SubmitRequest) (*http.Response, []byte) {
+		t.Helper()
+		body, _ := json.Marshal(req)
+		resp, err := http.DefaultClient.Do(cloneSubmit(t, hs.URL, auth, body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b := new(bytes.Buffer)
+		b.ReadFrom(resp.Body)
+		return resp, b.Bytes()
+	}
+
+	// Workers not started: the first job pins the quota deterministically.
+	resp, _ := post(auth, quickAsm(94))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", resp.StatusCode)
+	}
+	resp, body := post(auth, quickAsm(95))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: status %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	var env struct {
+		Error apiError `json:"error"`
+	}
+	json.Unmarshal(body, &env)
+	if env.Error.Code != CodeResourceExhausted || env.Error.Reason != "tenant_quota" {
+		t.Fatalf("over-quota error %+v, want resource_exhausted/tenant_quota", env.Error)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("tenant-quota 429 carries no Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs > 30 {
+		t.Fatalf("Retry-After %q, want whole seconds in [1,30]", ra)
+	}
+	// Tenant quotas never gate anonymous traffic.
+	if resp, _ := post("", quickAsm(96)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("anonymous submit under tenant quota: status %d", resp.StatusCode)
+	}
+
+	// Completion releases the quota (release happens at retire, just
+	// after the status flips terminal — poll briefly).
+	s.Start()
+	t.Cleanup(s.Drain)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, _ := post(auth, quickAsm(95))
+		if resp.StatusCode == http.StatusAccepted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("quota never released after completion: last status %d", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTenantExperimentQuota pins the second quota axis: a batch whose
+// experiment count exceeds MaxExperimentsInFlight is rejected even as
+// the tenant's first job.
+func TestTenantExperimentQuota(t *testing.T) {
+	_, hs := startTestServer(t, Config{
+		Workers: 1,
+		Tenants: []TenantConfig{{Name: "bob", Key: "bk", MaxExperimentsInFlight: 1}},
+	})
+	two := SubmitRequest{Experiments: []ExperimentRequest{
+		quickAsm(97).Experiments[0], quickAsm(98).Experiments[0],
+	}}
+	body, _ := json.Marshal(two)
+	resp, err := http.DefaultClient.Do(cloneSubmit(t, hs.URL, "Bearer bk", body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env struct {
+		Error apiError `json:"error"`
+	}
+	json.NewDecoder(resp.Body).Decode(&env)
+	if resp.StatusCode != http.StatusTooManyRequests || env.Error.Reason != "tenant_quota" {
+		t.Fatalf("status %d reason %q, want 429 tenant_quota", resp.StatusCode, env.Error.Reason)
+	}
+}
+
+// TestLoadAPIKeys covers the key-file loader: a valid file parses, and
+// unknown fields, empty tenant lists, and unreadable paths are errors.
+func TestLoadAPIKeys(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	good := write("good.json", `{"tenants": [
+		{"name": "alice", "key": "ak", "class": "interactive", "max_queued_jobs": 4},
+		{"name": "bob", "key": "bk", "max_experiments_in_flight": 64}
+	]}`)
+	tenants, err := LoadAPIKeys(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 2 || tenants[0].Name != "alice" || tenants[0].Class != ClassInteractive || tenants[1].MaxExperimentsInFlight != 64 {
+		t.Fatalf("parsed tenants %+v", tenants)
+	}
+
+	for name, content := range map[string]string{
+		"unknown.json": `{"tenants": [{"name": "x", "key": "k", "classs": "batch"}]}`,
+		"empty.json":   `{"tenants": []}`,
+		"scalar.json":  `"not an object"`,
+	} {
+		if _, err := LoadAPIKeys(write(name, content)); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+	if _, err := LoadAPIKeys(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file: want error, got nil")
+	}
+}
+
+// TestTenantTableValidation covers the static-config checks that make
+// New panic: missing fields, the reserved anonymous name, unknown
+// classes, negative quotas, and duplicate names/keys.
+func TestTenantTableValidation(t *testing.T) {
+	bad := map[string][]TenantConfig{
+		"missing name":   {{Key: "k"}},
+		"missing key":    {{Name: "x"}},
+		"reserved name":  {{Name: AnonymousTenant, Key: "k"}},
+		"unknown class":  {{Name: "x", Key: "k", Class: "platinum"}},
+		"negative quota": {{Name: "x", Key: "k", MaxQueuedJobs: -1}},
+		"duplicate name": {{Name: "x", Key: "k1"}, {Name: "x", Key: "k2"}},
+		"duplicate key":  {{Name: "x", Key: "k"}, {Name: "y", Key: "k"}},
+	}
+	for name, cfgs := range bad {
+		if _, err := newTenantTable(cfgs); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+	tbl, err := newTenantTable([]TenantConfig{{Name: "x", Key: "k", Class: ClassInteractive}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := tbl.resolve("x"); st.class != ClassInteractive {
+		t.Fatalf("resolve(x).class = %q", st.class)
+	}
+	// A journaled name the key file no longer declares resolves to
+	// anonymous: accepted work re-executes, it just stops counting
+	// against a quota that no longer exists.
+	if st := tbl.resolve("gone"); st != tbl.anon {
+		t.Fatal("unknown journaled tenant did not resolve to anonymous")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with an invalid tenant config did not panic")
+		}
+	}()
+	New(Config{Tenants: []TenantConfig{{Name: "x"}}})
+}
+
+// TestQueueFullRetryAfterDerived checks the satellite bugfix: the
+// queue-full 429's Retry-After is derived from the backlog (whole
+// seconds in [1,30]), not the old hardcoded "1" regardless of depth.
+// With a cold EWMA (1s prior), 8 queued jobs over 1 worker estimate 8s.
+func TestQueueFullRetryAfterDerived(t *testing.T) {
+	s := New(Config{Workers: 1, QueueSize: 8})
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	// Workers not started: fill the queue deterministically.
+	for i := 0; i < 8; i++ {
+		body, _ := json.Marshal(quickAsm(int64(100 + i)))
+		resp, err := http.DefaultClient.Do(cloneSubmit(t, hs.URL, "", body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("fill submit %d: status %d", i, resp.StatusCode)
+		}
+	}
+	body, _ := json.Marshal(quickAsm(200))
+	resp, err := http.DefaultClient.Do(cloneSubmit(t, hs.URL, "", body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit: status %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not whole seconds", ra)
+	}
+	// 8 pending × 1s EWMA prior / 1 worker = 8s: derived from depth, and
+	// in particular not the pre-fix constant 1.
+	if secs != 8 {
+		t.Fatalf("Retry-After = %d, want 8 (depth-derived with the cold EWMA prior)", secs)
+	}
+	if !strings.Contains(string(mustRead(t, resp)), "queue_full") {
+		t.Fatal("429 body does not name queue_full")
+	}
+	s.Start()
+	s.Drain()
+}
+
+func mustRead(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	b := new(bytes.Buffer)
+	if _, err := b.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
