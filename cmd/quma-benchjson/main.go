@@ -50,6 +50,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "quma-benchjson:", err)
 		os.Exit(1)
 	}
+	stripMaxprocs(results)
 
 	enc, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
@@ -67,6 +68,38 @@ func main() {
 	}
 }
 
+// stripMaxprocs removes the trailing -GOMAXPROCS suffix from every
+// result name, but only when one is actually present: the go tool
+// appends it exactly when GOMAXPROCS != 1, and then every benchmark
+// line in the run carries the same suffix. Stripping per-line would
+// mangle legitimate names that end in -<digits> (a lane-width or size
+// sub-benchmark like lanes-8) on single-proc runs, so the suffix is
+// recognized globally — every name must end in the same -<digits> —
+// before any name is touched.
+func stripMaxprocs(results []Result) {
+	if len(results) == 0 {
+		return
+	}
+	suffix := ""
+	for i, r := range results {
+		j := strings.LastIndex(r.Name, "-")
+		if j < 0 || strings.Contains(r.Name[j:], "/") {
+			return
+		}
+		if _, err := strconv.Atoi(r.Name[j+1:]); err != nil {
+			return
+		}
+		if i == 0 {
+			suffix = r.Name[j:]
+		} else if r.Name[j:] != suffix {
+			return
+		}
+	}
+	for i := range results {
+		results[i].Name = strings.TrimSuffix(results[i].Name, suffix)
+	}
+}
+
 // parseLine parses one `Benchmark... N value unit value unit ...` line.
 func parseLine(line string) (Result, bool) {
 	fields := strings.Fields(line)
@@ -74,12 +107,6 @@ func parseLine(line string) (Result, bool) {
 		return Result{}, false
 	}
 	name := fields[0]
-	// Strip the trailing -GOMAXPROCS from the last path element only.
-	if i := strings.LastIndex(name, "-"); i > 0 && !strings.Contains(name[i:], "/") {
-		if _, err := strconv.Atoi(name[i+1:]); err == nil {
-			name = name[:i]
-		}
-	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
 		return Result{}, false

@@ -11,8 +11,8 @@ func TestParseLine(t *testing.T) {
 	if !ok {
 		t.Fatal("line not parsed")
 	}
-	if r.Name != "BenchmarkReplayRepCode/trajectory/replay" {
-		t.Errorf("name = %q", r.Name)
+	if r.Name != "BenchmarkReplayRepCode/trajectory/replay-8" {
+		t.Errorf("name = %q (parseLine must keep names verbatim; stripping is global)", r.Name)
 	}
 	if r.Iterations != 12 || r.NsPerOp != 9123456 || r.BytesPerOp != 1024 || r.AllocsPerOp != 12 {
 		t.Errorf("metrics = %+v", r)
@@ -36,29 +36,62 @@ func TestParseLineRejectsNonBench(t *testing.T) {
 	}
 }
 
-func TestParseLineKeepsSubBenchDashes(t *testing.T) {
-	// A trailing -N is GOMAXPROCS; an interior dash in the name is not.
-	r, ok := parseLine("BenchmarkTimingControllerEventDriven/interval-40000-8 100 5 ns/op")
-	if !ok {
-		t.Fatal("line not parsed")
+// TestStripMaxprocs pins the global suffix rule: the -GOMAXPROCS
+// suffix exists exactly when GOMAXPROCS != 1, and then on every line —
+// so it is stripped only when every name carries the same trailing
+// -<digits>. A single-proc run whose sub-benchmarks happen to end in
+// -<digits> (lane widths, sizes) keeps its names verbatim.
+func TestStripMaxprocs(t *testing.T) {
+	multi := []Result{
+		{Name: "BenchmarkApply1-8"},
+		{Name: "BenchmarkBatchedRepCode/d3/lanes-4-8"},
+		{Name: "BenchmarkTimingControllerEventDriven/interval-40000-8"},
 	}
-	if r.Name != "BenchmarkTimingControllerEventDriven/interval-40000" {
-		t.Errorf("name = %q", r.Name)
+	stripMaxprocs(multi)
+	want := []string{
+		"BenchmarkApply1",
+		"BenchmarkBatchedRepCode/d3/lanes-4",
+		"BenchmarkTimingControllerEventDriven/interval-40000",
+	}
+	for i, w := range want {
+		if multi[i].Name != w {
+			t.Errorf("multi[%d].Name = %q, want %q", i, multi[i].Name, w)
+		}
+	}
+
+	single := []Result{
+		{Name: "BenchmarkBatchedRepCode/d3/scalar"},
+		{Name: "BenchmarkBatchedRepCode/d3/lanes-4"},
+		{Name: "BenchmarkBatchedRepCode/d3/lanes-8"},
+	}
+	stripMaxprocs(single)
+	if single[1].Name != "BenchmarkBatchedRepCode/d3/lanes-4" || single[2].Name != "BenchmarkBatchedRepCode/d3/lanes-8" {
+		t.Errorf("single-proc names mangled: %+v", single)
+	}
+
+	mixed := []Result{
+		{Name: "BenchmarkA-8"},
+		{Name: "BenchmarkB-4"},
+	}
+	stripMaxprocs(mixed)
+	if mixed[0].Name != "BenchmarkA-8" || mixed[1].Name != "BenchmarkB-4" {
+		t.Errorf("differing suffixes must not strip: %+v", mixed)
 	}
 }
 
 // TestOutputShape pushes a realistic multi-line bench text through
-// parseLine and JSON marshaling — the whole pipeline main runs — and
-// asserts the document shape downstream consumers (the CI perf-trajectory
-// diff) rely on: an array ordered as the input, with standard metrics as
-// fixed keys and custom metrics namespaced under "metrics".
+// parseLine, stripMaxprocs, and JSON marshaling — the whole pipeline
+// main runs — and asserts the document shape downstream consumers (the
+// CI perf-trajectory diff) rely on: an array ordered as the input, with
+// standard metrics as fixed keys and custom metrics namespaced under
+// "metrics".
 func TestOutputShape(t *testing.T) {
 	input := `goos: linux
 goarch: amd64
 pkg: quma
 BenchmarkApply1-8          	 3000000	       402 ns/op	       0 B/op	       0 allocs/op
 BenchmarkReplayRB/full-8   	      10	 105000000 ns/op	 9100000 B/op	   84000 allocs/op
-BenchmarkServeBatch        	       5	   2000000 ns/op	    1442 experiments/s
+BenchmarkServeBatch-8      	       5	   2000000 ns/op	    1442 experiments/s
 PASS
 ok  	quma	12.3s
 `
@@ -71,6 +104,7 @@ ok  	quma	12.3s
 	if len(results) != 3 {
 		t.Fatalf("parsed %d results, want 3", len(results))
 	}
+	stripMaxprocs(results)
 	enc, err := json.Marshal(results)
 	if err != nil {
 		t.Fatal(err)

@@ -17,7 +17,10 @@
 // shard plan (expt.ShotShardPlan): shard k runs on its own machine seeded
 // DeriveSeed(seed, k), up to -shot-workers shards concurrently. The plan,
 // seeds, and merge order depend only on the shot count, so results are
-// bit-identical for any -shot-workers value. Instruction, pulse, and
+// bit-identical for any -shot-workers value. On the trajectory backend,
+// -lanes L > 1 additionally runs groups of up to L equal-size shards in
+// lockstep on the batched SoA executor (one lane per shard, same seeds,
+// same streams — bit-identical results, higher throughput). Instruction, pulse, and
 // measurement counters sum across shards; registers, final qubit state,
 // and the timeline come from the last shard's machine; the data
 // collection unit's averages merge exactly across the shards.
@@ -27,6 +30,7 @@
 //	quma-run [-qubits N] [-backend density|trajectory] [-seed S] [-trace] [-collect K] prog.qasm
 //	quma-run -shots 10000 -replay auto prog.qasm
 //	quma-run -shots 100000 -shot-workers 8 prog.qasm
+//	quma-run -backend trajectory -shots 100000 -lanes 8 prog.qasm
 //	quma-run -cpuprofile cpu.pprof -shots 10000 prog.qasm
 //	quma-run -bin prog.bin          # hex words from quma-asm
 package main
@@ -61,6 +65,7 @@ func main() {
 		binary      = flag.Bool("bin", false, "input is a binary (hex words) produced by quma-asm")
 		shots       = flag.Int("shots", 1, "number of times to run the program on one machine (the shot loop of an experiment)")
 		shotWorkers = flag.Int("shot-workers", 0, "bound on concurrent shot shards when -shots exceeds the shard threshold (0 = one per CPU); results are bit-identical for any value")
+		lanes       = flag.Int("lanes", 0, "run groups of up to this many equal-size shot shards in lockstep on the batched SoA trajectory executor (0 or 1 = scalar shards); results are bit-identical for any value")
 		replayMode  = flag.String("replay", "auto", "shot-replay engine mode: compiled (replay the compiled schedule when safe), interp (op-by-op replay, the A/B baseline), auto (best available = compiled), or off (full simulation per shot)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -73,7 +78,7 @@ func main() {
 	// Validate flag values up front with a clear non-zero exit: an
 	// unknown backend or replay mode, or a non-positive shot count, must
 	// never silently fall back to a default.
-	mode, err := validateFlags(*backend, *replayMode, *shots, *shotWorkers)
+	mode, err := validateFlags(*backend, *replayMode, *shots, *shotWorkers, *lanes)
 	if err != nil {
 		fail(err)
 	}
@@ -147,13 +152,17 @@ func main() {
 		}
 		printEngine(stats)
 	default:
-		stats, shardMachines, err := runSharded(cfg, prog, plan, *shotWorkers, mode)
+		stats, shardMachines, err := runSharded(cfg, prog, plan, *shotWorkers, *lanes, mode)
 		if err != nil {
 			fail(err)
 		}
 		machines = shardMachines
 		m = machines[len(machines)-1]
-		fmt.Printf("shot-shard plan: %d shards of ≤%d shots\n", len(plan), expt.ShotShardSize)
+		// Lead/Overhead come from the merged engine stats: overhead is
+		// the recording cost sharding added over an unsharded run (zero
+		// at or below the shard threshold, where this line never prints).
+		fmt.Printf("shot-shard plan: %d shards of ≤%d shots (%d lead/detect shots, %d sharding overhead)\n",
+			len(plan), expt.ShotShardSize, stats.Lead, stats.Overhead)
 		printEngine(stats)
 	}
 
@@ -234,16 +243,23 @@ func printEngine(stats replay.Stats) {
 
 // runSharded executes the shot-shard plan: shard k runs plan[k] shots on
 // a fresh machine seeded expt.DeriveSeed(cfg.Seed, k) with its global
-// shot offset as replay.Options.BaseShot, up to `workers` shards
-// concurrently (0 = one per CPU). Stats merge in shard order; the
-// machines return in shard order too, so the caller's "last machine"
-// state is deterministic.
-func runSharded(cfg core.Config, prog *isa.Program, plan []int, workers int, mode replay.Mode) (replay.Stats, []*core.Machine, error) {
+// shot offset as replay.Options.BaseShot. With lanes > 1 the shards are
+// partitioned into lockstep batch groups (expt.LaneGroups) and each
+// group runs as one replay.RunBatch call — one lane per shard, same
+// seeds, same streams, so the grouping can never change a result byte.
+// Up to `workers` groups run concurrently (0 = one per CPU). Stats
+// merge in shard order; the machines return in shard order too, so the
+// caller's "last machine" state is deterministic.
+func runSharded(cfg core.Config, prog *isa.Program, plan []int, workers, lanes int, mode replay.Mode) (replay.Stats, []*core.Machine, error) {
+	if mode == replay.ModeOff || mode == replay.ModeInterp {
+		lanes = 1 // no batched executor for these modes
+	}
+	groups := expt.LaneGroups(plan, lanes)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(plan) {
-		workers = len(plan)
+	if workers > len(groups) {
+		workers = len(groups)
 	}
 	starts := make([]int, len(plan))
 	for k := 1; k < len(plan); k++ {
@@ -251,7 +267,7 @@ func runSharded(cfg core.Config, prog *isa.Program, plan []int, workers int, mod
 	}
 	machines := make([]*core.Machine, len(plan))
 	statsv := make([]replay.Stats, len(plan))
-	errs := make([]error, len(plan))
+	errs := make([]error, len(groups))
 	var next atomic.Int64
 	next.Store(-1)
 	var wg sync.WaitGroup
@@ -260,43 +276,58 @@ func runSharded(cfg core.Config, prog *isa.Program, plan []int, workers int, mod
 		go func() {
 			defer wg.Done()
 			for {
-				k := int(next.Add(1))
-				if k >= len(plan) {
+				gi := int(next.Add(1))
+				if gi >= len(groups) {
 					return
 				}
-				scfg := cfg
-				scfg.Seed = expt.DeriveSeed(cfg.Seed, k)
-				sm, err := core.New(scfg)
-				if err != nil {
-					errs[k] = err
+				g0, g1 := groups[gi][0], groups[gi][1]
+				bl := make([]replay.BatchLane, 0, g1-g0)
+				for k := g0; k < g1; k++ {
+					scfg := cfg
+					scfg.Seed = expt.DeriveSeed(cfg.Seed, k)
+					sm, err := core.New(scfg)
+					if err != nil {
+						errs[gi] = err
+						break
+					}
+					machines[k] = sm
+					bl = append(bl, replay.BatchLane{M: sm, BaseShot: starts[k]})
+				}
+				if errs[gi] != nil {
 					continue
 				}
-				machines[k] = sm
-				statsv[k], errs[k] = replay.Run(context.Background(), sm, prog,
-					replay.Options{Shots: plan[k], Mode: mode, BaseShot: starts[k]})
+				sts, err := replay.RunBatch(context.Background(), prog, bl, plan[g0], mode)
+				copy(statsv[g0:g1], sts)
+				errs[gi] = err
 			}
 		}()
 	}
 	wg.Wait()
+	for gi := range groups {
+		if errs[gi] != nil {
+			return replay.Stats{}, nil, errs[gi]
+		}
+	}
 	var merged replay.Stats
 	for k := range plan {
-		if errs[k] != nil {
-			return merged, nil, errs[k]
-		}
 		merged.Merge(statsv[k])
 	}
 	return merged, machines, nil
 }
 
 // validateFlags rejects unknown -backend/-replay values, non-positive
-// -shots, and negative -shot-workers before any machine is built, so a
-// typo fails loudly instead of silently running under a default.
-func validateFlags(backend, replayMode string, shots, shotWorkers int) (replay.Mode, error) {
+// -shots, and negative -shot-workers/-lanes before any machine is
+// built, so a typo fails loudly instead of silently running under a
+// default.
+func validateFlags(backend, replayMode string, shots, shotWorkers, lanes int) (replay.Mode, error) {
 	if shots < 1 {
 		return "", fmt.Errorf("-shots must be positive, got %d", shots)
 	}
 	if shotWorkers < 0 {
 		return "", fmt.Errorf("-shot-workers must be non-negative (0 selects one per CPU), got %d", shotWorkers)
+	}
+	if lanes < 0 {
+		return "", fmt.Errorf("-lanes must be non-negative (0 and 1 select scalar shard execution), got %d", lanes)
 	}
 	switch core.Backend(backend) {
 	case core.BackendDensity, core.BackendTrajectory:

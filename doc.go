@@ -255,4 +255,26 @@
 // quotas (429 with a backlog-derived Retry-After) and priority
 // classes drained by a deterministic weighted-fair stride scheduler;
 // anonymous traffic keeps the pre-tenancy behavior unchanged.
+//
+// # Shot-batched execution
+//
+// The trajectory backend can run groups of shot shards in lockstep on
+// a structure-of-arrays executor (internal/qphys.TrajBatch): one lane
+// per shard, amplitudes interleaved lane-minor so each schedule step
+// becomes flat vectorized passes (AVX2/AVX-512 on amd64, with
+// register-resident specializations at eight lanes) instead of L
+// scalar state walks. Lanes keep the schema-v2 shard contract exactly
+// — shard k's rng stream still starts at DeriveSeed(pointSeed, k) and
+// shards merge in shard order — and every kernel reproduces the scalar
+// executor's float operations and rounding order, so a batched run's
+// result bytes are identical to the scalar sharded path (and to the
+// pre-sharding builds) per lane by construction, not by tolerance.
+// Lanes that diverge (an anti-diagonal jump, a dense Kraus selection,
+// a mid-schedule branch) fall out to the scalar tail for that step and
+// rejoin; steady state allocates nothing per shot. The lane width is a
+// result-neutral scheduling knob (expt.RepCodeParams.BatchLanes, shard
+// groups of up to that many lanes), and QUMA_NOSIMD=1 disables the
+// SIMD kernels at process level — every suite passes both ways, and
+// the conformance suite pins batched-vs-scalar byte identity per
+// kernel and per experiment.
 package quma

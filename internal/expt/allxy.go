@@ -72,6 +72,11 @@ type AllXYParams struct {
 	// Rounds exceeds ShotShardSize (0 = one worker per CPU). Results are
 	// identical for any value; see shotshard.go.
 	ShotWorkers int
+	// BatchLanes, when > 1, runs groups of up to that many equal-size
+	// shot shards in lockstep on the batched SoA executor (one lane per
+	// shard — same seeds, same streams). Results are bit-identical for
+	// any value; see shotshard.go.
+	BatchLanes int
 	// Replay selects the shot-replay engine mode: replay.ModeOff,
 	// ModeInterp, or ModeCompiled (default auto = compiled). Results are
 	// bit-identical for any value — see internal/replay; interp vs
@@ -221,7 +226,7 @@ func (e *Env) RunAllXY(ctx context.Context, cfg core.Config, p AllXYParams) (*Al
 		sums := make([][]float64, nshards)
 		counts := make([][]int, nshards)
 		shardPulses := make([]uint64, nshards)
-		_, err = runShotJobSharded(ctx, pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, plan, p.ShotWorkers, p.Replay, nil, nil,
+		_, err = runShotJobSharded(ctx, pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, plan, p.ShotWorkers, p.BatchLanes, p.Replay, nil, nil,
 			func(k int, m *core.Machine, _ replay.Stats) error {
 				want := shardShots(plan, k, p.Rounds)
 				if got := m.Collector.Rounds(); got != want {

@@ -32,6 +32,11 @@ type SweepParams struct {
 	// point when Rounds exceeds ShotShardSize (0 = one worker per CPU).
 	// Results are identical for any value; see shotshard.go.
 	ShotWorkers int
+	// BatchLanes, when > 1, runs groups of up to that many equal-size
+	// shot shards in lockstep on the batched SoA executor (one lane per
+	// shard — same seeds, same streams). Results are bit-identical for
+	// any value; see shotshard.go.
+	BatchLanes int
 	// Replay selects the shot-replay engine mode: replay.ModeOff,
 	// ModeInterp, or ModeCompiled (default auto = compiled). Results are
 	// bit-identical for any value — see internal/replay; interp vs
@@ -122,7 +127,7 @@ func runSweep(ctx context.Context, env *Env, cfg core.Config, p SweepParams, bod
 		// reproduces Averages()[0] bit for bit.
 		sums := make([]float64, shardCount(plan))
 		counts := make([]int, shardCount(plan))
-		_, err = runShotJobSharded(ctx, pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, plan, p.ShotWorkers, p.Replay, nil, nil,
+		_, err = runShotJobSharded(ctx, pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, plan, p.ShotWorkers, p.BatchLanes, p.Replay, nil, nil,
 			func(k int, m *core.Machine, _ replay.Stats) error {
 				sums[k] = m.Collector.Sums()[0]
 				counts[k] = m.Collector.Counts()[0]

@@ -134,6 +134,12 @@ type ProgramParams struct {
 	// function of Shots, so results are bit-identical for any value —
 	// see shotshard.go.
 	ShotWorkers int
+	// BatchLanes, when > 1, runs groups of up to that many equal-size
+	// shot shards in lockstep on the batched SoA executor (one lane per
+	// shard — same seeds, same streams). Results are bit-identical for
+	// any value: the knob trades nothing but throughput, exactly like
+	// ShotWorkers.
+	BatchLanes int
 }
 
 // ProgramResult summarizes a raw-assembly shot run. Everything in it is
@@ -189,7 +195,7 @@ func (e *Env) RunProgram(ctx context.Context, cfg core.Config, p ProgramParams) 
 	res := &ProgramResult{Params: p, Shots: p.Shots}
 	h := fnv.New64a()
 	pool := e.poolFor(cfg)
-	stats, err := runShotJobSharded(ctx, pool, cfg.Seed, prog, p.Shots, ShotShardPlan(p.Shots), p.ShotWorkers, p.Replay, nil,
+	stats, err := runShotJobSharded(ctx, pool, cfg.Seed, prog, p.Shots, ShotShardPlan(p.Shots), p.ShotWorkers, p.BatchLanes, p.Replay, nil,
 		func(shot int, md []replay.MD) {
 			if shot > 0 && len(md) != res.MDPerShot {
 				res.MDVaries = true

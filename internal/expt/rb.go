@@ -35,6 +35,11 @@ type RBParams struct {
 	// when Rounds exceeds ShotShardSize (0 = one worker per CPU). Results
 	// are identical for any value; see shotshard.go.
 	ShotWorkers int
+	// BatchLanes, when > 1, runs groups of up to that many equal-size
+	// shot shards in lockstep on the batched SoA executor (one lane per
+	// shard — same seeds, same streams). Results are bit-identical for
+	// any value; see shotshard.go.
+	BatchLanes int
 	// Replay selects the shot-replay engine mode: replay.ModeOff,
 	// ModeInterp, or ModeCompiled (default auto = compiled). Results are
 	// bit-identical for any value — see internal/replay; interp vs
@@ -120,7 +125,7 @@ func (e *Env) RunRB(ctx context.Context, cfg core.Config, p RBParams) (*RBResult
 			return err
 		}
 		var ones int
-		_, err = runShotJobSharded(ctx, pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, ShotShardPlan(p.Rounds), p.ShotWorkers, p.Replay, nil,
+		_, err = runShotJobSharded(ctx, pool, DeriveSeed(cfg.Seed, i), prog, p.Rounds, ShotShardPlan(p.Rounds), p.ShotWorkers, p.BatchLanes, p.Replay, nil,
 			func(_ int, md []replay.MD) {
 				if len(md) > 0 && md[0].Result == 1 {
 					ones++

@@ -48,6 +48,11 @@ type RepCodeParams struct {
 	// bit-identical for any value — and to pre-sharding builds — for every
 	// Rounds; see shotshard.go.
 	ShotWorkers int
+	// BatchLanes, when > 1, runs groups of up to that many equal-size
+	// shot shards in lockstep on the batched SoA executor (one lane per
+	// shard — same seeds, same streams). Results are bit-identical for
+	// any value; see shotshard.go.
+	BatchLanes int
 	// Replay selects the shot-replay engine mode: replay.ModeOff,
 	// ModeInterp, or ModeCompiled (default auto = compiled). Results are
 	// bit-identical for any value — see internal/replay; interp vs
@@ -337,7 +342,7 @@ func (e *Env) RunRepCode(ctx context.Context, cfg core.Config, p RepCodeParams) 
 		{src: RepCodeShotProgram(p, false), isError: majorityError},
 		{src: RepCodeShotProgram(p, true), isError: majorityError},
 	}
-	errors, err := runChunkedVariants(ctx, e, cfg, p.Rounds, p.Workers, p.ShotWorkers, p.Replay, variants)
+	errors, err := runChunkedVariants(ctx, e, cfg, p.Rounds, p.Workers, p.ShotWorkers, p.BatchLanes, p.Replay, variants)
 	if err != nil {
 		return nil, err
 	}
@@ -369,7 +374,7 @@ type chunkVariant struct {
 // bit-identical to earlier releases for every Rounds, worker count, and
 // replay mode. Error counting consumes only the engine's measurement
 // stream, which is bit-identical between full simulation and replay.
-func runChunkedVariants(ctx context.Context, env *Env, cfg core.Config, rounds, workers, shotWorkers int, mode replay.Mode, variants []chunkVariant) ([]float64, error) {
+func runChunkedVariants(ctx context.Context, env *Env, cfg core.Config, rounds, workers, shotWorkers, batchLanes int, mode replay.Mode, variants []chunkVariant) ([]float64, error) {
 	plan := chunkRounds(rounds, repCodeChunkRounds)
 	out := make([]float64, len(variants))
 	pool := env.poolFor(cfg)
@@ -379,7 +384,7 @@ func runChunkedVariants(ctx context.Context, env *Env, cfg core.Config, rounds, 
 			return err
 		}
 		var errs int64
-		_, err = runShotJobSharded(ctx, pool, DeriveSeed(cfg.Seed, v+1), prog, rounds, plan, shotWorkers, mode, nil,
+		_, err = runShotJobSharded(ctx, pool, DeriveSeed(cfg.Seed, v+1), prog, rounds, plan, shotWorkers, batchLanes, mode, nil,
 			func(_ int, md []replay.MD) {
 				if variants[v].isError(md) {
 					errs++

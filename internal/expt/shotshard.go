@@ -35,6 +35,17 @@ package expt
 //     error — so a panic is never masked by the sibling aborts it
 //     caused, and the service taxonomy (internal vs canceled) is stable
 //     under sharding.
+//   - Lane batching (BatchLanes > 1): consecutive equal-size shards may
+//     run as one lockstep batch through replay.RunBatch — one compiled
+//     schedule, per-lane machines/seeds/PRNG streams (lane k IS shard
+//     k: same DeriveSeed(pointSeed, k), same BaseShot, same buffered
+//     stream slot). Because the plan, the seeds, and the merge order
+//     are untouched, changing the lane grouping can never change result
+//     bytes — batching is a throughput knob with the same neutrality
+//     contract as ShotWorkers. A panic inside a batch discards every
+//     machine of the group (the unwind passes all the puts) and cancels
+//     sibling groups; a group error is attributed to its first shard
+//     index for the lowest-index selection rule.
 
 import (
 	"context"
@@ -95,6 +106,29 @@ type shardStream struct {
 	lens []int
 }
 
+// LaneGroups partitions the shards of a plan into lockstep batch
+// groups: maximal runs of consecutive equal-size shards, sliced to at
+// most lanes members each. Each group is a [start, end) shard-index
+// range. lanes <= 1 yields singleton groups (the scalar per-shard
+// path). Grouping is a pure function of (plan, lanes) — but results do
+// not depend on it at all: every lane of a batch is bit-identical to
+// its scalar shard, so any grouping produces the same bytes.
+func LaneGroups(plan []int, lanes int) [][2]int {
+	groups := make([][2]int, 0, len(plan))
+	if lanes < 1 {
+		lanes = 1
+	}
+	for k := 0; k < len(plan); {
+		end := k + 1
+		for end < len(plan) && plan[end] == plan[k] && end-k < lanes {
+			end++
+		}
+		groups = append(groups, [2]int{k, end})
+		k = end
+	}
+	return groups
+}
+
 // runShotJobSharded executes one sweep point with its shot range split
 // across the shard plan: shard k runs plan[k] shots on its own pooled
 // machine seeded DeriveSeed(pointSeed, k), up to shotWorkers shards
@@ -102,6 +136,14 @@ type shardStream struct {
 // stats, and finishShard extractions merge in shard order. A nil plan
 // is the legacy unsharded path: one machine seeded pointSeed, live
 // callback delivery, bit-identical to the pre-sharding engine.
+//
+// batchLanes > 1 opts eligible shards into lockstep batching: groups of
+// consecutive equal-size shards (LaneGroups) run as one replay.RunBatch
+// invocation — per-lane machines, seeds, and streams unchanged — with
+// up to shotWorkers groups in flight instead of shards. Modes without a
+// batched executor (off, interp) ignore the knob. Result bytes are
+// identical for every batchLanes value by the per-lane bit-identity
+// contract.
 //
 // setup runs on every shard's machine (the pooled-machine rule for
 // machine customization). onShot, when non-nil, receives every shot in
@@ -112,7 +154,7 @@ type shardStream struct {
 // still in hand, as the shard completes — callers must write only
 // shard-indexed slots from it. The returned stats are the shard-order
 // merge (replay.Stats.Merge).
-func runShotJobSharded(ctx context.Context, mp *machinePool, pointSeed int64, prog *isa.Program, shots int, plan []int, shotWorkers int, mode replay.Mode,
+func runShotJobSharded(ctx context.Context, mp *machinePool, pointSeed int64, prog *isa.Program, shots int, plan []int, shotWorkers, batchLanes int, mode replay.Mode,
 	setup func(*core.Machine) error,
 	onShot func(int, []replay.MD),
 	finishShard func(shard int, m *core.Machine, stats replay.Stats) error) (replay.Stats, error) {
@@ -147,39 +189,123 @@ func runShotJobSharded(ctx context.Context, mp *machinePool, pointSeed int64, pr
 	// whose job already failed.
 	sctx, cancelShards := context.WithCancel(ctx)
 	defer cancelShards()
+	lanes := batchLanes
+	if mode == replay.ModeOff || mode == replay.ModeInterp {
+		// No batched executor for these modes: singleton groups keep the
+		// per-shard scheduling (one shard per pool slot).
+		lanes = 1
+	}
+	groups := LaneGroups(plan, lanes)
 	bufs := make([]shardStream, len(plan))
 	statsv := make([]replay.Stats, len(plan))
 	errs := make([]error, len(plan))
-	poolErr := runPool(sctx, len(plan), shotWorkers, func(k int) error {
-		// Recover panics here, not only in runPool, so the recovery
-		// reaches cancelShards: a panicking shard must abort its
-		// siblings exactly like an erroring one. The machine discard
-		// happens regardless — the panic unwinds past runShotJob's put.
-		err := recoverJob(func(int) error {
-			var s shardStream
+	runShard := func(k int) error {
+		var s shardStream
+		var cb func(int, []replay.MD)
+		if onShot != nil {
+			s.lens = make([]int, 0, plan[k])
+			cb = func(_ int, md []replay.MD) {
+				s.md = append(s.md, md...)
+				s.lens = append(s.lens, len(md))
+			}
+		}
+		err := runShotJob(sctx, mp, DeriveSeed(pointSeed, k), prog, plan[k], starts[k], mode, setup, cb,
+			func(m *core.Machine, st replay.Stats) error {
+				statsv[k] = st
+				if finishShard != nil {
+					return finishShard(k, m, st)
+				}
+				return nil
+			})
+		if err == nil {
+			bufs[k] = s
+		}
+		return err
+	}
+	// runBatchGroup runs shards [g0, g1) as one lockstep batch: lane j is
+	// shard g0+j, with its sharded seed, global BaseShot, buffered stream
+	// slot, and live fault hook — exactly the scalar shard's wiring. The
+	// machine returns are deliberately not deferred (the runShotJob
+	// unwind rule): a panic anywhere in the batch discards every machine
+	// of the group.
+	runBatchGroup := func(g0, g1 int) error {
+		n := g1 - g0
+		ms := make([]*core.Machine, 0, n)
+		bl := make([]replay.BatchLane, 0, n)
+		ss := make([]shardStream, n)
+		for k := g0; k < g1; k++ {
+			m, err := mp.get(DeriveSeed(pointSeed, k))
+			if err != nil {
+				for _, pm := range ms {
+					mp.put(pm)
+				}
+				return err
+			}
+			ms = append(ms, m)
+			if setup != nil {
+				if err := setup(m); err != nil {
+					for _, pm := range ms {
+						mp.put(pm)
+					}
+					return err
+				}
+			}
 			var cb func(int, []replay.MD)
 			if onShot != nil {
+				s := &ss[k-g0]
 				s.lens = make([]int, 0, plan[k])
 				cb = func(_ int, md []replay.MD) {
 					s.md = append(s.md, md...)
 					s.lens = append(s.lens, len(md))
 				}
 			}
-			err := runShotJob(sctx, mp, DeriveSeed(pointSeed, k), prog, plan[k], starts[k], mode, setup, cb,
-				func(m *core.Machine, st replay.Stats) error {
-					statsv[k] = st
-					if finishShard != nil {
-						return finishShard(k, m, st)
+			if h := mp.faults; h != nil && h.Shot != nil {
+				inner := cb
+				cb = func(shot int, md []replay.MD) {
+					if inner != nil {
+						inner(shot, md)
 					}
-					return nil
-				})
-			if err == nil {
-				bufs[k] = s
+					h.Shot(shot)
+				}
 			}
-			return err
-		}, k)
+			bl = append(bl, replay.BatchLane{M: m, BaseShot: starts[k], OnShot: cb})
+		}
+		sts, err := replay.RunBatch(sctx, prog, bl, plan[g0], mode)
+		if err == nil {
+			for j := 0; j < n; j++ {
+				statsv[g0+j] = sts[j]
+				if finishShard != nil {
+					if err = finishShard(g0+j, ms[j], sts[j]); err != nil {
+						break
+					}
+				}
+			}
+		}
+		for _, m := range ms {
+			mp.put(m)
+		}
 		if err != nil {
-			errs[k] = err
+			return err
+		}
+		for j := 0; j < n; j++ {
+			bufs[g0+j] = ss[j]
+		}
+		return nil
+	}
+	poolErr := runPool(sctx, len(groups), shotWorkers, func(gi int) error {
+		g0, g1 := groups[gi][0], groups[gi][1]
+		// Recover panics here, not only in runPool, so the recovery
+		// reaches cancelShards: a panicking shard must abort its
+		// siblings exactly like an erroring one. The machine discard
+		// happens regardless — the panic unwinds past the puts.
+		err := recoverJob(func(int) error {
+			if g1-g0 == 1 {
+				return runShard(g0)
+			}
+			return runBatchGroup(g0, g1)
+		}, gi)
+		if err != nil {
+			errs[g0] = err
 			cancelShards()
 		}
 		return err

@@ -7,6 +7,7 @@ package expt
 
 import (
 	"context"
+	"fmt"
 	"hash/fnv"
 	"reflect"
 	"runtime"
@@ -220,6 +221,197 @@ func TestRepCodeMatchesLegacyChunkFanout(t *testing.T) {
 	}
 }
 
+// TestLaneGroups pins the lane-grouping rule: maximal runs of
+// consecutive equal-size shards, sliced to the lane width. The grouping
+// is a pure function of (plan, lanes) — and per the tentpole contract it
+// could be anything at all without changing a single result byte.
+func TestLaneGroups(t *testing.T) {
+	cases := []struct {
+		plan  []int
+		lanes int
+		want  [][2]int
+	}{
+		{[]int{200, 200, 200}, 8, [][2]int{{0, 3}}},
+		{[]int{200, 200, 200}, 2, [][2]int{{0, 2}, {2, 3}}},
+		{[]int{200, 200, 200}, 1, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+		{[]int{200, 200, 200}, 0, [][2]int{{0, 1}, {1, 2}, {2, 3}}},
+		{[]int{256, 256, 100}, 4, [][2]int{{0, 2}, {2, 3}}},
+		{[]int{100, 256, 256}, 4, [][2]int{{0, 1}, {1, 3}}},
+		{[]int{256}, 4, [][2]int{{0, 1}}},
+	}
+	for _, c := range cases {
+		if got := LaneGroups(c.plan, c.lanes); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("LaneGroups(%v, %d) = %v, want %v", c.plan, c.lanes, got, c.want)
+		}
+	}
+}
+
+// TestRunProgramStreamIdenticalAcrossBatchLanes is the tentpole
+// bit-identity contract at the engine boundary: the full (shot, index,
+// qubit, result) stream hash must not move by one bit when shards run
+// in lockstep lanes, at any lane width, in any replay mode, under any
+// shot-worker fan-out. The trajectory backend is the one with a batched
+// executor; the density sweep below pins the graceful demotion.
+func TestRunProgramStreamIdenticalAcrossBatchLanes(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Backend = core.BackendTrajectory
+	cfg.NumQubits = 2
+	src := "mov r15, 40\nQNopReg r15\nPulse {q0}, X90\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nMPG {q1}, 300\nMD {q1}, r8\nhalt\n"
+	env := NewEnv()
+	var ref *ProgramResult
+	for _, mode := range []replay.Mode{replay.ModeOff, replay.ModeInterp, replay.ModeCompiled, replay.ModeAuto} {
+		for _, lanes := range []int{0, 1, 2, 3, 8} {
+			for _, sw := range []int{1, 4} {
+				res, err := env.RunProgram(context.Background(), cfg, ProgramParams{Source: src, Shots: 552, Replay: mode, ShotWorkers: sw, BatchLanes: lanes})
+				if err != nil {
+					t.Fatalf("mode=%s lanes=%d sw=%d: %v", mode, lanes, sw, err)
+				}
+				if ref == nil {
+					ref = res
+					continue
+				}
+				if res.StreamHash != ref.StreamHash {
+					t.Fatalf("mode=%s lanes=%d sw=%d: stream %x, want %x", mode, lanes, sw, res.StreamHash, ref.StreamHash)
+				}
+				if !reflect.DeepEqual(res.Ones, ref.Ones) {
+					t.Fatalf("mode=%s lanes=%d sw=%d: ones %v, want %v", mode, lanes, sw, res.Ones, ref.Ones)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchLanesNeutralOnDensityBackend pins the demotion half of the
+// contract: the density backend has no batched executor, so any
+// BatchLanes value must fall back to per-lane scalar execution with —
+// as everywhere — bit-identical results.
+func TestBatchLanesNeutralOnDensityBackend(t *testing.T) {
+	cfg := core.DefaultConfig()
+	src := "mov r15, 40\nQNopReg r15\nPulse {q0}, X90\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n"
+	env := NewEnv()
+	var ref *ProgramResult
+	for _, lanes := range []int{0, 8} {
+		res, err := env.RunProgram(context.Background(), cfg, ProgramParams{Source: src, Shots: 552, ShotWorkers: 4, BatchLanes: lanes})
+		if err != nil {
+			t.Fatalf("lanes=%d: %v", lanes, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.StreamHash != ref.StreamHash {
+			t.Fatalf("lanes=%d: stream %x, want %x", lanes, res.StreamHash, ref.StreamHash)
+		}
+	}
+}
+
+// TestSweepBitIdenticalAcrossBatchLanes runs the T1 sweep with batching
+// enabled and demands the full result struct match the scalar engine.
+func TestSweepBitIdenticalAcrossBatchLanes(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Backend = core.BackendTrajectory
+	p := DefaultSweepParams()
+	p.Rounds = 600
+	p.DelaysCycles = []int{0, 800, 1600}
+	var baseline *T1Result
+	for _, lanes := range []int{0, 2, 8} {
+		p.BatchLanes = lanes
+		res, err := NewEnv().RunT1(context.Background(), cfg, p)
+		if err != nil {
+			t.Fatalf("BatchLanes=%d: %v", lanes, err)
+		}
+		res.Params.BatchLanes = 0
+		if baseline == nil {
+			baseline = res
+			continue
+		}
+		if !reflect.DeepEqual(res, baseline) {
+			t.Fatalf("BatchLanes=%d result differs from scalar engine", lanes)
+		}
+	}
+}
+
+// TestRepCodeBitIdenticalAcrossBatchLanes covers the chunked-variant
+// path (repetition code) under lane batching.
+func TestRepCodeBitIdenticalAcrossBatchLanes(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Backend = core.BackendTrajectory
+	p := DefaultRepCodeParams()
+	p.Rounds = 600
+	var baseline *RepCodeResult
+	for _, lanes := range []int{0, 4} {
+		p.BatchLanes = lanes
+		res, err := RunRepCode(cfg, p)
+		if err != nil {
+			t.Fatalf("BatchLanes=%d: %v", lanes, err)
+		}
+		res.Params.BatchLanes = 0
+		if baseline == nil {
+			baseline = res
+			continue
+		}
+		if !reflect.DeepEqual(res, baseline) {
+			t.Fatalf("BatchLanes=%d result differs from scalar engine", lanes)
+		}
+	}
+}
+
+// TestShardOverheadAccounting pins the Stats.Lead/Overhead bookkeeping
+// (the sharding-overhead half of the metrics bugfix). An at-or-below-
+// threshold job runs one stream and must report zero shard overhead; a
+// sharded job pays the lead once per shard, and everything beyond the
+// first shard's lead is overhead. The shard plan itself is
+// schema-frozen, so these numbers are exact, not bounds.
+func TestShardOverheadAccounting(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Backend = core.BackendTrajectory
+	env := NewEnv()
+	prog, err := env.progs.get("mov r15, 40\nQNopReg r15\nPulse {q0}, X90\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := env.poolFor(cfg)
+
+	// At threshold: legacy single stream, lead paid once, zero overhead.
+	st, err := runShotJobSharded(context.Background(), pool, cfg.Seed, prog, ShotShardSize, ShotShardPlan(ShotShardSize), 4, 0, replay.ModeAuto, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Safe || st.Lead == 0 {
+		t.Fatalf("single-stream job not replayed: %+v", st)
+	}
+	if st.Overhead != 0 {
+		t.Fatalf("single-stream job reports shard overhead %d, want 0", st.Overhead)
+	}
+	leadPerStream := st.Lead
+
+	// Sharded (600 → 3 shards): lead once per shard, overhead = the lead
+	// of every shard after the first. Identical with and without lanes.
+	for _, lanes := range []int{0, 8} {
+		plan := ShotShardPlan(600)
+		st, err := runShotJobSharded(context.Background(), pool, cfg.Seed, prog, 600, plan, 4, lanes, replay.ModeAuto, nil, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := leadPerStream * len(plan); st.Lead != want {
+			t.Errorf("lanes=%d: merged Lead = %d, want %d", lanes, st.Lead, want)
+		}
+		if want := leadPerStream * (len(plan) - 1); st.Overhead != want {
+			t.Errorf("lanes=%d: merged Overhead = %d, want %d", lanes, st.Overhead, want)
+		}
+	}
+
+	// ModeOff never engages replay: every shot is ordinary full-pipeline
+	// work, so no lead and no overhead, sharded or not.
+	st, err = runShotJobSharded(context.Background(), pool, cfg.Seed, prog, 600, ShotShardPlan(600), 4, 0, replay.ModeOff, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Lead != 0 || st.Overhead != 0 {
+		t.Errorf("ModeOff job reports Lead=%d Overhead=%d, want 0/0", st.Lead, st.Overhead)
+	}
+}
+
 // TestShardPlanMismatchRejected pins the runner's self-check: a plan
 // that does not cover the shot range is a programming error, reported —
 // not silently truncated.
@@ -230,7 +422,7 @@ func TestShardPlanMismatchRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = runShotJobSharded(context.Background(), env.poolFor(cfg), 1, prog, 500, []int{100, 100}, 2, replay.ModeAuto, nil, nil, nil)
+	_, err = runShotJobSharded(context.Background(), env.poolFor(cfg), 1, prog, 500, []int{100, 100}, 2, 0, replay.ModeAuto, nil, nil, nil)
 	if err == nil {
 		t.Fatal("mismatched shard plan accepted")
 	}
@@ -264,8 +456,57 @@ func BenchmarkShardedT1Point(b *testing.B) {
 	plan := ShotShardPlan(shots)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := runShotJobSharded(context.Background(), pool, 1, prog, shots, plan, 0, replay.ModeAuto, nil, nil, nil); err != nil {
+		if _, err := runShotJobSharded(context.Background(), pool, 1, prog, shots, plan, 0, 0, replay.ModeAuto, nil, nil, nil); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatchedRepCode is the tentpole's perf gate: compiled-replay
+// repetition-code shots through the sharded runner, swept over lane
+// widths against the scalar sharded baseline (lanes 0) at two code
+// sizes. ShotWorkers is pinned to 1 so the numbers isolate the
+// lockstep SoA executor's per-shot win, not goroutine parallelism; the
+// seeds and shard plan are identical across the sweep, so every
+// variant computes the same result bytes. Run with -benchmem: steady
+// state must not allocate per shot. The batched win grows with state
+// size — at d=3 (dim 32) the 4 KiB state leaves per-op orchestration
+// and the per-lane variate draws un-amortized (~1.4x at 8 lanes on the
+// reference box); at d=5 (dim 512) the span kernels dominate and 8
+// lanes clears 1.8x.
+func BenchmarkBatchedRepCode(b *testing.B) {
+	for _, dq := range []int{3, 5} {
+		cfg := core.DefaultConfig()
+		cfg.Backend = core.BackendTrajectory
+		p := DefaultRepCodeParams()
+		p.DataQubits = dq
+		cfg.NumQubits = 2*dq - 1
+		for len(cfg.Qubit) < cfg.NumQubits {
+			cfg.Qubit = append(cfg.Qubit, qphys.DefaultQubitParams())
+		}
+		env := NewEnv()
+		prog, err := env.progs.get(RepCodeShotProgram(p, false))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool := env.poolFor(cfg)
+		const shots = 2048
+		plan := ShotShardPlan(shots)
+		for _, lanes := range []int{0, 1, 4, 8} {
+			name := "scalar"
+			if lanes > 0 {
+				name = fmt.Sprintf("lanes-%d", lanes)
+			}
+			b.Run(fmt.Sprintf("d%d/%s", dq, name), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := runShotJobSharded(context.Background(), pool, 7, prog, shots, plan, 1, lanes, replay.ModeAuto, nil, nil, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/shots, "ns/shot")
+			})
 		}
 	}
 }

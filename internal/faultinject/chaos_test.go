@@ -221,11 +221,16 @@ func TestInjectedPanicIsIsolated(t *testing.T) {
 
 // shardedChaosRequest is the chaos workload for the shot-shard engine:
 // Rounds exceeds expt.ShotShardSize, so each sweep point splits across
-// shards and injected faults land inside the sharded shot loops.
-func shardedChaosRequest(backend, mode string) service.ExperimentRequest {
+// shards and injected faults land inside the sharded shot loops. lanes
+// sets batch_lanes: above 1 (and on the trajectory backend with a
+// batchable replay mode) the shards run lockstep on the batched SoA
+// executor, so injected faults land mid-batch with sibling lanes in
+// flight inside the same goroutine.
+func shardedChaosRequest(backend, mode string, lanes int) service.ExperimentRequest {
 	return service.ExperimentRequest{
 		Type: "t1", Seed: 13, Backend: backend, Replay: mode,
 		Rounds: 600, DelaysCycles: []int{0, 400, 800, 1600}, ShotWorkers: 2,
+		BatchLanes: lanes,
 	}
 }
 
@@ -235,30 +240,35 @@ func shardedChaosRequest(backend, mode string) service.ExperimentRequest {
 // the job fails `internal` with the recovered stack — the sibling
 // shards' context aborts must never mask the panicking shard as
 // `canceled` — the panicked machine is discarded, and the same server
-// then produces byte-identical results.
+// then produces byte-identical results. The lanes axis repeats every
+// combination in batched mode: a panic mid-batch must discard every
+// machine in the batch (never pool a possibly-corrupt lane) and abort
+// sibling groups through the shard context, under the same taxonomy.
 func TestShardedInjectedPanicIsIsolated(t *testing.T) {
 	for _, c := range chaosCombos {
-		t.Run(c.backend+"/"+c.mode, func(t *testing.T) {
-			ex := shardedChaosRequest(c.backend, c.mode)
-			_, hs := startServer(t, service.Config{
-				Workers: 2,
-				Faults:  faultinject.Plan{PanicShot: 300}.Hooks(),
+		for _, lanes := range []int{0, 4} {
+			t.Run(fmt.Sprintf("%s/%s/lanes-%d", c.backend, c.mode, lanes), func(t *testing.T) {
+				ex := shardedChaosRequest(c.backend, c.mode, lanes)
+				_, hs := startServer(t, service.Config{
+					Workers: 2,
+					Faults:  faultinject.Plan{PanicShot: 300}.Hooks(),
+				})
+				st := waitTerminal(t, hs.URL, submitOne(t, hs.URL, ex))
+				if st.Status != service.StatusFailed || st.Code != service.CodeInternal {
+					t.Fatalf("panicked sharded job ended %s/%s, want failed/internal (%s)", st.Status, st.Code, st.Error)
+				}
+				if !strings.Contains(st.Error, "injected panic") || !strings.Contains(st.Error, "goroutine") {
+					t.Fatalf("failure message %q lacks the panic value or captured stack", st.Error)
+				}
+				id2 := submitOne(t, hs.URL, ex)
+				if st2 := waitTerminal(t, hs.URL, id2); st2.Status != service.StatusDone {
+					t.Fatalf("post-panic sharded job ended %s: %s", st2.Status, st2.Error)
+				}
+				if got, want := fetchResult(t, hs.URL, id2), cleanResult(t, ex); !bytes.Equal(got, want) {
+					t.Fatalf("post-panic sharded result differs from clean server:\n%s\nvs\n%s", got, want)
+				}
 			})
-			st := waitTerminal(t, hs.URL, submitOne(t, hs.URL, ex))
-			if st.Status != service.StatusFailed || st.Code != service.CodeInternal {
-				t.Fatalf("panicked sharded job ended %s/%s, want failed/internal (%s)", st.Status, st.Code, st.Error)
-			}
-			if !strings.Contains(st.Error, "injected panic") || !strings.Contains(st.Error, "goroutine") {
-				t.Fatalf("failure message %q lacks the panic value or captured stack", st.Error)
-			}
-			id2 := submitOne(t, hs.URL, ex)
-			if st2 := waitTerminal(t, hs.URL, id2); st2.Status != service.StatusDone {
-				t.Fatalf("post-panic sharded job ended %s: %s", st2.Status, st2.Error)
-			}
-			if got, want := fetchResult(t, hs.URL, id2), cleanResult(t, ex); !bytes.Equal(got, want) {
-				t.Fatalf("post-panic sharded result differs from clean server:\n%s\nvs\n%s", got, want)
-			}
-		})
+		}
 	}
 }
 
@@ -266,26 +276,38 @@ func TestShardedInjectedPanicIsIsolated(t *testing.T) {
 // loops under a short job timeout: the layered deadline must preempt the
 // shards mid-loop and surface `deadline_exceeded` — the sibling-abort
 // machinery must not reclassify the preemption — with no partial result.
+// The batched case preempts inside a lockstep batch, where the context
+// is only polled at the batch's shot-granular checkpoints.
 func TestShardedSlowShotExpiresDeadline(t *testing.T) {
-	ex := shardedChaosRequest("density", "auto")
-	_, hs := startServer(t, service.Config{
-		Workers:    1,
-		JobTimeout: 50 * time.Millisecond,
-		Faults:     faultinject.Plan{SlowShot: 1, SlowFor: 2 * time.Millisecond}.Hooks(),
-	})
-	id := submitOne(t, hs.URL, ex)
-	st := waitTerminal(t, hs.URL, id)
-	if st.Status != service.StatusFailed || st.Code != service.CodeDeadlineExceeded {
-		t.Fatalf("slow sharded job ended %s/%s, want failed/deadline_exceeded (%s)", st.Status, st.Code, st.Error)
+	cases := []struct {
+		name string
+		ex   service.ExperimentRequest
+	}{
+		{"scalar", shardedChaosRequest("density", "auto", 0)},
+		{"batched", shardedChaosRequest("trajectory", "auto", 4)},
 	}
-	resp, err := http.Get(hs.URL + "/v1/jobs/" + id + "/result")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	b, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusConflict || errCode(t, b) != service.CodeDeadlineExceeded {
-		t.Fatalf("preempted sharded result status %d body %s, want 409 deadline_exceeded", resp.StatusCode, b)
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, hs := startServer(t, service.Config{
+				Workers:    1,
+				JobTimeout: 50 * time.Millisecond,
+				Faults:     faultinject.Plan{SlowShot: 1, SlowFor: 2 * time.Millisecond}.Hooks(),
+			})
+			id := submitOne(t, hs.URL, c.ex)
+			st := waitTerminal(t, hs.URL, id)
+			if st.Status != service.StatusFailed || st.Code != service.CodeDeadlineExceeded {
+				t.Fatalf("slow sharded job ended %s/%s, want failed/deadline_exceeded (%s)", st.Status, st.Code, st.Error)
+			}
+			resp, err := http.Get(hs.URL + "/v1/jobs/" + id + "/result")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusConflict || errCode(t, b) != service.CodeDeadlineExceeded {
+				t.Fatalf("preempted sharded result status %d body %s, want 409 deadline_exceeded", resp.StatusCode, b)
+			}
+		})
 	}
 }
 

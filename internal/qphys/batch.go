@@ -1,0 +1,863 @@
+package qphys
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// batch.go — lockstep shot-batched execution of a compiled schedule.
+//
+// A compiled schedule is identical for every steady-state shot by
+// construction (that is what replay safety means), so the only thing
+// that differs between two shot shards of one job is the per-shard PRNG
+// stream and the state it drives. TrajBatch exploits that: it runs L
+// independent trajectory registers ("lanes" — one lane per shot shard)
+// in lockstep over ONE decoded op stream, with the amplitudes stored
+// lane-minor (amp[i*L+lane]) so the hot per-amplitude loops become
+// contiguous spans — rows i..i+mask-1 occupy one mask*L run of memory —
+// that the span primitives in batch_span.go walk with SIMD kernels
+// where the host supports them, and the per-op dispatch/classification
+// cost is paid once per batch instead of once per lane.
+//
+// The contract is per-lane bit-identity: lane k of a batch produces
+// exactly the bytes that running the same schedule on lane k's scalar
+// Trajectory would produce. Every kernel here is a port of its scalar
+// counterpart (trajectory.go, compiled.go, sched.go) preserving each
+// lane's floating-point operations in the same order with the same
+// values (IEEE addition is commutative, so a+b reorderings inside one
+// rounding step are bitwise free — but addition ORDER into an
+// accumulator is pinned to the scalar pass), each lane's PRNG draws in
+// the same order, and every control-flow decision (operator selection,
+// measurement outcome, degenerate-projection reset) taken per lane from
+// the same comparisons. Lanes are classified per channel op by the
+// shared pricing helper (priceChannel — the scalar decision verbatim):
+// diagonal-real selections ride the vectorized flat pass with per-lane
+// coefficients, anti-diagonal jumps run a strided per-lane port of the
+// scalar tail on their own column, and the rare dense/complex
+// selections fall back to the scalar tail on a gathered copy — same
+// code, same inputs, bit-identical by construction.
+type TrajBatch struct {
+	nq int
+	L  int
+	// amp is the lane-minor SoA amplitude block: amplitude i of lane l
+	// lives at amp[i*L+l].
+	amp []complex128
+	// lanes are the member registers; their Psi slices are the
+	// gather/scatter endpoints (Gather on construction, Scatter to hand
+	// the state back).
+	lanes []*Trajectory
+	rngs  []*rand.Rand
+
+	// Population-carry state, threaded across ops and shots exactly as
+	// the scalar executor threads its (PopCarry, carryQ) pair. The
+	// carried qubit is shared — it is determined by the schedule alone,
+	// never by lane data — while validity and values are per lane.
+	carry  []PopCarry
+	carryQ int
+
+	// scratch is a single-lane register used to run dense/complex
+	// channel selections through the scalar tail; its rng is never used —
+	// all variates are drawn from the lane rngs before divergence.
+	scratch *Trajectory
+
+	// Per-op scratch, allocated once so the steady-state shot loop
+	// performs no heap allocations. The 2L-sized slices use the
+	// duplicated per-lane layout of the span primitives: lane l's value
+	// sits at [2l] (and, when a SIMD kernel produced it, equally at
+	// [2l+1]); readers always use slot 2l.
+	rv, p0, p1   []float64    // saved draw + populations for tail lanes
+	pp0, pp1     []float64    // 2L: population-pass results
+	r0, r1       []float64    // 2L: flat-pass scale coefficients
+	np0, np1     []float64    // 2L: fused-pass accumulators
+	c01, c10     []complex128 // anti-diagonal coefficients per lane
+	ckind        []uint8      // per-lane channel classification
+	mk0, mk1     []uint64     // 2L: collapse keep-masks (lo half, hi half)
+	cr01d, ci01d []float64    // 2L: anti-pass coefficient parts, duplicated
+	cr10d, ci10d []float64    // 2L
+	kp           []uint64     // 2L: anti-pass keep-masks
+	lastP        []float64    // L: selected weights, batched reciprocal-root input
+	rinv         []float64    // L: 1/√lastP, one vector call per op
+	chosen       []int        // L: selected operator index per lane
+	anti, slow   []int
+	outc         []int
+}
+
+// Per-lane channel classification for one batched channel op.
+const (
+	ckDiag uint8 = iota // diagonal-real operator: coefficients in the flat pass
+	ckNone              // no positive weight: state untouched, carry invalidated
+	ckAnti              // anti-diagonal operator: strided per-lane apply
+	ckTail              // dense or complex-diagonal: scalar tail on a gathered copy
+)
+
+// NewTrajBatch binds L scalar trajectory registers into one lockstep
+// batch, gathering their amplitudes into the SoA block. The lanes must
+// share a register size; each keeps its own PRNG and its own carry. The
+// lanes' Psi slices are stale while the batch runs — call Scatter to
+// write the batch state back before using them.
+func NewTrajBatch(lanes []*Trajectory) *TrajBatch {
+	if len(lanes) == 0 {
+		panic("qphys: NewTrajBatch requires at least one lane")
+	}
+	nq := lanes[0].nq
+	for _, t := range lanes {
+		if t.nq != nq {
+			panic(fmt.Sprintf("qphys: NewTrajBatch lanes disagree on register size (%d vs %d)", t.nq, nq))
+		}
+	}
+	L := len(lanes)
+	dim := 1 << nq
+	b := &TrajBatch{
+		nq:      nq,
+		L:       L,
+		amp:     make([]complex128, dim*L),
+		lanes:   append([]*Trajectory(nil), lanes...),
+		rngs:    make([]*rand.Rand, L),
+		carry:   make([]PopCarry, L),
+		carryQ:  -1,
+		scratch: &Trajectory{nq: nq, Psi: make([]complex128, dim)},
+		rv:      make([]float64, L),
+		p0:      make([]float64, L),
+		p1:      make([]float64, L),
+		pp0:     make([]float64, 2*L),
+		pp1:     make([]float64, 2*L),
+		r0:      make([]float64, 2*L),
+		r1:      make([]float64, 2*L),
+		np0:     make([]float64, 2*L),
+		np1:     make([]float64, 2*L),
+		c01:     make([]complex128, L),
+		c10:     make([]complex128, L),
+		ckind:   make([]uint8, L),
+		mk0:     make([]uint64, 2*L),
+		mk1:     make([]uint64, 2*L),
+		cr01d:   make([]float64, 2*L),
+		ci01d:   make([]float64, 2*L),
+		cr10d:   make([]float64, 2*L),
+		ci10d:   make([]float64, 2*L),
+		kp:      make([]uint64, 2*L),
+		lastP:   make([]float64, L),
+		rinv:    make([]float64, L),
+		chosen:  make([]int, L),
+		anti:    make([]int, L),
+		slow:    make([]int, L),
+		outc:    make([]int, L),
+	}
+	for l, t := range lanes {
+		b.rngs[l] = t.rng
+		for i, a := range t.Psi {
+			b.amp[i*L+l] = a
+		}
+	}
+	return b
+}
+
+// Lanes returns the number of member registers.
+func (b *TrajBatch) Lanes() int { return b.L }
+
+// Scatter writes the batch state back into every lane's Psi slice.
+func (b *TrajBatch) Scatter() {
+	for l, t := range b.lanes {
+		for i := range t.Psi {
+			t.Psi[i] = b.amp[i*b.L+l]
+		}
+	}
+}
+
+// gatherLane copies lane l's column into the scratch register.
+func (b *TrajBatch) gatherLane(l int) {
+	psi := b.scratch.Psi
+	for i := range psi {
+		psi[i] = b.amp[i*b.L+l]
+	}
+}
+
+// scatterLane copies the scratch register back into lane l's column.
+func (b *TrajBatch) scatterLane(l int) {
+	psi := b.scratch.Psi
+	for i := range psi {
+		b.amp[i*b.L+l] = psi[i]
+	}
+}
+
+// RunScheduleBatch executes one shot of a compiled schedule on every
+// lane, in lockstep. It is the batched analogue of
+// Trajectory.RunSchedule: the same op dispatch, the same carry
+// threading (the carries persist on the batch across calls, so shot
+// k's trailing carry prices shot k+1's first consumer — the schedule
+// is circular), and per lane the same arithmetic in the same order.
+// measure is invoked for every SchedMeasure step, per lane in lane
+// order, and must complete that lane's measurement chain (it may
+// consume that lane's PRNG).
+func (b *TrajBatch) RunScheduleBatch(ops []SchedOp, measure func(lane, q, outcome int)) {
+	for ii := range ops {
+		o := &ops[ii]
+		q := int(o.Q)
+		switch o.Kind {
+		case SchedChannel:
+			b.channelBatch(o.Ch, q, int(o.CarryFor))
+		case SchedApply1RD:
+			if int(o.CarryFor) == q {
+				b.apply1RDCarryBatch(o.U, q)
+				b.carryQ = q
+			} else {
+				b.apply1RDBatch(o.U, q)
+				for l := range b.carry {
+					b.carry[l].Valid = false
+				}
+			}
+		case SchedApply1:
+			if int(o.CarryFor) == q {
+				b.apply1CarryBatch(o.U, q)
+				b.carryQ = q
+			} else {
+				b.apply1Batch(o.U, q)
+				for l := range b.carry {
+					b.carry[l].Valid = false
+				}
+			}
+		case SchedCZ:
+			b.negateBothBatch(q, int(o.Qb))
+		case SchedApply2:
+			b.apply2Batch(o.U, q, int(o.Qb))
+			if !o.PhaseSafe {
+				for l := range b.carry {
+					b.carry[l].Valid = false
+				}
+			}
+		case SchedMeasure:
+			b.measureBatch(q, int(o.CarryFor) == q, measure)
+		}
+	}
+}
+
+// popPass accumulates qubit q's per-bit populations for every lane into
+// pp0/pp1 — per lane, the exact addition order of the scalar population
+// pass (lo amplitudes into p0 ascending, hi into p1 ascending; the two
+// accumulators are independent, so splitting the scalar interleaved row
+// loop into one lo pass and one hi pass is bitwise free).
+func (b *TrajBatch) popPass(q, mask int) {
+	pp0, pp1 := b.pp0, b.pp1
+	for i := range pp0 {
+		pp0[i], pp1[i] = 0, 0
+	}
+	spanAccBlocks(b.amp, pp0, pp1, mask*b.L)
+}
+
+// popPassLane recomputes lane l's populations alone, striding over its
+// column — the lazy form of popPass for the lanes whose own history
+// (an anti jump with a cross-qubit carry target, a dense fallback)
+// invalidated their carry while their siblings kept theirs. Identical
+// addition order to the scalar pass.
+func (b *TrajBatch) popPassLane(l, mask int) {
+	L := b.L
+	amp := b.amp
+	mL := mask * L
+	dim := 1 << b.nq
+	var p0, p1 float64
+	for base := 0; base < dim; base += mask << 1 {
+		for i := base; i < base+mask; i++ {
+			p := i*L + l
+			a0, a1 := amp[p], amp[p+mL]
+			p0 += real(a0)*real(a0) + imag(a0)*imag(a0)
+			p1 += real(a1)*real(a1) + imag(a1)*imag(a1)
+		}
+	}
+	b.pp0[2*l], b.pp1[2*l] = p0, p1
+}
+
+// probExcitedLane is ProbExcited for lane l alone, striding its column.
+func (b *TrajBatch) probExcitedLane(l, mask int) {
+	L := b.L
+	amp := b.amp
+	dim := 1 << b.nq
+	var p float64
+	for base := mask; base < dim; base += mask << 1 {
+		for i := base; i < base+mask; i++ {
+			a := amp[i*L+l]
+			p += real(a)*real(a) + imag(a)*imag(a)
+		}
+	}
+	b.pp1[2*l] = clampProb(p)
+}
+
+// probExcitedBatch fills pp1 with each lane's clamped |1⟩ population of
+// qubit q — per lane, ProbExcited's exact result: the full population
+// pass accumulates the hi amplitudes into pp1 in the same ascending
+// order as ProbExcited's hi-only walk (pp0 rides along unused), and the
+// clamp matches.
+func (b *TrajBatch) probExcitedBatch(q, mask int) {
+	b.popPass(q, mask)
+	pp1 := b.pp1
+	for l := 0; l < b.L; l++ {
+		pp1[2*l] = clampProb(pp1[2*l])
+	}
+}
+
+// channelBatch is the batched SchedChannel step: per lane the same
+// variate draw, population sourcing, and operator selection as the
+// scalar executor, via the shared pricing helper. Lanes whose selection
+// is a diagonal operator with real coefficients — the no-jump branch
+// and dephasing jumps, i.e. almost every draw — are applied in one
+// vectorized flat pass with per-lane coefficients (including the fused
+// carry pass when the schedule wants one); lanes that drew an
+// anti-diagonal jump run the scalar tail's anti kernel strided over
+// their own column; dense/complex selections gather their column and
+// run the full scalar tail. Lanes outside the flat pass are scaled by
+// an exact 1.0 there (a bitwise no-op).
+func (b *TrajBatch) channelBatch(ct *ChannelTable, q, nextQ int) {
+	L := b.L
+	amp := b.amp
+	mask := 1 << (b.nq - 1 - q)
+	mL := mask * L
+
+	// Populations: a full batched pass when the schedule broke the carry
+	// chain for every lane; when only some lanes' own history (an anti
+	// jump with a cross-qubit carry target, a dense fallback)
+	// invalidated theirs, the cheaper of a lazy per-lane strided pass
+	// and one whole-block SIMD pass that serves every invalid lane at
+	// once. Valid lanes read their carry, not the pass output, so the
+	// full pass recomputing their slots is harmless; invalid lanes see
+	// the same sums either way (independent per-lane accumulators in
+	// the same ascending order), so the choice is pure scheduling.
+	if b.carryQ != q {
+		b.popPass(q, mask)
+	} else {
+		nInv := 0
+		for l := 0; l < L; l++ {
+			if !b.carry[l].Valid {
+				nInv++
+			}
+		}
+		if 2*nInv > L {
+			b.popPass(q, mask)
+		} else if nInv > 0 {
+			for l := 0; l < L; l++ {
+				if !b.carry[l].Valid {
+					b.popPassLane(l, mask)
+				}
+			}
+		}
+	}
+
+	// One pass per lane: draw the variate, source the populations
+	// (carry or pass — the same precedence as the scalar executor),
+	// select the operator (the inline check is priceChannel's first
+	// iteration, kept inline to spare the call for the common draw),
+	// and classify the application.
+	fastOK := ct.fkind != chanDense
+	r0, r1 := b.r0, b.r1
+	rngs, carry, ckind := b.rngs, b.carry, b.ckind
+	pp0, pp1 := b.pp0, b.pp1
+	lastPs, chosens := b.lastP, b.chosen
+	carryHit := b.carryQ == q
+	nDiag, nAnti, nTail := 0, 0, 0
+	for l := 0; l < L; l++ {
+		rv := rngs[l].Float64()
+		var pl0, pl1 float64
+		if carryHit && carry[l].Valid {
+			pl0, pl1 = carry[l].P0, carry[l].P1
+		} else {
+			pl0, pl1 = pp0[2*l], pp1[2*l]
+		}
+		var chosen int
+		var lastP float64
+		if fp := ct.fw0*pl0 + ct.fw1*pl1; fastOK && rv < fp {
+			chosen, lastP = 0, fp
+		} else {
+			chosen, lastP = priceChannel(ct, pl0, pl1, rv)
+		}
+		switch {
+		case chosen >= 0 && ct.kind[chosen] == chanDiag && ct.realc[chosen]:
+			ckind[l] = ckDiag
+			nDiag++
+		case chosen >= 0 && ct.kind[chosen] == chanAnti:
+			ckind[l] = ckAnti
+			b.anti[nAnti] = l
+			nAnti++
+		case chosen == chanChoseNone:
+			ckind[l] = ckNone
+			lastP = 1
+		default:
+			// Dense or complex-diagonal: the scalar tail on a gathered
+			// copy with the saved (populations, variate) reproduces the
+			// scalar selection and application bit for bit.
+			b.rv[l], b.p0[l], b.p1[l] = rv, pl0, pl1
+			ckind[l] = ckTail
+			b.slow[nTail] = l
+			nTail++
+			lastP = 1
+		}
+		lastPs[l] = lastP
+		chosens[l] = chosen
+	}
+	// One vector reciprocal-root serves every selected lane; each
+	// element is bit-identical to the scalar 1/√lastP (correctly
+	// rounded VSQRTPD/VDIVPD), so deferring it out of the selection
+	// loop changes no bytes — it only replaces L serial SQRTSD+DIVSD
+	// chains with one vector op. Unselected lanes were pinned to 1.
+	recipSqrtVec(b.rinv, lastPs)
+	for l := 0; l < L; l++ {
+		switch ckind[l] {
+		case ckDiag:
+			rinv := b.rinv[l]
+			chosen := chosens[l]
+			cr0, cr1 := real(ct.e0[chosen])*rinv, real(ct.e1[chosen])*rinv
+			r0[2*l], r0[2*l+1] = cr0, cr0
+			r1[2*l], r1[2*l+1] = cr1, cr1
+		case ckAnti:
+			inv := complex(b.rinv[l], 0)
+			chosen := chosens[l]
+			b.c01[l], b.c10[l] = ct.e0[chosen]*inv, ct.e1[chosen]*inv
+			r0[2*l], r0[2*l+1], r1[2*l], r1[2*l+1] = 1, 1, 1, 1
+		default:
+			// Coefficient 1.0 makes the flat pass a bitwise no-op for
+			// this lane; the scalar path applies nothing here (a none
+			// selection drops the carry, tail lanes run the scalar
+			// tail below on their saved inputs).
+			r0[2*l], r0[2*l+1], r1[2*l], r1[2*l+1] = 1, 1, 1, 1
+		}
+	}
+	b.carryQ = nextQ
+
+	if nDiag > 0 {
+		switch {
+		case nextQ == q:
+			// Fused apply + same-qubit population pass: coefficient and
+			// accumulator pairs both swap at q's half-block period. Per
+			// lane, lo amplitudes feed p0 and hi feed p1, each ascending
+			// — the two accumulators are independent, so the interleaved
+			// scalar order and the block order are bitwise the same sums.
+			np0, np1 := b.np0, b.np1
+			for i := range np0 {
+				np0[i], np1[i] = 0, 0
+			}
+			spanScaleAccBlocks(amp, r0, r1, np0, np1, mL, mL)
+		case nextQ >= 0:
+			// Fused apply + other-qubit population pass: the coefficient
+			// pair swaps at q's period, the accumulator pair at nextQ's —
+			// one whole-block walk covers all three mask-nesting
+			// sub-cases of the scalar kernel, visiting every index in
+			// globally ascending order so each accumulator's addition
+			// order matches a standalone pass.
+			nmask := 1 << (b.nq - 1 - nextQ)
+			np0, np1 := b.np0, b.np1
+			for i := range np0 {
+				np0[i], np1[i] = 0, 0
+			}
+			spanScaleAccBlocks(amp, r0, r1, np0, np1, mL, nmask*L)
+		default:
+			spanScaleBlocks(amp, r0, r1, mL)
+		}
+	}
+
+	// Carry writeback for the flat-pass lanes; anti and tail lanes set
+	// their own below.
+	if nextQ >= 0 {
+		np0, np1 := b.np0, b.np1
+		for l := 0; l < L; l++ {
+			switch ckind[l] {
+			case ckDiag:
+				carry[l] = PopCarry{P0: np0[2*l], P1: np1[2*l], Valid: true}
+			case ckNone:
+				carry[l] = PopCarry{}
+			}
+		}
+	} else {
+		for l := 0; l < L; l++ {
+			if k := ckind[l]; k == ckDiag || k == ckNone {
+				carry[l] = PopCarry{}
+			}
+		}
+	}
+
+	// Anti lanes: one whole-block SIMD pass when enough lanes jumped at
+	// once to amortize its fixed cost (coefficient fill plus touching
+	// every lane's column), strided per-lane walks otherwise — the walk
+	// touches only the jumping lane's cache lines, so it wins for
+	// sparse jumps. Both produce identical bytes per anti lane.
+	if nAnti > 0 {
+		if useSIMD && L&1 == 0 && 2*nAnti > L {
+			b.antiApplyBatch(q, mask, nextQ)
+		} else {
+			for s := 0; s < nAnti; s++ {
+				b.antiApplyLane(b.anti[s], q, mask, nextQ)
+			}
+		}
+	}
+	for s := 0; s < nTail; s++ {
+		l := b.slow[s]
+		b.gatherLane(l)
+		b.carry[l] = b.scratch.applyChannelSampled(ct, q, mask, b.p0[l], b.p1[l], b.rv[l], nextQ)
+		b.scatterLane(l)
+	}
+}
+
+// antiApplyBatch applies every anti-classified lane's jump operator in
+// one whole-block SIMD pass instead of per-lane strided walks: anti
+// lanes get zero keep-masks and their duplicated coefficient parts,
+// every other lane gets an all-ones keep-mask that passes its
+// amplitude bits through the blend untouched. Per anti lane the pass
+// reproduces antiApplyLane's products and accumulation order exactly
+// (the kernels form the complex products with the compiler's own
+// rounding sequence); np0/np1 slots of non-anti lanes come back
+// unspecified and are not read. Called only when the SIMD kernels are
+// live — the Go reference body would walk L columns to serve one.
+func (b *TrajBatch) antiApplyBatch(q, mask, nextQ int) {
+	L := b.L
+	cr01, ci01, cr10, ci10 := b.cr01d, b.ci01d, b.cr10d, b.ci10d
+	kp := b.kp
+	np0, np1 := b.np0, b.np1
+	ckind := b.ckind
+	for l := 0; l < L; l++ {
+		if ckind[l] == ckAnti {
+			kp[2*l], kp[2*l+1] = 0, 0
+			c01, c10 := b.c01[l], b.c10[l]
+			cr01[2*l], cr01[2*l+1] = real(c01), real(c01)
+			ci01[2*l], ci01[2*l+1] = imag(c01), imag(c01)
+			cr10[2*l], cr10[2*l+1] = real(c10), real(c10)
+			ci10[2*l], ci10[2*l+1] = imag(c10), imag(c10)
+			np0[2*l], np0[2*l+1] = 0, 0
+			np1[2*l], np1[2*l+1] = 0, 0
+		} else {
+			kp[2*l], kp[2*l+1] = ^uint64(0), ^uint64(0)
+		}
+	}
+	spanAntiAccBlocks(b.amp, cr01, ci01, cr10, ci10, kp, np0, np1, mask*L)
+	for l := 0; l < L; l++ {
+		if ckind[l] != ckAnti {
+			continue
+		}
+		if nextQ == q {
+			b.carry[l] = PopCarry{P0: np0[2*l], P1: np1[2*l], Valid: true}
+		} else {
+			b.carry[l] = PopCarry{}
+		}
+	}
+}
+
+// antiApplyLane applies lane l's chosen anti-diagonal operator to its
+// strided column — the scalar tail's anti kernel verbatim on the
+// lane-minor layout, fused same-qubit carry included.
+func (b *TrajBatch) antiApplyLane(l, q, mask, nextQ int) {
+	L := b.L
+	amp := b.amp
+	mL := mask * L
+	dim := 1 << b.nq
+	c01, c10 := b.c01[l], b.c10[l]
+	if nextQ == q {
+		// An anti-diagonal operator swaps the halves, so the pair loop's
+		// new lo values feed p0 ascending and new hi values feed p1
+		// ascending — the same-qubit carry stays exact.
+		var np0, np1 float64
+		for base := 0; base < dim; base += mask << 1 {
+			for i := base; i < base+mask; i++ {
+				p := i*L + l
+				v0, v1 := c01*amp[p+mL], c10*amp[p]
+				amp[p], amp[p+mL] = v0, v1
+				np0 += real(v0)*real(v0) + imag(v0)*imag(v0)
+				np1 += real(v1)*real(v1) + imag(v1)*imag(v1)
+			}
+		}
+		b.carry[l] = PopCarry{P0: np0, P1: np1, Valid: true}
+		return
+	}
+	for base := 0; base < dim; base += mask << 1 {
+		for i := base; i < base+mask; i++ {
+			p := i*L + l
+			amp[p], amp[p+mL] = c01*amp[p+mL], c10*amp[p]
+		}
+	}
+	b.carry[l] = PopCarry{}
+}
+
+// apply1Batch is Apply1 over every lane: the matrix is uniform across
+// lanes, so the kernel is exactly the scalar pair loop over
+// L-times-longer contiguous halves — no lane bookkeeping at all.
+func (b *TrajBatch) apply1Batch(u Matrix, q int) {
+	L := b.L
+	amp := b.amp
+	mask := 1 << (b.nq - 1 - q)
+	mL := mask * L
+	dim := 1 << b.nq
+	u00, u01, u10, u11 := u.Data[0], u.Data[1], u.Data[2], u.Data[3]
+	for base := 0; base < dim; base += mask << 1 {
+		s := base * L
+		lo := amp[s : s+mL : s+mL]
+		hi := amp[s+mL : s+mL+mL : s+mL+mL]
+		for j, a0 := range lo {
+			a1 := hi[j]
+			lo[j] = u00*a0 + u01*a1
+			hi[j] = u10*a0 + u11*a1
+		}
+	}
+}
+
+// apply1CarryBatch is Apply1Carry per lane: the same span update as
+// apply1Batch, plus each lane's new populations accumulated in
+// ascending index order via a wrapped lane counter.
+func (b *TrajBatch) apply1CarryBatch(u Matrix, q int) {
+	L := b.L
+	amp := b.amp
+	mask := 1 << (b.nq - 1 - q)
+	mL := mask * L
+	dim := 1 << b.nq
+	u00, u01, u10, u11 := u.Data[0], u.Data[1], u.Data[2], u.Data[3]
+	np0, np1 := b.np0, b.np1
+	for i := range np0 {
+		np0[i], np1[i] = 0, 0
+	}
+	for base := 0; base < dim; base += mask << 1 {
+		s := base * L
+		lo := amp[s : s+mL : s+mL]
+		hi := amp[s+mL : s+mL+mL : s+mL+mL]
+		k := 0
+		for j, a0 := range lo {
+			a1 := hi[j]
+			v0 := u00*a0 + u01*a1
+			v1 := u10*a0 + u11*a1
+			lo[j] = v0
+			hi[j] = v1
+			np0[k] += real(v0)*real(v0) + imag(v0)*imag(v0)
+			np1[k] += real(v1)*real(v1) + imag(v1)*imag(v1)
+			if k += 2; k == 2*L {
+				k = 0
+			}
+		}
+	}
+	for l := 0; l < L; l++ {
+		b.carry[l] = PopCarry{P0: np0[2*l], P1: np1[2*l], Valid: true}
+	}
+}
+
+// apply1RDBatch is Apply1RD over flat spans (uniform real-diagonal
+// matrix, no lane bookkeeping).
+func (b *TrajBatch) apply1RDBatch(u Matrix, q int) {
+	L := b.L
+	amp := b.amp
+	mask := 1 << (b.nq - 1 - q)
+	mL := mask * L
+	r00, r11 := real(u.Data[0]), real(u.Data[3])
+	u01, u10 := u.Data[1], u.Data[2]
+	spanApply1RDBlocks(amp, mL, r00, r11, u01, u10)
+}
+
+// apply1RDCarryBatch is Apply1RDCarry per lane: the span update followed
+// by per-lane accumulation of the stored values. The scalar kernel
+// interleaves the two accumulators per row; they are independent, so
+// accumulating lo then hi per block is bitwise identical (the stored
+// amplitude is the exact register value the scalar pass squared).
+func (b *TrajBatch) apply1RDCarryBatch(u Matrix, q int) {
+	L := b.L
+	amp := b.amp
+	mask := 1 << (b.nq - 1 - q)
+	mL := mask * L
+	r00, r11 := real(u.Data[0]), real(u.Data[3])
+	u01, u10 := u.Data[1], u.Data[2]
+	np0, np1 := b.np0, b.np1
+	for i := range np0 {
+		np0[i], np1[i] = 0, 0
+	}
+	spanApply1RDBlocks(amp, mL, r00, r11, u01, u10)
+	spanAccBlocks(amp, np0, np1, mL)
+	for l := 0; l < L; l++ {
+		b.carry[l] = PopCarry{P0: np0[2*l], P1: np1[2*l], Valid: true}
+	}
+}
+
+// negateBothBatch is NegateBoth over every lane (negation is exact, so
+// lane order is immaterial).
+func (b *TrajBatch) negateBothBatch(qa, qb int) {
+	L := b.L
+	hi := 1 << (b.nq - 1 - qa)
+	lo := 1 << (b.nq - 1 - qb)
+	if lo > hi {
+		hi, lo = lo, hi
+	}
+	spanNegBothBlocks(b.amp, hi*L, lo*L)
+}
+
+// apply2Batch is Apply2 with the lane loop innermost: the diagonal
+// fast path multiplies each touched group's rows, the dense path runs
+// the 4-amplitude block per lane. Identical arithmetic to the scalar
+// kernel per lane.
+func (b *TrajBatch) apply2Batch(u Matrix, qa, qb int) {
+	L := b.L
+	amp := b.amp
+	ma := 1 << (b.nq - 1 - qa)
+	mb := 1 << (b.nq - 1 - qb)
+	dim := 1 << b.nq
+	if diag2(u) {
+		rest := (dim - 1) &^ (ma | mb)
+		for s, fixed := range [4]int{0, mb, ma, ma | mb} {
+			d := u.Data[s*4+s]
+			if d == 1 {
+				continue
+			}
+			r := 0
+			for {
+				row := amp[(r|fixed)*L : (r|fixed)*L+L : (r|fixed)*L+L]
+				for l := 0; l < L; l++ {
+					row[l] *= d
+				}
+				if r == rest {
+					break
+				}
+				r = (r - rest) & rest
+			}
+		}
+		return
+	}
+	both := ma | mb
+	for base := 0; base < dim; base++ {
+		if base&both != 0 {
+			continue
+		}
+		o0 := base * L
+		o1 := (base | mb) * L
+		o2 := (base | ma) * L
+		o3 := (base | ma | mb) * L
+		r0s := amp[o0 : o0+L : o0+L]
+		r1s := amp[o1 : o1+L : o1+L]
+		r2s := amp[o2 : o2+L : o2+L]
+		r3s := amp[o3 : o3+L : o3+L]
+		for l, a0 := range r0s {
+			a1, a2, a3 := r1s[l], r2s[l], r3s[l]
+			r0s[l] = u.Data[0]*a0 + u.Data[1]*a1 + u.Data[2]*a2 + u.Data[3]*a3
+			r1s[l] = u.Data[4]*a0 + u.Data[5]*a1 + u.Data[6]*a2 + u.Data[7]*a3
+			r2s[l] = u.Data[8]*a0 + u.Data[9]*a1 + u.Data[10]*a2 + u.Data[11]*a3
+			r3s[l] = u.Data[12]*a0 + u.Data[13]*a1 + u.Data[14]*a2 + u.Data[15]*a3
+		}
+	}
+}
+
+// measureBatch is the batched SchedMeasure step: per lane the same
+// population sourcing, clamp, projection draw, collapse arithmetic, and
+// degenerate zero-probability reset as the scalar executor. The
+// projection draws happen for every lane in lane order first, then the
+// collapse runs strided per lane (outcome branch hoisted out of the
+// loop, register accumulator — MeasureCarry's exact loops on the
+// lane-minor layout), then the measure callback fires per lane in lane
+// order (each callback may consume its own lane's PRNG — the per-lane
+// draw order stays projection → callback, as in scalar execution).
+func (b *TrajBatch) measureBatch(q int, wantCarry bool, measure func(lane, q, outcome int)) {
+	L := b.L
+	amp := b.amp
+	mask := 1 << (b.nq - 1 - q)
+	mL := mask * L
+
+	// Population sourcing mirrors channelBatch, including the strided
+	// vs whole-block choice for partially broken carry chains.
+	if b.carryQ != q {
+		b.probExcitedBatch(q, mask)
+	} else {
+		nInv := 0
+		for l := 0; l < L; l++ {
+			if !b.carry[l].Valid {
+				nInv++
+			}
+		}
+		if 2*nInv > L {
+			b.probExcitedBatch(q, mask)
+		} else if nInv > 0 {
+			for l := 0; l < L; l++ {
+				if !b.carry[l].Valid {
+					b.probExcitedLane(l, mask)
+				}
+			}
+		}
+	}
+
+	// Per lane in lane order: source p1, clamp, draw the projection
+	// variate, classify. All lane draws happen before any amplitude
+	// work; per lane the draw still precedes its own collapse, as in
+	// the scalar executor.
+	carry, rngs, outc, ckind := b.carry, b.rngs, b.outc, b.ckind
+	cc := b.r0
+	mk0, mk1 := b.mk0, b.mk1
+	lastPs := b.lastP
+	carryHit := b.carryQ == q
+	for l := 0; l < L; l++ {
+		var p1 float64
+		if carryHit && carry[l].Valid {
+			p1 = carry[l].P1
+		} else {
+			p1 = b.pp1[2*l]
+		}
+		p1 = clampProb(p1)
+		outcome := 0
+		p := 1 - p1
+		if rngs[l].Float64() < p1 {
+			outcome = 1
+			p = p1
+		}
+		outc[l] = outcome
+		if p < 1e-15 {
+			ckind[l] = 1
+			p = 1
+		} else {
+			ckind[l] = 0
+		}
+		lastPs[l] = p
+	}
+	// Batched reciprocal-roots, bit-identical per element to the scalar
+	// 1/√p (degenerate lanes were pinned to 1 and ignore theirs).
+	recipSqrtVec(b.rinv, lastPs)
+	for l := 0; l < L; l++ {
+		if ckind[l] != 0 {
+			// Degenerate projection: the scalar path resets to the basis
+			// state consistent with the outcome. An all-zero keep-mask
+			// in both halves makes the batched pass write the reset's
+			// exact +0 everywhere; the basis amplitude is restored after
+			// the pass. Bitwise-equal to the scalar Reset +
+			// Apply1(PauliX), which produces exact (+0,+0) everywhere
+			// and 1+0i at the flipped index.
+			cc[2*l], cc[2*l+1] = 0, 0
+			mk0[2*l], mk0[2*l+1] = 0, 0
+			mk1[2*l], mk1[2*l+1] = 0, 0
+			continue
+		}
+		rinv := b.rinv[l]
+		cc[2*l], cc[2*l+1] = rinv, rinv
+		if outc[l] == 0 {
+			mk0[2*l], mk0[2*l+1] = ^uint64(0), ^uint64(0)
+			mk1[2*l], mk1[2*l+1] = 0, 0
+		} else {
+			mk0[2*l], mk0[2*l+1] = 0, 0
+			mk1[2*l], mk1[2*l+1] = ^uint64(0), ^uint64(0)
+		}
+	}
+
+	// One contiguous masked pass collapses every lane: the kept half is
+	// scaled by rinv (the scalar multiply, bit for bit), the discarded
+	// half becomes the scalar's literal +0, and each lane's new kept
+	// population accumulates in ascending index order.
+	np0 := b.np0
+	for i := range np0 {
+		np0[i] = 0
+	}
+	spanCollapseBlocks(amp, cc, mk0, mk1, np0, mL)
+
+	for l := 0; l < L; l++ {
+		if ckind[l] != 0 {
+			idx := 0
+			if outc[l] == 1 {
+				idx = mask
+			}
+			amp[idx*L+l] = 1
+			carry[l] = PopCarry{}
+			continue
+		}
+		switch {
+		case !wantCarry:
+			carry[l] = PopCarry{}
+		case outc[l] == 0:
+			carry[l] = PopCarry{P0: np0[2*l], Valid: true}
+		default:
+			carry[l] = PopCarry{P1: np0[2*l], Valid: true}
+		}
+	}
+	b.carryQ = q
+	for l := 0; l < L; l++ {
+		measure(l, q, outc[l])
+	}
+}

@@ -185,6 +185,60 @@ func (t *Trajectory) ApplyChannelCarry(ct *ChannelTable, q int, in PopCarry, nex
 	return t.applyChannelSampled(ct, q, mask, p0, p1, r, nextQ)
 }
 
+// Sentinel selections from priceChannel, below the valid operator
+// indices: the pricing met a dense operator (the caller must fall back
+// to the general per-operator-pass path with the same variate), or no
+// operator had positive weight (the channel is a no-op for this draw).
+const (
+	chanChoseDense = -2
+	chanChoseNone  = -1
+)
+
+// priceChannel reproduces the operator selection of the un-compiled
+// trajectory channel path bit for bit: given the two populations and
+// the draw, it returns the chosen operator index and its Born weight
+// (the normalization p the application divides by), or one of the
+// sentinels above. Pure — it reads only the table — so the batched
+// executor prices every lane with exactly the scalar decision.
+func priceChannel(ct *ChannelTable, p0, p1, r float64) (chosen int, lastP float64) {
+	// Fast path for the overwhelmingly common draw: the first operator
+	// (the no-jump branch of a decoherence channel) absorbs almost all of
+	// the Born weight. cum accumulates from exactly 0.0, so r < w0·p0 +
+	// w1·p1 reproduces the general loop's first-iteration decision bit
+	// for bit.
+	if ct.fkind != chanDense {
+		if p := ct.fw0*p0 + ct.fw1*p1; r < p {
+			return 0, p
+		}
+	}
+	cum := 0.0
+	chosen = chanChoseNone
+	lastPositive := -1
+	for ki := range ct.ops {
+		if ct.kind[ki] == chanDense {
+			return chanChoseDense, 0
+		}
+		// Identical arithmetic to the un-compiled pricing for both
+		// operator classes: IEEE addition is commutative, so
+		// w0·p0 + w1·p1 matches the anti-diagonal path's
+		// norm²(k01)·p1 + norm²(k10)·p0 bit for bit.
+		p := ct.w0[ki]*p0 + ct.w1[ki]*p1
+		if p > 0 {
+			lastPositive, lastP = ki, p
+		}
+		cum += p
+		if r < cum {
+			return ki, p
+		}
+	}
+	// Numerical leftover pushed the cumulative sum just below r; fall
+	// back to the last operator with nonzero weight.
+	if lastPositive < 0 {
+		return chanChoseNone, 0
+	}
+	return lastPositive, lastP
+}
+
 // applyChannelSampled is the pricing + application tail of
 // ApplyChannelCarry, entered with the populations and the variate already
 // in hand — the compiled-schedule executor (RunSchedule) jumps here
@@ -194,51 +248,16 @@ func (t *Trajectory) ApplyChannelCarry(ct *ChannelTable, q int, in PopCarry, nex
 func (t *Trajectory) applyChannelSampled(ct *ChannelTable, q, mask int, p0, p1, r float64, nextQ int) PopCarry {
 	ops := ct.ops
 	psi := t.Psi
-	cum := 0.0
-	chosen := -1
-	lastPositive := -1
-	var lastP float64
-	// Fast path for the overwhelmingly common draw: the first operator
-	// (the no-jump branch of a decoherence channel) absorbs almost all of
-	// the Born weight. cum accumulates from exactly 0.0, so r < w0·p0 +
-	// w1·p1 reproduces the general loop's first-iteration decision bit
-	// for bit.
-	if ct.fkind != chanDense {
-		if p := ct.fw0*p0 + ct.fw1*p1; r < p {
-			chosen, lastP = 0, p
-		}
+	chosen, lastP := priceChannel(ct, p0, p1, r)
+	if chosen == chanChoseDense {
+		// ApplyKraus1 falls back to the general per-operator-pass path
+		// with the same variate the moment it prices a dense operator;
+		// the partial pricing before it mutated nothing.
+		t.applyKrausDense(ops, mask, r)
+		return PopCarry{}
 	}
-	if chosen < 0 {
-		for ki := range ops {
-			if ct.kind[ki] == chanDense {
-				// ApplyKraus1 falls back to the general per-operator-pass
-				// path with the same variate the moment it prices a dense
-				// operator; the partial pricing before it mutated nothing.
-				t.applyKrausDense(ops, mask, r)
-				return PopCarry{}
-			}
-			// Identical arithmetic to the un-compiled pricing for both
-			// operator classes: IEEE addition is commutative, so
-			// w0·p0 + w1·p1 matches the anti-diagonal path's
-			// norm²(k01)·p1 + norm²(k10)·p0 bit for bit.
-			p := ct.w0[ki]*p0 + ct.w1[ki]*p1
-			if p > 0 {
-				lastPositive, lastP = ki, p
-			}
-			cum += p
-			if r < cum {
-				chosen, lastP = ki, p
-				break
-			}
-		}
-		if chosen < 0 {
-			// Numerical leftover pushed the cumulative sum just below r;
-			// fall back to the last operator with nonzero weight.
-			if lastPositive < 0 {
-				return PopCarry{}
-			}
-			chosen = lastPositive
-		}
+	if chosen == chanChoseNone {
+		return PopCarry{}
 	}
 	rinv := 1 / math.Sqrt(lastP)
 	inv := complex(rinv, 0)

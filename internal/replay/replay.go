@@ -161,6 +161,18 @@ type Stats struct {
 	// Compiled reports whether replayed shots ran from the compiled
 	// schedule (false: interpreted replay or no replay at all).
 	Compiled bool
+	// Lead counts the full-pipeline lead/detect shots this run paid
+	// before replay engaged. It is zero whenever replay did not engage
+	// (ModeOff, unsafe programs, too few shots): those runs execute
+	// every shot through the full pipeline anyway, so their leading
+	// shots are ordinary work, not recording overhead.
+	Lead int
+	// Overhead counts lead shots attributable to shot-sharding: merged
+	// job stats (Merge, in shard order) count every shard's lead shots
+	// beyond the first shard's as overhead, since an unsharded run of
+	// the same job would pay the lead exactly once. Always zero on the
+	// stats of a single engine run.
+	Overhead int
 	// Reason explains why replay was not used (empty when Safe).
 	Reason string
 }
@@ -177,6 +189,12 @@ func (s *Stats) Merge(t Stats) {
 	}
 	s.Shots += t.Shots
 	s.Replayed += t.Replayed
+	s.Lead += t.Lead
+	// Every lead shot of a later shard is sharding overhead: the first
+	// shard's recording would have covered the whole job unsharded.
+	// (t.Lead already contains t.Overhead when t is itself a merged
+	// aggregate, so this is not additive with t.Overhead.)
+	s.Overhead += t.Lead
 	s.Safe = s.Safe && t.Safe
 	s.Compiled = s.Compiled && t.Compiled
 	if s.Reason == "" {
@@ -378,6 +396,7 @@ func Run(ctx context.Context, m *core.Machine, p *isa.Program, opts Options) (St
 	// Replay: drive the state backend directly from the steady-state
 	// schedule, consuming the machine PRNG in exactly the recorded order.
 	st.Safe = true
+	st.Lead = lead
 	m.SetProbe(nil)
 	if mode != ModeInterp {
 		// Compiled replay (ModeAuto, ModeCompiled): specialize the
@@ -393,25 +412,7 @@ func Run(ctx context.Context, m *core.Machine, p *isa.Program, opts Options) (St
 		// cache on UploadPulse/SetQubitParams — can only miss, never
 		// corrupt.
 		st.Compiled = true
-		cache, _ := m.ReplayCache.(map[*isa.Program]*compileCache)
-		if cache == nil {
-			cache = make(map[*isa.Program]*compileCache)
-			m.ReplayCache = cache
-		}
-		var comp *compiled
-		if e := cache[p]; e != nil && schedulesEqual(e.sched, s2) {
-			comp = e.c
-		} else {
-			comp = compileSchedule(s2)
-			// Bound the memo on machines pooled for a service lifetime:
-			// a stream of distinct programs must not grow it forever.
-			// Flushing costs recompilation only.
-			if len(cache) >= maxCompiledPrograms {
-				cache = make(map[*isa.Program]*compileCache)
-				m.ReplayCache = cache
-			}
-			cache[p] = &compileCache{sched: s2, c: comp}
-		}
+		comp := memoizedCompile(m, p, s2)
 		st.Replayed, err = comp.run(ctx, m, base, lead, opts.Shots, opts.OnShot)
 		return st, err
 	}

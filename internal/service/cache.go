@@ -21,7 +21,15 @@ type resultCache struct {
 	ll  *list.List               // MRU at front; values are *cacheEntry
 	m   map[string]*list.Element // canonical hash → element
 
-	hits, misses, evictions uint64
+	hits, misses uint64
+	// capacityEvictions counts entries dropped by the LRU capacity bound
+	// (insert); invalidations counts entries dropped because the
+	// retention window evicted their job (invalidate). The two causes
+	// used to share one counter, which made a full cache
+	// indistinguishable from an undersized retention window on
+	// /healthz — they need opposite remedies (grow CacheSize vs grow
+	// MaxRetainedJobs), so they are counted apart.
+	capacityEvictions, invalidations uint64
 }
 
 type cacheEntry struct {
@@ -65,7 +73,7 @@ func (c *resultCache) insert(hash, jobID string) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.m, oldest.Value.(*cacheEntry).hash)
-		c.evictions++
+		c.capacityEvictions++
 	}
 }
 
@@ -77,19 +85,28 @@ func (c *resultCache) invalidate(hash, jobID string) {
 	if el, ok := c.m[hash]; ok && el.Value.(*cacheEntry).jobID == jobID {
 		c.ll.Remove(el)
 		delete(c.m, hash)
-		c.evictions++
+		c.invalidations++
 	}
 }
 
-// cacheStats is the /healthz cache block.
+// cacheStats is the /healthz cache block. Evictions remains the sum of
+// the two split counters so existing dashboards keep reading a total;
+// capacity_evictions and invalidations attribute it to its cause.
 type cacheStats struct {
-	Entries   int    `json:"entries"`
-	Capacity  int    `json:"capacity"`
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
+	Entries           int    `json:"entries"`
+	Capacity          int    `json:"capacity"`
+	Hits              uint64 `json:"hits"`
+	Misses            uint64 `json:"misses"`
+	Evictions         uint64 `json:"evictions"`
+	CapacityEvictions uint64 `json:"capacity_evictions"`
+	Invalidations     uint64 `json:"invalidations"`
 }
 
 func (c *resultCache) stats() *cacheStats {
-	return &cacheStats{Entries: c.ll.Len(), Capacity: c.cap, Hits: c.hits, Misses: c.misses, Evictions: c.evictions}
+	return &cacheStats{
+		Entries: c.ll.Len(), Capacity: c.cap, Hits: c.hits, Misses: c.misses,
+		Evictions:         c.capacityEvictions + c.invalidations,
+		CapacityEvictions: c.capacityEvictions,
+		Invalidations:     c.invalidations,
+	}
 }

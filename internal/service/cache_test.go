@@ -75,7 +75,7 @@ func TestCacheHitTerminalImmediate(t *testing.T) {
 
 	// Result-neutral variation: same canonical form, still a hit.
 	neutral := SubmitRequest{Experiments: []ExperimentRequest{
-		{Type: "t1", Seed: 31, Backend: "trajectory", Rounds: 30, Workers: 1, ShotWorkers: 2},
+		{Type: "t1", Seed: 31, Backend: "trajectory", Rounds: 30, Workers: 1, ShotWorkers: 2, BatchLanes: 4},
 	}}
 	code, id, cache, _, _ = submitRaw(t, base, neutral)
 	if code != http.StatusOK || cache != "hit" || id != id1 {
@@ -212,6 +212,15 @@ func TestCacheLRUEvictionAndCounters(t *testing.T) {
 	if st.Hits < 2 || st.Misses < 3 || st.Evictions < 1 {
 		t.Fatalf("cache stats %+v: want >=2 hits, >=3 misses, >=1 eviction", st)
 	}
+	// The split counters attribute the evictions: everything here was
+	// LRU capacity pressure — the retention window never filled, so no
+	// invalidations — and the legacy total must equal their sum.
+	if st.CapacityEvictions < 1 || st.Invalidations != 0 {
+		t.Fatalf("cache stats %+v: want >=1 capacity eviction and 0 invalidations", st)
+	}
+	if st.Evictions != st.CapacityEvictions+st.Invalidations {
+		t.Fatalf("cache stats %+v: evictions is not the sum of the split counters", st)
+	}
 }
 
 // TestRetentionEvictionInvalidatesCache pins the no-dangling-reference
@@ -229,6 +238,12 @@ func TestRetentionEvictionInvalidatesCache(t *testing.T) {
 	idB, _ := submit(t, base, reqB)
 	waitDone(t, base, idB) // retiring B evicts A from retention and cache
 
+	// The drop is attributed to retention invalidation, not LRU capacity
+	// pressure — the split /healthz counters tell the causes apart.
+	if st := healthCache(t, base); st.Invalidations < 1 || st.CapacityEvictions != 0 {
+		t.Fatalf("cache stats %+v: want >=1 invalidation and 0 capacity evictions", st)
+	}
+
 	code, id, _, _, _ := submitRaw(t, base, reqA)
 	if code != http.StatusAccepted {
 		t.Fatalf("resubmit of evicted form: status %d, want 202", code)
@@ -245,7 +260,7 @@ func TestRetentionEvictionInvalidatesCache(t *testing.T) {
 
 // neutralFields is the test's own copy of the result-neutral
 // classification; it must stay in lock-step with scrubNeutralFields.
-var neutralFields = map[string]bool{"Workers": true, "ShotWorkers": true}
+var neutralFields = map[string]bool{"Workers": true, "ShotWorkers": true, "BatchLanes": true}
 
 // affectingFields is every field whose value reaches the measured data
 // (or its envelope) — the set the canonical form must cover.
@@ -372,14 +387,36 @@ func TestNeutralFieldsAreExecuteByteNeutral(t *testing.T) {
 		{Type: "t1", Seed: 13, Backend: "trajectory", Rounds: 30, Workers: 1},
 		{Type: "t1", Seed: 13, Backend: "trajectory", Rounds: 30, Workers: 3, ShotWorkers: 2},
 		{Type: "t1", Seed: 13, Backend: "trajectory", Rounds: 30, ShotWorkers: 1},
+		{Type: "t1", Seed: 13, Backend: "trajectory", Rounds: 30, BatchLanes: 8},
+		{Type: "t1", Seed: 13, Backend: "trajectory", Rounds: 30, Workers: 2, ShotWorkers: 2, BatchLanes: 4},
 	} {
 		got, err := Execute(context.Background(), env, mod)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !bytes.Equal(got, want) {
-			t.Fatalf("workers=%d shot_workers=%d perturbed the result bytes:\nwant %s\ngot  %s",
-				mod.Workers, mod.ShotWorkers, want, got)
+			t.Fatalf("workers=%d shot_workers=%d batch_lanes=%d perturbed the result bytes:\nwant %s\ngot  %s",
+				mod.Workers, mod.ShotWorkers, mod.BatchLanes, want, got)
 		}
+	}
+
+	// A sharded trajectory run (rounds above the shard threshold) with
+	// lanes enabled actually exercises the batched executor; its bytes
+	// must still match the scalar run's exactly.
+	shardedBase := ExperimentRequest{Type: "asm", Seed: 14, Backend: "trajectory",
+		Program: "mov r15, 40\nQNopReg r15\nPulse {q0}, X90\nWait 4\nMPG {q0}, 300\nMD {q0}, r7\nhalt\n",
+		Rounds:  600}
+	want, err = Execute(context.Background(), env, shardedBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedLanes := shardedBase
+	shardedLanes.BatchLanes = 8
+	got, err := Execute(context.Background(), env, shardedLanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("batch_lanes=8 perturbed a sharded asm result:\nwant %s\ngot  %s", want, got)
 	}
 }

@@ -214,4 +214,15 @@
 // determinism half of the contract: a job that completes is bit-identical
 // to an uncancellable run — cancellation can only abort, never perturb
 // (cancel_test.go in internal/expt pins both halves under -race).
+//
+// batch_lanes is a result-neutral scheduling knob, exactly like
+// workers and shot_workers: it selects the lockstep shot-batched SoA
+// executor (internal/qphys.TrajBatch) for groups of shot shards, and
+// every lane replays the same per-shard seed and rng stream as the
+// scalar sharded path, so the result bytes are identical for any
+// value. Canonicalization therefore scrubs it from the cache key (a
+// batched and a scalar submission of the same physics hit the same
+// cache entry), no schema bump was needed to add it, and the service
+// conformance tests pin byte-identical -once output with and without
+// batching.
 package service

@@ -51,6 +51,13 @@ type ExperimentRequest struct {
 	// (0 = one per CPU). The shard plan is a pure function of the shot
 	// count, so results are identical for any value.
 	ShotWorkers int `json:"shot_workers,omitempty"`
+	// BatchLanes, when > 1, runs groups of up to that many equal-size
+	// shot shards in lockstep on the batched SoA trajectory executor
+	// (one lane per shard — same derived seeds, same streams). Like
+	// workers and shot_workers it is result-neutral: results are
+	// bit-identical for any value, and the field is scrubbed from the
+	// canonical form and the result's params echo.
+	BatchLanes int `json:"batch_lanes,omitempty"`
 	// Replay is the shot-replay engine mode: "", auto, compiled, interp,
 	// off. Results are bit-identical for any value.
 	Replay string `json:"replay,omitempty"`
@@ -92,7 +99,9 @@ type ExperimentRequest struct {
 //	    content-addressed result cache sound: two requests that differ
 //	    only in scheduling knobs share one canonical hash and one result
 //	    document. Requests that never set those fields are byte-identical
-//	    to v2.
+//	    to v2. batch_lanes (added later, no schema bump) joins the
+//	    neutral set: lane-batched execution preserves every shard's
+//	    stream bit-for-bit, so the field can never reach the result.
 const ResultSchemaVersion = 3
 
 // scrubNeutralFields zeroes the result-neutral request fields in place.
@@ -109,6 +118,7 @@ const ResultSchemaVersion = 3
 func scrubNeutralFields(r *ExperimentRequest) {
 	r.Workers = 0
 	r.ShotWorkers = 0
+	r.BatchLanes = 0
 }
 
 // canonicalExperiments builds the canonical request bytes for a batch:
@@ -135,23 +145,23 @@ func canonicalExperiments(exps []ExperimentRequest) ([]byte, error) {
 func scrubResultParams(res any) {
 	switch v := res.(type) {
 	case *expt.T1Result:
-		v.Params.Workers, v.Params.ShotWorkers = 0, 0
+		v.Params.Workers, v.Params.ShotWorkers, v.Params.BatchLanes = 0, 0, 0
 	case *expt.RamseyResult:
-		v.Params.Workers, v.Params.ShotWorkers = 0, 0
+		v.Params.Workers, v.Params.ShotWorkers, v.Params.BatchLanes = 0, 0, 0
 	case *expt.EchoResult:
-		v.Params.Workers, v.Params.ShotWorkers = 0, 0
+		v.Params.Workers, v.Params.ShotWorkers, v.Params.BatchLanes = 0, 0, 0
 	case *expt.AllXYResult:
-		v.Params.Workers, v.Params.ShotWorkers = 0, 0
+		v.Params.Workers, v.Params.ShotWorkers, v.Params.BatchLanes = 0, 0, 0
 	case *expt.RabiResult:
-		v.Params.Workers, v.Params.ShotWorkers = 0, 0
+		v.Params.Workers, v.Params.ShotWorkers, v.Params.BatchLanes = 0, 0, 0
 	case *expt.RBResult:
-		v.Params.Workers, v.Params.ShotWorkers = 0, 0
+		v.Params.Workers, v.Params.ShotWorkers, v.Params.BatchLanes = 0, 0, 0
 	case *expt.RepCodeResult:
-		v.Params.Workers, v.Params.ShotWorkers = 0, 0
+		v.Params.Workers, v.Params.ShotWorkers, v.Params.BatchLanes = 0, 0, 0
 	case *expt.PhaseCodeResult:
-		v.Params.Workers, v.Params.ShotWorkers = 0, 0
+		v.Params.Workers, v.Params.ShotWorkers, v.Params.BatchLanes = 0, 0, 0
 	case *expt.ProgramResult:
-		v.Params.ShotWorkers = 0
+		v.Params.ShotWorkers, v.Params.BatchLanes = 0, 0
 	}
 }
 
@@ -206,6 +216,9 @@ func (r ExperimentRequest) Validate(i int) []FieldError {
 	}
 	if r.ShotWorkers < 0 {
 		add("shot_workers", "must be non-negative (0 selects one worker per CPU)")
+	}
+	if r.BatchLanes < 0 {
+		add("batch_lanes", "must be non-negative (0 and 1 select scalar shard execution)")
 	}
 	maxQ := 8
 	if core.Backend(r.Backend) == core.BackendTrajectory {
@@ -319,6 +332,7 @@ func (r ExperimentRequest) sweepParams() expt.SweepParams {
 	}
 	p.Workers = r.Workers
 	p.ShotWorkers = r.ShotWorkers
+	p.BatchLanes = r.BatchLanes
 	p.Replay = replay.Mode(r.Replay)
 	return p
 }
@@ -350,6 +364,7 @@ func Execute(ctx context.Context, env *expt.Env, r ExperimentRequest) (json.RawM
 		}
 		p.Workers = r.Workers
 		p.ShotWorkers = r.ShotWorkers
+		p.BatchLanes = r.BatchLanes
 		p.Replay = replay.Mode(r.Replay)
 		res, err = env.RunAllXY(ctx, cfg, p)
 	case "rabi":
@@ -363,6 +378,7 @@ func Execute(ctx context.Context, env *expt.Env, r ExperimentRequest) (json.RawM
 		}
 		p.Workers = r.Workers
 		p.ShotWorkers = r.ShotWorkers
+		p.BatchLanes = r.BatchLanes
 		p.Replay = replay.Mode(r.Replay)
 		res, err = env.RunRabi(ctx, cfg, p)
 	case "rb":
@@ -382,6 +398,7 @@ func Execute(ctx context.Context, env *expt.Env, r ExperimentRequest) (json.RawM
 		}
 		p.Workers = r.Workers
 		p.ShotWorkers = r.ShotWorkers
+		p.BatchLanes = r.BatchLanes
 		p.Replay = replay.Mode(r.Replay)
 		res, err = env.RunRB(ctx, cfg, p)
 	case "repcode", "phasecode":
@@ -395,6 +412,7 @@ func Execute(ctx context.Context, env *expt.Env, r ExperimentRequest) (json.RawM
 		}
 		p.Workers = r.Workers
 		p.ShotWorkers = r.ShotWorkers
+		p.BatchLanes = r.BatchLanes
 		p.Replay = replay.Mode(r.Replay)
 		if r.Type == "repcode" {
 			res, err = env.RunRepCode(ctx, cfg, p)
@@ -411,6 +429,7 @@ func Execute(ctx context.Context, env *expt.Env, r ExperimentRequest) (json.RawM
 			Shots:       shots,
 			Replay:      replay.Mode(r.Replay),
 			ShotWorkers: r.ShotWorkers,
+			BatchLanes:  r.BatchLanes,
 		})
 	default:
 		return nil, fmt.Errorf("service: unknown experiment type %q", r.Type)
